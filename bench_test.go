@@ -1,0 +1,458 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark (or family)
+// per table and figure, plus ablations of the design choices documented in
+// DESIGN.md and micro-benchmarks of the solver substrates. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The row/series values themselves are printed by cmd/experiments; these
+// benchmarks measure the cost of regenerating them.
+package switchsynth_test
+
+import (
+	"testing"
+	"time"
+
+	"switchsynth"
+	"switchsynth/internal/cases"
+	"switchsynth/internal/clique"
+	"switchsynth/internal/drc"
+	"switchsynth/internal/exp"
+	"switchsynth/internal/lp"
+	"switchsynth/internal/milp"
+	"switchsynth/internal/render"
+	"switchsynth/internal/search"
+	"switchsynth/internal/spec"
+	"switchsynth/internal/topo"
+	"switchsynth/internal/valve"
+)
+
+// bounded synthesizes with a limit, accepting either an optimum or a best
+// incumbent; proofs of infeasibility are also valid outcomes for the
+// no-solution rows.
+func bounded(b *testing.B, sp *spec.Spec, limit time.Duration) {
+	b.Helper()
+	_, err := search.Solve(sp, search.Options{TimeLimit: limit})
+	if err != nil {
+		if _, ok := err.(*spec.ErrNoSolution); ok {
+			return
+		}
+		if _, ok := err.(*search.ErrTimeout); ok {
+			return
+		}
+		b.Fatal(err)
+	}
+}
+
+// --- Table 4.1: contamination avoidance -----------------------------------
+
+func BenchmarkTable41_ChIP_Fixed(b *testing.B) {
+	c := cases.ChIPSw1()
+	for i := 0; i < b.N; i++ {
+		bounded(b, c.WithBinding(spec.Fixed), 0)
+	}
+}
+
+func BenchmarkTable41_ChIP_Clockwise(b *testing.B) {
+	c := cases.ChIPSw1()
+	for i := 0; i < b.N; i++ {
+		bounded(b, c.WithBinding(spec.Clockwise), 10*time.Second)
+	}
+}
+
+func BenchmarkTable41_ChIP_Unfixed(b *testing.B) {
+	// The paper's Gurobi run took 8336 s on this case; benchmark the
+	// bounded incumbent search.
+	c := cases.ChIPSw1()
+	for i := 0; i < b.N; i++ {
+		bounded(b, c.WithBinding(spec.Unfixed), 300*time.Millisecond)
+	}
+}
+
+func BenchmarkTable41_NucleicAcid_Unfixed(b *testing.B) {
+	c := cases.NucleicAcid()
+	for i := 0; i < b.N; i++ {
+		bounded(b, c.WithBinding(spec.Unfixed), 10*time.Second)
+	}
+}
+
+func BenchmarkTable41_NucleicAcid_NoSolutionProofFixed(b *testing.B) {
+	c := cases.NucleicAcid()
+	for i := 0; i < b.N; i++ {
+		bounded(b, c.WithBinding(spec.Fixed), 0)
+	}
+}
+
+func BenchmarkTable41_NucleicAcid_NoSolutionProofClockwise(b *testing.B) {
+	c := cases.NucleicAcid()
+	for i := 0; i < b.N; i++ {
+		bounded(b, c.WithBinding(spec.Clockwise), 0)
+	}
+}
+
+func BenchmarkTable41_MRNA_Unfixed(b *testing.B) {
+	c := cases.MRNAIsolation()
+	for i := 0; i < b.N; i++ {
+		bounded(b, c.WithBinding(spec.Unfixed), 300*time.Millisecond)
+	}
+}
+
+// --- Table 4.2 / Figure 4.4: flow scheduling -------------------------------
+
+func BenchmarkTable42_SchedulingExample(b *testing.B) {
+	c := cases.SchedulingExample()
+	for i := 0; i < b.N; i++ {
+		bounded(b, c.Spec, 5*time.Second)
+	}
+}
+
+// --- Table 4.3: binding policies -------------------------------------------
+
+func BenchmarkTable43_KinaseSw1_AllPolicies(b *testing.B) {
+	c := cases.KinaseSw1()
+	for i := 0; i < b.N; i++ {
+		for _, p := range []spec.BindingPolicy{spec.Fixed, spec.Clockwise, spec.Unfixed} {
+			bounded(b, c.WithBinding(p), 5*time.Second)
+		}
+	}
+}
+
+func BenchmarkTable43_KinaseSw2_AllPolicies(b *testing.B) {
+	c := cases.KinaseSw2()
+	for i := 0; i < b.N; i++ {
+		for _, p := range []spec.BindingPolicy{spec.Fixed, spec.Clockwise, spec.Unfixed} {
+			bounded(b, c.WithBinding(p), 5*time.Second)
+		}
+	}
+}
+
+func BenchmarkTable43_ChIPSw2_Clockwise(b *testing.B) {
+	c := cases.ChIPSw2()
+	for i := 0; i < b.N; i++ {
+		bounded(b, c.WithBinding(spec.Clockwise), 10*time.Second)
+	}
+}
+
+// --- Section 4.2: artificial campaign --------------------------------------
+
+func BenchmarkCampaign_10Cases(b *testing.B) {
+	cs := cases.Artificial(10, 42)
+	for i := 0; i < b.N; i++ {
+		for _, c := range cs {
+			bounded(b, c.Spec, 2*time.Second)
+		}
+	}
+}
+
+// --- Figures 4.1–4.3: synthesized switch renderings ------------------------
+
+func BenchmarkFig41_ChIP_SVG(b *testing.B) {
+	syn, err := switchsynth.Synthesize(cases.ChIPSw1().WithBinding(spec.Fixed),
+		switchsynth.Options{PressureSharing: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(syn.SVG()) == 0 {
+			b.Fatal("empty SVG")
+		}
+	}
+}
+
+func BenchmarkFig42_SpineBaseline(b *testing.B) {
+	sp := cases.NucleicAcid().Spec
+	for i := 0; i < b.N; i++ {
+		if _, err := switchsynth.SpineBaseline(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig43_ScalableSVG(b *testing.B) {
+	syn, err := switchsynth.Synthesize(cases.ChIPSw1().WithBinding(spec.Fixed),
+		switchsynth.Options{PressureSharing: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svg := render.SVG(syn.Result, syn.Valves, syn.Pressure,
+			render.SVGOptions{Scalable: true, ShowRemoved: true})
+		if len(svg) == 0 {
+			b.Fatal("empty SVG")
+		}
+	}
+}
+
+func BenchmarkFig44_ASCII(b *testing.B) {
+	res, err := search.Solve(cases.SchedulingExample().Spec, search.Options{TimeLimit: 5 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(render.ASCII(res)) == 0 {
+			b.Fatal("empty art")
+		}
+	}
+}
+
+// --- Ablations --------------------------------------------------------------
+
+func BenchmarkAblation_SymmetryBreaking_On(b *testing.B) {
+	sp := symSpec()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Solve(sp, search.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_SymmetryBreaking_Off(b *testing.B) {
+	sp := symSpec()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.Solve(sp, search.Options{DisableSymmetryBreaking: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func symSpec() *spec.Spec {
+	return &spec.Spec{
+		Name:       "ablate-sym",
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Conflicts:  [][2]int{{0, 1}},
+		Binding:    spec.Unfixed,
+	}
+}
+
+func BenchmarkAblation_Engine_Search(b *testing.B) {
+	sp := engineSpec()
+	for i := 0; i < b.N; i++ {
+		if _, err := switchsynth.Synthesize(sp, switchsynth.Options{Engine: switchsynth.EngineSearch}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Engine_IQP(b *testing.B) {
+	// The paper-faithful IQP-as-MILP encoding on the same case: the cost of
+	// faithfulness (Gurobi substitute) versus the dedicated search.
+	sp := engineSpec()
+	for i := 0; i < b.N; i++ {
+		if _, err := switchsynth.Synthesize(sp, switchsynth.Options{
+			Engine: switchsynth.EngineIQP, TimeLimit: 2 * time.Minute,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func engineSpec() *spec.Spec {
+	return &spec.Spec{
+		Name:       "ablate-engine",
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Binding:    spec.Fixed,
+		FixedPins:  map[string]int{"a": 1, "x": 5, "b": 7, "y": 3},
+	}
+}
+
+func BenchmarkAblation_PressureSharing_Exact(b *testing.B) {
+	comp := pressureMatrix(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clique.MinCover(comp)
+	}
+}
+
+func BenchmarkAblation_PressureSharing_ILP(b *testing.B) {
+	// The paper's ILP formulation is much heavier than the coloring search;
+	// cap the instance so one measured solve stays in seconds.
+	comp := pressureMatrix(b)
+	if len(comp) > 9 {
+		comp = comp[:9]
+		for i := range comp {
+			comp[i] = comp[i][:9]
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := clique.MinCoverILP(comp, clique.ILPOptions{TimeLimit: time.Minute}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func pressureMatrix(b *testing.B) [][]bool {
+	b.Helper()
+	res, err := search.Solve(cases.SchedulingExample().Spec, search.Options{TimeLimit: 5 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	va, err := valve.Analyze(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return valve.CompatibilityMatrix(va.EssentialValves())
+}
+
+// --- Substrates --------------------------------------------------------------
+
+func BenchmarkSubstrate_PathTable8(b *testing.B)  { benchPathTable(b, 8) }
+func BenchmarkSubstrate_PathTable12(b *testing.B) { benchPathTable(b, 12) }
+func BenchmarkSubstrate_PathTable16(b *testing.B) { benchPathTable(b, 16) }
+
+func benchPathTable(b *testing.B, pins int) {
+	sw, err := topo.NewGrid(pins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if topo.BuildPathTable(sw).NumPaths() == 0 {
+			b.Fatal("no paths")
+		}
+	}
+}
+
+func BenchmarkSubstrate_LPSimplex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := lp.NewProblem(30)
+		for v := 0; v < 30; v++ {
+			p.SetObjective(v, float64(v%7)-3)
+			p.SetBounds(v, 0, 10)
+		}
+		for r := 0; r < 20; r++ {
+			var terms []lp.Term
+			for v := r; v < 30; v += 3 {
+				terms = append(terms, lp.Term{Var: v, Coef: float64(1 + (v+r)%4)})
+			}
+			p.AddConstraint(terms, lp.LE, float64(20+r))
+		}
+		if s := lp.Solve(p); s.Status != lp.Optimal {
+			b.Fatalf("status %v", s.Status)
+		}
+	}
+}
+
+func BenchmarkSubstrate_MILPKnapsack(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := milp.NewModel("bench")
+		obj := milp.NewLinExpr()
+		cap := milp.NewLinExpr()
+		for v := 0; v < 18; v++ {
+			x := m.NewBinary("x")
+			obj.Add(-float64(1+v%5), x)
+			cap.Add(float64(1+v%4), x)
+		}
+		m.AddConstraint(cap, lp.LE, 12)
+		m.SetObjective(obj)
+		if s := m.Solve(milp.Options{}); s.Status != milp.Optimal {
+			b.Fatalf("status %v", s.Status)
+		}
+	}
+}
+
+// --- Extensions: simulator, wash recovery, control routing, DRC, GRU -------
+
+func BenchmarkExtension_Simulator(b *testing.B) {
+	syn, err := switchsynth.Synthesize(cases.SchedulingExample().Spec,
+		switchsynth.Options{TimeLimit: 5 * time.Second, PressureSharing: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := syn.Simulate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Clean() {
+			b.Fatal("verified plan simulated dirty")
+		}
+	}
+}
+
+func BenchmarkExtension_WashRecovery(b *testing.B) {
+	sp := cases.NucleicAcid().WithBinding(spec.Fixed)
+	for i := 0; i < b.N; i++ {
+		plan, err := switchsynth.SynthesizeWithWashes(sp, switchsynth.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.NumWashes == 0 {
+			b.Fatal("expected washes")
+		}
+	}
+}
+
+func BenchmarkExtension_ControlRouting(b *testing.B) {
+	sp := &spec.Spec{
+		Name:       "bench-ctrl",
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Binding:    spec.Fixed,
+		FixedPins:  map[string]int{"a": 1, "x": 5, "b": 7, "y": 3},
+	}
+	for i := 0; i < b.N; i++ {
+		syn, err := switchsynth.Synthesize(sp, switchsynth.Options{
+			PressureSharing: true, RouteControl: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if syn.Control.TotalLength <= 0 {
+			b.Fatal("no control channels")
+		}
+	}
+}
+
+func BenchmarkExtension_DRC16Pin(b *testing.B) {
+	sw, err := topo.NewGrid(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !drc.Clean(sw, drc.DefaultRules()) {
+			b.Fatal("grid should be clean")
+		}
+	}
+}
+
+func BenchmarkExtension_GRUInfeasibilityProof(b *testing.B) {
+	gru, err := topo.NewGRU(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt := topo.BuildPathTable(gru)
+	sp := &spec.Spec{
+		Name:       "bench-gru",
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Conflicts:  [][2]int{{0, 1}},
+		Binding:    spec.Fixed,
+		FixedPins:  map[string]int{"a": 0, "b": 1, "x": 5, "y": 3},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := search.SolveOn(sp, gru, pt, search.Options{}); err == nil {
+			b.Fatal("GRU conflict should be infeasible")
+		}
+	}
+}
+
+func BenchmarkScaling_Modules8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts := exp.RunScaling(exp.Config{TimeLimit: 10 * time.Second}, []int{8})
+		if len(pts) != 1 || !pts[0].Proven {
+			b.Fatal("scaling point failed")
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command casegen emits the Section 4.2 artificial switch cases as JSON
+// files consumable by cmd/switchsynth.
+//
+// Usage:
+//
+//	casegen [-n 90] [-seed 42] [-out cases/]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"switchsynth/internal/cases"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 90, "number of cases")
+		seed = flag.Int64("seed", 42, "generator seed")
+		out  = flag.String("out", "cases", "output directory")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, c := range cases.Artificial(*n, *seed) {
+		data, err := json.MarshalIndent(c.Spec, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		p := filepath.Join(*out, c.Spec.Name+".json")
+		if err := os.WriteFile(p, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d cases to %s\n", *n, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "casegen:", err)
+	os.Exit(1)
+}

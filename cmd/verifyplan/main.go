@@ -1,0 +1,77 @@
+// Command verifyplan independently re-checks a serialized switch plan:
+// structural verification (binding, paths, conflicts, collisions), valve
+// analysis, and the conservative fluidic simulation.
+//
+// Usage:
+//
+//	switchsynth -plan plan.json case.json   # produce a plan file
+//	verifyplan plan.json                    # re-verify it
+//
+// Exit status 0 means the plan passed every check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"switchsynth/internal/clique"
+	"switchsynth/internal/contam"
+	"switchsynth/internal/planio"
+	"switchsynth/internal/sim"
+	"switchsynth/internal/valve"
+)
+
+func main() {
+	quiet := flag.Bool("q", false, "only print failures")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: verifyplan [-q] plan.json")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	res, err := planio.Decode(data)
+	if err != nil {
+		fatal(err)
+	}
+	say := func(format string, args ...interface{}) {
+		if !*quiet {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	say("plan %q: %d-pin switch, %d flows, %d sets, L=%.1fmm",
+		res.Spec.Name, res.Spec.SwitchPins, len(res.Routes), res.NumSets, res.Length)
+
+	if err := contam.Verify(res); err != nil {
+		fatal(fmt.Errorf("structural verification FAILED: %w", err))
+	}
+	say("structural verification: ok (contamination-free, collision-free)")
+
+	va, err := valve.Analyze(res)
+	if err != nil {
+		fatal(err)
+	}
+	cover := clique.MinCover(valve.CompatibilityMatrix(va.EssentialValves()))
+	say("valves: %d essential, %d control inlets after pressure sharing",
+		va.NumValves(), cover.NumGroups())
+
+	rep, err := sim.Run(res, sim.Options{Valves: va, Pressure: &cover})
+	if err != nil {
+		fatal(err)
+	}
+	if !rep.Clean() {
+		for _, e := range rep.Events {
+			fmt.Fprintln(os.Stderr, "simulation:", e)
+		}
+		fatal(fmt.Errorf("fluidic simulation FAILED with %d events", len(rep.Events)))
+	}
+	say("fluidic simulation: clean")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "verifyplan:", err)
+	os.Exit(1)
+}

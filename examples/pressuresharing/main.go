@@ -1,0 +1,68 @@
+// Pressure sharing: valve essentiality and control-inlet minimization
+// (Section 3.5 of the paper).
+//
+// Two flows cross the 8-pin switch centre, so they execute in two flow
+// sets; the four valves around the centre must close alternately while the
+// stub valves never need to close and are removed. The compatible closing
+// patterns then share control inlets via minimum clique cover.
+//
+//	go run ./examples/pressuresharing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"switchsynth"
+)
+
+func main() {
+	sp := &switchsynth.Spec{
+		Name:       "pressure",
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows: []switchsynth.Flow{
+			{From: "a", To: "x"},
+			{From: "b", To: "y"},
+		},
+		Binding: switchsynth.Fixed,
+		// T2 → B1 and L1 → R2: both cross the centre junction C.
+		FixedPins: map[string]int{"a": 1, "x": 5, "b": 7, "y": 3},
+	}
+
+	syn, err := switchsynth.Synthesize(sp, switchsynth.Options{PressureSharing: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(syn.Summary())
+
+	fmt.Printf("\nused segments: %d of %d (the rest are removed from the design)\n",
+		len(syn.UsedEdges()), len(syn.Switch.Edges))
+	fmt.Printf("valves on used segments: %d, essential after the carry rule: %d\n",
+		len(syn.Valves.Valves), syn.NumValves())
+
+	fmt.Println("\nall valve sequences (one column per flow set):")
+	for _, v := range syn.Valves.Valves {
+		marker := "removed (never closes)"
+		if v.Essential {
+			marker = "essential"
+		}
+		fmt.Printf("  %-8s %s  %s\n", syn.Switch.Edges[v.Edge].Name, v.SequenceString(), marker)
+	}
+
+	fmt.Printf("\npressure-sharing clique cover: %d control inlets\n", syn.ControlInlets())
+	ess := syn.Valves.EssentialValves()
+	for g, members := range syn.Pressure.Groups {
+		fmt.Printf("  control inlet %d drives:", g+1)
+		for _, m := range members {
+			fmt.Printf(" %s", syn.Switch.Edges[ess[m].Edge].Name)
+		}
+		fmt.Println()
+	}
+
+	if err := os.WriteFile("pressure.svg", []byte(syn.SVG()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote pressure.svg (valve colors = pressure groups)")
+}

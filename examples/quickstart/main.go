@@ -1,0 +1,54 @@
+// Quickstart: synthesize a contamination-free 8-pin switch for two
+// conflicting reagent flows and print the plan.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"switchsynth"
+)
+
+func main() {
+	// Two reagents that must never touch the same channel: a DNA sample
+	// and a second sample routed through the same switch to two mixers.
+	sp := &switchsynth.Spec{
+		Name:       "quickstart",
+		SwitchPins: 8,
+		Modules:    []string{"sampleA", "sampleB", "mix1", "mix2"},
+		Flows: []switchsynth.Flow{
+			{From: "sampleA", To: "mix1"},
+			{From: "sampleB", To: "mix2"},
+		},
+		Conflicts: [][2]int{{0, 1}}, // the two samples must stay apart
+		Binding:   switchsynth.Unfixed,
+	}
+
+	syn, err := switchsynth.Synthesize(sp, switchsynth.Options{PressureSharing: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(syn.Summary())
+	fmt.Println()
+	fmt.Println("module → pin binding:")
+	for _, m := range sp.Modules {
+		pin := syn.PinOf[m]
+		fmt.Printf("  %-8s → %s\n", m, syn.Switch.Vertices[syn.Switch.PinVertex(pin)].Name)
+	}
+	fmt.Println("\nroutes (one line per flow):")
+	for _, rt := range syn.Routes {
+		f := sp.Flows[rt.Flow]
+		fmt.Printf("  %s → %s in flow set %d, %.1f mm\n", f.From, f.To, rt.Set+1, rt.Path.Length)
+	}
+	fmt.Println("\nswitch (flow layer, '@' = bound pin, digits = flow sets):")
+	fmt.Println(syn.ASCII())
+
+	if err := os.WriteFile("quickstart.svg", []byte(syn.SVG()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote quickstart.svg")
+}

@@ -1,0 +1,3 @@
+module switchsynth
+
+go 1.22

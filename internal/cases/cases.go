@@ -1,0 +1,367 @@
+// Package cases provides the synthesis inputs of the paper's evaluation:
+// the four real applications (ChIP, nucleic-acid processor, mRNA isolation,
+// kinase activity) and the generator for the 90 artificial flow-scheduling
+// cases of Section 4.2.
+//
+// The paper takes its switch inputs from the Cloud Columba case library,
+// which is not redistributable; the specs here are reconstructed from the
+// thesis text, Table 4.1/4.3 and Figures 4.1/4.2: module counts, switch
+// sizes, conflict structure and the qualitative outcomes (which binding
+// policies admit solutions) all match the published tables.
+//
+// Two reconstruction choices matter for reproducing the "no solution" rows:
+//
+//   - Fixed bindings of the conflict-heavy cases pin conflicting flows onto
+//     crossing axes (every shortest path between the pinned pins runs
+//     through the grid centre), which provably forbids node-disjoint routes.
+//   - Clockwise module orders of those cases interleave the endpoints of
+//     conflicting flows around the switch; since all pins lie on the outer
+//     face of the planar switch graph, interleaved chords must share a
+//     vertex, so no clockwise assignment can separate them.
+package cases
+
+import (
+	"fmt"
+	"math/rand"
+
+	"switchsynth/internal/spec"
+)
+
+// Case is one benchmark input with its citation metadata.
+type Case struct {
+	Spec *spec.Spec
+	// Ref cites the application's source, as in the paper's tables.
+	Ref string
+	// ID is the row id used in the paper's tables (1-based), 0 for extras.
+	ID int
+}
+
+// WithBinding returns a copy of the case's spec with the given policy.
+func (c Case) WithBinding(b spec.BindingPolicy) *spec.Spec {
+	cp := *c.Spec
+	cp.Binding = b
+	return &cp
+}
+
+// ChIPSw1 is the first ChIP switch (Table 4.1 id 1, Table 4.3 id 1,
+// Figure 4.1): 9 connected modules on a 12-pin switch. Flows from inlet i10
+// conflict with the flows from inlet i11 (different DNA samples).
+func ChIPSw1() Case {
+	return Case{
+		ID:  1,
+		Ref: "ChIP [Wu et al., Lab Chip 2009]",
+		Spec: &spec.Spec{
+			Name:       "chip-sw1",
+			SwitchPins: 12,
+			// Clockwise order groups each inlet with its mixers so the
+			// clockwise policy can separate the two sample streams.
+			Modules: []string{"i10", "M1", "i12", "M5", "M6", "i11", "M2", "M3", "M4"},
+			Flows: []spec.Flow{
+				{From: "i10", To: "M1"},
+				{From: "i11", To: "M2"},
+				{From: "i11", To: "M3"},
+				{From: "i11", To: "M4"},
+				{From: "i12", To: "M5"},
+				{From: "i12", To: "M6"},
+			},
+			Conflicts: [][2]int{{0, 1}, {0, 2}, {0, 3}},
+			Binding:   spec.Unfixed,
+			// Fixed pins keep i10/M1 at the top and the i11 group at the
+			// bottom, so the fixed policy also has a (longer) solution.
+			FixedPins: map[string]int{
+				"i10": 0, "M1": 2, // T1, T3 (detour: fixed L exceeds unfixed)
+				"i12": 3, "M5": 4, "M6": 5, // R1, R2, R3
+				"i11": 7, "M2": 6, "M3": 8, "M4": 9, // B2, B3, B1, L3
+			},
+		},
+	}
+}
+
+// ChIPSw2 is the second ChIP switch (Table 4.3 id 2): 10 modules, 12-pin,
+// no conflicting flows.
+func ChIPSw2() Case {
+	return Case{
+		ID:  2,
+		Ref: "ChIP [Wu et al., Lab Chip 2009]",
+		Spec: &spec.Spec{
+			Name:       "chip-sw2",
+			SwitchPins: 12,
+			Modules:    []string{"i1", "M1", "M2", "M3", "M4", "i2", "M5", "M6", "M7", "M8"},
+			Flows: []spec.Flow{
+				{From: "i1", To: "M1"},
+				{From: "i1", To: "M2"},
+				{From: "i1", To: "M3"},
+				{From: "i1", To: "M4"},
+				{From: "i2", To: "M5"},
+				{From: "i2", To: "M6"},
+				{From: "i2", To: "M7"},
+				{From: "i2", To: "M8"},
+			},
+			Binding: spec.Unfixed,
+			// A deliberately spread-out fixed binding: the paper observes
+			// the fixed policy yields the largest channel length.
+			FixedPins: map[string]int{
+				"i1": 0, "M1": 2, "M2": 5, "M3": 8, "M4": 11,
+				"i2": 6, "M5": 1, "M6": 4, "M7": 7, "M8": 10,
+			},
+		},
+	}
+}
+
+// NucleicAcid is the nucleic-acid processor switch (Table 4.1 id 2,
+// Figure 4.2(a)): 7 modules on an 8-pin switch. Each mixer's product must
+// reach its dedicated reaction chamber without touching the others.
+func NucleicAcid() Case {
+	return Case{
+		ID:  2,
+		Ref: "nucleic acid processor [Cho et al., Nat. Biotechnol. 2004]",
+		Spec: &spec.Spec{
+			Name:       "nucleic-acid",
+			SwitchPins: 8,
+			// The clockwise order interleaves M1→RC1 with M2→RC2: the two
+			// chords cross for every clockwise assignment, so the clockwise
+			// policy has no solution (as in Table 4.1).
+			Modules: []string{"M1", "M2", "RC1", "RC2", "M3", "RC3", "W"},
+			Flows: []spec.Flow{
+				{From: "M1", To: "RC1"},
+				{From: "M2", To: "RC2"},
+				{From: "M3", To: "RC3"},
+				{From: "M1", To: "W"},
+			},
+			Conflicts: [][2]int{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}},
+			Binding:   spec.Unfixed,
+			// The fixed pins put M1→RC1 on the vertical axis and M2→RC2 on
+			// the horizontal axis: both must route through the centre, so
+			// the fixed policy has no solution either.
+			FixedPins: map[string]int{
+				"M1": 1, "RC1": 5, // T2 → B1 (through C)
+				"M2": 7, "RC2": 3, // L1 → R2 (through C)
+				"M3": 0, "RC3": 2, "W": 6,
+			},
+		},
+	}
+}
+
+// MRNAIsolation is the mRNA isolation switch (Table 4.1 id 3,
+// Figure 4.2(b)): 10 modules on a 12-pin switch; the four reaction-chamber
+// products go to dedicated collection outlets and must stay apart.
+func MRNAIsolation() Case {
+	return Case{
+		ID:  3,
+		Ref: "mRNA isolation [Marcus et al., Anal. Chem. 2006]",
+		Spec: &spec.Spec{
+			Name:       "mrna-isolation",
+			SwitchPins: 12,
+			// Interleaved order RC1, RC2, p_c1, p_c2 ... forces crossing
+			// chords under every clockwise assignment.
+			Modules: []string{"RC1", "RC2", "p_c1", "p_c2", "RC3", "RC4", "p_c3", "p_c4", "lys", "W"},
+			Flows: []spec.Flow{
+				{From: "RC1", To: "p_c1"},
+				{From: "RC2", To: "p_c2"},
+				{From: "RC3", To: "p_c3"},
+				{From: "RC4", To: "p_c4"},
+				{From: "lys", To: "W"},
+			},
+			Conflicts: [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}},
+			Binding:   spec.Unfixed,
+			// Crossing axes again: RC1→p_c1 vertical, RC2→p_c2 horizontal.
+			FixedPins: map[string]int{
+				"RC1": 1, "p_c1": 7, // T2 → B2 (centre column)
+				"RC2": 10, "p_c2": 4, // L2 → R2 (centre row)
+				"RC3": 0, "p_c3": 2,
+				"RC4": 6, "p_c4": 8,
+				"lys": 3, "W": 5,
+			},
+		},
+	}
+}
+
+// KinaseSw1 is the first kinase-activity switch (Table 4.3 id 3): 4 modules
+// on a 12-pin switch, no conflicts.
+func KinaseSw1() Case {
+	return Case{
+		ID:  3,
+		Ref: "kinase activity [Fang et al., Cancer Res. 2010]",
+		Spec: &spec.Spec{
+			Name:       "kinase-sw1",
+			SwitchPins: 12,
+			Modules:    []string{"in1", "o1", "in2", "o2"},
+			Flows: []spec.Flow{
+				{From: "in1", To: "o1"},
+				{From: "in2", To: "o2"},
+			},
+			Binding: spec.Unfixed,
+			FixedPins: map[string]int{
+				"in1": 0, "o1": 5, "in2": 6, "o2": 11,
+			},
+		},
+	}
+}
+
+// KinaseSw2 is the second kinase-activity switch (Table 4.3 id 4): 6
+// modules on a 12-pin switch, no conflicts.
+func KinaseSw2() Case {
+	return Case{
+		ID:  4,
+		Ref: "kinase activity [Fang et al., Cancer Res. 2010]",
+		Spec: &spec.Spec{
+			Name:       "kinase-sw2",
+			SwitchPins: 12,
+			Modules:    []string{"i1", "o1", "o2", "i2", "o3", "o4"},
+			Flows: []spec.Flow{
+				{From: "i1", To: "o1"},
+				{From: "i1", To: "o2"},
+				{From: "i2", To: "o3"},
+				{From: "i2", To: "o4"},
+			},
+			Binding: spec.Unfixed,
+			FixedPins: map[string]int{
+				"i1": 0, "o1": 4, "o2": 8, "i2": 2, "o3": 6, "o4": 10,
+			},
+		},
+	}
+}
+
+// SchedulingExample is the Table 4.2 / Figure 4.4 example: a 12-pin switch
+// with 12 connected modules bound clockwise, inputs 1, 2, 3 fanning out to
+// nine outputs, scheduled into three flow sets.
+func SchedulingExample() Case {
+	mods := make([]string, 12)
+	for i := range mods {
+		mods[i] = fmt.Sprintf("%d", i+1)
+	}
+	return Case{
+		Ref: "Table 4.2 example",
+		Spec: &spec.Spec{
+			Name:       "scheduling-example",
+			SwitchPins: 12,
+			Modules:    mods,
+			Flows: []spec.Flow{
+				{From: "1", To: "7"}, {From: "1", To: "10"}, {From: "1", To: "11"},
+				{From: "2", To: "5"}, {From: "2", To: "8"}, {From: "2", To: "9"},
+				{From: "3", To: "4"}, {From: "3", To: "6"}, {From: "3", To: "12"},
+			},
+			Binding: spec.Clockwise,
+		},
+	}
+}
+
+// MRNAStress16 is the Section 5 stress case: the 13-module mRNA switch on a
+// 16-pin switch, for which the paper's Gurobi run exceeded five hours.
+func MRNAStress16() Case {
+	return Case{
+		Ref: "mRNA isolation, 13-module 16-pin stress case (Section 5)",
+		Spec: &spec.Spec{
+			Name:       "mrna-stress-16",
+			SwitchPins: 16,
+			Modules: []string{
+				"RC1", "RC2", "p_c1", "p_c2", "RC3", "RC4", "p_c3", "p_c4",
+				"lys", "W", "in2", "x1", "x2",
+			},
+			Flows: []spec.Flow{
+				{From: "RC1", To: "p_c1"},
+				{From: "RC2", To: "p_c2"},
+				{From: "RC3", To: "p_c3"},
+				{From: "RC4", To: "p_c4"},
+				{From: "lys", To: "W"},
+				{From: "in2", To: "x1"},
+				{From: "in2", To: "x2"},
+			},
+			Conflicts: [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}},
+			Binding:   spec.Unfixed,
+		},
+	}
+}
+
+// Table41 returns the three contamination-avoidance cases of Table 4.1.
+func Table41() []Case {
+	return []Case{ChIPSw1(), NucleicAcid(), MRNAIsolation()}
+}
+
+// Table43 returns the four binding-policy cases of Table 4.3.
+func Table43() []Case {
+	return []Case{ChIPSw1(), ChIPSw2(), KinaseSw1(), KinaseSw2()}
+}
+
+// Artificial generates the deterministic artificial scheduling campaign of
+// Section 4.2: count cases spread over 8- and 12-pin switches with varying
+// numbers of flows, inlets, conflicts and binding policies. The same seed
+// always yields the same cases.
+func Artificial(count int, seed int64) []Case {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Case, 0, count)
+	for i := 0; i < count; i++ {
+		pins := 8
+		if i%2 == 1 {
+			pins = 12
+		}
+		policy := spec.BindingPolicy(i % 3)
+		sp := randomSpec(rng, fmt.Sprintf("artificial-%02d", i), pins, policy)
+		out = append(out, Case{Spec: sp, Ref: "artificial (Section 4.2)"})
+	}
+	return out
+}
+
+// randomSpec builds a random valid spec. Flows fan out from 1–3 inlets to
+// distinct outlets; some cases add conflicts between different inlets.
+func randomSpec(rng *rand.Rand, name string, pins int, policy spec.BindingPolicy) *spec.Spec {
+	nInlets := 1 + rng.Intn(3)
+	maxFlows := pins - nInlets
+	nFlows := 2 + rng.Intn(5)
+	if nFlows > maxFlows {
+		nFlows = maxFlows
+	}
+	if nFlows < nInlets {
+		nFlows = nInlets
+	}
+	mods := make([]string, 0, nInlets+nFlows)
+	for k := 0; k < nInlets; k++ {
+		mods = append(mods, fmt.Sprintf("in%d", k+1))
+	}
+	for k := 0; k < nFlows; k++ {
+		mods = append(mods, fmt.Sprintf("out%d", k+1))
+	}
+	// Shuffle the module order (it is the clockwise order input).
+	rng.Shuffle(len(mods), func(a, b int) { mods[a], mods[b] = mods[b], mods[a] })
+
+	// The first nInlets flows use each inlet once (so validation's no-unused
+	// rule holds); the rest pick inlets at random.
+	flows := make([]spec.Flow, nFlows)
+	inletOf := make([]int, nFlows)
+	for k := 0; k < nFlows; k++ {
+		in := k
+		if k >= nInlets {
+			in = rng.Intn(nInlets)
+		}
+		inletOf[k] = in
+		flows[k] = spec.Flow{From: fmt.Sprintf("in%d", in+1), To: fmt.Sprintf("out%d", k+1)}
+	}
+
+	var conflicts [][2]int
+	if rng.Intn(2) == 0 {
+		for a := 0; a < nFlows; a++ {
+			for b := a + 1; b < nFlows; b++ {
+				if inletOf[a] != inletOf[b] && rng.Intn(4) == 0 {
+					conflicts = append(conflicts, [2]int{a, b})
+				}
+			}
+		}
+	}
+
+	sp := &spec.Spec{
+		Name:       name,
+		SwitchPins: pins,
+		Modules:    mods,
+		Flows:      flows,
+		Conflicts:  conflicts,
+		Binding:    policy,
+	}
+	if policy == spec.Fixed {
+		perm := rng.Perm(pins)
+		sp.FixedPins = make(map[string]int, len(mods))
+		for i, m := range mods {
+			sp.FixedPins[m] = perm[i]
+		}
+	}
+	return sp
+}

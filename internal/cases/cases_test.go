@@ -1,0 +1,168 @@
+package cases
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"switchsynth/internal/contam"
+	"switchsynth/internal/search"
+	"switchsynth/internal/spec"
+)
+
+func TestAllCasesValidate(t *testing.T) {
+	all := []Case{
+		ChIPSw1(), ChIPSw2(), NucleicAcid(), MRNAIsolation(),
+		KinaseSw1(), KinaseSw2(), SchedulingExample(), MRNAStress16(),
+	}
+	for _, c := range all {
+		if err := c.Spec.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Spec.Name, err)
+		}
+		// Each case must also validate under every policy it is used with.
+		for _, b := range []spec.BindingPolicy{spec.Clockwise, spec.Unfixed} {
+			if err := c.WithBinding(b).Validate(); err != nil {
+				t.Errorf("%s/%s: %v", c.Spec.Name, b, err)
+			}
+		}
+		if len(c.Spec.FixedPins) > 0 {
+			if err := c.WithBinding(spec.Fixed).Validate(); err != nil {
+				t.Errorf("%s/fixed: %v", c.Spec.Name, err)
+			}
+		}
+	}
+}
+
+func TestModuleCountsMatchPaper(t *testing.T) {
+	tests := []struct {
+		c     Case
+		mods  int
+		pins  int
+		flows int
+	}{
+		{ChIPSw1(), 9, 12, 6},
+		{ChIPSw2(), 10, 12, 8},
+		{NucleicAcid(), 7, 8, 4},
+		{MRNAIsolation(), 10, 12, 5},
+		{KinaseSw1(), 4, 12, 2},
+		{KinaseSw2(), 6, 12, 4},
+		{SchedulingExample(), 12, 12, 9},
+		{MRNAStress16(), 13, 16, 7},
+	}
+	for _, tc := range tests {
+		if got := len(tc.c.Spec.Modules); got != tc.mods {
+			t.Errorf("%s: %d modules, want %d (paper's #m)", tc.c.Spec.Name, got, tc.mods)
+		}
+		if got := tc.c.Spec.SwitchPins; got != tc.pins {
+			t.Errorf("%s: %d pins, want %d (paper's sw. size)", tc.c.Spec.Name, got, tc.pins)
+		}
+		if got := len(tc.c.Spec.Flows); got != tc.flows {
+			t.Errorf("%s: %d flows, want %d", tc.c.Spec.Name, got, tc.flows)
+		}
+	}
+}
+
+// TestTable41FeasibilityPattern reproduces the headline of Table 4.1: the
+// ChIP switch is synthesizable under all three binding policies, while the
+// nucleic-acid and mRNA switches admit solutions only under the unfixed
+// policy.
+func TestTable41FeasibilityPattern(t *testing.T) {
+	type row struct {
+		c        Case
+		feasible map[spec.BindingPolicy]bool
+	}
+	rows := []row{
+		{ChIPSw1(), map[spec.BindingPolicy]bool{spec.Fixed: true, spec.Clockwise: true, spec.Unfixed: true}},
+		{NucleicAcid(), map[spec.BindingPolicy]bool{spec.Fixed: false, spec.Clockwise: false, spec.Unfixed: true}},
+		{MRNAIsolation(), map[spec.BindingPolicy]bool{spec.Fixed: false, spec.Clockwise: false, spec.Unfixed: true}},
+	}
+	for _, r := range rows {
+		for policy, wantFeasible := range r.feasible {
+			sp := r.c.WithBinding(policy)
+			res, err := search.Solve(sp, search.Options{TimeLimit: 60 * time.Second})
+			if wantFeasible {
+				if err != nil {
+					t.Errorf("%s/%s: want solution, got %v", sp.Name, policy, err)
+					continue
+				}
+				if verr := contam.Verify(res); verr != nil {
+					t.Errorf("%s/%s: invalid plan: %v", sp.Name, policy, verr)
+				}
+			} else {
+				var nosol *spec.ErrNoSolution
+				if !errors.As(err, &nosol) {
+					t.Errorf("%s/%s: want proven no-solution, got res=%v err=%v", sp.Name, policy, res != nil, err)
+				}
+			}
+		}
+	}
+}
+
+func TestSchedulingExampleThreeSets(t *testing.T) {
+	// Table 4.2: the 9 fan-out flows from 3 inlets schedule into 3 sets.
+	c := SchedulingExample()
+	res, err := search.Solve(c.Spec, search.Options{TimeLimit: 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := contam.Verify(res); verr != nil {
+		t.Fatal(verr)
+	}
+	if res.NumSets != 3 {
+		t.Errorf("NumSets = %d, want 3 (one per inlet, as in Table 4.2)", res.NumSets)
+	}
+}
+
+func TestArtificialDeterministicAndValid(t *testing.T) {
+	a := Artificial(90, 42)
+	b := Artificial(90, 42)
+	if len(a) != 90 || len(b) != 90 {
+		t.Fatalf("campaign sizes %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if err := a[i].Spec.Validate(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+		if a[i].Spec.Name != b[i].Spec.Name || len(a[i].Spec.Flows) != len(b[i].Spec.Flows) {
+			t.Errorf("case %d not deterministic", i)
+		}
+		for f := range a[i].Spec.Flows {
+			if a[i].Spec.Flows[f] != b[i].Spec.Flows[f] {
+				t.Errorf("case %d flow %d differs between runs", i, f)
+			}
+		}
+	}
+	// The campaign must cover both sizes and all three policies.
+	sizes := map[int]int{}
+	policies := map[spec.BindingPolicy]int{}
+	for _, c := range a {
+		sizes[c.Spec.SwitchPins]++
+		policies[c.Spec.Binding]++
+	}
+	if sizes[8] == 0 || sizes[12] == 0 {
+		t.Errorf("sizes covered: %v", sizes)
+	}
+	if policies[spec.Fixed] == 0 || policies[spec.Clockwise] == 0 || policies[spec.Unfixed] == 0 {
+		t.Errorf("policies covered: %v", policies)
+	}
+}
+
+func TestArtificialSample(t *testing.T) {
+	// Spot-run a handful of artificial cases end to end.
+	for _, c := range Artificial(12, 7) {
+		res, err := search.Solve(c.Spec, search.Options{TimeLimit: 20 * time.Second})
+		if err != nil {
+			// Constrained random cases may legitimately have no solution
+			// under fixed/clockwise binding; that is a valid outcome.
+			var nosol *spec.ErrNoSolution
+			var tout *search.ErrTimeout
+			if !errors.As(err, &nosol) && !errors.As(err, &tout) {
+				t.Errorf("%s: %v", c.Spec.Name, err)
+			}
+			continue
+		}
+		if verr := contam.Verify(res); verr != nil {
+			t.Errorf("%s: invalid plan: %v", c.Spec.Name, verr)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package clique solves the pressure-sharing grouping problem: partition
+// valves into a minimum number of groups (cliques of the compatibility
+// graph) so that every group can share one control inlet.
+//
+// A minimum clique cover of the compatibility graph is a minimum proper
+// coloring of its complement (the incompatibility graph), which this package
+// computes exactly with a DSATUR-style branch & bound. The paper's ILP
+// formulation (constraints 3.14–3.17) is also provided, built on
+// internal/milp, and the two solvers are cross-checked in tests.
+package clique
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"switchsynth/internal/lp"
+	"switchsynth/internal/milp"
+)
+
+// Cover is a partition of 0..n-1 into groups.
+type Cover struct {
+	// Groups lists the members of each group in ascending order; groups are
+	// ordered by their smallest member.
+	Groups [][]int
+	// Proven reports whether minimality was proven.
+	Proven bool
+}
+
+// NumGroups returns the number of groups (control inlets needed).
+func (c Cover) NumGroups() int { return len(c.Groups) }
+
+// GroupOf returns a lookup from element to group index.
+func (c Cover) GroupOf(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for g, members := range c.Groups {
+		for _, m := range members {
+			out[m] = g
+		}
+	}
+	return out
+}
+
+// MinCover computes a minimum clique cover of the compatibility relation
+// comp (symmetric, comp[i][i] true). It colors the complement graph exactly.
+func MinCover(comp [][]bool) Cover {
+	n := len(comp)
+	if n == 0 {
+		return Cover{Proven: true}
+	}
+	// Conflict adjacency = complement of compatibility.
+	adj := make([][]bool, n)
+	deg := make([]int, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+		for j := range adj[i] {
+			if i != j && !comp[i][j] {
+				adj[i][j] = true
+				deg[i]++
+			}
+		}
+	}
+
+	ub, greedy := greedyColor(adj, deg)
+	lb := cliqueLB(adj, deg)
+	best := greedy
+	bestK := ub
+	if lb < ub {
+		// Branch & bound on the number of colors over a static order.
+		order := dsaturOrder(adj, deg)
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = -1
+		}
+		var search func(pos, usedColors int) bool
+		search = func(pos, usedColors int) bool {
+			if usedColors >= bestK {
+				return false
+			}
+			if pos == n {
+				copy(best, assign)
+				bestK = usedColors
+				return bestK == lb // optimal proven: stop the whole search
+			}
+			v := order[pos]
+			limit := usedColors // usedColors = open a fresh color
+			if limit > bestK-2 {
+				limit = bestK - 2 // a color ≥ bestK-1 could never improve
+			}
+			for c := 0; c <= limit; c++ {
+				ok := true
+				for u := 0; u < n; u++ {
+					if adj[v][u] && assign[u] == c {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				assign[v] = c
+				nu := usedColors
+				if c == usedColors {
+					nu++
+				}
+				if search(pos+1, nu) {
+					assign[v] = -1
+					return true
+				}
+				assign[v] = -1
+			}
+			return false
+		}
+		search(0, 0)
+	}
+
+	groups := make([][]int, 0)
+	byColor := map[int][]int{}
+	for v, c := range best {
+		byColor[c] = append(byColor[c], v)
+	}
+	var colorsUsed []int
+	for c := range byColor {
+		colorsUsed = append(colorsUsed, c)
+	}
+	sort.Ints(colorsUsed)
+	for _, c := range colorsUsed {
+		sort.Ints(byColor[c])
+		groups = append(groups, byColor[c])
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
+	return Cover{Groups: groups, Proven: true}
+}
+
+// greedyColor colors the conflict graph with DSATUR and returns the color
+// count and assignment.
+func greedyColor(adj [][]bool, deg []int) (int, []int) {
+	n := len(adj)
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	sat := make([]map[int]bool, n)
+	for i := range sat {
+		sat[i] = map[int]bool{}
+	}
+	maxColor := 0
+	for done := 0; done < n; done++ {
+		// Pick the uncolored vertex with the highest saturation, breaking
+		// ties by degree then index.
+		v := -1
+		for u := 0; u < n; u++ {
+			if colors[u] != -1 {
+				continue
+			}
+			if v == -1 || len(sat[u]) > len(sat[v]) ||
+				(len(sat[u]) == len(sat[v]) && deg[u] > deg[v]) {
+				v = u
+			}
+		}
+		c := 0
+		for sat[v][c] {
+			c++
+		}
+		colors[v] = c
+		if c+1 > maxColor {
+			maxColor = c + 1
+		}
+		for u := 0; u < n; u++ {
+			if adj[v][u] {
+				sat[u][c] = true
+			}
+		}
+	}
+	return maxColor, colors
+}
+
+// cliqueLB finds a large clique in the conflict graph greedily; its size is
+// a lower bound on the chromatic number.
+func cliqueLB(adj [][]bool, deg []int) int {
+	n := len(adj)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return deg[order[a]] > deg[order[b]] })
+	best := 0
+	for _, start := range order {
+		clique := []int{start}
+		for _, v := range order {
+			if v == start {
+				continue
+			}
+			ok := true
+			for _, u := range clique {
+				if !adj[v][u] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, v)
+			}
+		}
+		if len(clique) > best {
+			best = len(clique)
+		}
+	}
+	if best == 0 && n > 0 {
+		best = 1
+	}
+	return best
+}
+
+// dsaturOrder orders vertices by descending degree (static approximation of
+// the DSATUR dynamic order, sufficient for branch & bound).
+func dsaturOrder(adj [][]bool, deg []int) []int {
+	n := len(adj)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return deg[order[a]] > deg[order[b]] })
+	return order
+}
+
+// ILPOptions tune the paper-faithful ILP cover.
+type ILPOptions struct {
+	// MaxCliques caps the clique pool; 0 uses the number of elements (the
+	// paper's initial size).
+	MaxCliques int
+	// TimeLimit bounds the MILP solve (0 = none).
+	TimeLimit time.Duration
+}
+
+// MinCoverILP solves the clique-cover with the paper's ILP (3.14)–(3.17):
+// z_{v,c} assigns valve v to clique c, clique_c marks occupied cliques,
+// incompatible valves exclude each other per clique, and the number of
+// occupied cliques is minimized.
+func MinCoverILP(comp [][]bool, opts ILPOptions) (Cover, error) {
+	n := len(comp)
+	if n == 0 {
+		return Cover{Proven: true}, nil
+	}
+	nc := opts.MaxCliques
+	if nc <= 0 || nc > n {
+		nc = n
+	}
+	m := milp.NewModel("clique-cover")
+	z := make([][]milp.Var, n)
+	for v := range z {
+		z[v] = make([]milp.Var, nc)
+		one := milp.NewLinExpr()
+		for c := 0; c < nc; c++ {
+			z[v][c] = m.NewBinary(fmt.Sprintf("z(%d,%d)", v, c))
+			one.Add(1, z[v][c])
+		}
+		m.AddNamedConstraint("3.14", one, lp.EQ, 1) // each valve in one clique
+	}
+	cl := make([]milp.Var, nc)
+	obj := milp.NewLinExpr()
+	for c := 0; c < nc; c++ {
+		cl[c] = m.NewBinary(fmt.Sprintf("clique(%d)", c))
+		for v := 0; v < n; v++ {
+			// clique_c ≥ z_{v,c}   (3.15)
+			m.AddNamedConstraint("3.15", milp.NewLinExpr().Add(1, cl[c]).Add(-1, z[v][c]), lp.GE, 0)
+		}
+		obj.Add(1, cl[c]) // (3.17)
+	}
+	for v1 := 0; v1 < n; v1++ {
+		for v2 := v1 + 1; v2 < n; v2++ {
+			if comp[v1][v2] {
+				continue // ps=1 rows are tautologies; omit them
+			}
+			for c := 0; c < nc; c++ {
+				// z_{v1,c} + z_{v2,c} ≤ 1   (3.16 with ps = 0)
+				m.AddNamedConstraint("3.16",
+					milp.NewLinExpr().Add(1, z[v1][c]).Add(1, z[v2][c]), lp.LE, 1)
+			}
+		}
+	}
+	// Symmetry breaking: element v may only use cliques 0..v.
+	for v := 0; v < n; v++ {
+		for c := v + 1; c < nc; c++ {
+			m.AddConstraint(milp.NewLinExpr().Add(1, z[v][c]), lp.EQ, 0)
+		}
+	}
+	m.SetObjective(obj)
+	sol := m.Solve(milp.Options{TimeLimit: opts.TimeLimit})
+	if !sol.HasSolution {
+		return Cover{}, fmt.Errorf("clique: ILP returned %v", sol.Status)
+	}
+	byClique := map[int][]int{}
+	for v := 0; v < n; v++ {
+		for c := 0; c < nc; c++ {
+			if sol.Bool(z[v][c]) {
+				byClique[c] = append(byClique[c], v)
+				break
+			}
+		}
+	}
+	var groups [][]int
+	for _, members := range byClique {
+		sort.Ints(members)
+		groups = append(groups, members)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
+	return Cover{Groups: groups, Proven: sol.Status == milp.Optimal}, nil
+}

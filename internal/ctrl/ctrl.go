@@ -1,0 +1,449 @@
+// Package ctrl routes the control layer of a synthesized switch: one
+// control net per pressure-sharing group, from a control-inlet punch at the
+// chip border to every valve the group drives.
+//
+// The thesis leaves control-channel routing as future work ("control channel
+// routing should be considered for pressure sharing", Section 5); this
+// package implements it in the style of practical control-layer routers
+// (PACOR-like grid routing):
+//
+//   - control channels are Manhattan polylines on a 0.2 mm routing raster
+//     covering the switch plus a border margin;
+//   - channels of different nets never share a raster cell (0.2 mm pitch
+//     with 0.1 mm channels keeps exactly the Stanford 0.1 mm spacing);
+//   - a control channel crossing a flow channel is expensive (every
+//     crossing is a parasitic valve membrane) and is only allowed
+//     perpendicular to the flow channel; crossing another net's valve
+//     position is forbidden outright;
+//   - each net terminates at the border of the routing area, where its
+//     1 mm² control-inlet punch is placed.
+//
+// Nets are routed sequentially, largest group first, each valve connecting
+// to the growing net of its group (cheapest-path Steiner approximation).
+package ctrl
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"switchsynth/internal/clique"
+	"switchsynth/internal/geom"
+	"switchsynth/internal/spec"
+	"switchsynth/internal/topo"
+	"switchsynth/internal/valve"
+)
+
+// RasterPitch is the routing raster spacing in mm: channel width plus the
+// minimum clearance.
+const RasterPitch = geom.FlowChannelWidth + geom.MinChannelSpacing
+
+// CrossingCost is the extra cost (in raster steps) of crossing one flow
+// channel with a control channel.
+const CrossingCost = 10
+
+// Net is one routed control net (one control inlet).
+type Net struct {
+	// Group indexes the pressure-sharing cover group this net drives.
+	Group int
+	// Valves lists the valve edge IDs the net actuates.
+	Valves []int
+	// Cells lists the raster cells of the net in routing order.
+	Cells []Cell
+	// Inlet is the control-inlet punch location (mm).
+	Inlet geom.Point
+	// Length is the routed channel length in mm.
+	Length float64
+	// Crossings counts flow-channel crossings (parasitic membranes).
+	Crossings int
+}
+
+// Cell is a raster coordinate.
+type Cell struct{ Row, Col int }
+
+// Plan is a routed control layer.
+type Plan struct {
+	// Nets holds one net per pressure group, ordered by group index.
+	Nets []Net
+	// TotalLength is the summed control channel length (mm).
+	TotalLength float64
+	// TotalCrossings counts all parasitic flow crossings.
+	TotalCrossings int
+	// Pitch is the raster pitch used (mm).
+	Pitch float64
+	// Origin is the position of raster cell (0, 0) (mm).
+	Origin geom.Point
+	// Rows and Cols are the raster dimensions.
+	Rows, Cols int
+}
+
+// CellPoint returns the physical position of a raster cell.
+func (p *Plan) CellPoint(c Cell) geom.Point {
+	return geom.Pt(p.Origin.X+float64(c.Col)*p.Pitch, p.Origin.Y+float64(c.Row)*p.Pitch)
+}
+
+// Route routes the control layer for a verified synthesis plan, its valve
+// analysis and its pressure-sharing cover. With a nil cover every essential
+// valve gets its own net (one control inlet per valve).
+func Route(res *spec.Result, va *valve.Analysis, cover *clique.Cover) (*Plan, error) {
+	ess := va.EssentialValves()
+	if len(ess) == 0 {
+		return &Plan{Pitch: RasterPitch}, nil
+	}
+	groups := make([][]int, 0)
+	if cover != nil {
+		for _, g := range cover.Groups {
+			groups = append(groups, append([]int(nil), g...))
+		}
+	} else {
+		for i := range ess {
+			groups = append(groups, []int{i})
+		}
+	}
+
+	r := newRaster(res)
+	// Forbid other valves' positions; collect per-valve cells.
+	valveCell := make([]Cell, len(ess))
+	for i, v := range ess {
+		e := res.Switch.Edges[v.Edge]
+		mid := res.Switch.Vertices[e.U].Pos.Mid(res.Switch.Vertices[e.V].Pos)
+		valveCell[i] = r.cellAt(mid)
+	}
+
+	// Route the largest groups first: they need the most freedom.
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if len(groups[order[a]]) != len(groups[order[b]]) {
+			return len(groups[order[a]]) > len(groups[order[b]])
+		}
+		return order[a] < order[b]
+	})
+
+	plan := &Plan{
+		Pitch:  r.pitch,
+		Origin: r.origin,
+		Rows:   r.rows,
+		Cols:   r.cols,
+		Nets:   make([]Net, len(groups)),
+	}
+	for _, g := range order {
+		net, err := r.routeGroup(g, groups[g], ess, valveCell)
+		if err != nil {
+			return nil, fmt.Errorf("ctrl: group %d: %w", g, err)
+		}
+		plan.Nets[g] = net
+		plan.TotalLength += net.Length
+		plan.TotalCrossings += net.Crossings
+	}
+	return plan, nil
+}
+
+// raster is the routing grid state.
+type raster struct {
+	sw     *topo.Switch
+	pitch  float64
+	origin geom.Point
+	rows   int
+	cols   int
+	// flowEdge[idx] = flow edge ID occupying the cell, or -1.
+	flowEdge []int
+	// horizontal[idx] reports the flow channel direction in the cell.
+	horizontal []bool
+	// owner[idx] = group owning the cell as control channel, or -1.
+	owner []int
+	// blocked[idx] marks other valves' membranes and inlet punches.
+	blocked []bool
+}
+
+func newRaster(res *spec.Result) *raster {
+	b := res.Switch.Bounds()
+	const margin = 1.6 // room for border routing and 1 mm² punches
+	r := &raster{
+		sw:     res.Switch,
+		pitch:  RasterPitch,
+		origin: geom.Pt(b.Min.X-margin, b.Min.Y-margin),
+	}
+	r.cols = int(math.Ceil((b.Width()+2*margin)/r.pitch)) + 1
+	r.rows = int(math.Ceil((b.Height()+2*margin)/r.pitch)) + 1
+	n := r.rows * r.cols
+	r.flowEdge = make([]int, n)
+	r.horizontal = make([]bool, n)
+	r.owner = make([]int, n)
+	r.blocked = make([]bool, n)
+	for i := range r.flowEdge {
+		r.flowEdge[i] = -1
+		r.owner[i] = -1
+	}
+	// Mark used flow channels by sampling each used edge.
+	for _, eid := range res.UsedEdges() {
+		e := res.Switch.Edges[eid]
+		a := res.Switch.Vertices[e.U].Pos
+		bb := res.Switch.Vertices[e.V].Pos
+		horizontal := math.Abs(a.Y-bb.Y) < math.Abs(a.X-bb.X)
+		steps := int(a.Dist(bb)/(r.pitch/2)) + 1
+		for s := 0; s <= steps; s++ {
+			t := float64(s) / float64(steps)
+			p := geom.Pt(a.X+(bb.X-a.X)*t, a.Y+(bb.Y-a.Y)*t)
+			c := r.cellAt(p)
+			idx := r.idx(c)
+			r.flowEdge[idx] = eid
+			r.horizontal[idx] = horizontal
+		}
+	}
+	return r
+}
+
+func (r *raster) idx(c Cell) int { return c.Row*r.cols + c.Col }
+
+func (r *raster) cellAt(p geom.Point) Cell {
+	return Cell{
+		Row: int(math.Round((p.Y - r.origin.Y) / r.pitch)),
+		Col: int(math.Round((p.X - r.origin.X) / r.pitch)),
+	}
+}
+
+func (r *raster) inBounds(c Cell) bool {
+	return c.Row >= 0 && c.Row < r.rows && c.Col >= 0 && c.Col < r.cols
+}
+
+func (r *raster) border(c Cell) bool {
+	return c.Row == 0 || c.Row == r.rows-1 || c.Col == 0 || c.Col == r.cols-1
+}
+
+type pqItem struct {
+	cell Cell
+	cost int
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(a, b int) bool  { return q[a].cost < q[b].cost }
+func (q pq) Swap(a, b int)       { q[a], q[b] = q[b], q[a] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	it := old[len(old)-1]
+	*q = old[:len(old)-1]
+	return it
+}
+
+// routeGroup connects every valve of the group into one net ending at a
+// border inlet.
+func (r *raster) routeGroup(group int, members []int, ess []valve.Valve, valveCell []Cell) (Net, error) {
+	net := Net{Group: group, Inlet: geom.Pt(math.NaN(), math.NaN())}
+	for _, m := range members {
+		net.Valves = append(net.Valves, ess[m].Edge)
+	}
+	// Forbid all other valves' membrane cells for this group.
+	otherValve := make(map[int]bool)
+	for i := range ess {
+		inGroup := false
+		for _, m := range members {
+			if m == i {
+				inGroup = true
+				break
+			}
+		}
+		if !inGroup {
+			otherValve[r.idx(valveCell[i])] = true
+		}
+	}
+
+	inNet := make(map[int]bool)
+	// Route valves nearest the border first so the trunk starts outside.
+	ms := append([]int(nil), members...)
+	sort.SliceStable(ms, func(a, b int) bool {
+		da := r.borderDist(valveCell[ms[a]])
+		db := r.borderDist(valveCell[ms[b]])
+		if da != db {
+			return da < db
+		}
+		return ms[a] < ms[b]
+	})
+	for k, m := range ms {
+		start := valveCell[m]
+		target := func(c Cell) bool {
+			if k == 0 {
+				return r.border(c)
+			}
+			return inNet[r.idx(c)]
+		}
+		path, crossings, err := r.dijkstra(start, target, group, otherValve)
+		if err != nil {
+			return net, fmt.Errorf("valve %s: %w", r.sw.Edges[ess[m].Edge].Name, err)
+		}
+		for _, c := range path {
+			idx := r.idx(c)
+			if r.owner[idx] == -1 {
+				r.owner[idx] = group
+			}
+			if !inNet[idx] {
+				inNet[idx] = true
+				net.Cells = append(net.Cells, c)
+			}
+		}
+		net.Crossings += crossings
+		if k == 0 {
+			end := path[len(path)-1]
+			net.Inlet = geom.Pt(r.origin.X+float64(end.Col)*r.pitch, r.origin.Y+float64(end.Row)*r.pitch)
+			r.blockPunch(end)
+		}
+	}
+	net.Length = float64(len(net.Cells)-1) * r.pitch
+	if net.Length < 0 {
+		net.Length = 0
+	}
+	return net, nil
+}
+
+func (r *raster) borderDist(c Cell) int {
+	d := c.Row
+	if x := r.rows - 1 - c.Row; x < d {
+		d = x
+	}
+	if c.Col < d {
+		d = c.Col
+	}
+	if x := r.cols - 1 - c.Col; x < d {
+		d = x
+	}
+	return d
+}
+
+// blockPunch reserves a 1 mm² region around an inlet for the punch.
+func (r *raster) blockPunch(c Cell) {
+	half := int(math.Ceil(math.Sqrt(geom.ControlInletArea) / 2 / r.pitch))
+	for dr := -half; dr <= half; dr++ {
+		for dc := -half; dc <= half; dc++ {
+			cc := Cell{c.Row + dr, c.Col + dc}
+			if r.inBounds(cc) && r.owner[r.idx(cc)] == -1 {
+				r.blocked[r.idx(cc)] = true
+			}
+		}
+	}
+}
+
+// dijkstra finds a cheapest control path from start to any target cell.
+func (r *raster) dijkstra(start Cell, target func(Cell) bool, group int, otherValve map[int]bool) ([]Cell, int, error) {
+	const inf = math.MaxInt32
+	n := r.rows * r.cols
+	dist := make([]int32, n)
+	prev := make([]int32, n)
+	for i := range dist {
+		dist[i] = inf
+		prev[i] = -1
+	}
+	sIdx := r.idx(start)
+	if !r.inBounds(start) {
+		return nil, 0, fmt.Errorf("start cell out of raster")
+	}
+	dist[sIdx] = 0
+	q := &pq{{start, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		idx := r.idx(it.cell)
+		if int32(it.cost) > dist[idx] {
+			continue
+		}
+		if target(it.cell) {
+			// Reconstruct.
+			var cells []Cell
+			cur := int32(idx)
+			crossings := 0
+			for cur != -1 {
+				c := Cell{int(cur) / r.cols, int(cur) % r.cols}
+				cells = append(cells, c)
+				if r.flowEdge[cur] != -1 && int(cur) != sIdx {
+					crossings++
+				}
+				cur = prev[cur]
+			}
+			// Reverse to start→target order.
+			for i, j := 0, len(cells)-1; i < j; i, j = i+1, j-1 {
+				cells[i], cells[j] = cells[j], cells[i]
+			}
+			return cells, crossings, nil
+		}
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nc := Cell{it.cell.Row + d[0], it.cell.Col + d[1]}
+			if !r.inBounds(nc) {
+				continue
+			}
+			nIdx := r.idx(nc)
+			if r.blocked[nIdx] || otherValve[nIdx] {
+				continue
+			}
+			if o := r.owner[nIdx]; o != -1 && o != group {
+				continue // another net's channel
+			}
+			step := 1
+			if fe := r.flowEdge[nIdx]; fe != -1 {
+				// Crossing a flow channel: only perpendicular movement.
+				movingHorizontally := d[0] == 0
+				if movingHorizontally == r.horizontal[nIdx] {
+					continue
+				}
+				step += CrossingCost
+			}
+			ncost := dist[idx] + int32(step)
+			if ncost < dist[nIdx] {
+				dist[nIdx] = ncost
+				prev[nIdx] = int32(idx)
+				heap.Push(q, pqItem{nc, int(ncost)})
+			}
+		}
+	}
+	return nil, 0, fmt.Errorf("no control route found")
+}
+
+// Verify checks a routed plan for structural soundness: nets are non-empty
+// and cell-disjoint, every valve's membrane cell belongs to its net, and
+// inlets lie on the routing border region.
+func Verify(plan *Plan, res *spec.Result, va *valve.Analysis) error {
+	seen := map[Cell]int{}
+	for _, net := range plan.Nets {
+		if len(net.Valves) == 0 {
+			return fmt.Errorf("ctrl: net %d drives no valves", net.Group)
+		}
+		if len(net.Cells) == 0 {
+			return fmt.Errorf("ctrl: net %d has no cells", net.Group)
+		}
+		for _, c := range net.Cells {
+			if g, dup := seen[c]; dup && g != net.Group {
+				return fmt.Errorf("ctrl: cell %v shared by nets %d and %d", c, g, net.Group)
+			}
+			seen[c] = net.Group
+		}
+	}
+	// Each essential valve's membrane cell must be covered by exactly the
+	// net that drives it.
+	ess := va.EssentialValves()
+	for _, v := range ess {
+		e := res.Switch.Edges[v.Edge]
+		mid := res.Switch.Vertices[e.U].Pos.Mid(res.Switch.Vertices[e.V].Pos)
+		cell := Cell{
+			Row: int(math.Round((mid.Y - plan.Origin.Y) / plan.Pitch)),
+			Col: int(math.Round((mid.X - plan.Origin.X) / plan.Pitch)),
+		}
+		driving := -1
+		for _, net := range plan.Nets {
+			for _, ve := range net.Valves {
+				if ve == v.Edge {
+					driving = net.Group
+				}
+			}
+		}
+		if driving == -1 {
+			return fmt.Errorf("ctrl: valve %s driven by no net", e.Name)
+		}
+		if g, ok := seen[cell]; !ok || g != driving {
+			return fmt.Errorf("ctrl: valve %s membrane cell not on its net %d", e.Name, driving)
+		}
+	}
+	return nil
+}

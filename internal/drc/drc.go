@@ -1,0 +1,149 @@
+// Package drc checks switch flow-layer geometry against the Stanford
+// Foundry basic design rules the paper cites, plus the angular-clearance
+// criterion behind the paper's critique of the GRU predecessor design
+// (flow segments meeting at ~45° leave reagent residue at the turn and
+// crowd the layout).
+package drc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"switchsynth/internal/geom"
+	"switchsynth/internal/topo"
+)
+
+// Rules are the checked design rules. The zero value is unusable; use
+// DefaultRules.
+type Rules struct {
+	// ChannelWidth is the flow channel width (mm).
+	ChannelWidth float64
+	// MinSpacing is the minimum clear space between non-adjacent channel
+	// segments (mm).
+	MinSpacing float64
+	// MinJunctionAngleDeg is the minimum angle between segments meeting at
+	// a junction (degrees). The crossbar grid keeps 90°; the GRU design's
+	// 45° turns violate it.
+	MinJunctionAngleDeg float64
+	// MinSegmentLength ensures every segment can host a valve (mm).
+	MinSegmentLength float64
+}
+
+// DefaultRules returns the Stanford-Foundry-derived rule set used by the
+// paper: 0.1 mm channels, 0.1 mm spacing, 60° angular clearance and enough
+// segment length for a 0.3 mm valve crossing with spacing on both sides.
+func DefaultRules() Rules {
+	return Rules{
+		ChannelWidth:        geom.FlowChannelWidth,
+		MinSpacing:          geom.MinChannelSpacing,
+		MinJunctionAngleDeg: 60,
+		MinSegmentLength:    geom.ValveChannelWidth + 2*geom.MinChannelSpacing,
+	}
+}
+
+// Kind classifies a violation.
+type Kind int
+
+// Violation kinds.
+const (
+	// SpacingViolation: two non-adjacent segments are too close.
+	SpacingViolation Kind = iota
+	// AngleViolation: two segments meet at a junction below the minimum
+	// angle.
+	AngleViolation
+	// LengthViolation: a segment is too short to host a valve.
+	LengthViolation
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case SpacingViolation:
+		return "spacing"
+	case AngleViolation:
+		return "angle"
+	case LengthViolation:
+		return "length"
+	}
+	return "?"
+}
+
+// Violation is one design-rule breach.
+type Violation struct {
+	Kind Kind
+	// EdgeA and EdgeB identify the involved segments (EdgeB = -1 for
+	// LengthViolation).
+	EdgeA, EdgeB int
+	// Value is the measured spacing (mm), angle (deg) or length (mm).
+	Value float64
+	// Limit is the rule threshold the value fell below.
+	Limit float64
+	// Detail names the segments.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s (%.3g < %.3g)", v.Kind, v.Detail, v.Value, v.Limit)
+}
+
+// Check verifies the whole switch flow layer against the rules and returns
+// the violations sorted by kind then edge IDs.
+func Check(sw *topo.Switch, rules Rules) []Violation {
+	var out []Violation
+	segs := make([]geom.Segment, len(sw.Edges))
+	for i, e := range sw.Edges {
+		segs[i] = geom.Seg(sw.Vertices[e.U].Pos, sw.Vertices[e.V].Pos)
+	}
+	adjacent := func(a, b topo.Edge) bool {
+		return a.U == b.U || a.U == b.V || a.V == b.U || a.V == b.V
+	}
+	for i, ea := range sw.Edges {
+		if l := segs[i].Length(); l < rules.MinSegmentLength-1e-9 {
+			out = append(out, Violation{
+				Kind:  LengthViolation,
+				EdgeA: ea.ID, EdgeB: -1,
+				Value: l, Limit: rules.MinSegmentLength,
+				Detail: ea.Name,
+			})
+		}
+		for j := i + 1; j < len(sw.Edges); j++ {
+			eb := sw.Edges[j]
+			if adjacent(ea, eb) {
+				ang := geom.AngleBetweenDeg(segs[i], segs[j])
+				if !math.IsNaN(ang) && ang < rules.MinJunctionAngleDeg-1e-9 {
+					out = append(out, Violation{
+						Kind:  AngleViolation,
+						EdgeA: ea.ID, EdgeB: eb.ID,
+						Value: ang, Limit: rules.MinJunctionAngleDeg,
+						Detail: ea.Name + " / " + eb.Name,
+					})
+				}
+				continue
+			}
+			sp := geom.SegmentDistance(segs[i], segs[j]) - rules.ChannelWidth
+			if sp < rules.MinSpacing-1e-9 {
+				out = append(out, Violation{
+					Kind:  SpacingViolation,
+					EdgeA: ea.ID, EdgeB: eb.ID,
+					Value: sp, Limit: rules.MinSpacing,
+					Detail: ea.Name + " / " + eb.Name,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Kind != out[b].Kind {
+			return out[a].Kind < out[b].Kind
+		}
+		if out[a].EdgeA != out[b].EdgeA {
+			return out[a].EdgeA < out[b].EdgeA
+		}
+		return out[a].EdgeB < out[b].EdgeB
+	})
+	return out
+}
+
+// Clean reports whether the switch passes all rules.
+func Clean(sw *topo.Switch, rules Rules) bool { return len(Check(sw, rules)) == 0 }

@@ -1,0 +1,123 @@
+package drc
+
+import (
+	"strings"
+	"testing"
+
+	"switchsynth/internal/topo"
+)
+
+func TestGridSwitchesAreClean(t *testing.T) {
+	// The paper's crossbar models follow the Stanford rules; the previous
+	// GRU-based design did not (Section 2.1).
+	for _, pins := range []int{8, 12, 16} {
+		sw, err := topo.NewGrid(pins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vs := Check(sw, DefaultRules()); len(vs) != 0 {
+			t.Errorf("%d-pin grid: %d violations, first: %v", pins, len(vs), vs[0])
+		}
+		if !Clean(sw, DefaultRules()) {
+			t.Errorf("%d-pin grid: Clean() = false", pins)
+		}
+	}
+}
+
+func TestGRUViolatesAngularClearance(t *testing.T) {
+	for _, units := range []int{1, 2} {
+		sw, err := topo.NewGRU(units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs := Check(sw, DefaultRules())
+		if len(vs) == 0 {
+			t.Fatalf("GRU(%d) passes DRC; the paper documents its 45° turns", units)
+		}
+		angles := 0
+		for _, v := range vs {
+			if v.Kind == AngleViolation {
+				angles++
+				if v.Value > 46 {
+					t.Errorf("GRU(%d): angle violation at %.1f°, expected ~45°", units, v.Value)
+				}
+			}
+		}
+		if angles == 0 {
+			t.Errorf("GRU(%d): no angle violations among %d", units, len(vs))
+		}
+	}
+}
+
+func TestSpineIsClean(t *testing.T) {
+	sw, err := topo.NewSpine(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := Check(sw, DefaultRules()); len(vs) != 0 {
+		t.Errorf("spine: unexpected violations %v", vs)
+	}
+}
+
+func TestLengthViolation(t *testing.T) {
+	sw, _ := topo.NewGrid(8)
+	rules := DefaultRules()
+	rules.MinSegmentLength = 0.7 // pin stubs are 0.6 mm
+	vs := Check(sw, rules)
+	lengths := 0
+	for _, v := range vs {
+		if v.Kind == LengthViolation {
+			lengths++
+			if v.EdgeB != -1 {
+				t.Error("length violation should not reference a second edge")
+			}
+		}
+	}
+	if lengths != 8 {
+		t.Errorf("length violations = %d, want 8 (one per stub)", lengths)
+	}
+}
+
+func TestSpacingViolation(t *testing.T) {
+	sw, _ := topo.NewGrid(8)
+	rules := DefaultRules()
+	rules.MinSpacing = 1.0 // grid channels sit 0.9 mm apart clear
+	vs := Check(sw, rules)
+	found := false
+	for _, v := range vs {
+		if v.Kind == SpacingViolation {
+			found = true
+			if v.Value >= v.Limit {
+				t.Errorf("reported spacing %v not below limit %v", v.Value, v.Limit)
+			}
+		}
+	}
+	if !found {
+		t.Error("tight spacing rule found no violations")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: AngleViolation, Detail: "a / b", Value: 45, Limit: 60}
+	s := v.String()
+	if !strings.Contains(s, "angle") || !strings.Contains(s, "a / b") {
+		t.Errorf("violation string %q", s)
+	}
+	if SpacingViolation.String() != "spacing" || LengthViolation.String() != "length" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	sw, _ := topo.NewGRU(2)
+	a := Check(sw, DefaultRules())
+	b := Check(sw, DefaultRules())
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("violation %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,458 @@
+// Package lp implements a small, self-contained linear-programming solver:
+// a dense two-phase primal simplex with Bland's anti-cycling rule.
+//
+// It is the foundation of the pure-Go MILP solver in internal/milp, which
+// substitutes for the Gurobi optimizer used by the paper. The problems the
+// synthesis models generate are small (hundreds of variables and rows), so a
+// dense tableau is simple, robust and fast enough.
+//
+// Problems are stated as
+//
+//	minimize    c·x
+//	subject to  a_k·x (≤ | = | ≥) b_k        for each row k
+//	            lower_j ≤ x_j ≤ upper_j      for each variable j
+//
+// Lower bounds must be finite (the synthesis models use 0); upper bounds may
+// be +Inf.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the relational operator of a constraint row.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // a·x ≤ b
+	GE              // a·x ≥ b
+	EQ              // a·x = b
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Term is one coefficient of a constraint row.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is one linear row a·x (≤|=|≥) b.
+type Constraint struct {
+	Terms []Term
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is a linear program. The zero value is unusable; use NewProblem.
+type Problem struct {
+	numVars int
+	obj     []float64
+	lower   []float64
+	upper   []float64
+	rows    []Constraint
+}
+
+// NewProblem returns an empty problem with numVars variables, each with
+// bounds [0, +Inf) and zero objective coefficient.
+func NewProblem(numVars int) *Problem {
+	p := &Problem{
+		numVars: numVars,
+		obj:     make([]float64, numVars),
+		lower:   make([]float64, numVars),
+		upper:   make([]float64, numVars),
+	}
+	for i := range p.upper {
+		p.upper[i] = math.Inf(1)
+	}
+	return p
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumRows returns the number of constraint rows.
+func (p *Problem) NumRows() int { return len(p.rows) }
+
+// SetObjective sets the coefficient of variable v in the minimized objective.
+func (p *Problem) SetObjective(v int, c float64) { p.obj[v] = c }
+
+// Objective returns the objective coefficient of variable v.
+func (p *Problem) Objective(v int) float64 { return p.obj[v] }
+
+// SetBounds sets the bounds of variable v. The lower bound must be finite.
+func (p *Problem) SetBounds(v int, lo, hi float64) {
+	p.lower[v] = lo
+	p.upper[v] = hi
+}
+
+// Bounds returns the bounds of variable v.
+func (p *Problem) Bounds(v int) (lo, hi float64) { return p.lower[v], p.upper[v] }
+
+// AddConstraint appends the row a·x (sense) rhs and returns its index.
+// Duplicate variables within terms are summed.
+func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) int {
+	merged := make(map[int]float64, len(terms))
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= p.numVars {
+			panic(fmt.Sprintf("lp: variable %d out of range", t.Var))
+		}
+		merged[t.Var] += t.Coef
+	}
+	row := Constraint{Sense: sense, RHS: rhs}
+	for v := 0; v < p.numVars; v++ {
+		if c, ok := merged[v]; ok && c != 0 {
+			row.Terms = append(row.Terms, Term{v, c})
+		}
+	}
+	p.rows = append(p.rows, row)
+	return len(p.rows) - 1
+}
+
+// Clone returns a deep copy of the problem.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{
+		numVars: p.numVars,
+		obj:     append([]float64(nil), p.obj...),
+		lower:   append([]float64(nil), p.lower...),
+		upper:   append([]float64(nil), p.upper...),
+		rows:    make([]Constraint, len(p.rows)),
+	}
+	for i, r := range p.rows {
+		q.rows[i] = Constraint{
+			Terms: append([]Term(nil), r.Terms...),
+			Sense: r.Sense,
+			RHS:   r.RHS,
+		}
+	}
+	return q
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "?"
+}
+
+// Solution is the result of solving a Problem.
+type Solution struct {
+	Status Status
+	// X holds the optimal values of the structural variables (Optimal only).
+	X []float64
+	// Obj is the optimal objective value (Optimal only).
+	Obj float64
+}
+
+const tol = 1e-9
+
+// Solve solves the problem with the two-phase primal simplex method.
+func Solve(p *Problem) Solution {
+	for v := 0; v < p.numVars; v++ {
+		if math.IsInf(p.lower[v], 0) || math.IsNaN(p.lower[v]) {
+			panic(fmt.Sprintf("lp: variable %d has non-finite lower bound", v))
+		}
+		if p.upper[v] < p.lower[v]-tol {
+			return Solution{Status: Infeasible}
+		}
+	}
+
+	// Shift x_j = y_j + lower_j so that y ≥ 0; finite upper bounds become
+	// extra ≤ rows.
+	type denseRow struct {
+		coefs []float64
+		sense Sense
+		rhs   float64
+	}
+	var rows []denseRow
+	for _, r := range p.rows {
+		dr := denseRow{coefs: make([]float64, p.numVars), sense: r.Sense, rhs: r.RHS}
+		for _, t := range r.Terms {
+			dr.coefs[t.Var] += t.Coef
+			dr.rhs -= t.Coef * p.lower[t.Var]
+		}
+		rows = append(rows, dr)
+	}
+	for v := 0; v < p.numVars; v++ {
+		if !math.IsInf(p.upper[v], 1) {
+			dr := denseRow{coefs: make([]float64, p.numVars), sense: LE, rhs: p.upper[v] - p.lower[v]}
+			dr.coefs[v] = 1
+			rows = append(rows, dr)
+		}
+	}
+
+	// Normalize to RHS ≥ 0.
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			for j := range rows[i].coefs {
+				rows[i].coefs[j] = -rows[i].coefs[j]
+			}
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].sense {
+			case LE:
+				rows[i].sense = GE
+			case GE:
+				rows[i].sense = LE
+			}
+		}
+	}
+
+	// Column layout: structural | slack/surplus | artificial.
+	m := len(rows)
+	nStruct := p.numVars
+	nSlack := 0
+	nArt := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+		if r.sense != LE {
+			nArt++
+		}
+	}
+	n := nStruct + nSlack + nArt
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := nStruct
+	artCol := nStruct + nSlack
+	artStart := artCol
+	for i, r := range rows {
+		tab[i] = make([]float64, n+1)
+		copy(tab[i], r.coefs)
+		tab[i][n] = r.rhs
+		switch r.sense {
+		case LE:
+			tab[i][slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			tab[i][slackCol] = -1
+			slackCol++
+			tab[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		case EQ:
+			tab[i][artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+	}
+
+	s := &simplex{tab: tab, basis: basis, n: n, m: m}
+
+	if nArt > 0 {
+		// Phase 1: minimize the sum of artificials.
+		cost := make([]float64, n)
+		for j := artStart; j < n; j++ {
+			cost[j] = 1
+		}
+		st := s.run(cost, artStart)
+		if st != Optimal {
+			return Solution{Status: st}
+		}
+		if s.objValue(cost) > 1e-7 {
+			return Solution{Status: Infeasible}
+		}
+		if !s.expelArtificials(artStart) {
+			return Solution{Status: Infeasible}
+		}
+		// Drop artificial columns.
+		s.n = artStart
+		for i := range s.tab {
+			s.tab[i][artStart] = s.tab[i][n] // move RHS next to kept cols
+			s.tab[i] = s.tab[i][:artStart+1]
+		}
+	}
+
+	// Phase 2.
+	cost := make([]float64, s.n)
+	copy(cost, p.obj)
+	st := s.run(cost, s.n)
+	if st != Optimal {
+		return Solution{Status: st}
+	}
+
+	x := make([]float64, p.numVars)
+	copy(x, p.lower)
+	for i, b := range s.basis {
+		if b < p.numVars {
+			x[b] += s.tab[i][s.n]
+		}
+	}
+	var obj float64
+	for v, c := range p.obj {
+		obj += c * x[v]
+	}
+	return Solution{Status: Optimal, X: x, Obj: obj}
+}
+
+// simplex is a dense tableau with an explicit basis.
+type simplex struct {
+	tab   [][]float64 // m rows × (n+1) columns; column n is the RHS
+	basis []int
+	n, m  int
+}
+
+// objValue returns cost·x_B for the current basic solution.
+func (s *simplex) objValue(cost []float64) float64 {
+	var v float64
+	for i, b := range s.basis {
+		if b < len(cost) {
+			v += cost[b] * s.tab[i][s.n]
+		}
+	}
+	return v
+}
+
+// run performs primal simplex iterations minimizing cost·x. Columns with
+// index ≥ banned are never chosen to enter the basis (used to keep phase-2
+// from re-entering artificials). It returns Optimal, Unbounded or IterLimit.
+func (s *simplex) run(cost []float64, banned int) Status {
+	// Reduced costs: r_j = cost_j - cost_B · B⁻¹A_j, computed incrementally
+	// by keeping a working cost row.
+	red := make([]float64, s.n)
+	copy(red, cost[:s.n])
+	for i, b := range s.basis {
+		cb := 0.0
+		if b < len(cost) {
+			cb = cost[b]
+		}
+		if cb != 0 {
+			for j := 0; j < s.n; j++ {
+				red[j] -= cb * s.tab[i][j]
+			}
+		}
+	}
+
+	maxIter := 200 * (s.m + s.n + 10)
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column: Bland's rule (smallest index with negative
+		// reduced cost) — guarantees termination.
+		enter := -1
+		for j := 0; j < banned && j < s.n; j++ {
+			if red[j] < -tol {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+		// Ratio test with Bland tie-break on the leaving basic variable.
+		leave := -1
+		var bestRatio float64
+		for i := 0; i < s.m; i++ {
+			a := s.tab[i][enter]
+			if a > tol {
+				ratio := s.tab[i][s.n] / a
+				if leave == -1 || ratio < bestRatio-tol ||
+					(ratio < bestRatio+tol && s.basis[i] < s.basis[leave]) {
+					leave = i
+					bestRatio = ratio
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded
+		}
+		s.pivot(leave, enter, red)
+	}
+	return IterLimit
+}
+
+// pivot makes column enter basic in row leave, updating the reduced costs.
+func (s *simplex) pivot(leave, enter int, red []float64) {
+	pr := s.tab[leave]
+	pv := pr[enter]
+	inv := 1 / pv
+	for j := 0; j <= s.n; j++ {
+		pr[j] *= inv
+	}
+	pr[enter] = 1 // exact
+	for i := 0; i < s.m; i++ {
+		if i == leave {
+			continue
+		}
+		f := s.tab[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := s.tab[i]
+		for j := 0; j <= s.n; j++ {
+			row[j] -= f * pr[j]
+		}
+		row[enter] = 0 // exact
+	}
+	if red != nil {
+		f := red[enter]
+		if f != 0 {
+			for j := 0; j < s.n; j++ {
+				red[j] -= f * pr[j]
+			}
+			red[enter] = 0
+		}
+	}
+	s.basis[leave] = enter
+}
+
+// expelArtificials pivots any artificial variables (columns ≥ artStart) out
+// of the basis at the end of phase 1. Rows where that is impossible are
+// redundant and are zeroed. Returns false only on internal inconsistency.
+func (s *simplex) expelArtificials(artStart int) bool {
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < artStart {
+			continue
+		}
+		// The artificial is basic at value ~0. Pivot on any eligible column.
+		pivoted := false
+		for j := 0; j < artStart; j++ {
+			if math.Abs(s.tab[i][j]) > 1e-7 {
+				s.pivot(i, j, nil)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: clear it so it never constrains anything.
+			for j := 0; j <= s.n; j++ {
+				s.tab[i][j] = 0
+			}
+			// Keep the artificial in the basis of a zero row; harmless, but
+			// mark the basis entry so value extraction ignores it.
+			s.basis[i] = artStart // first artificial column; value 0
+		}
+	}
+	return true
+}

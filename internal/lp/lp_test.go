@@ -1,0 +1,374 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMaximizationAsMinimization(t *testing.T) {
+	// max 3x + 2y s.t. x+y ≤ 4, x+3y ≤ 6, x,y ≥ 0  → x=4, y=0, obj 12.
+	p := NewProblem(2)
+	p.SetObjective(0, -3)
+	p.SetObjective(1, -2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4)
+	p.AddConstraint([]Term{{0, 1}, {1, 3}}, LE, 6)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Obj, -12) {
+		t.Errorf("obj = %v, want -12", s.Obj)
+	}
+	if !approx(s.X[0], 4) || !approx(s.X[1], 0) {
+		t.Errorf("x = %v, want [4 0]", s.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x + 2y s.t. x + y = 3, x ≥ 1, y ≥ 0 → x=3, y=0, obj 3.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 3)
+	p.AddConstraint([]Term{{0, 1}}, GE, 1)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Obj, 3) || !approx(s.X[0], 3) || !approx(s.X[1], 0) {
+		t.Errorf("obj=%v x=%v", s.Obj, s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 2)
+	if s := Solve(p); s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestInfeasibleBounds(t *testing.T) {
+	p := NewProblem(1)
+	p.SetBounds(0, 3, 1)
+	if s := Solve(p); s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, -1) // maximize x with no upper bound
+	if s := Solve(p); s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestVariableBounds(t *testing.T) {
+	// min -x - y with 1 ≤ x ≤ 2, 0 ≤ y ≤ 3 → x=2, y=3.
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -1)
+	p.SetBounds(0, 1, 2)
+	p.SetBounds(1, 0, 3)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.X[0], 2) || !approx(s.X[1], 3) {
+		t.Errorf("x = %v, want [2 3]", s.X)
+	}
+}
+
+func TestNonZeroLowerBoundShift(t *testing.T) {
+	// min x s.t. x ≥ -5 with bounds [-10, 10] → x = -10?  No: lower bound is
+	// -10, constraint x ≥ -5 binds → x = -5.
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.SetBounds(0, -10, 10)
+	p.AddConstraint([]Term{{0, 1}}, GE, -5)
+	s := Solve(p)
+	if s.Status != Optimal || !approx(s.X[0], -5) {
+		t.Errorf("status=%v x=%v, want x=-5", s.Status, s.X)
+	}
+}
+
+func TestDegenerateCycleTermination(t *testing.T) {
+	// Beale's classic cycling example; Bland's rule must terminate.
+	// min -0.75x1 + 150x2 - 0.02x3 + 6x4
+	// s.t. 0.25x1 - 60x2 - 0.04x3 + 9x4 ≤ 0
+	//      0.5x1 - 90x2 - 0.02x3 + 3x4 ≤ 0
+	//      x3 ≤ 1
+	p := NewProblem(4)
+	p.SetObjective(0, -0.75)
+	p.SetObjective(1, 150)
+	p.SetObjective(2, -0.02)
+	p.SetObjective(3, 6)
+	p.AddConstraint([]Term{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, LE, 0)
+	p.AddConstraint([]Term{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, LE, 0)
+	p.AddConstraint([]Term{{2, 1}}, LE, 1)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	if !approx(s.Obj, -0.05) {
+		t.Errorf("obj = %v, want -0.05", s.Obj)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// x + y = 2 stated twice plus its double: redundant rows must not break
+	// phase 1.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2)
+	p.AddConstraint([]Term{{0, 2}, {1, 2}}, EQ, 4)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.X[0], 0) || !approx(s.X[1], 2) {
+		t.Errorf("x = %v, want [0 2]", s.X)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// -x ≤ -3  ⇔  x ≥ 3.
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{0, -1}}, LE, -3)
+	s := Solve(p)
+	if s.Status != Optimal || !approx(s.X[0], 3) {
+		t.Errorf("status=%v x=%v, want x=3", s.Status, s.X)
+	}
+}
+
+func TestDuplicateTermsMerged(t *testing.T) {
+	// x + x ≤ 4 → x ≤ 2.
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	p.AddConstraint([]Term{{0, 1}, {0, 1}}, LE, 4)
+	s := Solve(p)
+	if s.Status != Optimal || !approx(s.X[0], 2) {
+		t.Errorf("status=%v x=%v, want x=2", s.Status, s.X)
+	}
+}
+
+func TestAssignmentLPIntegrality(t *testing.T) {
+	// The LP relaxation of the assignment problem has integral optima equal
+	// to the best permutation. Cross-check against brute force for random
+	// 4×4 cost matrices.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		const n = 4
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(50))
+			}
+		}
+		p := NewProblem(n * n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p.SetObjective(i*n+j, cost[i][j])
+			}
+		}
+		for i := 0; i < n; i++ {
+			var row, col []Term
+			for j := 0; j < n; j++ {
+				row = append(row, Term{i*n + j, 1})
+				col = append(col, Term{j*n + i, 1})
+			}
+			p.AddConstraint(row, EQ, 1)
+			p.AddConstraint(col, EQ, 1)
+		}
+		s := Solve(p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status = %v", trial, s.Status)
+		}
+		want := bruteAssignment(cost)
+		if !approx(s.Obj, want) {
+			t.Errorf("trial %d: LP obj = %v, brute force = %v", trial, s.Obj, want)
+		}
+	}
+}
+
+func bruteAssignment(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			var c float64
+			for i, j := range perm {
+				c += cost[i][j]
+			}
+			if c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestRandomFeasibleProblemsSolutionIsFeasible(t *testing.T) {
+	// Property: on random LPs built to be feasible (constraints a·x ≤ a·x0
+	// for a known point x0), the solver returns a feasible point with
+	// objective ≤ that of x0.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		nv := 2 + rng.Intn(5)
+		nr := 1 + rng.Intn(6)
+		x0 := make([]float64, nv)
+		for i := range x0 {
+			x0[i] = float64(rng.Intn(10))
+		}
+		p := NewProblem(nv)
+		var obj0 float64
+		for v := 0; v < nv; v++ {
+			c := float64(rng.Intn(11) - 5)
+			p.SetObjective(v, c)
+			p.SetBounds(v, 0, 20)
+			obj0 += c * x0[v]
+		}
+		type rowRec struct {
+			a   []float64
+			rhs float64
+		}
+		var recs []rowRec
+		for r := 0; r < nr; r++ {
+			a := make([]float64, nv)
+			var lhs float64
+			var terms []Term
+			for v := 0; v < nv; v++ {
+				a[v] = float64(rng.Intn(7) - 3)
+				lhs += a[v] * x0[v]
+				if a[v] != 0 {
+					terms = append(terms, Term{v, a[v]})
+				}
+			}
+			rhs := lhs + float64(rng.Intn(5))
+			p.AddConstraint(terms, LE, rhs)
+			recs = append(recs, rowRec{a, rhs})
+		}
+		s := Solve(p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status = %v (problem is feasible by construction)", trial, s.Status)
+		}
+		if s.Obj > obj0+1e-6 {
+			t.Errorf("trial %d: obj %v worse than known point %v", trial, s.Obj, obj0)
+		}
+		for ri, rec := range recs {
+			var lhs float64
+			for v := range rec.a {
+				lhs += rec.a[v] * s.X[v]
+			}
+			if lhs > rec.rhs+1e-6 {
+				t.Errorf("trial %d: row %d violated: %v > %v", trial, ri, lhs, rec.rhs)
+			}
+		}
+		for v := 0; v < nv; v++ {
+			if s.X[v] < -1e-6 || s.X[v] > 20+1e-6 {
+				t.Errorf("trial %d: x[%d]=%v out of bounds", trial, v, s.X[v])
+			}
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetBounds(1, 0, 5)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 3)
+	q := p.Clone()
+	q.SetObjective(0, -1)
+	q.SetBounds(1, 0, 1)
+	q.AddConstraint([]Term{{0, 1}}, GE, 1)
+	if p.Objective(0) != 1 {
+		t.Error("clone mutated original objective")
+	}
+	if _, hi := p.Bounds(1); hi != 5 {
+		t.Error("clone mutated original bounds")
+	}
+	if p.NumRows() != 1 || q.NumRows() != 2 {
+		t.Errorf("rows: p=%d q=%d", p.NumRows(), q.NumRows())
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	// Pure feasibility problem.
+	p := NewProblem(2)
+	p.AddConstraint([]Term{{0, 1}, {1, 2}}, EQ, 4)
+	s := Solve(p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if got := s.X[0] + 2*s.X[1]; !approx(got, 4) {
+		t.Errorf("constraint violated: %v", got)
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	p := NewProblem(0)
+	s := Solve(p)
+	if s.Status != Optimal || !approx(s.Obj, 0) {
+		t.Errorf("empty problem: status=%v obj=%v", s.Status, s.Obj)
+	}
+}
+
+func TestStringsAndAccessors(t *testing.T) {
+	for s, want := range map[Sense]string{LE: "<=", GE: ">=", EQ: "="} {
+		if s.String() != want {
+			t.Errorf("Sense %d = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Sense(9).String() != "?" {
+		t.Error("unknown sense should render ?")
+	}
+	for s, want := range map[Status]string{Optimal: "optimal", Infeasible: "infeasible", Unbounded: "unbounded", IterLimit: "iteration-limit"} {
+		if s.String() != want {
+			t.Errorf("Status %d = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Status(9).String() != "?" {
+		t.Error("unknown status should render ?")
+	}
+	p := NewProblem(3)
+	if p.NumVars() != 3 {
+		t.Errorf("NumVars = %d", p.NumVars())
+	}
+	p.SetBounds(1, -2, 7)
+	if lo, hi := p.Bounds(1); lo != -2 || hi != 7 {
+		t.Errorf("Bounds = %v, %v", lo, hi)
+	}
+	if p.Objective(0) != 0 {
+		t.Error("default objective should be zero")
+	}
+}
+
+func TestAddConstraintRejectsBadVar(t *testing.T) {
+	p := NewProblem(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range variable accepted")
+		}
+	}()
+	p.AddConstraint([]Term{{5, 1}}, LE, 1)
+}

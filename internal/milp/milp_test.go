@@ -1,0 +1,453 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"switchsynth/internal/lp"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c s.t. 3a + 4b + 2c ≤ 6 → a=1,c=1 (17) vs b=1 (13)
+	// vs a=1,b=0,c=1... best is a+c=17? b+c: 4+2=6 → 20. Optimal: b=1,c=1.
+	m := NewModel("knapsack")
+	a := m.NewBinary("a")
+	b := m.NewBinary("b")
+	c := m.NewBinary("c")
+	m.AddConstraint(NewLinExpr().Add(3, a).Add(4, b).Add(2, c), lp.LE, 6)
+	m.SetObjective(NewLinExpr().Add(-10, a).Add(-13, b).Add(-7, c))
+	s := m.Solve(Options{})
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Obj, -20) {
+		t.Errorf("obj = %v, want -20", s.Obj)
+	}
+	if s.Bool(a) || !s.Bool(b) || !s.Bool(c) {
+		t.Errorf("x = %v, want b=c=1", s.X)
+	}
+}
+
+func TestIntegerVariable(t *testing.T) {
+	// min -x s.t. 2x ≤ 7, x integer → x = 3 (LP gives 3.5).
+	m := NewModel("int")
+	x := m.NewInt("x", 0, 100)
+	m.AddConstraint(NewLinExpr().Add(2, x), lp.LE, 7)
+	m.SetObjective(NewLinExpr().Add(-1, x))
+	s := m.Solve(Options{})
+	if s.Status != Optimal || !approx(s.Value(x), 3) {
+		t.Errorf("status=%v x=%v, want 3", s.Status, s.Value(x))
+	}
+}
+
+func TestInfeasibleInteger(t *testing.T) {
+	// 0.4 ≤ x ≤ 0.6 with x integer: LP feasible, IP infeasible.
+	m := NewModel("infeas")
+	x := m.NewInt("x", 0, 1)
+	m.AddConstraint(NewLinExpr().Add(1, x), lp.GE, 0.4)
+	m.AddConstraint(NewLinExpr().Add(1, x), lp.LE, 0.6)
+	if s := m.Solve(Options{}); s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestInfeasibleLP(t *testing.T) {
+	m := NewModel("infeaslp")
+	x := m.NewBinary("x")
+	m.AddConstraint(NewLinExpr().Add(1, x), lp.GE, 2)
+	if s := m.Solve(Options{}); s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestProductLinearization(t *testing.T) {
+	// Force each combination of (x, y) and check z = x·y.
+	for _, tc := range []struct{ x, y, want float64 }{
+		{0, 0, 0}, {0, 1, 0}, {1, 0, 0}, {1, 1, 1},
+	} {
+		m := NewModel("prod")
+		x := m.NewBinary("x")
+		y := m.NewBinary("y")
+		z := m.Product(x, y)
+		m.AddConstraint(NewLinExpr().Add(1, x), lp.EQ, tc.x)
+		m.AddConstraint(NewLinExpr().Add(1, y), lp.EQ, tc.y)
+		// Objective pulls z both ways to prove it is *determined*.
+		for _, sign := range []float64{1, -1} {
+			m2 := NewModel("prod2")
+			x2 := m2.NewBinary("x")
+			y2 := m2.NewBinary("y")
+			z2 := m2.Product(x2, y2)
+			m2.AddConstraint(NewLinExpr().Add(1, x2), lp.EQ, tc.x)
+			m2.AddConstraint(NewLinExpr().Add(1, y2), lp.EQ, tc.y)
+			m2.SetObjective(NewLinExpr().Add(sign, z2))
+			s := m2.Solve(Options{})
+			if s.Status != Optimal {
+				t.Fatalf("x=%v y=%v sign=%v: status %v", tc.x, tc.y, sign, s.Status)
+			}
+			if !approx(s.Value(z2), tc.want) {
+				t.Errorf("x=%v y=%v sign=%v: z=%v want %v", tc.x, tc.y, sign, s.Value(z2), tc.want)
+			}
+		}
+		_ = z
+	}
+}
+
+func TestProductMemoized(t *testing.T) {
+	m := NewModel("memo")
+	x := m.NewBinary("x")
+	y := m.NewBinary("y")
+	z1 := m.Product(x, y)
+	z2 := m.Product(y, x)
+	if z1 != z2 {
+		t.Error("Product not memoized across operand order")
+	}
+	if zz := m.Product(x, x); zz != x {
+		t.Error("x·x should be x for binary x")
+	}
+}
+
+func TestSetCover(t *testing.T) {
+	// Universe {1..5}; sets: {1,2,3}, {2,4}, {3,4}, {4,5}, {1,5}.
+	// Optimal cover: {1,2,3} + {4,5} = 2 sets.
+	sets := [][]int{{1, 2, 3}, {2, 4}, {3, 4}, {4, 5}, {1, 5}}
+	m := NewModel("cover")
+	use := make([]Var, len(sets))
+	for i := range sets {
+		use[i] = m.NewBinary("s")
+	}
+	for e := 1; e <= 5; e++ {
+		expr := NewLinExpr()
+		for i, s := range sets {
+			for _, x := range s {
+				if x == e {
+					expr.Add(1, use[i])
+				}
+			}
+		}
+		m.AddConstraint(expr, lp.GE, 1)
+	}
+	obj := NewLinExpr()
+	for _, u := range use {
+		obj.Add(1, u)
+	}
+	m.SetObjective(obj)
+	s := m.Solve(Options{})
+	if s.Status != Optimal || !approx(s.Obj, 2) {
+		t.Errorf("status=%v obj=%v, want optimal 2", s.Status, s.Obj)
+	}
+}
+
+func TestRandomBinaryMILPsAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		nv := 3 + rng.Intn(7) // up to 9 binaries
+		nr := 1 + rng.Intn(5)
+		m := NewModel("rand")
+		vars := make([]Var, nv)
+		objC := make([]float64, nv)
+		for i := range vars {
+			vars[i] = m.NewBinary("x")
+			objC[i] = float64(rng.Intn(21) - 10)
+		}
+		type row struct {
+			a     []float64
+			sense lp.Sense
+			rhs   float64
+		}
+		var rowsR []row
+		for r := 0; r < nr; r++ {
+			a := make([]float64, nv)
+			expr := NewLinExpr()
+			for i := range a {
+				a[i] = float64(rng.Intn(7) - 3)
+				expr.Add(a[i], vars[i])
+			}
+			sense := lp.Sense(rng.Intn(2)) // LE or GE
+			rhs := float64(rng.Intn(9) - 4)
+			m.AddConstraint(expr, sense, rhs)
+			rowsR = append(rowsR, row{a, sense, rhs})
+		}
+		obj := NewLinExpr()
+		for i, v := range vars {
+			obj.Add(objC[i], v)
+		}
+		m.SetObjective(obj)
+		s := m.Solve(Options{})
+
+		// Brute force.
+		bestObj := math.Inf(1)
+		feasible := false
+		for mask := 0; mask < 1<<nv; mask++ {
+			ok := true
+			for _, r := range rowsR {
+				var lhs float64
+				for i := 0; i < nv; i++ {
+					if mask&(1<<i) != 0 {
+						lhs += r.a[i]
+					}
+				}
+				if (r.sense == lp.LE && lhs > r.rhs+1e-9) || (r.sense == lp.GE && lhs < r.rhs-1e-9) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			feasible = true
+			var o float64
+			for i := 0; i < nv; i++ {
+				if mask&(1<<i) != 0 {
+					o += objC[i]
+				}
+			}
+			if o < bestObj {
+				bestObj = o
+			}
+		}
+
+		if feasible {
+			if s.Status != Optimal {
+				t.Fatalf("trial %d: status %v, brute force found feasible obj %v", trial, s.Status, bestObj)
+			}
+			if !approx(s.Obj, bestObj) {
+				t.Errorf("trial %d: obj %v, brute force %v", trial, s.Obj, bestObj)
+			}
+			if err := m.CheckFeasible(s.X); err != nil {
+				t.Errorf("trial %d: solution infeasible: %v", trial, err)
+			}
+		} else if s.Status != Infeasible {
+			t.Errorf("trial %d: status %v, brute force proves infeasible", trial, s.Status)
+		}
+	}
+}
+
+func TestRandomQuadraticObjectiveAgainstBruteForce(t *testing.T) {
+	// Minimize a random binary quadratic form via Product linearization and
+	// compare against exhaustive enumeration.
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 15; trial++ {
+		nv := 3 + rng.Intn(4) // up to 6 binaries
+		lin := make([]float64, nv)
+		quad := make(map[[2]int]float64)
+		for i := range lin {
+			lin[i] = float64(rng.Intn(11) - 5)
+		}
+		for i := 0; i < nv; i++ {
+			for j := i + 1; j < nv; j++ {
+				if rng.Intn(2) == 0 {
+					quad[[2]int{i, j}] = float64(rng.Intn(11) - 5)
+				}
+			}
+		}
+		m := NewModel("quad")
+		vars := make([]Var, nv)
+		for i := range vars {
+			vars[i] = m.NewBinary("x")
+		}
+		obj := NewLinExpr()
+		for i, c := range lin {
+			obj.Add(c, vars[i])
+		}
+		for k, c := range quad {
+			obj.Add(c, m.Product(vars[k[0]], vars[k[1]]))
+		}
+		m.SetObjective(obj)
+		s := m.Solve(Options{})
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+
+		best := math.Inf(1)
+		for mask := 0; mask < 1<<nv; mask++ {
+			var o float64
+			for i := 0; i < nv; i++ {
+				if mask&(1<<i) != 0 {
+					o += lin[i]
+				}
+			}
+			for k, c := range quad {
+				if mask&(1<<k[0]) != 0 && mask&(1<<k[1]) != 0 {
+					o += c
+				}
+			}
+			if o < best {
+				best = o
+			}
+		}
+		if !approx(s.Obj, best) {
+			t.Errorf("trial %d: obj %v, brute force %v", trial, s.Obj, best)
+		}
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	m := NewModel("limit")
+	// An equality-sum problem with many symmetric solutions to force search.
+	n := 14
+	expr := NewLinExpr()
+	obj := NewLinExpr()
+	for i := 0; i < n; i++ {
+		v := m.NewBinary("x")
+		expr.Add(1, v)
+		obj.Add(float64(i%3)-1, v)
+	}
+	m.AddConstraint(expr, lp.EQ, float64(n/2))
+	m.SetObjective(obj)
+	s := m.Solve(Options{MaxNodes: 1})
+	if s.Status == Optimal && s.Nodes > 1 {
+		t.Errorf("node limit ignored: %d nodes", s.Nodes)
+	}
+}
+
+func TestTimeLimitReturnsQuickly(t *testing.T) {
+	m := NewModel("time")
+	n := 16
+	expr := NewLinExpr()
+	for i := 0; i < n; i++ {
+		expr.Add(1, m.NewBinary("x"))
+	}
+	m.AddConstraint(expr, lp.EQ, float64(n/2))
+	start := time.Now()
+	s := m.Solve(Options{TimeLimit: 50 * time.Millisecond})
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("time limit ignored: took %v", el)
+	}
+	_ = s
+}
+
+func TestCheckFeasible(t *testing.T) {
+	m := NewModel("chk")
+	x := m.NewBinary("x")
+	y := m.NewInt("y", 0, 5)
+	m.AddConstraint(NewLinExpr().Add(1, x).Add(1, y), lp.LE, 3)
+	if err := m.CheckFeasible([]float64{1, 2}); err != nil {
+		t.Errorf("feasible point rejected: %v", err)
+	}
+	if err := m.CheckFeasible([]float64{1, 3}); err == nil {
+		t.Error("infeasible point accepted (1+3 > 3)")
+	}
+	if err := m.CheckFeasible([]float64{0.5, 1}); err == nil {
+		t.Error("fractional binary accepted")
+	}
+	if err := m.CheckFeasible([]float64{0, 6}); err == nil {
+		t.Error("out-of-bounds integer accepted")
+	}
+	if err := m.CheckFeasible([]float64{0}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	_ = y
+}
+
+func TestLinExprOps(t *testing.T) {
+	e := NewLinExpr()
+	a, b := Var{0}, Var{1}
+	e.Add(2, a).Add(3, b).Add(-2, a).AddConst(5)
+	terms := e.Terms()
+	if len(terms) != 1 || terms[0].Var != 1 || terms[0].Coef != 3 {
+		t.Errorf("terms = %v, want [{1 3}]", terms)
+	}
+	f := NewLinExpr().AddExpr(2, e)
+	if f.Const != 10 || f.coefs[1] != 6 {
+		t.Errorf("AddExpr wrong: %+v", f)
+	}
+	if got := e.Eval([]float64{0, 4}); !approx(got, 17) {
+		t.Errorf("Eval = %v, want 17", got)
+	}
+}
+
+func TestEqualityConstraintConstFolding(t *testing.T) {
+	// expr with constant: (x + 2) = 3  ⇔  x = 1.
+	m := NewModel("const")
+	x := m.NewInt("x", 0, 9)
+	m.AddConstraint(NewLinExpr().Add(1, x).AddConst(2), lp.EQ, 3)
+	m.SetObjective(NewLinExpr().Add(1, x))
+	s := m.Solve(Options{})
+	if s.Status != Optimal || !approx(s.Value(x), 1) {
+		t.Errorf("status=%v x=%v, want 1", s.Status, s.Value(x))
+	}
+}
+
+func TestGracefulZeroModel(t *testing.T) {
+	m := NewModel("empty")
+	s := m.Solve(Options{})
+	if s.Status != Optimal || !approx(s.Obj, 0) {
+		t.Errorf("empty model: status=%v obj=%v", s.Status, s.Obj)
+	}
+}
+
+func TestModelAccessors(t *testing.T) {
+	m := NewModel("acc")
+	if m.Name() != "acc" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	x := m.NewBinary("x")
+	c := m.NewContinuous("c", -1, 4)
+	if m.NumVars() != 2 {
+		t.Errorf("NumVars = %d", m.NumVars())
+	}
+	if m.VarName(x) != "x" || m.VarName(c) != "c" {
+		t.Error("VarName wrong")
+	}
+	if x.ID() != 0 || c.ID() != 1 {
+		t.Error("IDs wrong")
+	}
+	m.AddConstraint(NewLinExpr().Add(1, x).Add(1, c), lp.LE, 3)
+	if m.NumRows() != 1 {
+		t.Errorf("NumRows = %d", m.NumRows())
+	}
+	// Continuous variables stay fractional in the optimum.
+	m.SetObjective(NewLinExpr().Add(-1, c))
+	s := m.Solve(Options{})
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if !approx(s.Value(c), 3) { // c ≤ 3 - x; optimum x=0, c=3
+		t.Errorf("c = %v, want 3", s.Value(c))
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for st, want := range map[Status]string{Optimal: "optimal", Infeasible: "infeasible", Limit: "limit"} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+	if Status(42).String() != "?" {
+		t.Error("unknown status should render ?")
+	}
+}
+
+func TestProductPanicsOnNonBinary(t *testing.T) {
+	m := NewModel("p")
+	x := m.NewBinary("x")
+	y := m.NewInt("y", 0, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("Product accepted a non-binary operand")
+		}
+	}()
+	m.Product(x, y)
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max x + 2c s.t. x + c ≤ 2.5, x integer 0..2, c ∈ [0, 1].
+	m := NewModel("mix")
+	x := m.NewInt("x", 0, 2)
+	c := m.NewContinuous("c", 0, 1)
+	m.AddConstraint(NewLinExpr().Add(1, x).Add(1, c), lp.LE, 2.5)
+	m.SetObjective(NewLinExpr().Add(-1, x).Add(-2, c))
+	s := m.Solve(Options{})
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	// Optimal: c=1 (worth 2 per unit), x=1 (x=2 would need c ≤ 0.5 →
+	// 2+1 = 3 < 1+2 = 3... tie; check objective only).
+	if !approx(s.Obj, -3) {
+		t.Errorf("obj = %v, want -3", s.Obj)
+	}
+}

@@ -1,0 +1,140 @@
+// Package planio serializes synthesized switch plans to JSON and back, so
+// plans can be stored, exchanged between tools, and independently
+// re-verified (cmd/verifyplan). The encoding stores the spec, the binding
+// and each route's vertex sequence; masks, lengths and objectives are
+// recomputed on load and never trusted from the file.
+package planio
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"switchsynth/internal/spec"
+	"switchsynth/internal/topo"
+)
+
+// fileFormat is the versioned on-disk structure.
+type fileFormat struct {
+	// Version guards future format changes.
+	Version int `json:"version"`
+	// Spec is the original synthesis input.
+	Spec *spec.Spec `json:"spec"`
+	// PinOf maps module names to clockwise pin orders.
+	PinOf map[string]int `json:"pinOf"`
+	// Routes stores one entry per flow in flow order.
+	Routes []routeFormat `json:"routes"`
+	// Engine and Proven describe how the plan was produced.
+	Engine string `json:"engine,omitempty"`
+	Proven bool   `json:"proven,omitempty"`
+}
+
+type routeFormat struct {
+	Flow int `json:"flow"`
+	Set  int `json:"set"`
+	// Verts is the vertex-name sequence of the path, inlet pin first.
+	Verts []string `json:"verts"`
+}
+
+// currentVersion of the file format.
+const currentVersion = 1
+
+// Encode serializes a plan.
+func Encode(res *spec.Result) ([]byte, error) {
+	ff := fileFormat{
+		Version: currentVersion,
+		Spec:    res.Spec,
+		PinOf:   res.PinOf,
+		Engine:  res.Engine,
+		Proven:  res.Proven,
+	}
+	for _, rt := range res.Routes {
+		rf := routeFormat{Flow: rt.Flow, Set: rt.Set}
+		for _, v := range rt.Path.Verts {
+			rf.Verts = append(rf.Verts, res.Switch.Vertices[v].Name)
+		}
+		ff.Routes = append(ff.Routes, rf)
+	}
+	return json.MarshalIndent(ff, "", "  ")
+}
+
+// Decode parses a plan and reconstructs it on a freshly built switch model.
+// All derived fields (edge masks, lengths, objective, set count) are
+// recomputed; the caller should still contam.Verify the result.
+func Decode(data []byte) (*spec.Result, error) {
+	var ff fileFormat
+	if err := json.Unmarshal(data, &ff); err != nil {
+		return nil, fmt.Errorf("planio: %w", err)
+	}
+	if ff.Version != currentVersion {
+		return nil, fmt.Errorf("planio: unsupported version %d", ff.Version)
+	}
+	if ff.Spec == nil {
+		return nil, fmt.Errorf("planio: missing spec")
+	}
+	if err := ff.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	sw, err := topo.NewGrid(ff.Spec.SwitchPins)
+	if err != nil {
+		return nil, err
+	}
+	res := &spec.Result{
+		Spec:   ff.Spec,
+		Switch: sw,
+		PinOf:  ff.PinOf,
+		Engine: ff.Engine,
+		Proven: ff.Proven,
+	}
+	if len(ff.Routes) != len(ff.Spec.Flows) {
+		return nil, fmt.Errorf("planio: %d routes for %d flows", len(ff.Routes), len(ff.Spec.Flows))
+	}
+	sets := map[int]bool{}
+	for i, rf := range ff.Routes {
+		if rf.Flow != i {
+			return nil, fmt.Errorf("planio: route %d is for flow %d", i, rf.Flow)
+		}
+		path, err := rebuildPath(sw, rf.Verts)
+		if err != nil {
+			return nil, fmt.Errorf("planio: flow %d: %w", i, err)
+		}
+		res.Routes = append(res.Routes, spec.Route{Flow: rf.Flow, Set: rf.Set, Path: path})
+		res.UsedEdgeMask = res.UsedEdgeMask.Or(path.EdgeMask)
+		sets[rf.Set] = true
+	}
+	res.NumSets = len(sets)
+	for e := range sw.Edges {
+		if res.UsedEdgeMask.Has(e) {
+			res.Length += sw.Edges[e].Length
+		}
+	}
+	res.Objective = ff.Spec.EffectiveAlpha()*float64(res.NumSets) + ff.Spec.EffectiveBeta()*res.Length
+	return res, nil
+}
+
+// rebuildPath converts a vertex-name sequence back into a validated path.
+func rebuildPath(sw *topo.Switch, names []string) (topo.Path, error) {
+	if len(names) < 2 {
+		return topo.Path{}, fmt.Errorf("path too short")
+	}
+	p := topo.Path{}
+	for i, name := range names {
+		v, ok := sw.VertexByName(name)
+		if !ok {
+			return topo.Path{}, fmt.Errorf("unknown vertex %q", name)
+		}
+		p.Verts = append(p.Verts, v.ID)
+		p.VertMask.Set(v.ID)
+		if i > 0 {
+			e, ok := sw.EdgeBetween(p.Verts[i-1], v.ID)
+			if !ok {
+				return topo.Path{}, fmt.Errorf("no segment %s-%s", names[i-1], name)
+			}
+			p.EdgeIDs = append(p.EdgeIDs, e.ID)
+			p.EdgeMask.Set(e.ID)
+			p.Length += e.Length
+		}
+	}
+	p.In = p.Verts[0]
+	p.Out = p.Verts[len(p.Verts)-1]
+	return p, nil
+}

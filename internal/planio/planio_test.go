@@ -1,0 +1,131 @@
+package planio
+
+import (
+	"strings"
+	"testing"
+
+	"switchsynth/internal/contam"
+	"switchsynth/internal/search"
+	"switchsynth/internal/spec"
+)
+
+func plan(t *testing.T) *spec.Result {
+	t.Helper()
+	sp := &spec.Spec{
+		Name:       "roundtrip",
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Conflicts:  [][2]int{{0, 1}},
+		Binding:    spec.Unfixed,
+	}
+	res, err := search.Solve(sp, search.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRoundTrip(t *testing.T) {
+	res := plan(t)
+	data, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := contam.Verify(back); err != nil {
+		t.Fatalf("decoded plan invalid: %v", err)
+	}
+	if back.NumSets != res.NumSets || back.UsedEdgeMask != res.UsedEdgeMask {
+		t.Errorf("round trip changed the plan: sets %d→%d mask %x→%x",
+			res.NumSets, back.NumSets, res.UsedEdgeMask, back.UsedEdgeMask)
+	}
+	if back.Length != res.Length {
+		t.Errorf("length %v → %v", res.Length, back.Length)
+	}
+	for i := range res.Routes {
+		if res.Routes[i].Set != back.Routes[i].Set ||
+			res.Routes[i].Path.VertMask != back.Routes[i].Path.VertMask {
+			t.Errorf("route %d differs after round trip", i)
+		}
+	}
+	for m, p := range res.PinOf {
+		if back.PinOf[m] != p {
+			t.Errorf("binding of %s differs", m)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	res := plan(t)
+	good, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(string) string
+		want   string
+	}{
+		{"not json", func(s string) string { return "{broken" }, "planio"},
+		{"bad version", func(s string) string {
+			return strings.Replace(s, `"version": 1`, `"version": 99`, 1)
+		}, "unsupported version"},
+		{"unknown vertex", func(s string) string {
+			return strings.Replace(s, `"C"`, `"Z9"`, 1)
+		}, ""},
+		{"broken adjacency", func(s string) string {
+			// Swap two interior vertex names to break the segment chain.
+			s = strings.Replace(s, `"T"`, `"@@"`, 1)
+			s = strings.Replace(s, `"B"`, `"T"`, 1)
+			return strings.Replace(s, `"@@"`, `"B"`, 1)
+		}, ""},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mutate(string(good))
+			if mutated == string(good) {
+				t.Skip("mutation not applicable to this plan")
+			}
+			_, err := Decode([]byte(mutated))
+			if err == nil {
+				// The mutation may happen to produce another valid plan
+				// (e.g. a different but adjacent vertex); then the decoded
+				// plan must at least fail full verification.
+				back, _ := Decode([]byte(mutated))
+				if verr := contam.Verify(back); verr == nil {
+					t.Fatalf("corrupted plan decoded and verified")
+				}
+				return
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeMissingSpec(t *testing.T) {
+	if _, err := Decode([]byte(`{"version":1}`)); err == nil {
+		t.Fatal("missing spec accepted")
+	}
+}
+
+func TestDecodeRouteCountMismatch(t *testing.T) {
+	res := plan(t)
+	data, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the routes array.
+	s := string(data)
+	i := strings.Index(s, `"routes"`)
+	j := strings.LastIndex(s, `]`)
+	mutated := s[:i] + `"routes": []` + s[j+1:]
+	if _, err := Decode([]byte(mutated)); err == nil {
+		t.Fatal("route-less plan accepted")
+	}
+}

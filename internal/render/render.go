@@ -1,0 +1,406 @@
+// Package render draws synthesized switches as SVG (for the paper's figures
+// 4.1–4.4) and as ASCII art for terminals.
+//
+// Conventions follow the thesis figures: flow channels in the reduced
+// switch are colored by flow set, removed segments are drawn as faint dashed
+// lines, essential valves are rectangles across their segment colored by
+// pressure-sharing group, pins are labeled circles annotated with their
+// bound modules.
+package render
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"switchsynth/internal/clique"
+	"switchsynth/internal/ctrl"
+	"switchsynth/internal/geom"
+	"switchsynth/internal/spec"
+	"switchsynth/internal/topo"
+	"switchsynth/internal/valve"
+)
+
+// setPalette colors one flow set each, cycling if needed. The first entries
+// mirror the thesis figures (green, yellow, blue).
+var setPalette = []string{
+	"#2e8b57", // green
+	"#d4a017", // yellow
+	"#1e6fd9", // blue
+	"#c0392b", // red
+	"#8e44ad", // purple
+	"#16a085", // teal
+	"#d35400", // orange
+	"#2c3e50", // slate
+}
+
+// groupPalette colors pressure-sharing valve groups.
+var groupPalette = []string{
+	"#e67e22", "#9b59b6", "#27ae60", "#e74c3c",
+	"#3498db", "#f1c40f", "#1abc9c", "#7f8c8d",
+}
+
+// SVGOptions tune the SVG output.
+type SVGOptions struct {
+	// Scale is pixels per millimetre (default 80).
+	Scale float64
+	// ShowRemoved draws the removed (unused) segments as faint dashed lines.
+	ShowRemoved bool
+	// Scalable draws the Columba-S-compatible variant: all pin leads are
+	// extended horizontally to the switch sides so flow enters and leaves
+	// left/right, as in Figures 2.5, 2.6 and 4.3.
+	Scalable bool
+	// Title is drawn above the switch when non-empty.
+	Title string
+	// Control overlays a routed control layer: one thin green polyline per
+	// control net plus its inlet punch (thesis figures draw the control
+	// layer in green).
+	Control *ctrl.Plan
+}
+
+// SVG renders a synthesis result. valves and cover may be nil to omit the
+// control-layer annotations.
+func SVG(res *spec.Result, valves *valve.Analysis, cover *clique.Cover, opts SVGOptions) string {
+	sw := res.Switch
+	scale := opts.Scale
+	if scale <= 0 {
+		scale = 80
+	}
+	b := sw.Bounds()
+	margin := 0.9
+	if opts.Scalable {
+		margin = 1.9
+	}
+	minX, minY := b.Min.X-margin, b.Min.Y-margin
+	w := (b.Width() + 2*margin) * scale
+	h := (b.Height() + 2*margin) * scale
+	tx := func(p geom.Point) (float64, float64) {
+		return (p.X - minX) * scale, (p.Y - minY) * scale
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	sb.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%.0f" y="%.0f" font-family="sans-serif" font-size="%.0f" fill="#333">%s</text>`+"\n",
+			8.0, 18.0, 14.0, xmlEscape(opts.Title))
+	}
+
+	// Removed segments first (underneath).
+	if opts.ShowRemoved {
+		for _, e := range sw.Edges {
+			if res.UsedEdgeMask.Has(e.ID) {
+				continue
+			}
+			x1, y1 := tx(sw.Vertices[e.U].Pos)
+			x2, y2 := tx(sw.Vertices[e.V].Pos)
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#cccccc" stroke-width="2" stroke-dasharray="6,6"/>`+"\n", x1, y1, x2, y2)
+		}
+	}
+
+	// Used segments colored by the sets routing through them (a segment
+	// shared across sets gets parallel strokes).
+	edgeSets := make(map[int][]int) // edge -> sorted distinct sets
+	for _, rt := range res.Routes {
+		for _, e := range rt.Path.EdgeIDs {
+			if !containsInt(edgeSets[e], rt.Set) {
+				edgeSets[e] = append(edgeSets[e], rt.Set)
+			}
+		}
+	}
+	for e := range edgeSets {
+		sort.Ints(edgeSets[e])
+	}
+	var edgeIDs []int
+	for e := range edgeSets {
+		edgeIDs = append(edgeIDs, e)
+	}
+	sort.Ints(edgeIDs)
+	for _, eid := range edgeIDs {
+		e := sw.Edges[eid]
+		x1, y1 := tx(sw.Vertices[e.U].Pos)
+		x2, y2 := tx(sw.Vertices[e.V].Pos)
+		sets := edgeSets[eid]
+		// Offset perpendicular for multiple sets.
+		dx, dy := x2-x1, y2-y1
+		l := math.Hypot(dx, dy)
+		if l == 0 {
+			l = 1
+		}
+		px, py := -dy/l, dx/l
+		for i, set := range sets {
+			off := (float64(i) - float64(len(sets)-1)/2) * 5
+			fmt.Fprintf(&sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="4" stroke-linecap="round"/>`+"\n",
+				x1+px*off, y1+py*off, x2+px*off, y2+py*off, setPalette[set%len(setPalette)])
+		}
+	}
+
+	// Valves: rectangles across their segment.
+	if valves != nil {
+		groupOf := map[int]int{}
+		if cover != nil {
+			ess := valves.Essential
+			g := cover.GroupOf(len(ess))
+			for i, vi := range ess {
+				groupOf[valves.Valves[vi].Edge] = g[i]
+			}
+		}
+		for _, v := range valves.EssentialValves() {
+			e := sw.Edges[v.Edge]
+			mid := sw.Vertices[e.U].Pos.Mid(sw.Vertices[e.V].Pos)
+			cx, cy := tx(mid)
+			color := "#e67e22"
+			if g, ok := groupOf[v.Edge]; ok {
+				color = groupPalette[g%len(groupPalette)]
+			}
+			// Orient across the channel.
+			wv, hv := 8.0, 22.0
+			if math.Abs(sw.Vertices[e.U].Pos.Y-sw.Vertices[e.V].Pos.Y) < 1e-9 {
+				wv, hv = 8.0, 22.0 // horizontal channel: tall valve
+			} else {
+				wv, hv = 22.0, 8.0
+			}
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#7a4a12" stroke-width="1"><title>valve %s seq=%s</title></rect>`+"\n",
+				cx-wv/2, cy-hv/2, wv, hv, color, xmlEscape(e.Name), v.SequenceString())
+		}
+	}
+
+	// Scalable pin leads (drawn before pins so pins sit on top).
+	if opts.Scalable {
+		drawScalableLeads(&sb, res, tx, scale, b)
+	}
+
+	// Control-layer overlay.
+	if opts.Control != nil {
+		drawControl(&sb, opts.Control, tx)
+	}
+
+	// Pins and module labels.
+	moduleAt := map[int]string{}
+	for m, p := range res.PinOf {
+		moduleAt[p] = m
+	}
+	for _, pid := range sw.Pins() {
+		v := sw.Vertices[pid]
+		x, y := tx(v.Pos)
+		fill := "#ffffff"
+		if _, bound := moduleAt[v.PinOrder]; bound {
+			fill = "#444444"
+		}
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="6" fill="%s" stroke="#333" stroke-width="1.5"/>`+"\n", x, y, fill)
+		lx, ly := labelOffset(v.PinSide)
+		label := v.Name
+		if mod, ok := moduleAt[v.PinOrder]; ok {
+			label = fmt.Sprintf("%s:%s", v.Name, mod)
+		}
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" fill="#222" text-anchor="middle">%s</text>`+"\n",
+			x+lx, y+ly, xmlEscape(label))
+	}
+
+	// Junction nodes.
+	for _, nid := range sw.NodeIDs() {
+		v := sw.Vertices[nid]
+		x, y := tx(v.Pos)
+		fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3" fill="#555"/>`+"\n", x, y)
+	}
+
+	// Legend: one line per flow set.
+	ly := h - 14*float64(res.NumSets) - 6
+	for s := 0; s < res.NumSets; s++ {
+		fmt.Fprintf(&sb, `<rect x="8" y="%.1f" width="12" height="8" fill="%s"/>`+"\n", ly+float64(s)*14, setPalette[s%len(setPalette)])
+		fmt.Fprintf(&sb, `<text x="26" y="%.1f" font-family="sans-serif" font-size="11" fill="#222">flow set %d</text>`+"\n", ly+8+float64(s)*14, s+1)
+	}
+
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// drawControl overlays the routed control nets in green, with a square
+// marking each control-inlet punch.
+func drawControl(sb *strings.Builder, plan *ctrl.Plan, tx func(geom.Point) (float64, float64)) {
+	for _, net := range plan.Nets {
+		color := groupPalette[net.Group%len(groupPalette)]
+		for _, c := range net.Cells {
+			x, y := tx(plan.CellPoint(c))
+			fmt.Fprintf(sb, `<rect x="%.1f" y="%.1f" width="3" height="3" fill="%s" opacity="0.7"/>`+"\n", x-1.5, y-1.5, color)
+		}
+		if !math.IsNaN(net.Inlet.X) {
+			x, y := tx(net.Inlet)
+			fmt.Fprintf(sb, `<rect x="%.1f" y="%.1f" width="16" height="16" fill="none" stroke="%s" stroke-width="2"><title>control inlet %d</title></rect>`+"\n",
+				x-8, y-8, color, net.Group+1)
+		}
+	}
+}
+
+// drawScalableLeads extends every bound pin's channel horizontally to the
+// switch border, Columba-S style.
+func drawScalableLeads(sb *strings.Builder, res *spec.Result, tx func(geom.Point) (float64, float64), scale float64, b geom.Rect) {
+	sw := res.Switch
+	lane := 0
+	for _, pid := range sw.Pins() {
+		v := sw.Vertices[pid]
+		if _, bound := pinBound(res, v.PinOrder); !bound {
+			continue
+		}
+		switch v.PinSide {
+		case topo.Left, topo.Right:
+			continue // already horizontal
+		}
+		// Route top/bottom pins horizontally: short vertical jog then a
+		// horizontal run to the nearer side.
+		dir := 1.0
+		if v.Pos.X < (b.Min.X+b.Max.X)/2 {
+			dir = -1
+		}
+		jog := 0.35 + 0.25*float64(lane%3)
+		lane++
+		yOut := v.Pos.Y - jog
+		if v.PinSide == topo.Bottom {
+			yOut = v.Pos.Y + jog
+		}
+		xEnd := b.Max.X + 1.2
+		if dir < 0 {
+			xEnd = b.Min.X - 1.2
+		}
+		x0, y0 := tx(v.Pos)
+		x1, y1 := tx(geom.Pt(v.Pos.X, yOut))
+		x2, y2 := tx(geom.Pt(xEnd, yOut))
+		fmt.Fprintf(sb, `<polyline points="%.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="none" stroke="#888" stroke-width="3"/>`+"\n",
+			x0, y0, x1, y1, x2, y2)
+	}
+}
+
+func pinBound(res *spec.Result, pinOrder int) (string, bool) {
+	for m, p := range res.PinOf {
+		if p == pinOrder {
+			return m, true
+		}
+	}
+	return "", false
+}
+
+func labelOffset(s topo.Side) (float64, float64) {
+	switch s {
+	case topo.Top:
+		return 0, -12
+	case topo.Bottom:
+		return 0, 20
+	case topo.Left:
+		return -24, 4
+	case topo.Right:
+		return 24, 4
+	}
+	return 0, -12
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// ASCII renders the used flow channels of a synthesis result as a text
+// diagram: '#' junctions, '○'/'●' pins (free/bound), set digits on used
+// channels, '.' on removed channels.
+func ASCII(res *spec.Result) string {
+	sw := res.Switch
+	// Snap coordinates to a character grid: 6 columns and 3 rows per mm.
+	const cx, cy = 6.0, 3.0
+	b := sw.Bounds()
+	cols := int(math.Round(b.Width()*cx)) + 5
+	rows := int(math.Round(b.Height()*cy)) + 3
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = make([]rune, cols)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	at := func(p geom.Point) (int, int) {
+		return int(math.Round((p.Y - b.Min.Y) * cy)), int(math.Round((p.X - b.Min.X) * cx))
+	}
+	plot := func(r, c int, ch rune) {
+		if r >= 0 && r < rows && c >= 0 && c < cols {
+			grid[r][c] = ch
+		}
+	}
+	edgeChar := func(e topo.Edge) rune {
+		if math.Abs(sw.Vertices[e.U].Pos.Y-sw.Vertices[e.V].Pos.Y) < 1e-9 {
+			return '-'
+		}
+		return '|'
+	}
+	// Which set uses each edge (lowest set wins for labeling).
+	edgeSet := map[int]int{}
+	for _, rt := range res.Routes {
+		for _, e := range rt.Path.EdgeIDs {
+			if cur, ok := edgeSet[e]; !ok || rt.Set < cur {
+				edgeSet[e] = rt.Set
+			}
+		}
+	}
+	for _, e := range sw.Edges {
+		r1, c1 := at(sw.Vertices[e.U].Pos)
+		r2, c2 := at(sw.Vertices[e.V].Pos)
+		used := res.UsedEdgeMask.Has(e.ID)
+		ch := edgeChar(e)
+		if !used {
+			ch = '.'
+		}
+		steps := maxInt(absInt(r2-r1), absInt(c2-c1))
+		for s := 1; s < steps; s++ {
+			r := r1 + (r2-r1)*s/steps
+			c := c1 + (c2-c1)*s/steps
+			if used {
+				if set, ok := edgeSet[e.ID]; ok && s == steps/2 {
+					plot(r, c, rune('1'+set%9))
+					continue
+				}
+			}
+			plot(r, c, ch)
+		}
+	}
+	boundPins := map[int]bool{}
+	for _, p := range res.PinOf {
+		boundPins[p] = true
+	}
+	for _, v := range sw.Vertices {
+		r, c := at(v.Pos)
+		if v.Kind == topo.NodeVertex {
+			plot(r, c, '#')
+		} else if boundPins[v.PinOrder] {
+			plot(r, c, '@')
+		} else {
+			plot(r, c, 'o')
+		}
+	}
+	var sb strings.Builder
+	for _, row := range grid {
+		sb.WriteString(strings.TrimRight(string(row), " "))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"switchsynth/internal/clique"
+	"switchsynth/internal/search"
+	"switchsynth/internal/spec"
+	"switchsynth/internal/valve"
+)
+
+func synthesize(t *testing.T, sp *spec.Spec) (*spec.Result, *valve.Analysis, *clique.Cover) {
+	t.Helper()
+	res, err := search.Solve(sp, search.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, err := valve.Analyze(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := clique.MinCover(valve.CompatibilityMatrix(va.EssentialValves()))
+	return res, va, &cover
+}
+
+func crossing(t *testing.T) (*spec.Result, *valve.Analysis, *clique.Cover) {
+	return synthesize(t, &spec.Spec{
+		Name:       "crossing",
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Binding:    spec.Fixed,
+		FixedPins:  map[string]int{"a": 1, "x": 5, "b": 7, "y": 3},
+	})
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	res, va, cover := crossing(t)
+	svg := SVG(res, va, cover, SVGOptions{ShowRemoved: true, Title: "test <case>"})
+	if !strings.HasPrefix(svg, "<svg ") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("bad SVG envelope")
+	}
+	// Escaping.
+	if strings.Contains(svg, "<case>") {
+		t.Error("title not XML-escaped")
+	}
+	if !strings.Contains(svg, "&lt;case&gt;") {
+		t.Error("escaped title missing")
+	}
+	// Both flow sets appear in the legend.
+	if !strings.Contains(svg, "flow set 1") || !strings.Contains(svg, "flow set 2") {
+		t.Error("legend incomplete")
+	}
+	// Valve rectangles with tooltips.
+	if !strings.Contains(svg, "<rect") || !strings.Contains(svg, "<title>valve") {
+		t.Error("valve rectangles missing")
+	}
+	// Dangling open tags would break balance.
+	if strings.Count(svg, "<svg") != strings.Count(svg, "</svg>") {
+		t.Error("unbalanced svg tags")
+	}
+}
+
+func TestSVGShowsRemovedSegments(t *testing.T) {
+	res, va, cover := crossing(t)
+	with := SVG(res, va, cover, SVGOptions{ShowRemoved: true})
+	without := SVG(res, va, cover, SVGOptions{ShowRemoved: false})
+	if strings.Count(with, "stroke-dasharray") <= strings.Count(without, "stroke-dasharray") {
+		t.Error("ShowRemoved should add dashed segments")
+	}
+}
+
+func TestSVGScalableLeads(t *testing.T) {
+	res, va, cover := crossing(t)
+	svg := SVG(res, va, cover, SVGOptions{Scalable: true})
+	if !strings.Contains(svg, "polyline") {
+		t.Error("scalable variant should draw pin leads")
+	}
+}
+
+func TestSVGDefaultScale(t *testing.T) {
+	res, va, cover := crossing(t)
+	if svg := SVG(res, va, cover, SVGOptions{}); !strings.Contains(svg, "<svg") {
+		t.Error("default options should render")
+	}
+}
+
+func TestSVGNilAnalyses(t *testing.T) {
+	res, _, _ := crossing(t)
+	svg := SVG(res, nil, nil, SVGOptions{})
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("nil analyses should still render")
+	}
+	if strings.Contains(svg, "<title>valve") {
+		t.Error("valves drawn without analysis")
+	}
+}
+
+func TestASCIIStructure(t *testing.T) {
+	res, _, _ := crossing(t)
+	art := ASCII(res)
+	lines := strings.Split(strings.TrimRight(art, "\n"), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("ASCII too small:\n%s", art)
+	}
+	for _, ch := range []string{"#", "@", "o", "."} {
+		if !strings.Contains(art, ch) {
+			t.Errorf("ASCII missing %q:\n%s", ch, art)
+		}
+	}
+	// Set digits label the used channels.
+	if !strings.Contains(art, "1") || !strings.Contains(art, "2") {
+		t.Errorf("ASCII missing set labels:\n%s", art)
+	}
+}
+
+func TestASCIIDeterministic(t *testing.T) {
+	res, _, _ := crossing(t)
+	if ASCII(res) != ASCII(res) {
+		t.Error("ASCII not deterministic")
+	}
+}

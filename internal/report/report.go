@@ -1,0 +1,211 @@
+// Package report formats experiment results as the text tables of the
+// paper's evaluation section (Tables 4.1–4.3) and as campaign summaries.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a simple text-table builder with fixed-width columns.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(width) && len([]rune(c)) > width[i] {
+				width[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i := range t.header {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	total := 0
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(width)-1)) + "\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// ResultRow is one synthesized (or failed) case for the paper-style tables.
+type ResultRow struct {
+	ID         int
+	App        string
+	Modules    int
+	SwitchSize int
+	Binding    string
+	NoSolution bool
+	Timeout    bool
+	T          float64 // runtime seconds
+	L          float64 // flow channel length, mm
+	Valves     int
+	Sets       int
+	Proven     bool
+}
+
+// Table41 renders contamination-avoidance results in the layout of the
+// paper's Table 4.1 (id, application, #m, sw. size, binding, T, L, #v, #s).
+func Table41(rows []ResultRow) string {
+	t := NewTable("id", "application", "#m", "sw. size", "binding", "T(s)", "L(mm)", "#v", "#s")
+	for _, r := range rows {
+		if r.NoSolution {
+			t.AddRow(fmt.Sprint(r.ID), r.App, fmt.Sprint(r.Modules),
+				fmt.Sprintf("%d-pin", r.SwitchSize), r.Binding, "no solution", "", "", "")
+			continue
+		}
+		if r.Timeout {
+			t.AddRow(fmt.Sprint(r.ID), r.App, fmt.Sprint(r.Modules),
+				fmt.Sprintf("%d-pin", r.SwitchSize), r.Binding, "timeout", "", "", "")
+			continue
+		}
+		t.AddRow(fmt.Sprint(r.ID), r.App, fmt.Sprint(r.Modules),
+			fmt.Sprintf("%d-pin", r.SwitchSize), r.Binding,
+			fmtRuntime(r), fmt.Sprintf("%.1f", r.L),
+			fmt.Sprint(r.Valves), fmt.Sprint(r.Sets))
+	}
+	return t.String()
+}
+
+// Table43 renders binding-policy results in the layout of the paper's
+// Table 4.3 (id, application, #m, sw. size, binding, T, L).
+func Table43(rows []ResultRow) string {
+	t := NewTable("id", "application", "#m", "sw. size", "binding", "T(s)", "L(mm)")
+	for _, r := range rows {
+		if r.NoSolution {
+			t.AddRow(fmt.Sprint(r.ID), r.App, fmt.Sprint(r.Modules),
+				fmt.Sprintf("%d-pin", r.SwitchSize), r.Binding, "no solution", "")
+			continue
+		}
+		t.AddRow(fmt.Sprint(r.ID), r.App, fmt.Sprint(r.Modules),
+			fmt.Sprintf("%d-pin", r.SwitchSize), r.Binding,
+			fmtRuntime(r), fmt.Sprintf("%.1f", r.L))
+	}
+	return t.String()
+}
+
+func fmtRuntime(r ResultRow) string {
+	s := fmt.Sprintf("%.3f", r.T)
+	if !r.Proven {
+		s += "*"
+	}
+	return s
+}
+
+// Example42 renders the input/output feature block of the paper's Table 4.2.
+type Example42 struct {
+	InputFlows      string
+	ModuleOrder     string
+	Conflicts       string
+	SwitchSize      int
+	Binding         string
+	ScheduledFlows  []string // one line per flow set
+	NumSets         int
+	NumValves       int
+	L               float64
+	ControlInlets   int
+	PressureSharing bool
+}
+
+// String renders the example block.
+func (e Example42) String() string {
+	var b strings.Builder
+	w := func(k, v string) { fmt.Fprintf(&b, "%-24s %s\n", k, v) }
+	w("input flows", e.InputFlows)
+	w("connected module order", e.ModuleOrder)
+	w("conflicting flows", e.Conflicts)
+	w("switch size", fmt.Sprintf("%d-pin", e.SwitchSize))
+	w("binding policy", e.Binding)
+	for i, s := range e.ScheduledFlows {
+		key := ""
+		if i == 0 {
+			key = "scheduled flows"
+		}
+		w(key, s)
+	}
+	w("#flow sets", fmt.Sprint(e.NumSets))
+	w("#valves", fmt.Sprint(e.NumValves))
+	w("L(mm)", fmt.Sprintf("%.1f", e.L))
+	if e.PressureSharing {
+		w("#control inlets", fmt.Sprint(e.ControlInlets))
+	}
+	return b.String()
+}
+
+// CampaignStats aggregates the Section 4.2 artificial campaign.
+type CampaignStats struct {
+	Total      int
+	Solved     int
+	NoSolution int
+	Timeout    int
+	// ByPolicy counts solved cases per binding policy name.
+	ByPolicy map[string]int
+	// NoSolutionByPolicy counts proven-infeasible cases per policy.
+	NoSolutionByPolicy map[string]int
+	// MeanRuntimeBySize maps switch size to mean runtime seconds.
+	MeanRuntimeBySize map[int]float64
+	// MeanLengthBySize maps switch size to mean channel length (mm).
+	MeanLengthBySize map[int]float64
+	// AllScheduled reports whether every solved case scheduled all flows.
+	AllScheduled bool
+}
+
+// String renders the campaign summary.
+func (c CampaignStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "artificial campaign: %d cases, %d solved, %d no-solution, %d timeout\n",
+		c.Total, c.Solved, c.NoSolution, c.Timeout)
+	var pols []string
+	for p := range c.ByPolicy {
+		pols = append(pols, p)
+	}
+	sort.Strings(pols)
+	for _, p := range pols {
+		fmt.Fprintf(&b, "  %-10s solved=%d no-solution=%d\n", p, c.ByPolicy[p], c.NoSolutionByPolicy[p])
+	}
+	var sizes []int
+	for s := range c.MeanRuntimeBySize {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		fmt.Fprintf(&b, "  %d-pin: mean T=%.3fs mean L=%.1fmm\n", s, c.MeanRuntimeBySize[s], c.MeanLengthBySize[s])
+	}
+	fmt.Fprintf(&b, "  all flows scheduled in every solved case: %v\n", c.AllScheduled)
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("a", "bbbb", "c")
+	tb.AddRow("xxxxx", "y", "z")
+	tb.AddRow("1", "2")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("missing separator: %q", lines[1])
+	}
+	// Header columns align with row columns.
+	if strings.Index(lines[0], "bbbb") != strings.Index(lines[2], "y") {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestTable41Rendering(t *testing.T) {
+	rows := []ResultRow{
+		{ID: 1, App: "ChIP", Modules: 9, SwitchSize: 12, Binding: "clockwise", T: 1.25, L: 13.6, Valves: 6, Sets: 2, Proven: true},
+		{ID: 2, App: "nucleic acid", Modules: 7, SwitchSize: 8, Binding: "fixed", NoSolution: true},
+		{ID: 2, App: "nucleic acid", Modules: 7, SwitchSize: 8, Binding: "unfixed", T: 100, L: 9.8, Valves: 6, Sets: 2},
+		{ID: 3, App: "mRNA", Modules: 10, SwitchSize: 12, Binding: "clockwise", Timeout: true},
+	}
+	out := Table41(rows)
+	for _, want := range []string{"no solution", "timeout", "12-pin", "8-pin", "13.6", "9.8", "#v", "#s", "100.000*", "1.250"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table41 missing %q:\n%s", want, out)
+		}
+	}
+	// The unproven row is starred, the proven one is not.
+	if strings.Contains(out, "1.250*") {
+		t.Error("proven runtime should not be starred")
+	}
+}
+
+func TestTable43Rendering(t *testing.T) {
+	rows := []ResultRow{
+		{ID: 1, App: "kinase", Modules: 4, SwitchSize: 12, Binding: "fixed", T: 0.05, L: 46, Proven: true},
+		{ID: 1, App: "kinase", Modules: 4, SwitchSize: 12, Binding: "clockwise", NoSolution: true},
+	}
+	out := Table43(rows)
+	if !strings.Contains(out, "46.0") || !strings.Contains(out, "no solution") {
+		t.Errorf("Table43 incomplete:\n%s", out)
+	}
+	if strings.Contains(out, "#v") {
+		t.Error("Table43 must not have the #v column")
+	}
+}
+
+func TestExample42Rendering(t *testing.T) {
+	e := Example42{
+		InputFlows:      "1→(7,10,11), 2→(5,8,9), 3→(4,6,12)",
+		ModuleOrder:     "1,2,...,12",
+		Conflicts:       "none",
+		SwitchSize:      12,
+		Binding:         "clockwise",
+		ScheduledFlows:  []string{"[3→(4,6,12)]", "[2→(5,8,9)]", "[1→(7,10,11)]"},
+		NumSets:         3,
+		NumValves:       15,
+		L:               21.2,
+		PressureSharing: true,
+		ControlInlets:   4,
+	}
+	out := e.String()
+	for _, want := range []string{"input flows", "12-pin", "clockwise", "#flow sets", "3", "#valves", "15", "21.2", "#control inlets", "4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Example42 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCampaignStatsRendering(t *testing.T) {
+	c := CampaignStats{
+		Total: 90, Solved: 80, NoSolution: 8, Timeout: 2,
+		ByPolicy:           map[string]int{"fixed": 25, "clockwise": 26, "unfixed": 29},
+		NoSolutionByPolicy: map[string]int{"fixed": 5, "clockwise": 3},
+		MeanRuntimeBySize:  map[int]float64{8: 0.01, 12: 0.2},
+		MeanLengthBySize:   map[int]float64{8: 7.4, 12: 11.2},
+		AllScheduled:       true,
+	}
+	out := c.String()
+	for _, want := range []string{"90 cases", "80 solved", "8-pin", "12-pin", "unfixed", "true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign summary missing %q:\n%s", want, out)
+		}
+	}
+}

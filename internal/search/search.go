@@ -1,0 +1,592 @@
+// Package search implements the dedicated exact synthesis engine: a
+// combinatorial branch & bound over module→pin binding, flow→path assignment
+// and flow→set scheduling.
+//
+// It optimizes exactly the paper's objective α·N_Sets + β·L_flow over exactly
+// the paper's feasible region (constraints 3.1–3.13 plus the Section 4.2
+// defaults), but replaces the monolithic IQP solve with problem-structured
+// search: the paper reports multi-hour Gurobi runtimes on the 12- and 16-pin
+// cases, and the pure-Go LP-based branch & bound in internal/milp — the
+// faithful encoding, kept in internal/model — does not scale past toy sizes.
+// Property tests cross-check the two engines' optima on small instances.
+package search
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"switchsynth/internal/geom"
+	"switchsynth/internal/spec"
+	"switchsynth/internal/topo"
+)
+
+// Options tune the search.
+type Options struct {
+	// TimeLimit bounds the wall-clock search time; 0 means no limit. On
+	// timeout the best incumbent is returned with Result.Proven == false.
+	TimeLimit time.Duration
+	// DisableSymmetryBreaking turns off the rotational pin-symmetry cut
+	// (used by ablation benchmarks).
+	DisableSymmetryBreaking bool
+}
+
+// ErrTimeout is returned when the time limit expires before any feasible
+// plan is found.
+type ErrTimeout struct{ SpecName string }
+
+// Error implements error.
+func (e *ErrTimeout) Error() string {
+	return fmt.Sprintf("search: time limit hit before finding a plan for %q", e.SpecName)
+}
+
+// Solve synthesizes an application-specific switch plan for sp.
+func Solve(sp *spec.Spec, opts Options) (*spec.Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	sw, err := topo.NewGrid(sp.SwitchPins)
+	if err != nil {
+		return nil, err
+	}
+	return SolveOn(sp, sw, topo.BuildPathTable(sw), opts)
+}
+
+// SolveOn synthesizes on a prebuilt switch and path table so that callers
+// running many cases can share them. The switch must match sp.SwitchPins.
+func SolveOn(sp *spec.Spec, sw *topo.Switch, pt *topo.PathTable, opts Options) (*spec.Result, error) {
+	if sw.NumPins != sp.SwitchPins {
+		return nil, fmt.Errorf("search: switch has %d pins, spec wants %d", sw.NumPins, sp.SwitchPins)
+	}
+	s := newSolver(sp, sw, pt, opts)
+	return s.run()
+}
+
+type incumbent struct {
+	routes []spec.Route
+	pinOf  []int
+	cost   float64
+	sets   int
+	length float64
+	edges  topo.Bits
+}
+
+type solver struct {
+	sp    *spec.Spec
+	sw    *topo.Switch
+	pt    *topo.PathTable
+	opts  Options
+	alpha float64
+	beta  float64
+
+	order    []int   // DFS position -> flow index
+	srcs     []int   // flow -> source module index
+	dsts     []int   // flow -> destination module index
+	conf     [][]int // flow -> conflicting flows
+	maxSets  int
+	numPins  int
+	perSide  int
+	stubEdge []int // pin order -> stub edge ID
+	stubLen  float64
+
+	// Mutable state.
+	pinOf      []int // module -> pin order, -1 unbound
+	modOf      []int // pin order -> module, -1 free
+	boundCount int
+	routes     []spec.Route // per flow; valid when assigned
+	assigned   []bool
+	vmask      []topo.Bits // per flow: chosen path vertex mask
+	owner      [][]int     // set × vertex -> owning inlet module, -1
+	setCount   []int
+	usedSets   int
+	usedEdges  topo.Bits
+	curLen     float64
+
+	best     *incumbent
+	bestCost float64
+	deadline time.Time
+	hasDL    bool
+	nodes    int64
+	timedOut bool
+}
+
+func newSolver(sp *spec.Spec, sw *topo.Switch, pt *topo.PathTable, opts Options) *solver {
+	s := &solver{
+		sp:       sp,
+		sw:       sw,
+		pt:       pt,
+		opts:     opts,
+		alpha:    sp.EffectiveAlpha(),
+		beta:     sp.EffectiveBeta(),
+		srcs:     sp.Sources(),
+		dsts:     sp.Destinations(),
+		conf:     sp.ConflictsWith(),
+		maxSets:  sp.EffectiveMaxSets(),
+		numPins:  sw.NumPins,
+		perSide:  sw.PerSide,
+		stubLen:  geom.PinStubLength,
+		bestCost: inf,
+	}
+	s.stubEdge = make([]int, s.numPins)
+	for p := 0; p < s.numPins; p++ {
+		pv := sw.PinVertex(p)
+		edges := sw.IncidentEdges(pv)
+		s.stubEdge[p] = edges[0]
+	}
+
+	nFlows := len(sp.Flows)
+	s.pinOf = make([]int, len(sp.Modules))
+	for i := range s.pinOf {
+		s.pinOf[i] = -1
+	}
+	s.modOf = make([]int, s.numPins)
+	for i := range s.modOf {
+		s.modOf[i] = -1
+	}
+	s.routes = make([]spec.Route, nFlows)
+	s.assigned = make([]bool, nFlows)
+	s.vmask = make([]topo.Bits, nFlows)
+	s.owner = make([][]int, s.maxSets)
+	for i := range s.owner {
+		s.owner[i] = make([]int, len(sw.Vertices))
+		for v := range s.owner[i] {
+			s.owner[i][v] = -1
+		}
+	}
+	s.setCount = make([]int, s.maxSets)
+
+	// Flow ordering: conflicted flows first (most constrained), then by
+	// flow index for determinism.
+	s.order = make([]int, nFlows)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.SliceStable(s.order, func(a, b int) bool {
+		ca, cb := len(s.conf[s.order[a]]), len(s.conf[s.order[b]])
+		if ca != cb {
+			return ca > cb
+		}
+		return s.order[a] < s.order[b]
+	})
+	return s
+}
+
+const inf = 1e18
+
+func (s *solver) run() (*spec.Result, error) {
+	start := time.Now()
+	if s.opts.TimeLimit > 0 {
+		s.deadline = start.Add(s.opts.TimeLimit)
+		s.hasDL = true
+	}
+
+	if s.sp.Binding == spec.Fixed {
+		// Bind everything up front; infeasible cyclic constraints cannot
+		// occur for fixed bindings (the spec validated distinctness).
+		for mi, name := range s.sp.Modules {
+			p := s.sp.FixedPins[name]
+			s.pinOf[mi] = p
+			s.modOf[p] = mi
+			s.boundCount++
+		}
+	}
+
+	s.dfs(0)
+
+	rt := time.Since(start)
+	if s.best == nil {
+		if s.timedOut {
+			return nil, &ErrTimeout{SpecName: s.sp.Name}
+		}
+		return nil, &spec.ErrNoSolution{SpecName: s.sp.Name, Policy: s.sp.Binding}
+	}
+	res := &spec.Result{
+		Spec:         s.sp,
+		Switch:       s.sw,
+		PinOf:        make(map[string]int, len(s.sp.Modules)),
+		Routes:       s.best.routes,
+		NumSets:      s.best.sets,
+		UsedEdgeMask: s.best.edges,
+		Length:       s.best.length,
+		Objective:    s.best.cost,
+		Proven:       !s.timedOut,
+		Runtime:      rt,
+		Engine:       "search",
+	}
+	for mi, name := range s.sp.Modules {
+		if p := s.best.pinOf[mi]; p >= 0 {
+			res.PinOf[name] = p
+		}
+	}
+	// Compact set numbering in first-use order (already contiguous by
+	// construction, but renumber defensively).
+	renumberSets(res)
+	return res, nil
+}
+
+// renumberSets makes set indices contiguous starting at 0 in order of first
+// use by flow index, and recomputes NumSets.
+func renumberSets(res *spec.Result) {
+	next := 0
+	remap := map[int]int{}
+	for i := range res.Routes {
+		old := res.Routes[i].Set
+		if _, ok := remap[old]; !ok {
+			remap[old] = next
+			next++
+		}
+		res.Routes[i].Set = remap[old]
+	}
+	res.NumSets = next
+}
+
+func (s *solver) expired() bool {
+	if !s.hasDL {
+		return false
+	}
+	s.nodes++
+	if s.nodes&255 != 0 {
+		return s.timedOut
+	}
+	if time.Now().After(s.deadline) {
+		s.timedOut = true
+	}
+	return s.timedOut
+}
+
+func (s *solver) cost() float64 {
+	return s.alpha*float64(s.usedSets) + s.beta*s.curLen
+}
+
+// remainingLB is an admissible lower bound on the extra cost the unassigned
+// flows must add: every unassigned flow ends at a distinct outlet pin whose
+// stub cannot be in use yet, and each distinct unassigned inlet module whose
+// stub is unused adds its stub too.
+func (s *solver) remainingLB(pos int) float64 {
+	var extra float64
+	seenInlet := make(map[int]bool)
+	for k := pos; k < len(s.order); k++ {
+		f := s.order[k]
+		extra += s.stubLen // outlet stub is always fresh (outlet-once rule)
+		ms := s.srcs[f]
+		if seenInlet[ms] {
+			continue
+		}
+		seenInlet[ms] = true
+		if p := s.pinOf[ms]; p >= 0 {
+			if !s.usedEdges.Has(s.stubEdge[p]) {
+				extra += s.stubLen
+			}
+		} else {
+			extra += s.stubLen // unbound module's pin is free, stub unused
+		}
+	}
+	return s.beta * extra
+}
+
+func (s *solver) dfs(pos int) {
+	if s.timedOut {
+		return
+	}
+	if pos == len(s.order) {
+		c := s.cost()
+		if c < s.bestCost-1e-9 {
+			s.bestCost = c
+			s.best = &incumbent{
+				routes: append([]spec.Route(nil), s.routes...),
+				pinOf:  append([]int(nil), s.pinOf...),
+				cost:   c,
+				sets:   s.usedSets,
+				length: s.curLen,
+				edges:  s.usedEdges,
+			}
+		}
+		return
+	}
+	if s.expired() {
+		return
+	}
+	if s.cost()+s.remainingLB(pos) >= s.bestCost-1e-9 {
+		return
+	}
+
+	f := s.order[pos]
+	ms, md := s.srcs[f], s.dsts[f]
+
+	type cand struct {
+		pIn, pOut int
+		pathIdx   int
+		length    float64
+	}
+	var cands []cand
+	// The rotational symmetry cut may only constrain the module that is
+	// bound first (the inlet): the outlet binds second, when the rotation
+	// is already fixed.
+	for _, pIn := range s.candidatePins(ms, true) {
+		for _, pOut := range s.candidatePins(md, false) {
+			if pIn == pOut {
+				continue
+			}
+			paths := s.pt.PathsBetween(pIn, pOut)
+			for pi := range paths {
+				cands = append(cands, cand{pIn, pOut, pi, paths[pi].Length})
+			}
+		}
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].length != cands[b].length {
+			return cands[a].length < cands[b].length
+		}
+		if cands[a].pIn != cands[b].pIn {
+			return cands[a].pIn < cands[b].pIn
+		}
+		if cands[a].pOut != cands[b].pOut {
+			return cands[a].pOut < cands[b].pOut
+		}
+		return cands[a].pathIdx < cands[b].pathIdx
+	})
+
+	for _, c := range cands {
+		if s.timedOut {
+			return
+		}
+		boundIn := s.bindIfNeeded(ms, c.pIn)
+		if boundIn == bindConflict {
+			continue
+		}
+		boundOut := s.bindIfNeeded(md, c.pOut)
+		if boundOut == bindConflict {
+			s.unbind(ms, c.pIn, boundIn)
+			continue
+		}
+		if s.sp.Binding == spec.Clockwise && (boundIn == bindDone || boundOut == bindDone) && !s.clockwiseFeasible() {
+			s.unbind(md, c.pOut, boundOut)
+			s.unbind(ms, c.pIn, boundIn)
+			continue
+		}
+
+		path := s.pt.PathsBetween(c.pIn, c.pOut)[c.pathIdx]
+		if s.conflictClash(f, path) {
+			s.unbind(md, c.pOut, boundOut)
+			s.unbind(ms, c.pIn, boundIn)
+			continue
+		}
+
+		// Try every non-empty set plus exactly one empty set: empty sets are
+		// interchangeable, so trying more than one is pure symmetry.
+		maxIdx := -1
+		for i, cnt := range s.setCount {
+			if cnt > 0 && i > maxIdx {
+				maxIdx = i
+			}
+		}
+		freshTried := false
+		for set := 0; set < s.maxSets && set <= maxIdx+1; set++ {
+			if s.setCount[set] == 0 {
+				if freshTried {
+					continue
+				}
+				freshTried = true
+			}
+			if !s.setFits(set, ms, path) {
+				continue
+			}
+			s.place(f, ms, set, path)
+			s.dfs(pos + 1)
+			s.unplace(f, ms, set, path)
+			if s.timedOut {
+				break
+			}
+		}
+
+		s.unbind(md, c.pOut, boundOut)
+		s.unbind(ms, c.pIn, boundIn)
+	}
+}
+
+type bindOutcome int
+
+const (
+	bindAlready  bindOutcome = iota // module was already on this pin
+	bindDone                        // module newly bound here (undo needed)
+	bindConflict                    // impossible (other pin / pin taken)
+)
+
+// candidatePins returns the pins a module may use: its bound pin, or all
+// free pins. With allowCut, the very first binding of the search is
+// restricted to the first side's pins — rotating the switch by 90° shifts
+// every pin order by perSide, so orbit representatives suffice.
+func (s *solver) candidatePins(module int, allowCut bool) []int {
+	if p := s.pinOf[module]; p >= 0 {
+		return []int{p}
+	}
+	var out []int
+	limit := s.numPins
+	if allowCut && !s.opts.DisableSymmetryBreaking && s.boundCount == 0 {
+		// Rotating the switch by 90° shifts every pin order by perSide; fix
+		// the first bound module into the first side's pins.
+		limit = s.perSide
+	}
+	for p := 0; p < limit; p++ {
+		if s.modOf[p] == -1 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (s *solver) bindIfNeeded(module, pin int) bindOutcome {
+	if s.pinOf[module] == pin {
+		return bindAlready
+	}
+	if s.pinOf[module] != -1 || s.modOf[pin] != -1 {
+		return bindConflict
+	}
+	s.pinOf[module] = pin
+	s.modOf[pin] = module
+	s.boundCount++
+	return bindDone
+}
+
+func (s *solver) unbind(module, pin int, oc bindOutcome) {
+	if oc != bindDone {
+		return
+	}
+	s.pinOf[module] = -1
+	s.modOf[pin] = -1
+	s.boundCount--
+}
+
+// conflictClash reports whether routing flow f over path would make it share
+// a vertex (hence possibly a segment) with an already-routed conflicting flow.
+func (s *solver) conflictClash(f int, path topo.Path) bool {
+	for _, g := range s.conf[f] {
+		if s.assigned[g] && s.vmask[g].Intersects(path.VertMask) {
+			return true
+		}
+	}
+	return false
+}
+
+// setFits reports whether every junction on the path is free or already
+// owned by the same inlet module in the given set.
+func (s *solver) setFits(set, inletModule int, path topo.Path) bool {
+	for _, v := range path.Verts[1 : len(path.Verts)-1] {
+		if o := s.owner[set][v]; o != -1 && o != inletModule {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *solver) place(f, inletModule, set int, path topo.Path) {
+	for _, v := range path.Verts[1 : len(path.Verts)-1] {
+		if s.owner[set][v] == -1 {
+			s.owner[set][v] = inletModule
+		}
+	}
+	if s.setCount[set] == 0 {
+		s.usedSets++
+	}
+	s.setCount[set]++
+	newEdges := path.EdgeMask.AndNot(s.usedEdges)
+	s.usedEdges = s.usedEdges.Or(path.EdgeMask)
+	s.curLen += s.edgeMaskLen(newEdges)
+	s.assigned[f] = true
+	s.vmask[f] = path.VertMask
+	s.routes[f] = spec.Route{Flow: f, Set: set, Path: path}
+}
+
+func (s *solver) unplace(f, inletModule, set int, path topo.Path) {
+	s.assigned[f] = false
+	s.vmask[f] = topo.Bits{}
+	s.setCount[set]--
+	if s.setCount[set] == 0 {
+		s.usedSets--
+	}
+	// Recompute ownership for the set's vertices touched by this path: a
+	// vertex stays owned if another flow of this set still uses it.
+	for _, v := range path.Verts[1 : len(path.Verts)-1] {
+		stillUsed := false
+		for g, a := range s.assigned {
+			if !a || s.routes[g].Set != set {
+				continue
+			}
+			if s.routes[g].Path.UsesVertex(v) {
+				stillUsed = true
+				break
+			}
+		}
+		if !stillUsed {
+			s.owner[set][v] = -1
+		}
+	}
+	// Recompute the used-edge union and length.
+	var union topo.Bits
+	for g, a := range s.assigned {
+		if a {
+			union = union.Or(s.routes[g].Path.EdgeMask)
+		}
+	}
+	s.usedEdges = union
+	s.curLen = s.edgeMaskLen(union)
+}
+
+func (s *solver) edgeMaskLen(mask topo.Bits) float64 {
+	var sum float64
+	for _, e := range mask.Indices() {
+		sum += s.sw.Edges[e].Length
+	}
+	return sum
+}
+
+// clockwiseFeasible checks that the partial module→pin binding can still be
+// completed into an assignment where the module list order winds exactly
+// once clockwise around the switch (constraints 3.12–3.13).
+func (s *solver) clockwiseFeasible() bool {
+	type bound struct{ idx, pin int }
+	var bs []bound
+	for mi, p := range s.pinOf {
+		if p >= 0 {
+			bs = append(bs, bound{mi, p})
+		}
+	}
+	if len(bs) <= 1 {
+		return true
+	}
+	sort.Slice(bs, func(a, b int) bool { return bs[a].idx < bs[b].idx })
+	// The pins must appear in the same cyclic order as the modules: exactly
+	// one descent around the cycle.
+	descents := 0
+	for i := range bs {
+		next := bs[(i+1)%len(bs)]
+		if next.pin < bs[i].pin {
+			descents++
+		}
+	}
+	if descents != 1 {
+		return false
+	}
+	// Capacity: between consecutive bound modules there must be enough free
+	// pins in the corresponding clockwise pin arc for the unbound modules.
+	nMod := len(s.sp.Modules)
+	for i := range bs {
+		next := bs[(i+1)%len(bs)]
+		unboundBetween := 0
+		for j := (bs[i].idx + 1) % nMod; j != next.idx; j = (j + 1) % nMod {
+			if s.pinOf[j] == -1 {
+				unboundBetween++
+			}
+		}
+		freeInArc := 0
+		for p := (bs[i].pin + 1) % s.numPins; p != next.pin; p = (p + 1) % s.numPins {
+			if s.modOf[p] == -1 {
+				freeInArc++
+			}
+		}
+		if freeInArc < unboundBetween {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,361 @@
+package search
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"switchsynth/internal/contam"
+	"switchsynth/internal/geom"
+	"switchsynth/internal/spec"
+)
+
+func mustSolve(t *testing.T, sp *spec.Spec) *spec.Result {
+	t.Helper()
+	res, err := Solve(sp, Options{})
+	if err != nil {
+		t.Fatalf("Solve(%s): %v", sp.Name, err)
+	}
+	if err := contam.Verify(res); err != nil {
+		t.Fatalf("Verify(%s): %v", sp.Name, err)
+	}
+	return res
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSingleFlowUnfixedOptimal(t *testing.T) {
+	sp := &spec.Spec{
+		Name:       "single",
+		SwitchPins: 8,
+		Modules:    []string{"in", "out"},
+		Flows:      []spec.Flow{{From: "in", To: "out"}},
+		Binding:    spec.Unfixed,
+	}
+	res := mustSolve(t, sp)
+	// Optimal: adjacent pins, one grid edge between their border nodes.
+	want := 2*geom.PinStubLength + geom.GridPitch
+	if !approx(res.Length, want) {
+		t.Errorf("Length = %v, want %v", res.Length, want)
+	}
+	if res.NumSets != 1 {
+		t.Errorf("NumSets = %d, want 1", res.NumSets)
+	}
+	if !res.Proven {
+		t.Error("optimum not proven")
+	}
+	if !approx(res.Objective, sp.EffectiveAlpha()*1+sp.EffectiveBeta()*want) {
+		t.Errorf("Objective = %v", res.Objective)
+	}
+}
+
+func TestFixedBindingAdjacentPins(t *testing.T) {
+	sp := &spec.Spec{
+		Name:       "fixed-adj",
+		SwitchPins: 8,
+		Modules:    []string{"in", "out"},
+		Flows:      []spec.Flow{{From: "in", To: "out"}},
+		Binding:    spec.Fixed,
+		FixedPins:  map[string]int{"in": 0, "out": 1}, // T1 → T2
+	}
+	res := mustSolve(t, sp)
+	want := 2*geom.PinStubLength + geom.GridPitch
+	if !approx(res.Length, want) {
+		t.Errorf("Length = %v, want %v", res.Length, want)
+	}
+	if res.PinOf["in"] != 0 || res.PinOf["out"] != 1 {
+		t.Errorf("binding not respected: %v", res.PinOf)
+	}
+}
+
+func TestFixedBindingOppositeCorners(t *testing.T) {
+	sp := &spec.Spec{
+		Name:       "fixed-corner",
+		SwitchPins: 8,
+		Modules:    []string{"in", "out"},
+		Flows:      []spec.Flow{{From: "in", To: "out"}},
+		Binding:    spec.Fixed,
+		FixedPins:  map[string]int{"in": 0, "out": 4}, // T1 (TL) → B2 (BR)
+	}
+	res := mustSolve(t, sp)
+	want := 2*geom.PinStubLength + 4*geom.GridPitch
+	if !approx(res.Length, want) {
+		t.Errorf("Length = %v, want %v", res.Length, want)
+	}
+}
+
+func TestConflictingFlowsAreNodeDisjoint(t *testing.T) {
+	sp := &spec.Spec{
+		Name:       "conflict",
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Conflicts:  [][2]int{{0, 1}},
+		Binding:    spec.Unfixed,
+	}
+	res := mustSolve(t, sp)
+	p0, p1 := res.Routes[0].Path, res.Routes[1].Path
+	if p0.VertMask.Intersects(p1.VertMask) {
+		t.Error("conflicting flows share a node")
+	}
+	if p0.EdgeMask.Intersects(p1.EdgeMask) {
+		t.Error("conflicting flows share a segment")
+	}
+}
+
+func TestFixedBindingNoSolutionWithConflicts(t *testing.T) {
+	// in1@T1 → out1@R1 has the unique shortest path T1-TL-T-TR-R1. A
+	// conflicting flow from in2@T2 must start at node T, which that path
+	// occupies: provably no solution.
+	sp := &spec.Spec{
+		Name:       "fixed-nosol",
+		SwitchPins: 8,
+		Modules:    []string{"in1", "in2", "out1", "out2"},
+		Flows:      []spec.Flow{{From: "in1", To: "out1"}, {From: "in2", To: "out2"}},
+		Conflicts:  [][2]int{{0, 1}},
+		Binding:    spec.Fixed,
+		FixedPins:  map[string]int{"in1": 0, "out1": 2, "in2": 1, "out2": 3},
+	}
+	_, err := Solve(sp, Options{})
+	var nosol *spec.ErrNoSolution
+	if !errors.As(err, &nosol) {
+		t.Fatalf("err = %v, want ErrNoSolution", err)
+	}
+	// The same case is solvable under the unfixed policy.
+	sp2 := *sp
+	sp2.Name = "unfixed-sol"
+	sp2.Binding = spec.Unfixed
+	sp2.FixedPins = nil
+	mustSolve(t, &sp2)
+}
+
+func TestSchedulingSplitsCollidingInlets(t *testing.T) {
+	// Force two flows from different inlets through the centre by capping
+	// the switch at 8 pins and pinning all four modules to opposite sides:
+	// T2 (node T) → B1 (node B) and L1 (node L) → R2 (node R). Every
+	// shortest path T→B or L→R passes node C, so with one set this is
+	// infeasible, with two sets it works.
+	base := spec.Spec{
+		Name:       "collide",
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Binding:    spec.Fixed,
+		FixedPins:  map[string]int{"a": 1, "x": 5, "b": 7, "y": 3},
+	}
+	one := base
+	one.MaxSets = 1
+	if _, err := Solve(&one, Options{}); err == nil {
+		t.Fatal("one set should be infeasible for crossing flows")
+	}
+	two := base
+	res := mustSolve(t, &two)
+	if res.NumSets != 2 {
+		t.Errorf("NumSets = %d, want 2", res.NumSets)
+	}
+}
+
+func TestBranchingFromSameInletSharesSet(t *testing.T) {
+	// Flows from one inlet may share segments in one set.
+	sp := &spec.Spec{
+		Name:       "branch",
+		SwitchPins: 8,
+		Modules:    []string{"in", "o1", "o2", "o3"},
+		Flows: []spec.Flow{
+			{From: "in", To: "o1"},
+			{From: "in", To: "o2"},
+			{From: "in", To: "o3"},
+		},
+		Binding: spec.Unfixed,
+	}
+	res := mustSolve(t, sp)
+	if res.NumSets != 1 {
+		t.Errorf("NumSets = %d, want 1 (branching from one inlet)", res.NumSets)
+	}
+}
+
+func TestClockwiseBindingRespectsOrder(t *testing.T) {
+	sp := &spec.Spec{
+		Name:       "cw",
+		SwitchPins: 12,
+		Modules:    []string{"m1", "m2", "m3", "m4"},
+		Flows: []spec.Flow{
+			{From: "m1", To: "m2"},
+			{From: "m3", To: "m4"},
+		},
+		Binding: spec.Clockwise,
+	}
+	res := mustSolve(t, sp) // Verify() checks the cyclic order
+	if len(res.PinOf) != 4 {
+		t.Errorf("PinOf = %v", res.PinOf)
+	}
+}
+
+func TestClockwiseMatchesUnfixedWhenOrderIsFree(t *testing.T) {
+	// With two modules any binding is cyclically ordered, so clockwise and
+	// unfixed must find the same optimum.
+	mk := func(b spec.BindingPolicy) *spec.Spec {
+		return &spec.Spec{
+			Name:       "cw-vs-unfixed",
+			SwitchPins: 8,
+			Modules:    []string{"in", "out"},
+			Flows:      []spec.Flow{{From: "in", To: "out"}},
+			Binding:    b,
+		}
+	}
+	r1 := mustSolve(t, mk(spec.Clockwise))
+	r2 := mustSolve(t, mk(spec.Unfixed))
+	if !approx(r1.Objective, r2.Objective) {
+		t.Errorf("clockwise obj %v != unfixed obj %v", r1.Objective, r2.Objective)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sp := &spec.Spec{
+		Name:       "det",
+		SwitchPins: 12,
+		Modules:    []string{"a", "b", "x", "y", "z"},
+		Flows: []spec.Flow{
+			{From: "a", To: "x"},
+			{From: "a", To: "y"},
+			{From: "b", To: "z"},
+		},
+		Conflicts: [][2]int{{0, 2}},
+		Binding:   spec.Unfixed,
+	}
+	r1 := mustSolve(t, sp)
+	r2 := mustSolve(t, sp)
+	if !approx(r1.Objective, r2.Objective) || r1.NumSets != r2.NumSets {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d", r1.Objective, r1.NumSets, r2.Objective, r2.NumSets)
+	}
+	for m, p := range r1.PinOf {
+		if r2.PinOf[m] != p {
+			t.Errorf("binding differs for %s: %d vs %d", m, p, r2.PinOf[m])
+		}
+	}
+	for i := range r1.Routes {
+		if r1.Routes[i].Set != r2.Routes[i].Set ||
+			r1.Routes[i].Path.VertMask != r2.Routes[i].Path.VertMask {
+			t.Errorf("route %d differs", i)
+		}
+	}
+}
+
+func TestSymmetryBreakingPreservesOptimum(t *testing.T) {
+	sp := &spec.Spec{
+		Name:       "sym",
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Conflicts:  [][2]int{{0, 1}},
+		Binding:    spec.Unfixed,
+	}
+	withCut := mustSolve(t, sp)
+	noCut, err := Solve(sp, Options{DisableSymmetryBreaking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(withCut.Objective, noCut.Objective) {
+		t.Errorf("symmetry cut changed optimum: %v vs %v", withCut.Objective, noCut.Objective)
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	sp := &spec.Spec{Name: "bad", SwitchPins: 9}
+	if _, err := Solve(sp, Options{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+}
+
+func TestTimeoutReturnsQuickly(t *testing.T) {
+	sp := &spec.Spec{
+		Name:       "big",
+		SwitchPins: 16,
+		Modules:    []string{"a", "b", "c", "o1", "o2", "o3", "o4", "o5", "o6", "o7", "o8", "o9"},
+		Flows: []spec.Flow{
+			{From: "a", To: "o1"}, {From: "a", To: "o2"}, {From: "a", To: "o3"},
+			{From: "b", To: "o4"}, {From: "b", To: "o5"}, {From: "b", To: "o6"},
+			{From: "c", To: "o7"}, {From: "c", To: "o8"}, {From: "c", To: "o9"},
+		},
+		Binding: spec.Unfixed,
+	}
+	start := time.Now()
+	res, err := Solve(sp, Options{TimeLimit: 150 * time.Millisecond})
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("timeout ignored: %v", el)
+	}
+	if err == nil {
+		if res.Proven {
+			// A genuine fast proof is fine; otherwise Proven must be false.
+			return
+		}
+		if verr := contam.Verify(res); verr != nil {
+			t.Errorf("unproven incumbent invalid: %v", verr)
+		}
+		return
+	}
+	var to *ErrTimeout
+	if !errors.As(err, &to) {
+		t.Errorf("err = %v, want ErrTimeout or incumbent", err)
+	}
+}
+
+func TestLengthIsUnionOfUsedChannels(t *testing.T) {
+	// Two flows from the same inlet sharing a stub: length counts the stub
+	// once (the application-specific switch keeps each segment once).
+	sp := &spec.Spec{
+		Name:       "union",
+		SwitchPins: 8,
+		Modules:    []string{"in", "o1", "o2"},
+		Flows:      []spec.Flow{{From: "in", To: "o1"}, {From: "in", To: "o2"}},
+		Binding:    spec.Unfixed,
+	}
+	res := mustSolve(t, sp)
+	var sum float64
+	for _, rt := range res.Routes {
+		sum += rt.Path.Length
+	}
+	if res.Length >= sum {
+		t.Errorf("union length %v should be below path-length sum %v (shared inlet stub)", res.Length, sum)
+	}
+}
+
+func TestTwelveAndSixteenPinSolvable(t *testing.T) {
+	for _, pins := range []int{12, 16} {
+		sp := &spec.Spec{
+			Name:       "size",
+			SwitchPins: pins,
+			Modules:    []string{"a", "b", "x", "y"},
+			Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+			Conflicts:  [][2]int{{0, 1}},
+			Binding:    spec.Unfixed,
+		}
+		res := mustSolve(t, sp)
+		if res.NumSets < 1 || res.Length <= 0 {
+			t.Errorf("%d-pin: degenerate result %+v", pins, res)
+		}
+	}
+}
+
+func TestLargeSwitchSizesSolvable(t *testing.T) {
+	// 20- and 24-pin switches (the future-work sizes enabled by the
+	// multi-word masks) synthesize small workloads end to end.
+	for _, pins := range []int{20, 24} {
+		sp := &spec.Spec{
+			Name:       "large",
+			SwitchPins: pins,
+			Modules:    []string{"a", "b", "x", "y"},
+			Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+			Conflicts:  [][2]int{{0, 1}},
+			Binding:    spec.Unfixed,
+		}
+		res, err := Solve(sp, Options{TimeLimit: 30 * time.Second})
+		if err != nil {
+			t.Fatalf("%d-pin: %v", pins, err)
+		}
+		if err := contam.Verify(res); err != nil {
+			t.Fatalf("%d-pin: %v", pins, err)
+		}
+	}
+}

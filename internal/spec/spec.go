@@ -1,0 +1,347 @@
+// Package spec defines the synthesis problem statement — the inputs of the
+// paper's problem formulation (Section 2.3) — and the synthesized plan that
+// the engines return.
+//
+// Input: the groups of flows to execute, the conflicting flow pairs, the
+// binding policy (fixed, clockwise or unfixed) and, for clockwise binding,
+// the order of the connected modules.
+//
+// Output: the parallel-executable flow sets, contamination-free routing
+// paths, module–pin binding, the used flow channels and their total length.
+package spec
+
+import (
+	"fmt"
+	"time"
+
+	"switchsynth/internal/topo"
+)
+
+// BindingPolicy selects how modules are bound to switch pins.
+type BindingPolicy int
+
+// Binding policies from the paper.
+const (
+	// Fixed binds every module to the pin given in Spec.FixedPins.
+	Fixed BindingPolicy = iota
+	// Clockwise assigns modules to pins so that walking the module list
+	// wraps exactly once clockwise around the switch (pins may be skipped).
+	Clockwise
+	// Unfixed lets the synthesizer choose any module-to-pin assignment.
+	Unfixed
+)
+
+// String implements fmt.Stringer.
+func (b BindingPolicy) String() string {
+	switch b {
+	case Fixed:
+		return "fixed"
+	case Clockwise:
+		return "clockwise"
+	case Unfixed:
+		return "unfixed"
+	}
+	return "?"
+}
+
+// ParseBindingPolicy converts a policy name to its value.
+func ParseBindingPolicy(s string) (BindingPolicy, error) {
+	switch s {
+	case "fixed":
+		return Fixed, nil
+	case "clockwise":
+		return Clockwise, nil
+	case "unfixed":
+		return Unfixed, nil
+	}
+	return 0, fmt.Errorf("spec: unknown binding policy %q", s)
+}
+
+// Flow is one fluid transport: from a source module to a destination module.
+type Flow struct {
+	// From and To are module names. From is the inlet side.
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// Spec is the full synthesis input.
+type Spec struct {
+	// Name labels the case in reports.
+	Name string `json:"name"`
+	// SwitchPins is the switch model size. The paper's sizes are 8, 12
+	// and 16; this library additionally supports 20 and 24 (the "larger
+	// switch structures" of the paper's future work).
+	SwitchPins int `json:"switchPins"`
+	// Modules lists the connected modules. For the clockwise policy the
+	// list order is the user-defined clockwise order.
+	Modules []string `json:"modules"`
+	// Flows lists the fluid transports to route.
+	Flows []Flow `json:"flows"`
+	// Conflicts lists pairs of flow indices whose fluids must never share a
+	// node or segment (the paper's set CF).
+	Conflicts [][2]int `json:"conflicts,omitempty"`
+	// Binding selects the module-to-pin binding policy.
+	Binding BindingPolicy `json:"binding"`
+	// FixedPins maps module name to clockwise pin order (Fixed policy only).
+	FixedPins map[string]int `json:"fixedPins,omitempty"`
+	// Alpha weights the number of flow sets in the objective (default 1).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Beta weights the flow channel length in mm (default 100, the paper's
+	// setting).
+	Beta float64 `json:"beta,omitempty"`
+	// MaxSets caps the number of flow sets (default: number of flows).
+	MaxSets int `json:"maxSets,omitempty"`
+	// Scalable requests the Columba-S-compatible drawing variant; it does
+	// not change the routing topology.
+	Scalable bool `json:"scalable,omitempty"`
+}
+
+// Default objective weights (Section 4: α = 1, β = 100).
+const (
+	DefaultAlpha = 1
+	DefaultBeta  = 100
+)
+
+// EffectiveAlpha returns Alpha or its default.
+func (s *Spec) EffectiveAlpha() float64 {
+	if s.Alpha > 0 {
+		return s.Alpha
+	}
+	return DefaultAlpha
+}
+
+// EffectiveBeta returns Beta or its default.
+func (s *Spec) EffectiveBeta() float64 {
+	if s.Beta > 0 {
+		return s.Beta
+	}
+	return DefaultBeta
+}
+
+// EffectiveMaxSets returns MaxSets or its default (one set per flow).
+func (s *Spec) EffectiveMaxSets() int {
+	if s.MaxSets > 0 {
+		return s.MaxSets
+	}
+	return len(s.Flows)
+}
+
+// ModuleIndex returns the index of the named module, or -1.
+func (s *Spec) ModuleIndex(name string) int {
+	for i, m := range s.Modules {
+		if m == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Sources returns, per flow, the module index of the flow's source.
+func (s *Spec) Sources() []int {
+	out := make([]int, len(s.Flows))
+	for i, f := range s.Flows {
+		out[i] = s.ModuleIndex(f.From)
+	}
+	return out
+}
+
+// Destinations returns, per flow, the module index of the flow's destination.
+func (s *Spec) Destinations() []int {
+	out := make([]int, len(s.Flows))
+	for i, f := range s.Flows {
+		out[i] = s.ModuleIndex(f.To)
+	}
+	return out
+}
+
+// ConflictsWith returns a symmetric lookup: m[i] is the set of flows
+// conflicting with flow i.
+func (s *Spec) ConflictsWith() [][]int {
+	out := make([][]int, len(s.Flows))
+	for _, c := range s.Conflicts {
+		out[c[0]] = append(out[c[0]], c[1])
+		out[c[1]] = append(out[c[1]], c[0])
+	}
+	return out
+}
+
+// Validate checks the spec against the model's preconditions (Section 4.2
+// defaults): switch size is supported; every module is used and is
+// exclusively a source or a destination; destination modules receive at most
+// one flow; conflicts reference distinct flows with distinct sources; fixed
+// binding covers every module with distinct, in-range pins.
+func (s *Spec) Validate() error {
+	switch s.SwitchPins {
+	case 8, 12, 16, 20, 24:
+	default:
+		return fmt.Errorf("spec %q: switch size %d not supported (want 8, 12, 16, 20 or 24)", s.Name, s.SwitchPins)
+	}
+	if len(s.Modules) == 0 {
+		return fmt.Errorf("spec %q: no modules", s.Name)
+	}
+	if len(s.Modules) > s.SwitchPins {
+		return fmt.Errorf("spec %q: %d modules exceed %d pins", s.Name, len(s.Modules), s.SwitchPins)
+	}
+	seen := make(map[string]bool, len(s.Modules))
+	for _, m := range s.Modules {
+		if m == "" {
+			return fmt.Errorf("spec %q: empty module name", s.Name)
+		}
+		if seen[m] {
+			return fmt.Errorf("spec %q: duplicate module %q", s.Name, m)
+		}
+		seen[m] = true
+	}
+	if len(s.Flows) == 0 {
+		return fmt.Errorf("spec %q: no flows", s.Name)
+	}
+	isSource := make(map[string]bool)
+	isDest := make(map[string]bool)
+	destCount := make(map[string]int)
+	for i, f := range s.Flows {
+		if !seen[f.From] {
+			return fmt.Errorf("spec %q: flow %d source %q is not a module", s.Name, i, f.From)
+		}
+		if !seen[f.To] {
+			return fmt.Errorf("spec %q: flow %d destination %q is not a module", s.Name, i, f.To)
+		}
+		if f.From == f.To {
+			return fmt.Errorf("spec %q: flow %d has identical endpoints %q", s.Name, i, f.From)
+		}
+		isSource[f.From] = true
+		isDest[f.To] = true
+		destCount[f.To]++
+	}
+	for m := range isSource {
+		if isDest[m] {
+			return fmt.Errorf("spec %q: module %q is both a source and a destination (each module must be either the inlet or the outlet to the switch)", s.Name, m)
+		}
+	}
+	for m, c := range destCount {
+		if c > 1 {
+			return fmt.Errorf("spec %q: outlet module %q receives %d flows (each outlet pin can be accessed at most once)", s.Name, m, c)
+		}
+	}
+	for _, m := range s.Modules {
+		if !isSource[m] && !isDest[m] {
+			return fmt.Errorf("spec %q: module %q is connected but unused by any flow", s.Name, m)
+		}
+	}
+	for ci, c := range s.Conflicts {
+		a, b := c[0], c[1]
+		if a < 0 || a >= len(s.Flows) || b < 0 || b >= len(s.Flows) {
+			return fmt.Errorf("spec %q: conflict %d references invalid flow index", s.Name, ci)
+		}
+		if a == b {
+			return fmt.Errorf("spec %q: conflict %d pairs flow %d with itself", s.Name, ci, a)
+		}
+		if s.Flows[a].From == s.Flows[b].From {
+			return fmt.Errorf("spec %q: conflict %d pairs flows with the same inlet %q (same fluid cannot conflict with itself)", s.Name, ci, s.Flows[a].From)
+		}
+	}
+	if s.Binding == Fixed {
+		if len(s.FixedPins) != len(s.Modules) {
+			return fmt.Errorf("spec %q: fixed binding needs a pin for each of the %d modules, got %d", s.Name, len(s.Modules), len(s.FixedPins))
+		}
+		pinUsed := make(map[int]string)
+		for m, p := range s.FixedPins {
+			if !seen[m] {
+				return fmt.Errorf("spec %q: fixed pin for unknown module %q", s.Name, m)
+			}
+			if p < 0 || p >= s.SwitchPins {
+				return fmt.Errorf("spec %q: module %q pin %d out of range [0,%d)", s.Name, m, p, s.SwitchPins)
+			}
+			if other, dup := pinUsed[p]; dup {
+				return fmt.Errorf("spec %q: modules %q and %q share pin %d", s.Name, other, m, p)
+			}
+			pinUsed[p] = m
+		}
+	}
+	if s.Alpha < 0 || s.Beta < 0 {
+		return fmt.Errorf("spec %q: negative objective weights", s.Name)
+	}
+	if s.MaxSets < 0 {
+		return fmt.Errorf("spec %q: negative MaxSets", s.Name)
+	}
+	return nil
+}
+
+// Route is one synthesized flow route.
+type Route struct {
+	// Flow indexes Spec.Flows.
+	Flow int
+	// Set is the flow set (execution phase) the flow is scheduled in.
+	Set int
+	// Path is the chosen contamination-checked path, inlet pin → outlet pin.
+	Path topo.Path
+}
+
+// Result is a synthesized application-specific switch plan.
+type Result struct {
+	// Spec echoes the input.
+	Spec *Spec
+	// Switch is the full switch model the plan routes on. The
+	// application-specific switch keeps exactly the UsedEdges of it.
+	Switch *topo.Switch
+	// PinOf maps module name to the clockwise pin order it is bound to.
+	PinOf map[string]int
+	// Routes holds one entry per flow, in flow order.
+	Routes []Route
+	// NumSets is the number of non-empty flow sets.
+	NumSets int
+	// UsedEdgeMask is the bitset of switch edge IDs used by any route.
+	UsedEdgeMask topo.Bits
+	// Length is the total length in mm of the used flow channels (the
+	// channel length of the reduced, application-specific switch).
+	Length float64
+	// Objective is α·NumSets + β·Length.
+	Objective float64
+	// Proven reports whether the engine proved the plan optimal.
+	Proven bool
+	// Runtime is the wall-clock synthesis time.
+	Runtime time.Duration
+	// Engine names the engine that produced the plan.
+	Engine string
+}
+
+// UsedEdges returns the IDs of the used switch edges in ascending order.
+func (r *Result) UsedEdges() []int {
+	var out []int
+	for e := range r.Switch.Edges {
+		if r.UsedEdgeMask.Has(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SetOf returns the routes grouped by flow set.
+func (r *Result) SetOf() [][]Route {
+	out := make([][]Route, r.NumSets)
+	for _, rt := range r.Routes {
+		out[rt.Set] = append(out[rt.Set], rt)
+	}
+	return out
+}
+
+// InletPinOrder returns the clockwise pin order of the inlet of flow i.
+func (r *Result) InletPinOrder(i int) int {
+	return r.PinOf[r.Spec.Flows[i].From]
+}
+
+// OutletPinOrder returns the clockwise pin order of the outlet of flow i.
+func (r *Result) OutletPinOrder(i int) int {
+	return r.PinOf[r.Spec.Flows[i].To]
+}
+
+// ErrNoSolution is returned by engines that prove the spec infeasible under
+// its binding policy — the paper's "no solution" table entries.
+type ErrNoSolution struct {
+	SpecName string
+	Policy   BindingPolicy
+}
+
+// Error implements error.
+func (e *ErrNoSolution) Error() string {
+	return fmt.Sprintf("no solution for %q under %s binding", e.SpecName, e.Policy)
+}

@@ -1,0 +1,165 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func validSpec() *Spec {
+	return &Spec{
+		Name:       "t",
+		SwitchPins: 8,
+		Modules:    []string{"in1", "out1", "out2"},
+		Flows:      []Flow{{From: "in1", To: "out1"}, {From: "in1", To: "out2"}},
+		Binding:    Unfixed,
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"bad size", func(s *Spec) { s.SwitchPins = 10 }, "switch size"},
+		{"no modules", func(s *Spec) { s.Modules = nil }, "no modules"},
+		{"too many modules", func(s *Spec) {
+			s.Modules = []string{"a", "b", "c", "d", "e", "f", "g", "h", "i"}
+		}, "exceed"},
+		{"dup module", func(s *Spec) { s.Modules = []string{"in1", "in1", "out1"} }, "duplicate"},
+		{"empty module name", func(s *Spec) { s.Modules = []string{"", "out1", "out2"} }, "empty module"},
+		{"no flows", func(s *Spec) { s.Flows = nil }, "no flows"},
+		{"unknown source", func(s *Spec) { s.Flows[0].From = "ghost" }, "not a module"},
+		{"unknown dest", func(s *Spec) { s.Flows[0].To = "ghost" }, "not a module"},
+		{"self flow", func(s *Spec) { s.Flows[0].To = "in1" }, "identical endpoints"},
+		{"source and dest", func(s *Spec) {
+			s.Flows = []Flow{{From: "in1", To: "out1"}, {From: "out1", To: "out2"}}
+		}, "both a source and a destination"},
+		{"outlet twice", func(s *Spec) {
+			s.Flows = []Flow{{From: "in1", To: "out1"}, {From: "in1", To: "out1"}}
+		}, "at most once"},
+		{"unused module", func(s *Spec) {
+			s.Flows = []Flow{{From: "in1", To: "out1"}}
+		}, "unused"},
+		{"conflict bad index", func(s *Spec) { s.Conflicts = [][2]int{{0, 5}} }, "invalid flow index"},
+		{"conflict self", func(s *Spec) { s.Conflicts = [][2]int{{1, 1}} }, "with itself"},
+		{"conflict same inlet", func(s *Spec) { s.Conflicts = [][2]int{{0, 1}} }, "same inlet"},
+		{"fixed missing pins", func(s *Spec) { s.Binding = Fixed }, "needs a pin"},
+		{"fixed unknown module", func(s *Spec) {
+			s.Binding = Fixed
+			s.FixedPins = map[string]int{"in1": 0, "out1": 1, "ghost": 2}
+		}, "unknown module"},
+		{"fixed pin out of range", func(s *Spec) {
+			s.Binding = Fixed
+			s.FixedPins = map[string]int{"in1": 0, "out1": 1, "out2": 8}
+		}, "out of range"},
+		{"fixed dup pin", func(s *Spec) {
+			s.Binding = Fixed
+			s.FixedPins = map[string]int{"in1": 0, "out1": 0, "out2": 1}
+		}, "share pin"},
+		{"negative weights", func(s *Spec) { s.Alpha = -1 }, "negative"},
+		{"negative max sets", func(s *Spec) { s.MaxSets = -2 }, "negative MaxSets"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validSpec()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEffectiveDefaults(t *testing.T) {
+	s := validSpec()
+	if s.EffectiveAlpha() != DefaultAlpha {
+		t.Errorf("alpha default = %v", s.EffectiveAlpha())
+	}
+	if s.EffectiveBeta() != DefaultBeta {
+		t.Errorf("beta default = %v", s.EffectiveBeta())
+	}
+	if s.EffectiveMaxSets() != 2 {
+		t.Errorf("maxsets default = %v, want 2 (#flows)", s.EffectiveMaxSets())
+	}
+	s.Alpha, s.Beta, s.MaxSets = 3, 7, 5
+	if s.EffectiveAlpha() != 3 || s.EffectiveBeta() != 7 || s.EffectiveMaxSets() != 5 {
+		t.Error("explicit values not honoured")
+	}
+}
+
+func TestSourcesDestinationsConflicts(t *testing.T) {
+	s := validSpec()
+	s.Conflicts = [][2]int{}
+	srcs, dsts := s.Sources(), s.Destinations()
+	if srcs[0] != 0 || srcs[1] != 0 {
+		t.Errorf("sources = %v", srcs)
+	}
+	if dsts[0] != 1 || dsts[1] != 2 {
+		t.Errorf("destinations = %v", dsts)
+	}
+	s2 := &Spec{
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows:      []Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Conflicts:  [][2]int{{0, 1}},
+	}
+	cw := s2.ConflictsWith()
+	if len(cw[0]) != 1 || cw[0][0] != 1 || len(cw[1]) != 1 || cw[1][0] != 0 {
+		t.Errorf("ConflictsWith = %v", cw)
+	}
+}
+
+func TestParseBindingPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want BindingPolicy
+	}{{"fixed", Fixed}, {"clockwise", Clockwise}, {"unfixed", Unfixed}} {
+		got, err := ParseBindingPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseBindingPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Errorf("round trip %q -> %q", tc.in, got)
+		}
+	}
+	if _, err := ParseBindingPolicy("diagonal"); err == nil {
+		t.Error("bad policy accepted")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := validSpec()
+	s.Conflicts = [][2]int{}
+	s.FixedPins = map[string]int{"in1": 0}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name || back.SwitchPins != s.SwitchPins ||
+		len(back.Modules) != len(s.Modules) || len(back.Flows) != len(s.Flows) {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestErrNoSolution(t *testing.T) {
+	err := &ErrNoSolution{SpecName: "x", Policy: Clockwise}
+	if !strings.Contains(err.Error(), "clockwise") || !strings.Contains(err.Error(), "x") {
+		t.Errorf("error text: %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+package topo
+
+import (
+	"fmt"
+
+	"switchsynth/internal/geom"
+)
+
+// NewGRU constructs the General-Routing-Unit switch of the predecessor
+// design the paper analyzes in Section 2.1 (Ma's thesis, built from the
+// PSION GRUs): a diamond of nodes N, E, S, W around a centre C, with two
+// flow pins per outer node and 45° diagonal segments.
+//
+// units selects one GRU (8 pins: TL, T, TR, R, BR, B, BL, L) or two chained
+// GRUs (12 pins): the second GRU's W node fuses onto the first GRU's E node
+// through a connecting segment, and the facing pins disappear.
+//
+// The paper identifies three flow-layer flaws that this model reproduces
+// faithfully so they can be demonstrated:
+//
+//   - pins TL and T connect to the same and only node N, so conflicting
+//     flows from TL and T can never be routed apart;
+//   - flows from L and BL collide at W even without a conflict;
+//   - the diagonals meet the spokes at ~45°, violating the angular
+//     clearance the crossbar grid keeps at 90° (see internal/drc).
+func NewGRU(units int) (*Switch, error) {
+	if units != 1 && units != 2 {
+		return nil, fmt.Errorf("topo: NewGRU supports 1 or 2 units, got %d", units)
+	}
+	sw := &Switch{
+		Kind:    "gru",
+		NumPins: 8 + 4*(units-1),
+		byName:  make(map[string]int),
+		edgeAt:  make(map[[2]int]int),
+	}
+	const (
+		r    = 1.0 // node distance from each GRU centre
+		stub = geom.PinStubLength
+	)
+	diag := stub / 1.4142135623730951 // 45° pin stubs
+
+	addNode := func(name string, p geom.Point) int {
+		v := Vertex{
+			ID:       len(sw.Vertices),
+			Kind:     NodeVertex,
+			Name:     name,
+			Pos:      p,
+			Row:      -1,
+			Col:      -1,
+			PinOrder: -1,
+		}
+		sw.Vertices = append(sw.Vertices, v)
+		sw.nodeIDs = append(sw.nodeIDs, v.ID)
+		return v.ID
+	}
+	type pinSpec struct {
+		name string
+		node int
+		pos  geom.Point
+		side Side
+	}
+	var pins []pinSpec
+
+	// GRU 1 centred at the origin.
+	c1 := addNode("C1", geom.Pt(0, 0))
+	n1 := addNode("N1", geom.Pt(0, -r))
+	e1 := addNode("E1", geom.Pt(r, 0))
+	s1 := addNode("S1", geom.Pt(0, r))
+	w1 := addNode("W1", geom.Pt(-r, 0))
+	for _, pair := range [][2]int{{n1, c1}, {e1, c1}, {s1, c1}, {w1, c1},
+		{w1, n1}, {n1, e1}, {e1, s1}, {s1, w1}} {
+		sw.addEdge(pair[0], pair[1])
+	}
+
+	if units == 1 {
+		pins = []pinSpec{
+			{"TL", n1, geom.Pt(-diag, -r-diag), Top},
+			{"T", n1, geom.Pt(0, -r-stub), Top},
+			{"TR", e1, geom.Pt(r+diag, -diag), Right},
+			{"R", e1, geom.Pt(r+stub, 0), Right},
+			{"BR", s1, geom.Pt(diag, r+diag), Bottom},
+			{"B", s1, geom.Pt(0, r+stub), Bottom},
+			{"BL", w1, geom.Pt(-r-diag, diag), Left},
+			{"L", w1, geom.Pt(-r-stub, 0), Left},
+		}
+	} else {
+		// GRU 2 centred to the right; E1–W2 is the connecting segment, and
+		// the pins that faced each other (TR/R of GRU1, BL/L of GRU2)
+		// disappear.
+		off := 2*r + 1.0
+		c2 := addNode("C2", geom.Pt(off, 0))
+		n2 := addNode("N2", geom.Pt(off, -r))
+		e2 := addNode("E2", geom.Pt(off+r, 0))
+		s2 := addNode("S2", geom.Pt(off, r))
+		w2 := addNode("W2", geom.Pt(off-r, 0))
+		for _, pair := range [][2]int{{n2, c2}, {e2, c2}, {s2, c2}, {w2, c2},
+			{w2, n2}, {n2, e2}, {e2, s2}, {s2, w2}} {
+			sw.addEdge(pair[0], pair[1])
+		}
+		sw.addEdge(e1, w2)
+		pins = []pinSpec{
+			{"TL", n1, geom.Pt(-diag, -r-diag), Top},
+			{"T", n1, geom.Pt(0, -r-stub), Top},
+			{"T2", n2, geom.Pt(off, -r-stub), Top},
+			{"TR", e2, geom.Pt(off+r+diag, -diag), Right},
+			{"R", e2, geom.Pt(off+r+stub, 0), Right},
+			{"BR", s2, geom.Pt(off+diag, r+diag), Bottom},
+			{"B2", s2, geom.Pt(off, r+stub), Bottom},
+			{"B", s1, geom.Pt(0, r+stub), Bottom},
+			{"BL", w1, geom.Pt(-r-diag, diag), Left},
+			{"L", w1, geom.Pt(-r-stub, 0), Left},
+			{"TL2", n2, geom.Pt(off-diag, -r-diag), Top},
+			{"BR1", s1, geom.Pt(diag, r+diag), Bottom},
+		}
+	}
+
+	for order, ps := range pins {
+		v := Vertex{
+			ID:       len(sw.Vertices),
+			Kind:     PinVertex,
+			Name:     ps.name,
+			Pos:      ps.pos,
+			Row:      -1,
+			Col:      -1,
+			PinSide:  ps.side,
+			PinIndex: order + 1,
+			PinOrder: order,
+		}
+		sw.Vertices = append(sw.Vertices, v)
+		sw.pins = append(sw.pins, v.ID)
+		sw.addEdge(v.ID, ps.node)
+	}
+	if err := sw.finish(); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}

@@ -1,0 +1,497 @@
+package topo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"switchsynth/internal/geom"
+)
+
+func mustGrid(t *testing.T, pins int) *Switch {
+	t.Helper()
+	sw, err := NewGrid(pins)
+	if err != nil {
+		t.Fatalf("NewGrid(%d): %v", pins, err)
+	}
+	return sw
+}
+
+func TestNewGridSizes(t *testing.T) {
+	tests := []struct {
+		pins, wantNodes, wantEdges int
+	}{
+		// (m+1)² nodes, 2(m+1)m grid edges + numPins stubs.
+		{8, 9, 20},
+		{12, 16, 36},
+		{16, 25, 56},
+	}
+	for _, tc := range tests {
+		sw := mustGrid(t, tc.pins)
+		if got := len(sw.NodeIDs()); got != tc.wantNodes {
+			t.Errorf("%d-pin: nodes = %d, want %d", tc.pins, got, tc.wantNodes)
+		}
+		if got := len(sw.Edges); got != tc.wantEdges {
+			t.Errorf("%d-pin: edges = %d, want %d", tc.pins, got, tc.wantEdges)
+		}
+		if got := len(sw.Pins()); got != tc.pins {
+			t.Errorf("%d-pin: pins = %d, want %d", tc.pins, got, tc.pins)
+		}
+	}
+}
+
+func TestNewGridRejectsBadSizes(t *testing.T) {
+	for _, pins := range []int{0, -4, 3, 6, 10} {
+		if _, err := NewGrid(pins); err == nil {
+			t.Errorf("NewGrid(%d) succeeded, want error", pins)
+		}
+	}
+}
+
+func TestEightPinPaperStructure(t *testing.T) {
+	sw := mustGrid(t, 8)
+	// The paper: "In the 8-pin switch, the pins are T1, T2, R1, R2, B2, B1,
+	// L2, L1" (clockwise) and "The nodes are C, T, L, R, B".
+	wantPins := []string{"T1", "T2", "R1", "R2", "B2", "B1", "L2", "L1"}
+	for order, name := range wantPins {
+		v := sw.Vertices[sw.PinVertex(order)]
+		if v.Name != name {
+			t.Errorf("pin order %d = %q, want %q", order, v.Name, name)
+		}
+		if v.Kind != PinVertex {
+			t.Errorf("pin %q has kind %v", name, v.Kind)
+		}
+	}
+	for _, name := range []string{"C", "T", "L", "R", "B", "TL", "TR", "BL", "BR"} {
+		if _, ok := sw.VertexByName(name); !ok {
+			t.Errorf("missing node %q", name)
+		}
+	}
+	// "There are 20 flow segments in the 8-pin switch, such as T1-TL and TL-T."
+	t1, _ := sw.VertexByName("T1")
+	tl, _ := sw.VertexByName("TL")
+	tn, _ := sw.VertexByName("T")
+	if _, ok := sw.EdgeBetween(t1.ID, tl.ID); !ok {
+		t.Error("segment T1-TL missing")
+	}
+	if _, ok := sw.EdgeBetween(tl.ID, tn.ID); !ok {
+		t.Error("segment TL-T missing")
+	}
+	// Centre has degree 4, corners degree 3 (two grid edges + one pin stub).
+	c, _ := sw.VertexByName("C")
+	if sw.Degree(c.ID) != 4 {
+		t.Errorf("degree(C) = %d, want 4", sw.Degree(c.ID))
+	}
+	if sw.Degree(tl.ID) != 3 {
+		t.Errorf("degree(TL) = %d, want 3", sw.Degree(tl.ID))
+	}
+}
+
+func TestPinsOnePerBorderNode(t *testing.T) {
+	for _, pins := range []int{8, 12, 16} {
+		sw := mustGrid(t, pins)
+		attached := map[int]int{}
+		for _, pid := range sw.Pins() {
+			edges := sw.IncidentEdges(pid)
+			if len(edges) != 1 {
+				t.Fatalf("%d-pin: pin %d has %d incident edges", pins, pid, len(edges))
+			}
+			node := sw.Edges[edges[0]].Other(pid)
+			attached[node]++
+		}
+		for node, cnt := range attached {
+			if cnt != 1 {
+				t.Errorf("%d-pin: node %s hosts %d pins, want 1", pins, sw.Vertices[node].Name, cnt)
+			}
+			v := sw.Vertices[node]
+			m := sw.PerSide
+			onBorder := v.Row == 0 || v.Row == m || v.Col == 0 || v.Col == m
+			if !onBorder {
+				t.Errorf("%d-pin: pin attached to interior node %s", pins, v.Name)
+			}
+		}
+		if len(attached) != pins {
+			t.Errorf("%d-pin: %d distinct attachment nodes, want %d", pins, len(attached), pins)
+		}
+	}
+}
+
+func TestClockwisePinOrderIsMonotoneAngle(t *testing.T) {
+	// Walking the pins in clockwise order must wind exactly once around the
+	// switch centre.
+	for _, pins := range []int{8, 12, 16} {
+		sw := mustGrid(t, pins)
+		b := sw.Bounds()
+		cx, cy := (b.Min.X+b.Max.X)/2, (b.Min.Y+b.Max.Y)/2
+		var total float64
+		prev := math.NaN()
+		for _, pid := range append(sw.Pins(), sw.PinVertex(0)) {
+			p := sw.Vertices[pid].Pos
+			// Screen coordinates have y growing downward, so clockwise on
+			// screen is counter-clockwise in math convention.
+			a := math.Atan2(p.Y-cy, p.X-cx)
+			if !math.IsNaN(prev) {
+				d := a - prev
+				for d <= -math.Pi {
+					d += 2 * math.Pi
+				}
+				for d > math.Pi {
+					d -= 2 * math.Pi
+				}
+				total += d
+			}
+			prev = a
+		}
+		if math.Abs(total-2*math.Pi) > 1e-6 {
+			t.Errorf("%d-pin: winding = %v, want 2π", pins, total)
+		}
+	}
+}
+
+func TestEdgeLengths(t *testing.T) {
+	sw := mustGrid(t, 12)
+	for _, e := range sw.Edges {
+		uPin := sw.Vertices[e.U].Kind == PinVertex
+		vPin := sw.Vertices[e.V].Kind == PinVertex
+		want := geom.GridPitch
+		if uPin || vPin {
+			want = geom.PinStubLength
+		}
+		if math.Abs(e.Length-want) > 1e-9 {
+			t.Errorf("edge %s length = %v, want %v", e.Name, e.Length, want)
+		}
+	}
+}
+
+func TestAllShortestPathsCornerToCorner(t *testing.T) {
+	sw := mustGrid(t, 8)
+	t1, _ := sw.VertexByName("T1") // attaches at TL
+	b2, _ := sw.VertexByName("B2") // attaches at BR
+	paths := sw.AllShortestPaths(t1.ID, b2.ID)
+	// TL→BR in a 3×3 grid: C(4,2) = 6 monotone lattice paths.
+	if len(paths) != 6 {
+		t.Fatalf("T1→B2 shortest paths = %d, want 6", len(paths))
+	}
+	wantLen := 2*geom.PinStubLength + 4*geom.GridPitch
+	for _, p := range paths {
+		if math.Abs(p.Length-wantLen) > 1e-9 {
+			t.Errorf("path length = %v, want %v", p.Length, wantLen)
+		}
+		if p.Verts[0] != t1.ID || p.Verts[len(p.Verts)-1] != b2.ID {
+			t.Error("path endpoints wrong")
+		}
+		if len(p.Verts) != len(p.EdgeIDs)+1 {
+			t.Error("vertex/edge count mismatch")
+		}
+	}
+}
+
+func TestAllShortestPathsAdjacentPins(t *testing.T) {
+	sw := mustGrid(t, 8)
+	t1, _ := sw.VertexByName("T1")
+	t2, _ := sw.VertexByName("T2")
+	paths := sw.AllShortestPaths(t1.ID, t2.ID)
+	// T1 at TL, T2 at T: single path T1-TL-T-T2.
+	if len(paths) != 1 {
+		t.Fatalf("T1→T2 paths = %d, want 1", len(paths))
+	}
+	if got, want := paths[0].Length, 2*geom.PinStubLength+geom.GridPitch; math.Abs(got-want) > 1e-9 {
+		t.Errorf("T1→T2 length = %v, want %v", got, want)
+	}
+}
+
+func TestPathsDoNotRouteThroughPins(t *testing.T) {
+	for _, pins := range []int{8, 12} {
+		sw := mustGrid(t, pins)
+		pt := BuildPathTable(sw)
+		for _, p := range pt.All {
+			for _, v := range p.Verts[1 : len(p.Verts)-1] {
+				if sw.Vertices[v].Kind == PinVertex {
+					t.Fatalf("%d-pin: path routes through pin %s", pins, sw.Vertices[v].Name)
+				}
+			}
+		}
+	}
+}
+
+func TestPathsAreSimpleAndConnected(t *testing.T) {
+	sw := mustGrid(t, 12)
+	pt := BuildPathTable(sw)
+	for _, p := range pt.All {
+		seen := map[int]bool{}
+		for _, v := range p.Verts {
+			if seen[v] {
+				t.Fatalf("path revisits vertex %d", v)
+			}
+			seen[v] = true
+		}
+		for i, eid := range p.EdgeIDs {
+			e := sw.Edges[eid]
+			u, v := p.Verts[i], p.Verts[i+1]
+			if !((e.U == u && e.V == v) || (e.U == v && e.V == u)) {
+				t.Fatalf("edge %d does not connect consecutive vertices", eid)
+			}
+		}
+		if p.PopCountVerts() != len(p.Verts) {
+			t.Fatal("vertex mask popcount mismatch")
+		}
+	}
+}
+
+func TestShortestPathsAreShortest(t *testing.T) {
+	// Property: for random pin pairs on the 12-pin switch, every enumerated
+	// path has exactly the Dijkstra distance, and no shorter path exists.
+	sw := mustGrid(t, 12)
+	f := func(a, b uint8) bool {
+		i := int(a) % sw.NumPins
+		j := int(b) % sw.NumPins
+		if i == j {
+			return true
+		}
+		in, out := sw.PinVertex(i), sw.PinVertex(j)
+		paths := sw.AllShortestPaths(in, out)
+		if len(paths) == 0 {
+			return false
+		}
+		want := paths[0].Length
+		for _, p := range paths {
+			if math.Abs(p.Length-want) > 1e-9 {
+				return false
+			}
+		}
+		// Lower bound: stub + Manhattan grid distance + stub.
+		na := sw.Edges[sw.IncidentEdges(in)[0]].Other(in)
+		nb := sw.Edges[sw.IncidentEdges(out)[0]].Other(out)
+		manh := sw.Vertices[na].Pos.Manhattan(sw.Vertices[nb].Pos)
+		lb := 2*geom.PinStubLength + manh
+		return math.Abs(want-lb) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathReverse(t *testing.T) {
+	sw := mustGrid(t, 8)
+	paths := sw.AllShortestPaths(sw.PinVertex(0), sw.PinVertex(4))
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	p := paths[0]
+	r := p.Reverse()
+	if r.In != p.Out || r.Out != p.In {
+		t.Error("reverse endpoints wrong")
+	}
+	if r.VertMask != p.VertMask || r.EdgeMask != p.EdgeMask || r.Length != p.Length {
+		t.Error("reverse must preserve masks and length")
+	}
+	for i := range p.Verts {
+		if r.Verts[i] != p.Verts[len(p.Verts)-1-i] {
+			t.Fatal("reverse vertex order wrong")
+		}
+	}
+}
+
+func TestBuildPathTableSymmetry(t *testing.T) {
+	sw := mustGrid(t, 8)
+	pt := BuildPathTable(sw)
+	n := sw.NumPins
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				if pt.PathsBetween(i, j) != nil {
+					t.Fatal("self pair must have no paths")
+				}
+				continue
+			}
+			a, b := pt.PathsBetween(i, j), pt.PathsBetween(j, i)
+			if len(a) != len(b) {
+				t.Errorf("asymmetric path counts %d→%d: %d vs %d", i, j, len(a), len(b))
+			}
+			if len(a) == 0 {
+				t.Errorf("no path between pins %d and %d", i, j)
+			}
+		}
+	}
+	if pt.NumPaths() == 0 {
+		t.Fatal("empty path table")
+	}
+}
+
+func TestSpine(t *testing.T) {
+	sw, err := NewSpine(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sw.NodeIDs()); got != 4 {
+		t.Errorf("junctions = %d, want 4", got)
+	}
+	if got := len(sw.Edges); got != 11 { // 3 spine + 8 stubs
+		t.Errorf("edges = %d, want 11", got)
+	}
+	// Every pin-to-pin route on a spine is unique.
+	for i := 0; i < 8; i++ {
+		for j := i + 1; j < 8; j++ {
+			paths := sw.AllShortestPaths(sw.PinVertex(i), sw.PinVertex(j))
+			if len(paths) != 1 {
+				t.Fatalf("spine p%d→p%d has %d paths, want 1", i+1, j+1, len(paths))
+			}
+		}
+	}
+	if _, err := NewSpine(1); err == nil {
+		t.Error("NewSpine(1) succeeded, want error")
+	}
+}
+
+func TestSpineSharedSegments(t *testing.T) {
+	// The contamination premise: on a spine, flows between pins on opposite
+	// ends must share spine segments.
+	sw, _ := NewSpine(8)
+	p1 := sw.AllShortestPaths(sw.PinVertex(0), sw.PinVertex(7))[0] // p1→p8
+	p2 := sw.AllShortestPaths(sw.PinVertex(1), sw.PinVertex(6))[0] // p2→p7
+	if !p1.SharesEdge(p2) {
+		t.Error("spine routes p1→p8 and p2→p7 should share spine segments")
+	}
+}
+
+func TestGridVsSpineRoutingRichness(t *testing.T) {
+	grid := mustGrid(t, 8)
+	spine, _ := NewSpine(8)
+	gPaths := BuildPathTable(grid).NumPaths()
+	sPaths := BuildPathTable(spine).NumPaths()
+	if gPaths <= sPaths {
+		t.Errorf("grid should offer more routing choice: grid %d vs spine %d", gPaths, sPaths)
+	}
+}
+
+func TestDesignRuleSpacing(t *testing.T) {
+	// Parallel grid channels are one pitch apart: spacing must satisfy the
+	// Stanford rule (the previous GRU-based design violated it).
+	sw := mustGrid(t, 16)
+	for i, e1 := range sw.Edges {
+		s1 := geom.Seg(sw.Vertices[e1.U].Pos, sw.Vertices[e1.V].Pos)
+		for _, e2 := range sw.Edges[i+1:] {
+			if e1.U == e2.U || e1.U == e2.V || e1.V == e2.U || e1.V == e2.V {
+				continue // sharing a junction is not a spacing violation
+			}
+			s2 := geom.Seg(sw.Vertices[e2.U].Pos, sw.Vertices[e2.V].Pos)
+			if sp := geom.ChannelSpacing(s1, s2, geom.FlowChannelWidth); sp < geom.MinChannelSpacing-1e-9 {
+				t.Fatalf("segments %s and %s spacing %.3f < %.3f", e1.Name, e2.Name, sp, geom.MinChannelSpacing)
+			}
+		}
+	}
+}
+
+func TestSwitchBounds(t *testing.T) {
+	sw := mustGrid(t, 8)
+	b := sw.Bounds()
+	want := 2*geom.GridPitch + 2*geom.PinStubLength
+	if math.Abs(b.Width()-want) > 1e-9 || math.Abs(b.Height()-want) > 1e-9 {
+		t.Errorf("bounds = %v × %v, want %v square", b.Width(), b.Height(), want)
+	}
+}
+
+func TestTotalLength(t *testing.T) {
+	sw := mustGrid(t, 8)
+	want := 12*geom.GridPitch + 8*geom.PinStubLength
+	if got := sw.TotalLength(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("TotalLength = %v, want %v", got, want)
+	}
+}
+
+func TestNewGRUStructure(t *testing.T) {
+	gru, err := NewGRU(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gru.NumPins != 8 {
+		t.Errorf("pins = %d, want 8", gru.NumPins)
+	}
+	// Paper: pins TL, T, TR, R, BR, B, BL, L; nodes C, N, E, W, S.
+	wantPins := []string{"TL", "T", "TR", "R", "BR", "B", "BL", "L"}
+	for order, name := range wantPins {
+		if got := gru.Vertices[gru.PinVertex(order)].Name; got != name {
+			t.Errorf("pin %d = %q, want %q", order, got, name)
+		}
+	}
+	if got := len(gru.NodeIDs()); got != 5 {
+		t.Errorf("nodes = %d, want 5", got)
+	}
+	// 8 GRU edges + 8 pin stubs.
+	if got := len(gru.Edges); got != 16 {
+		t.Errorf("edges = %d, want 16", got)
+	}
+	// The paper's first criticism: TL and T connect to the same node N.
+	tl, _ := gru.VertexByName("TL")
+	tt, _ := gru.VertexByName("T")
+	n1, _ := gru.VertexByName("N1")
+	if _, ok := gru.EdgeBetween(tl.ID, n1.ID); !ok {
+		t.Error("TL not attached to N")
+	}
+	if _, ok := gru.EdgeBetween(tt.ID, n1.ID); !ok {
+		t.Error("T not attached to N")
+	}
+	// Every TL→anywhere path must pass N: N is a cut vertex for TL.
+	for order := 1; order < 8; order++ {
+		for _, p := range gru.AllShortestPaths(tl.ID, gru.PinVertex(order)) {
+			if !p.UsesVertex(n1.ID) {
+				t.Fatalf("path TL→%s avoids N", gru.Vertices[gru.PinVertex(order)].Name)
+			}
+		}
+	}
+}
+
+func TestNewGRUTwoUnits(t *testing.T) {
+	gru, err := NewGRU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gru.NumPins != 12 {
+		t.Errorf("pins = %d, want 12", gru.NumPins)
+	}
+	if got := len(gru.NodeIDs()); got != 10 {
+		t.Errorf("nodes = %d, want 10", got)
+	}
+	// 8 + 8 GRU edges + 1 connector + 12 stubs.
+	if got := len(gru.Edges); got != 29 {
+		t.Errorf("edges = %d, want 29", got)
+	}
+	// Cross-unit routing exists.
+	tl, _ := gru.VertexByName("TL")
+	r, _ := gru.VertexByName("R")
+	if paths := gru.AllShortestPaths(tl.ID, r.ID); len(paths) == 0 {
+		t.Error("no route across the two GRUs")
+	}
+}
+
+func TestNewGRURejectsBadUnits(t *testing.T) {
+	for _, u := range []int{0, -1, 3} {
+		if _, err := NewGRU(u); err == nil {
+			t.Errorf("NewGRU(%d) accepted", u)
+		}
+	}
+}
+
+func TestGRUCollisionExampleFromPaper(t *testing.T) {
+	// "if two flows are going from pin L and pin BL simultaneously, they
+	// would come across with each other at the intersection node W."
+	gru, _ := NewGRU(1)
+	l, _ := gru.VertexByName("L")
+	bl, _ := gru.VertexByName("BL")
+	w, _ := gru.VertexByName("W1")
+	for _, dst := range gru.Pins() {
+		if dst == l.ID || dst == bl.ID {
+			continue
+		}
+		for _, p := range gru.AllShortestPaths(l.ID, dst) {
+			if !p.UsesVertex(w.ID) {
+				t.Fatal("L-flow avoiding W should be impossible")
+			}
+		}
+		for _, p := range gru.AllShortestPaths(bl.ID, dst) {
+			if !p.UsesVertex(w.ID) {
+				t.Fatal("BL-flow avoiding W should be impossible")
+			}
+		}
+	}
+}

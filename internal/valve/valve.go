@@ -1,0 +1,239 @@
+// Package valve derives the control-layer behaviour of a synthesized switch:
+// per-flow-set valve status sequences (open / closed / don't-care), the
+// essentiality analysis that removes unnecessary valves (the paper's "carry"
+// rule, Section 3.5), and the compatibility relation used for pressure
+// sharing.
+//
+// The reconfigurable switch model places one valve on every flow segment.
+// After synthesis the unused segments disappear, taking their valves along;
+// the remaining valves are classified per flow set:
+//
+//   - Open: the valve's segment carries a flow in this set.
+//   - Closed: the segment is idle but fluid is present at one of its end
+//     junctions from an inlet that never routes through this segment — an
+//     open valve would let that fluid leak in and contaminate or misroute.
+//   - DontCare (X): no fluid can reach the valve in this set; its state is
+//     irrelevant and may follow any shared pressure source [PACOR-style X
+//     states].
+//
+// A valve whose sequence never requires Closed can permanently stay open:
+// it "can carry all flows in its neighbor segments" and is removed as
+// unnecessary. The remaining essential valves are the #v column of the
+// paper's result tables.
+package valve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"switchsynth/internal/spec"
+	"switchsynth/internal/topo"
+)
+
+// Status is a valve state in one flow set.
+type Status byte
+
+// Valve states.
+const (
+	Open     Status = 'O'
+	Closed   Status = 'C'
+	DontCare Status = 'X'
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string { return string(rune(s)) }
+
+// Valve is one valve of the reduced, application-specific switch.
+type Valve struct {
+	// Edge is the flow segment (switch edge ID) the valve sits on.
+	Edge int
+	// Sequence holds one Status per flow set.
+	Sequence []Status
+	// Essential reports whether the valve must ever close. Non-essential
+	// valves are removed from the design.
+	Essential bool
+}
+
+// SequenceString renders the status sequence, e.g. "OXC".
+func (v Valve) SequenceString() string {
+	var b strings.Builder
+	for _, s := range v.Sequence {
+		b.WriteByte(byte(s))
+	}
+	return b.String()
+}
+
+// Analysis is the control-layer view of a synthesis result.
+type Analysis struct {
+	// Valves holds one entry per used segment, ordered by edge ID.
+	Valves []Valve
+	// Essential lists the indices into Valves of the essential valves.
+	Essential []int
+	// NumSets is the number of flow sets analyzed.
+	NumSets int
+}
+
+// NumValves returns the number of essential valves (the paper's #v).
+func (a *Analysis) NumValves() int { return len(a.Essential) }
+
+// EssentialValves returns the essential valves in edge order.
+func (a *Analysis) EssentialValves() []Valve {
+	out := make([]Valve, len(a.Essential))
+	for i, idx := range a.Essential {
+		out[i] = a.Valves[idx]
+	}
+	return out
+}
+
+// Analyze computes valve status sequences and essentiality for a verified
+// synthesis result.
+func Analyze(res *spec.Result) (*Analysis, error) {
+	sp := res.Spec
+	sw := res.Switch
+	nSets := res.NumSets
+	if nSets == 0 {
+		return nil, fmt.Errorf("valve: result has no flow sets")
+	}
+
+	// inletsThrough[e] = set of inlet modules whose flows traverse edge e,
+	// aggregated over all sets (residue persists across sets).
+	inletsThrough := make(map[int]map[string]bool)
+	// usedInSet[s][e] = edge carries a flow in set s.
+	usedInSet := make([]map[int]bool, nSets)
+	// vertexInlets[s][v] = inlet modules with fluid at vertex v in set s.
+	vertexInlets := make([]map[int]map[string]bool, nSets)
+	for s := 0; s < nSets; s++ {
+		usedInSet[s] = make(map[int]bool)
+		vertexInlets[s] = make(map[int]map[string]bool)
+	}
+	for _, rt := range res.Routes {
+		inlet := sp.Flows[rt.Flow].From
+		for _, e := range rt.Path.EdgeIDs {
+			if inletsThrough[e] == nil {
+				inletsThrough[e] = make(map[string]bool)
+			}
+			inletsThrough[e][inlet] = true
+			usedInSet[rt.Set][e] = true
+		}
+		for _, v := range rt.Path.Verts {
+			if vertexInlets[rt.Set][v] == nil {
+				vertexInlets[rt.Set][v] = make(map[string]bool)
+			}
+			vertexInlets[rt.Set][v][inlet] = true
+		}
+	}
+
+	usedEdges := res.UsedEdges()
+	analysis := &Analysis{NumSets: nSets}
+	for _, e := range usedEdges {
+		v := Valve{Edge: e, Sequence: make([]Status, nSets)}
+		edge := sw.Edges[e]
+		for s := 0; s < nSets; s++ {
+			switch {
+			case usedInSet[s][e]:
+				v.Sequence[s] = Open
+			case mustClose(edge, s, vertexInlets, inletsThrough[e]):
+				v.Sequence[s] = Closed
+				v.Essential = true
+			default:
+				v.Sequence[s] = DontCare
+			}
+		}
+		analysis.Valves = append(analysis.Valves, v)
+	}
+	sort.Slice(analysis.Valves, func(i, j int) bool {
+		return analysis.Valves[i].Edge < analysis.Valves[j].Edge
+	})
+	for i, v := range analysis.Valves {
+		if v.Essential {
+			analysis.Essential = append(analysis.Essential, i)
+		}
+	}
+	return analysis, nil
+}
+
+// mustClose reports whether the valve on edge must block in set s: fluid is
+// present at an endpoint junction from an inlet that never routes through
+// the edge, so leaving the valve open would leak that fluid into the
+// segment (contaminating it or misrouting the flow).
+func mustClose(edge topo.Edge, s int, vertexInlets []map[int]map[string]bool, carried map[string]bool) bool {
+	for _, end := range [2]int{edge.U, edge.V} {
+		for inlet := range vertexInlets[s][end] {
+			if !carried[inlet] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Compatible reports whether two valves can share one pressure source: no
+// flow set may demand one open and the other closed. The wildcard X matches
+// either state, and because a set with an O–C clash breaks every pair
+// containing it, pairwise compatibility within a group implies group
+// compatibility — the premise of the paper's clique-cover formulation.
+func Compatible(a, b Valve) bool {
+	if len(a.Sequence) != len(b.Sequence) {
+		return false
+	}
+	for s := range a.Sequence {
+		x, y := a.Sequence[s], b.Sequence[s]
+		if (x == Open && y == Closed) || (x == Closed && y == Open) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompatibilityMatrix returns the pairwise pressure-sharing relation of the
+// given valves.
+func CompatibilityMatrix(valves []Valve) [][]bool {
+	n := len(valves)
+	comp := make([][]bool, n)
+	for i := range comp {
+		comp[i] = make([]bool, n)
+		comp[i][i] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := Compatible(valves[i], valves[j])
+			comp[i][j], comp[j][i] = c, c
+		}
+	}
+	return comp
+}
+
+// MergedSequence returns the pressure sequence a group of mutually
+// compatible valves shares: per set, Open if any member is open, Closed if
+// any member is closed, X otherwise. It returns an error if the group has
+// an O–C clash.
+func MergedSequence(valves []Valve) ([]Status, error) {
+	if len(valves) == 0 {
+		return nil, fmt.Errorf("valve: empty group")
+	}
+	n := len(valves[0].Sequence)
+	out := make([]Status, n)
+	for s := 0; s < n; s++ {
+		st := DontCare
+		for _, v := range valves {
+			if len(v.Sequence) != n {
+				return nil, fmt.Errorf("valve: mismatched sequence lengths")
+			}
+			switch v.Sequence[s] {
+			case Open:
+				if st == Closed {
+					return nil, fmt.Errorf("valve: O-C clash in set %d", s)
+				}
+				st = Open
+			case Closed:
+				if st == Open {
+					return nil, fmt.Errorf("valve: O-C clash in set %d", s)
+				}
+				st = Closed
+			}
+		}
+		out[s] = st
+	}
+	return out, nil
+}

@@ -1,0 +1,240 @@
+package valve
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"switchsynth/internal/cases"
+	"switchsynth/internal/search"
+	"switchsynth/internal/spec"
+)
+
+// crossingResult synthesizes the canonical crossing case: T2→B1 and L1→R2
+// on the 8-pin switch, which must schedule into two sets through node C.
+func crossingResult(t *testing.T) *spec.Result {
+	t.Helper()
+	sp := &spec.Spec{
+		Name:       "crossing",
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Binding:    spec.Fixed,
+		FixedPins:  map[string]int{"a": 1, "x": 5, "b": 7, "y": 3},
+	}
+	res, err := search.Solve(sp, search.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestAnalyzeCrossingFlows(t *testing.T) {
+	res := crossingResult(t)
+	a, err := Analyze(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSets != 2 {
+		t.Fatalf("NumSets = %d, want 2", a.NumSets)
+	}
+	// 8 used segments: 2 stubs + 2 grid edges per flow.
+	if len(a.Valves) != 8 {
+		t.Fatalf("valves on used segments = %d, want 8", len(a.Valves))
+	}
+	// The four grid segments incident to C must close while the crossing
+	// flow runs; the four stubs never see foreign fluid.
+	if got := a.NumValves(); got != 4 {
+		for _, v := range a.Valves {
+			t.Logf("valve %s seq=%s essential=%v", res.Switch.Edges[v.Edge].Name, v.SequenceString(), v.Essential)
+		}
+		t.Fatalf("essential valves = %d, want 4", got)
+	}
+	for _, v := range a.EssentialValves() {
+		name := res.Switch.Edges[v.Edge].Name
+		if !strings.Contains(name, "C") {
+			t.Errorf("essential valve %s is not incident to the centre", name)
+		}
+		seq := v.SequenceString()
+		if seq != "OC" && seq != "CO" {
+			t.Errorf("valve %s sequence %q, want OC or CO", name, seq)
+		}
+	}
+}
+
+func TestAnalyzeFanOutNeedsNoValves(t *testing.T) {
+	// A single inlet fanning out in one set: every used segment is open in
+	// the only set, no foreign fluid exists, so no valve is essential.
+	sp := &spec.Spec{
+		Name:       "fan",
+		SwitchPins: 8,
+		Modules:    []string{"in", "o1", "o2"},
+		Flows:      []spec.Flow{{From: "in", To: "o1"}, {From: "in", To: "o2"}},
+		Binding:    spec.Unfixed,
+	}
+	res, err := search.Solve(sp, search.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumValves() != 0 {
+		t.Errorf("essential valves = %d, want 0", a.NumValves())
+	}
+	for _, v := range a.Valves {
+		for _, s := range v.Sequence {
+			if s == Closed {
+				t.Errorf("unexpected Closed status on %s", res.Switch.Edges[v.Edge].Name)
+			}
+		}
+	}
+}
+
+func TestAnalyzeRejectsEmptyResult(t *testing.T) {
+	if _, err := Analyze(&spec.Result{Spec: &spec.Spec{}, NumSets: 0}); err == nil {
+		t.Fatal("want error for zero sets")
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	mk := func(s string) Valve {
+		v := Valve{Sequence: make([]Status, len(s))}
+		for i := range s {
+			v.Sequence[i] = Status(s[i])
+		}
+		return v
+	}
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"OXC", "XOC", true},  // paper Fig 3.2(a): a and b share
+		{"OXC", "OOC", true},  // a and c share
+		{"XOC", "OOC", true},  // b and c share: all three one clique
+		{"OXX", "CXX", false}, // O–C clash in set 0
+		{"XXX", "OCO", true},  // wildcards match anything
+		{"OC", "OCX", false},  // different lengths are incompatible
+	}
+	for _, tc := range tests {
+		if got := Compatible(mk(tc.a), mk(tc.b)); got != tc.want {
+			t.Errorf("Compatible(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompatibilityMatrix(t *testing.T) {
+	mk := func(s string) Valve {
+		v := Valve{Sequence: make([]Status, len(s))}
+		for i := range s {
+			v.Sequence[i] = Status(s[i])
+		}
+		return v
+	}
+	// Paper Fig 3.2(b): a pairs with b or c, but b and c clash.
+	valves := []Valve{mk("XXC"), mk("OXC"), mk("CXC")}
+	comp := CompatibilityMatrix(valves)
+	if !comp[0][1] || !comp[0][2] {
+		t.Error("valve a should be compatible with both b and c")
+	}
+	if comp[1][2] || comp[2][1] {
+		t.Error("valves b and c must clash")
+	}
+	for i := range comp {
+		if !comp[i][i] {
+			t.Error("diagonal must be true")
+		}
+	}
+}
+
+func TestMergedSequence(t *testing.T) {
+	mk := func(s string) Valve {
+		v := Valve{Sequence: make([]Status, len(s))}
+		for i := range s {
+			v.Sequence[i] = Status(s[i])
+		}
+		return v
+	}
+	seq, err := MergedSequence([]Valve{mk("OXC"), mk("XOC"), mk("OOC")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string([]byte{byte(seq[0]), byte(seq[1]), byte(seq[2])}); got != "OOC" {
+		t.Errorf("merged = %q, want OOC", got)
+	}
+	if _, err := MergedSequence([]Valve{mk("O"), mk("C")}); err == nil {
+		t.Error("O-C clash not detected")
+	}
+	if _, err := MergedSequence(nil); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := MergedSequence([]Valve{mk("OX"), mk("O")}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestValveSequenceString(t *testing.T) {
+	v := Valve{Sequence: []Status{Open, DontCare, Closed}}
+	if got := v.SequenceString(); got != "OXC" {
+		t.Errorf("SequenceString = %q", got)
+	}
+}
+
+func TestValveStatusConsistencyProperty(t *testing.T) {
+	// Property over random artificial cases: a valve is Open in exactly the
+	// sets where its segment carries a flow, Closed only when foreign fluid
+	// is scheduled at an adjacent junction, and X otherwise.
+	for _, c := range casesSample(t) {
+		res, err := search.Solve(c, search.Options{TimeLimit: 10 * time.Second})
+		if err != nil {
+			continue // infeasible random cases are fine
+		}
+		a, err := Analyze(res)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		// Edge usage per set from the routes.
+		usedIn := map[[2]int]bool{} // (edge, set)
+		for _, rt := range res.Routes {
+			for _, e := range rt.Path.EdgeIDs {
+				usedIn[[2]int{e, rt.Set}] = true
+			}
+		}
+		for _, v := range a.Valves {
+			for s, st := range v.Sequence {
+				carried := usedIn[[2]int{v.Edge, s}]
+				if carried && st != Open {
+					t.Fatalf("%s: valve %s set %d: carries flow but status %c",
+						c.Name, res.Switch.Edges[v.Edge].Name, s, st)
+				}
+				if !carried && st == Open {
+					t.Fatalf("%s: valve %s set %d: open without flow",
+						c.Name, res.Switch.Edges[v.Edge].Name, s)
+				}
+			}
+			if v.Essential != hasClosed(v) {
+				t.Fatalf("%s: essentiality mismatch on %s", c.Name, res.Switch.Edges[v.Edge].Name)
+			}
+		}
+	}
+}
+
+func hasClosed(v Valve) bool {
+	for _, s := range v.Sequence {
+		if s == Closed {
+			return true
+		}
+	}
+	return false
+}
+
+// casesSample yields a deterministic batch of random specs.
+func casesSample(t *testing.T) []*spec.Spec {
+	t.Helper()
+	var out []*spec.Spec
+	for _, c := range cases.Artificial(10, 77) {
+		out = append(out, c.Spec)
+	}
+	return out
+}
