@@ -9,6 +9,7 @@
 package switchsynth_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"switchsynth/internal/milp"
 	"switchsynth/internal/render"
 	"switchsynth/internal/search"
+	"switchsynth/internal/service"
 	"switchsynth/internal/spec"
 	"switchsynth/internal/topo"
 	"switchsynth/internal/valve"
@@ -453,6 +455,68 @@ func BenchmarkScaling_Modules8(b *testing.B) {
 		pts := exp.RunScaling(exp.Config{TimeLimit: 10 * time.Second}, []int{8})
 		if len(pts) != 1 || !pts[0].Proven {
 			b.Fatal("scaling point failed")
+		}
+	}
+}
+
+// --- Service layer: cold vs cached synthesis --------------------------------
+
+func serviceBenchSpec() *spec.Spec {
+	return &spec.Spec{
+		Name:       "bench-service",
+		SwitchPins: 8,
+		Modules:    []string{"sample", "buffer", "mix1", "mix2"},
+		Flows: []spec.Flow{
+			{From: "sample", To: "mix1"},
+			{From: "buffer", To: "mix2"},
+		},
+		Conflicts: [][2]int{{0, 1}},
+		Binding:   spec.Unfixed,
+	}
+}
+
+// BenchmarkService_ColdSynthesize measures a full cache-miss request:
+// fresh engine, canonical hashing, queueing, solving, and analysis.
+func BenchmarkService_ColdSynthesize(b *testing.B) {
+	sp := serviceBenchSpec()
+	for i := 0; i < b.N; i++ {
+		e := service.New(service.Config{Workers: 2})
+		if _, err := e.Do(context.Background(), sp, switchsynth.Options{PressureSharing: true}); err != nil {
+			b.Fatal(err)
+		}
+		e.Close()
+	}
+}
+
+// BenchmarkService_CachedSynthesize measures a warm request: canonical
+// hashing, cache lookup, plan adaptation, and analysis — no solve.
+func BenchmarkService_CachedSynthesize(b *testing.B) {
+	e := service.New(service.Config{Workers: 2})
+	defer e.Close()
+	sp := serviceBenchSpec()
+	if _, err := e.Do(context.Background(), sp, switchsynth.Options{PressureSharing: true}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := e.Do(context.Background(), sp, switchsynth.Options{PressureSharing: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.CacheHit {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkService_ParallelCampaign measures the 12-case campaign through
+// the engine at GOMAXPROCS workers (compare BenchmarkCampaign_10Cases for
+// the sequential solver cost).
+func BenchmarkService_ParallelCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := exp.RunCampaign(exp.Config{TimeLimit: 2 * time.Second}, 12, 42)
+		if res.Stats.Solved == 0 {
+			b.Fatal("campaign solved nothing")
 		}
 	}
 }

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI gate: vet + build + full tests, race-checked service layer, and the
+# service throughput benchmark (cold vs cached request rate), which is
+# written to BENCH_service.json.
+#
+# Usage: ./ci.sh            (full gate)
+#        BENCHTIME=5s ./ci.sh  (longer benchmark runs)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test (tier 1) =="
+go test ./...
+
+echo "== go test -race (service layer) =="
+go test -race ./internal/service/... ./cmd/synthd/... ./internal/search/
+
+echo "== service benchmark: cold vs cached =="
+bench_out=$(go test -run '^$' -bench 'BenchmarkService_(Cold|Cached)Synthesize$' -benchtime "${BENCHTIME:-2s}" .)
+echo "$bench_out"
+echo "$bench_out" | awk '
+  $1 ~ /^BenchmarkService_ColdSynthesize/   { cold = $3 }
+  $1 ~ /^BenchmarkService_CachedSynthesize/ { cached = $3 }
+  END {
+    if (cold == "" || cached == "") {
+      print "ci.sh: benchmark output incomplete" > "/dev/stderr"
+      exit 1
+    }
+    printf "{\n"
+    printf "  \"coldNsPerOp\": %.0f,\n", cold
+    printf "  \"cachedNsPerOp\": %.0f,\n", cached
+    printf "  \"coldReqPerSec\": %.1f,\n", 1e9 / cold
+    printf "  \"cachedReqPerSec\": %.1f,\n", 1e9 / cached
+    printf "  \"cachedSpeedup\": %.1f\n", cold / cached
+    printf "}\n"
+  }' > BENCH_service.json
+cat BENCH_service.json
+
+echo "ci.sh: OK"

@@ -1,0 +1,86 @@
+// Command synthd serves switch synthesis over HTTP: a bounded worker
+// pool solves specs concurrently, isomorphic specs are answered from a
+// canonical-key result cache, and concurrent requests for the same spec
+// coalesce onto one solve.
+//
+// Usage:
+//
+//	synthd [-addr :8471] [-workers N] [-queue N] [-cache N] [-timelimit 30s]
+//
+// Endpoints:
+//
+//	POST /synthesize  {"spec": {...}, "options": {"pressureSharing": true, "svg": true}}
+//	GET  /healthz     liveness and pool shape
+//	GET  /metrics     job/cache/latency counters as JSON
+//
+// The spec payload is the same JSON format cmd/switchsynth reads; the
+// response embeds the routed plan in the cmd/verifyplan format. See the
+// README's "Serving" section for curl examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"switchsynth/internal/service"
+)
+
+func main() {
+	cfg, addr := parseFlags(os.Args[1:])
+
+	engine := service.New(cfg)
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           service.NewHandler(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("synthd: listening on %s (%d workers, cache %d, default time limit %s)\n",
+		addr, engine.Snapshot().Workers, cfg.CacheSize, cfg.DefaultTimeLimit)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("synthd: %s — draining\n", sig)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "synthd:", err)
+		engine.CloseNow()
+		os.Exit(1)
+	}
+
+	// Stop accepting HTTP first, then drain the job queue.
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "synthd: http shutdown:", err)
+	}
+	engine.Close()
+}
+
+// parseFlags builds the engine config from argv (split out for tests).
+func parseFlags(args []string) (service.Config, string) {
+	fs := flag.NewFlagSet("synthd", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", ":8471", "listen address")
+		workers   = fs.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		queue     = fs.Int("queue", 0, "job queue depth (0 = 4x workers)")
+		cacheSize = fs.Int("cache", 1024, "result cache entries (negative disables)")
+		timeLimit = fs.Duration("timelimit", 30*time.Second, "default per-solve time limit")
+	)
+	_ = fs.Parse(args)
+	return service.Config{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheSize:        *cacheSize,
+		DefaultTimeLimit: *timeLimit,
+	}, *addr
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, addr := parseFlags([]string{
+		"-addr", "127.0.0.1:9000", "-workers", "3", "-queue", "7",
+		"-cache", "99", "-timelimit", "5s",
+	})
+	if addr != "127.0.0.1:9000" {
+		t.Errorf("addr = %q", addr)
+	}
+	if cfg.Workers != 3 || cfg.QueueDepth != 7 || cfg.CacheSize != 99 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.DefaultTimeLimit != 5*time.Second {
+		t.Errorf("time limit = %v", cfg.DefaultTimeLimit)
+	}
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, addr := parseFlags(nil)
+	if addr != ":8471" {
+		t.Errorf("addr = %q", addr)
+	}
+	if cfg.CacheSize != 1024 || cfg.DefaultTimeLimit != 30*time.Second {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}

@@ -297,7 +297,7 @@ func Artificial(count int, seed int64) []Case {
 		}
 		policy := spec.BindingPolicy(i % 3)
 		sp := randomSpec(rng, fmt.Sprintf("artificial-%02d", i), pins, policy)
-		out = append(out, Case{Spec: sp, Ref: "artificial (Section 4.2)"})
+		out = append(out, Case{Spec: sp, Ref: "artificial (Section 4.2)", ID: i + 1})
 	}
 	return out
 }

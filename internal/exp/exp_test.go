@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"switchsynth/internal/cases"
+	"switchsynth/internal/report"
 )
 
 var fast = Config{TimeLimit: 8 * time.Second}
@@ -218,5 +219,30 @@ func TestRunScalingRuntimeGrowsWithModules(t *testing.T) {
 	// would be flaky on CI noise).
 	if pts[len(pts)-1].Seconds < pts[0].Seconds {
 		t.Errorf("runtime did not grow: %v", pts)
+	}
+}
+
+// TestRunCampaignDeterministicAcrossWorkers is the reproducibility
+// contract behind results/campaign.txt: sequential and parallel runs
+// must render byte-identical deterministic reports.
+func TestRunCampaignDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Config{TimeLimit: 5 * time.Second}
+	cfg.Workers = 1
+	seq := RunCampaign(cfg, 12, 42)
+	cfg.Workers = 4
+	par := RunCampaign(cfg, 12, 42)
+
+	seqText := seq.Stats.DeterministicString() + "\n" + report.CampaignTable(seq.Rows)
+	parText := par.Stats.DeterministicString() + "\n" + report.CampaignTable(par.Rows)
+	if seqText != parText {
+		t.Errorf("worker count changed the deterministic report:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seqText, parText)
+	}
+	if par.Service == nil || par.Service.Workers != 4 {
+		t.Error("parallel run did not expose engine metrics")
+	}
+	for i, r := range seq.Rows {
+		if r.ID != i+1 {
+			t.Fatalf("row %d has ID %d, want %d (IDs must be assigned and ordered)", i, r.ID, i+1)
+		}
 	}
 }

@@ -38,8 +38,27 @@ type routeFormat struct {
 // currentVersion of the file format.
 const currentVersion = 1
 
-// Encode serializes a plan.
+// EncodeWire serializes a plan compactly (no indentation) for embedding
+// in service responses. The bytes decode with Decode exactly like
+// Encode's output: the wire format IS the file format.
+func EncodeWire(res *spec.Result) (json.RawMessage, error) {
+	ff, err := toFileFormat(res)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(ff)
+}
+
+// Encode serializes a plan with indentation for files.
 func Encode(res *spec.Result) ([]byte, error) {
+	ff, err := toFileFormat(res)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(ff, "", "  ")
+}
+
+func toFileFormat(res *spec.Result) (fileFormat, error) {
 	ff := fileFormat{
 		Version: currentVersion,
 		Spec:    res.Spec,
@@ -50,11 +69,14 @@ func Encode(res *spec.Result) ([]byte, error) {
 	for _, rt := range res.Routes {
 		rf := routeFormat{Flow: rt.Flow, Set: rt.Set}
 		for _, v := range rt.Path.Verts {
+			if v < 0 || v >= len(res.Switch.Vertices) {
+				return fileFormat{}, fmt.Errorf("planio: flow %d references vertex %d outside the %d-vertex switch", rt.Flow, v, len(res.Switch.Vertices))
+			}
 			rf.Verts = append(rf.Verts, res.Switch.Vertices[v].Name)
 		}
 		ff.Routes = append(ff.Routes, rf)
 	}
-	return json.MarshalIndent(ff, "", "  ")
+	return ff, nil
 }
 
 // Decode parses a plan and reconstructs it on a freshly built switch model.

@@ -119,6 +119,34 @@ func Table43(rows []ResultRow) string {
 	return t.String()
 }
 
+// CampaignTable renders campaign rows without the runtime column, so the
+// output is byte-identical across runs and worker counts. Rows are
+// emitted in ascending case-ID order regardless of completion order.
+func CampaignTable(rows []ResultRow) string {
+	sorted := make([]ResultRow, len(rows))
+	copy(sorted, rows)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	t := NewTable("id", "application", "#m", "sw. size", "binding", "L(mm)", "#v", "#s")
+	for _, r := range sorted {
+		status := ""
+		switch {
+		case r.NoSolution:
+			status = "no solution"
+		case r.Timeout:
+			status = "timeout"
+		}
+		if status != "" {
+			t.AddRow(fmt.Sprint(r.ID), r.App, fmt.Sprint(r.Modules),
+				fmt.Sprintf("%d-pin", r.SwitchSize), r.Binding, status, "", "")
+			continue
+		}
+		t.AddRow(fmt.Sprint(r.ID), r.App, fmt.Sprint(r.Modules),
+			fmt.Sprintf("%d-pin", r.SwitchSize), r.Binding,
+			fmt.Sprintf("%.1f", r.L), fmt.Sprint(r.Valves), fmt.Sprint(r.Sets))
+	}
+	return t.String()
+}
+
 func fmtRuntime(r ResultRow) string {
 	s := fmt.Sprintf("%.3f", r.T)
 	if !r.Proven {
@@ -185,8 +213,21 @@ type CampaignStats struct {
 	AllScheduled bool
 }
 
-// String renders the campaign summary.
+// String renders the campaign summary, including the (run-dependent)
+// mean runtimes. For file output that must be byte-identical across
+// runs, use DeterministicString.
 func (c CampaignStats) String() string {
+	return c.render(true)
+}
+
+// DeterministicString renders the campaign summary without any
+// wall-clock-derived values: with a fixed seed the output depends only
+// on the solver, never on machine speed or worker count.
+func (c CampaignStats) DeterministicString() string {
+	return c.render(false)
+}
+
+func (c CampaignStats) render(withRuntimes bool) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "artificial campaign: %d cases, %d solved, %d no-solution, %d timeout\n",
 		c.Total, c.Solved, c.NoSolution, c.Timeout)
@@ -199,12 +240,16 @@ func (c CampaignStats) String() string {
 		fmt.Fprintf(&b, "  %-10s solved=%d no-solution=%d\n", p, c.ByPolicy[p], c.NoSolutionByPolicy[p])
 	}
 	var sizes []int
-	for s := range c.MeanRuntimeBySize {
+	for s := range c.MeanLengthBySize {
 		sizes = append(sizes, s)
 	}
 	sort.Ints(sizes)
 	for _, s := range sizes {
-		fmt.Fprintf(&b, "  %d-pin: mean T=%.3fs mean L=%.1fmm\n", s, c.MeanRuntimeBySize[s], c.MeanLengthBySize[s])
+		if withRuntimes {
+			fmt.Fprintf(&b, "  %d-pin: mean T=%.3fs mean L=%.1fmm\n", s, c.MeanRuntimeBySize[s], c.MeanLengthBySize[s])
+		} else {
+			fmt.Fprintf(&b, "  %d-pin: mean L=%.1fmm\n", s, c.MeanLengthBySize[s])
+		}
 	}
 	fmt.Fprintf(&b, "  all flows scheduled in every solved case: %v\n", c.AllScheduled)
 	return b.String()

@@ -1,0 +1,104 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"switchsynth/internal/spec"
+)
+
+// hardSpec is large enough that the solver cannot finish before noticing
+// a cancelled context.
+func hardSpec() *spec.Spec {
+	return &spec.Spec{
+		Name:       "ctx-hard",
+		SwitchPins: 24,
+		Modules: []string{"a", "b", "c", "d", "s1", "s2", "s3", "s4", "s5", "s6"},
+		Flows: []spec.Flow{
+			{From: "a", To: "s1"}, {From: "b", To: "s2"},
+			{From: "c", To: "s3"}, {From: "d", To: "s4"},
+			{From: "a", To: "s5"}, {From: "b", To: "s6"},
+		},
+		Conflicts: [][2]int{{0, 1}, {2, 3}, {4, 5}, {0, 5}, {1, 2}},
+		Binding:   spec.Unfixed,
+	}
+}
+
+func TestSolveContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead on entry
+	_, err := Solve(hardSpec(), Options{Ctx: ctx})
+	var te *ErrTimeout
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %v, want *ErrTimeout", err)
+	}
+	if te.SpecName != "ctx-hard" {
+		t.Errorf("SpecName = %q", te.SpecName)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cause %v does not unwrap to context.Canceled", te.Cause)
+	}
+}
+
+func TestSolveContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := Solve(hardSpec(), Options{Ctx: ctx})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("solver ignored context deadline (%v)", elapsed)
+	}
+	if err != nil && !errors.Is(err, &ErrTimeout{}) {
+		t.Fatalf("err = %v, want nil or *ErrTimeout", err)
+	}
+}
+
+func TestErrTimeoutErgonomics(t *testing.T) {
+	base := &ErrTimeout{SpecName: "x", Cause: context.DeadlineExceeded}
+
+	// Is matches any *ErrTimeout, regardless of field values.
+	if !errors.Is(base, &ErrTimeout{}) {
+		t.Error("Is does not match the zero *ErrTimeout sentinel")
+	}
+	wrapped := errorsJoinLike(base)
+	if !errors.Is(wrapped, &ErrTimeout{}) {
+		t.Error("Is fails through wrapping")
+	}
+
+	// As extracts the typed error through wrapping.
+	var te *ErrTimeout
+	if !errors.As(wrapped, &te) || te.SpecName != "x" {
+		t.Errorf("As extracted %+v", te)
+	}
+
+	// Unwrap surfaces the cause; a nil cause defaults to deadline-exceeded
+	// so errors.Is(err, context.DeadlineExceeded) always works.
+	if !errors.Is(base, context.DeadlineExceeded) {
+		t.Error("cause not reachable via Is")
+	}
+	bare := &ErrTimeout{SpecName: "y"}
+	if !errors.Is(bare, context.DeadlineExceeded) {
+		t.Error("nil cause does not default to context.DeadlineExceeded")
+	}
+	cancelled := &ErrTimeout{SpecName: "z", Cause: context.Canceled}
+	if !errors.Is(cancelled, context.Canceled) || errors.Is(cancelled, context.DeadlineExceeded) {
+		t.Error("explicit cause not honored")
+	}
+
+	// ErrTimeout is not mistaken for other error types.
+	if errors.Is(errors.New("plain"), &ErrTimeout{}) {
+		t.Error("plain error matched *ErrTimeout")
+	}
+}
+
+// errorsJoinLike wraps err one level the way callers typically do.
+func errorsJoinLike(err error) error {
+	return &wrapErr{err}
+}
+
+type wrapErr struct{ inner error }
+
+func (w *wrapErr) Error() string { return "wrapped: " + w.inner.Error() }
+func (w *wrapErr) Unwrap() error { return w.inner }

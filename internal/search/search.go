@@ -12,6 +12,8 @@
 package search
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -26,18 +28,53 @@ type Options struct {
 	// TimeLimit bounds the wall-clock search time; 0 means no limit. On
 	// timeout the best incumbent is returned with Result.Proven == false.
 	TimeLimit time.Duration
+	// Ctx, when non-nil, cancels the search: on ctx expiry or
+	// cancellation the best incumbent found so far is returned with
+	// Result.Proven == false, or an ErrTimeout wrapping ctx.Err() if no
+	// plan was found yet. A ctx deadline and TimeLimit compose; whichever
+	// fires first stops the search.
+	Ctx context.Context
 	// DisableSymmetryBreaking turns off the rotational pin-symmetry cut
 	// (used by ablation benchmarks).
 	DisableSymmetryBreaking bool
 }
 
-// ErrTimeout is returned when the time limit expires before any feasible
-// plan is found.
-type ErrTimeout struct{ SpecName string }
+// ErrTimeout is returned when the time limit expires (or Options.Ctx is
+// cancelled) before any feasible plan is found.
+//
+// It participates in the errors.Is/As chains: errors.As matches
+// *ErrTimeout through any wrapping, errors.Is(err, &ErrTimeout{})
+// matches any timeout regardless of field values, and Unwrap exposes the
+// cause — context.DeadlineExceeded for an expired limit, or the
+// cancelled context's error — so errors.Is(err,
+// context.DeadlineExceeded) also classifies deadline-driven timeouts.
+type ErrTimeout struct {
+	SpecName string
+	// Cause is context.DeadlineExceeded for an expired TimeLimit or ctx
+	// deadline, context.Canceled for a cancelled Options.Ctx.
+	Cause error
+}
 
 // Error implements error.
 func (e *ErrTimeout) Error() string {
 	return fmt.Sprintf("search: time limit hit before finding a plan for %q", e.SpecName)
+}
+
+// Unwrap exposes the timeout cause (context.DeadlineExceeded unless the
+// search was cancelled).
+func (e *ErrTimeout) Unwrap() error {
+	if e.Cause != nil {
+		return e.Cause
+	}
+	return context.DeadlineExceeded
+}
+
+// Is makes every *ErrTimeout match every other under errors.Is, so
+// callers can classify with errors.Is(err, &ErrTimeout{}) without
+// knowing the spec name.
+func (e *ErrTimeout) Is(target error) bool {
+	var other *ErrTimeout
+	return errors.As(target, &other)
 }
 
 // Solve synthesizes an application-specific switch plan for sp.
@@ -106,8 +143,10 @@ type solver struct {
 	bestCost float64
 	deadline time.Time
 	hasDL    bool
+	ctx      context.Context
 	nodes    int64
 	timedOut bool
+	stopErr  error // context/deadline cause when timedOut
 }
 
 func newSolver(sp *spec.Spec, sw *topo.Switch, pt *topo.PathTable, opts Options) *solver {
@@ -179,6 +218,13 @@ func (s *solver) run() (*spec.Result, error) {
 		s.deadline = start.Add(s.opts.TimeLimit)
 		s.hasDL = true
 	}
+	if s.opts.Ctx != nil {
+		s.ctx = s.opts.Ctx
+		if dl, ok := s.ctx.Deadline(); ok && (!s.hasDL || dl.Before(s.deadline)) {
+			s.deadline = dl
+			s.hasDL = true
+		}
+	}
 
 	if s.sp.Binding == spec.Fixed {
 		// Bind everything up front; infeasible cyclic constraints cannot
@@ -196,7 +242,7 @@ func (s *solver) run() (*spec.Result, error) {
 	rt := time.Since(start)
 	if s.best == nil {
 		if s.timedOut {
-			return nil, &ErrTimeout{SpecName: s.sp.Name}
+			return nil, &ErrTimeout{SpecName: s.sp.Name, Cause: s.stopErr}
 		}
 		return nil, &spec.ErrNoSolution{SpecName: s.sp.Name, Policy: s.sp.Binding}
 	}
@@ -241,15 +287,23 @@ func renumberSets(res *spec.Result) {
 }
 
 func (s *solver) expired() bool {
-	if !s.hasDL {
+	if !s.hasDL && s.ctx == nil {
 		return false
 	}
 	s.nodes++
 	if s.nodes&255 != 0 {
 		return s.timedOut
 	}
-	if time.Now().After(s.deadline) {
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			s.timedOut = true
+			s.stopErr = err
+			return true
+		}
+	}
+	if s.hasDL && time.Now().After(s.deadline) {
 		s.timedOut = true
+		s.stopErr = context.DeadlineExceeded
 	}
 	return s.timedOut
 }

@@ -1,0 +1,67 @@
+// Adapting cached plans onto requesting specs.
+//
+// A cache entry stores the plan solved for ONE member of a canonical
+// equivalence class; a hit may come from any other member, whose flow
+// list (and hence the index-based Routes and conflict pairs) can be a
+// permutation of the stored spec's. adaptResult re-indexes the stored
+// plan onto the requesting spec so the response references the caller's
+// own flow numbering and Spec pointer.
+package service
+
+import (
+	"fmt"
+
+	"switchsynth/internal/spec"
+)
+
+// adaptResult returns a copy of cached re-bound to sp, which must be in
+// the same canonical equivalence class (same module names, same flow
+// multiset, same conflicts — guaranteed by equal CanonicalKeys). The
+// returned Result shares the immutable Switch and Path values with the
+// cached plan but owns its Routes slice and PinOf map.
+func adaptResult(cached *spec.Result, sp *spec.Spec) (*spec.Result, error) {
+	// The outlet-once rule makes the destination module a unique flow
+	// identifier within a spec, so the (From, To)-keyed lookup is a
+	// bijection between the two flow lists.
+	byDest := make(map[string]spec.Route, len(cached.Routes))
+	for _, rt := range cached.Routes {
+		f := cached.Spec.Flows[rt.Flow]
+		byDest[f.To] = rt
+	}
+	out := &spec.Result{
+		Spec:         sp,
+		Switch:       cached.Switch,
+		PinOf:        make(map[string]int, len(cached.PinOf)),
+		Routes:       make([]spec.Route, len(sp.Flows)),
+		UsedEdgeMask: cached.UsedEdgeMask,
+		Length:       cached.Length,
+		Proven:       cached.Proven,
+		Runtime:      cached.Runtime,
+		Engine:       cached.Engine,
+	}
+	for m, p := range cached.PinOf {
+		out.PinOf[m] = p
+	}
+	for i, f := range sp.Flows {
+		rt, ok := byDest[f.To]
+		if !ok || cached.Spec.Flows[rt.Flow].From != f.From {
+			return nil, fmt.Errorf("service: cached plan for key does not cover flow %s→%s (corrupted cache entry?)", f.From, f.To)
+		}
+		out.Routes[i] = spec.Route{Flow: i, Set: rt.Set, Path: rt.Path}
+	}
+	// Renumber sets contiguously in first-use order of the new flow
+	// indexing so identical requests always see identical set labels.
+	next := 0
+	remap := make(map[int]int)
+	for i := range out.Routes {
+		old := out.Routes[i].Set
+		if _, ok := remap[old]; !ok {
+			remap[old] = next
+			next++
+		}
+		out.Routes[i].Set = remap[old]
+	}
+	out.NumSets = next
+	out.Objective = sp.EffectiveAlpha()*float64(out.NumSets) + sp.EffectiveBeta()*out.Length
+	return out, nil
+}

@@ -1,0 +1,126 @@
+// Result cache and in-flight deduplication.
+//
+// The cache is a bounded LRU keyed by the canonical spec key
+// (spec.CanonicalKey plus the engine name): every spec in one
+// presentation-equivalence class maps to one entry, so a rotated or
+// permuted resubmission of an already-solved spec is a hit. Stored
+// Results are treated as immutable — readers adapt them onto their own
+// spec (adaptResult) instead of mutating the shared plan.
+//
+// The flightGroup provides singleflight-style deduplication: of N
+// concurrent requests for the same canonical key, exactly one becomes
+// the leader and solves; the rest attach to the leader's flight and
+// receive its outcome. Failed flights are not cached, so a later
+// request retries the solve.
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"switchsynth/internal/spec"
+)
+
+// cache is a mutex-guarded LRU of canonical key → solved plan.
+type cache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	byK map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *spec.Result
+}
+
+// newCache creates an LRU holding up to capacity results; capacity <= 0
+// disables caching (every lookup misses, stores are dropped).
+func newCache(capacity int) *cache {
+	return &cache{cap: capacity, ll: list.New(), byK: make(map[string]*list.Element)}
+}
+
+// get returns the cached plan for key, marking it most recently used.
+func (c *cache) get(key string) (*spec.Result, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byK[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put stores a solved plan, evicting the least recently used entry when
+// over capacity.
+func (c *cache) put(key string, res *spec.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byK[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byK[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byK, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the current number of cached plans.
+func (c *cache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flight is one in-progress solve; done is closed once res/err are set.
+type flight struct {
+	done chan struct{}
+	res  *spec.Result
+	err  error
+}
+
+// flightGroup tracks in-flight solves by canonical key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// join returns the flight for key, creating it when absent. leader is
+// true for the caller that created it (and therefore must complete it).
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// complete publishes the flight's outcome and removes it from the group.
+// The removal happens before done is closed so that a request arriving
+// after completion starts fresh (and finds the cache already populated —
+// the caller must put into the cache before calling complete).
+func (g *flightGroup) complete(key string, f *flight, res *spec.Result, err error) {
+	f.res, f.err = res, err
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+}

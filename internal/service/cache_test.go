@@ -1,0 +1,159 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"switchsynth"
+	"switchsynth/internal/spec"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(2)
+	a, b, d := &spec.Result{}, &spec.Result{}, &spec.Result{}
+	c.put("a", a)
+	c.put("b", b)
+	if _, ok := c.get("a"); !ok { // refresh a → b is now least recent
+		t.Fatal("a missing before eviction")
+	}
+	c.put("d", d)
+	if _, ok := c.get("b"); ok {
+		t.Error("least-recently-used entry b survived eviction")
+	}
+	if got, ok := c.get("a"); !ok || got != a {
+		t.Error("recently-used entry a evicted")
+	}
+	if got, ok := c.get("d"); !ok || got != d {
+		t.Error("new entry d missing")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+
+	// Re-putting an existing key replaces in place, no eviction.
+	c.put("a", b)
+	if got, _ := c.get("a"); got != b {
+		t.Error("re-put did not replace the value")
+	}
+	if c.len() != 2 {
+		t.Errorf("len after re-put = %d, want 2", c.len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	for _, capacity := range []int{0, -5} {
+		c := newCache(capacity)
+		c.put("k", &spec.Result{})
+		if _, ok := c.get("k"); ok {
+			t.Errorf("capacity %d cached anyway", capacity)
+		}
+		if c.len() != 0 {
+			t.Errorf("capacity %d len = %d", capacity, c.len())
+		}
+	}
+}
+
+func TestFlightGroupLeaderAndWaiters(t *testing.T) {
+	g := newFlightGroup()
+	f1, lead1 := g.join("k")
+	if !lead1 {
+		t.Fatal("first join is not leader")
+	}
+	f2, lead2 := g.join("k")
+	if lead2 || f1 != f2 {
+		t.Fatal("second join did not attach to the leader's flight")
+	}
+	res := &spec.Result{}
+	g.complete("k", f1, res, nil)
+	<-f1.done
+	if f1.res != res || f1.err != nil {
+		t.Error("flight outcome not published")
+	}
+	// After completion the key is free again.
+	if _, lead := g.join("k"); !lead {
+		t.Error("post-completion join is not a fresh leader")
+	}
+}
+
+// TestCanonicalReuseAcrossPresentations is the cache side of the
+// canonicalization property: isomorphic specs (renamed, module-permuted,
+// flow-permuted, conflict-flipped) all reuse the single cached solve.
+func TestCanonicalReuseAcrossPresentations(t *testing.T) {
+	var solves atomic.Int64
+	e := newTestEngine(t, Config{Workers: 2})
+	realSolve := e.solve
+	e.solve = func(ctx context.Context, sp *spec.Spec, opts switchsynth.Options) (*spec.Result, error) {
+		solves.Add(1)
+		return realSolve(ctx, sp, opts)
+	}
+
+	variants := []*spec.Spec{
+		serviceSpec("original"),
+		serviceSpec("renamed"),
+		permutedServiceSpec("permuted"),
+	}
+	// A clockwise problem and its rotations share one further entry.
+	// (No conflicts: this clockwise module order admits no conflict-free
+	// plan, and the class must stay solvable.)
+	cw := serviceSpec("cw")
+	cw.Binding = spec.Clockwise
+	cw.Conflicts = nil
+	cwRot := serviceSpec("cw-rotated")
+	cwRot.Binding = spec.Clockwise
+	cwRot.Conflicts = nil
+	cwRot.Modules = []string{"mix1", "mix2", "sample", "buffer"} // rotation by 2
+	variants = append(variants, cw, cwRot)
+
+	var keys []string
+	for _, sp := range variants {
+		resp, err := e.Do(context.Background(), sp, switchsynth.Options{})
+		if err != nil {
+			t.Fatalf("Do(%s): %v", sp.Name, err)
+		}
+		if err := switchsynth.Verify(resp.Synthesis.Result); err != nil {
+			t.Fatalf("verify %s: %v", sp.Name, err)
+		}
+		keys = append(keys, resp.Key)
+	}
+
+	if got := solves.Load(); got != 2 {
+		t.Errorf("%d solves for %d specs in 2 equivalence classes", got, len(variants))
+	}
+	if keys[0] != keys[1] || keys[1] != keys[2] {
+		t.Error("unfixed presentation variants got different keys")
+	}
+	if keys[3] != keys[4] {
+		t.Error("clockwise rotation got a different key")
+	}
+	if keys[0] == keys[3] {
+		t.Error("unfixed and clockwise problems share a key")
+	}
+	snap := e.Snapshot()
+	if snap.CacheEntries != 2 {
+		t.Errorf("cacheEntries = %d, want 2", snap.CacheEntries)
+	}
+	if snap.CacheHits != int64(len(variants))-2 {
+		t.Errorf("cacheHits = %d, want %d", snap.CacheHits, len(variants)-2)
+	}
+}
+
+func TestMetricsQuantiles(t *testing.T) {
+	var m Metrics
+	for i := 0; i < 100; i++ {
+		m.observeSolve(2_000_000) // 2ms → bucket (0.001, 0.0025]
+	}
+	s := m.snapshot()
+	if s.SolveCount != 100 {
+		t.Fatalf("count = %d", s.SolveCount)
+	}
+	if s.SolveP50Seconds <= 0.001 || s.SolveP50Seconds > 0.0025 {
+		t.Errorf("P50 = %v, want within (0.001, 0.0025]", s.SolveP50Seconds)
+	}
+	if s.SolveMaxSeconds != 0.002 {
+		t.Errorf("max = %v, want 0.002", s.SolveMaxSeconds)
+	}
+	if s.SolveMeanSeconds != 0.002 {
+		t.Errorf("mean = %v, want 0.002", s.SolveMeanSeconds)
+	}
+}

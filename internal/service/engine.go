@@ -1,0 +1,350 @@
+// Package service turns the switchsynth library into a long-running,
+// concurrent synthesis service: a bounded worker pool consumes solve
+// jobs from a queue, identical or isomorphic specs are answered from a
+// canonical-key result cache, concurrent requests for the same spec are
+// coalesced onto a single solve, and atomic metrics expose the service
+// health. cmd/synthd serves this engine over HTTP; cmd/experiments runs
+// the evaluation campaign through it for parallel speedup.
+//
+// Life of a request (Engine.Do):
+//
+//  1. the spec is validated and reduced to its canonical key,
+//  2. a cache hit adapts the stored plan onto the request's flow
+//     indexing and returns without queueing,
+//  3. a miss either attaches to an in-flight solve of the same key
+//     (dedup) or enqueues a new job for the worker pool,
+//  4. a worker solves with the request's time limit and the engine's
+//     shutdown context wired into the optimizer, caches the plan, and
+//     wakes every attached waiter,
+//  5. the caller runs the per-request analyses (valves, pressure
+//     sharing, control routing) on its adapted copy of the plan.
+//
+// Workers are panic-isolated: a crashing solve fails that one job and
+// the pool keeps serving. Close drains queued jobs before returning;
+// CloseNow cancels in-flight optimizer runs via their context.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"switchsynth"
+	"switchsynth/internal/search"
+	"switchsynth/internal/spec"
+)
+
+// Config sizes the engine.
+type Config struct {
+	// Workers is the number of concurrent solver goroutines
+	// (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// QueueDepth bounds the job queue (default 4×Workers). Submission
+	// blocks — respecting the caller's context — when the queue is full.
+	QueueDepth int
+	// CacheSize bounds the result LRU in entries (default 1024; negative
+	// disables caching).
+	CacheSize int
+	// DefaultTimeLimit applies to requests that carry no time limit of
+	// their own (default 30s; negative means unlimited).
+	DefaultTimeLimit time.Duration
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 4 * c.workers()
+}
+
+func (c Config) cacheSize() int {
+	switch {
+	case c.CacheSize > 0:
+		return c.CacheSize
+	case c.CacheSize < 0:
+		return 0
+	default:
+		return 1024
+	}
+}
+
+func (c Config) defaultTimeLimit() time.Duration {
+	switch {
+	case c.DefaultTimeLimit > 0:
+		return c.DefaultTimeLimit
+	case c.DefaultTimeLimit < 0:
+		return 0
+	default:
+		return 30 * time.Second
+	}
+}
+
+// Response is the outcome of one synthesis request.
+type Response struct {
+	// Synthesis is the routed, analyzed switch (nil on error).
+	Synthesis *switchsynth.Synthesis
+	// Key is the spec's canonical cache key.
+	Key string
+	// CacheHit reports that the plan was served from the result cache.
+	CacheHit bool
+	// Coalesced reports that the request attached to another request's
+	// in-flight solve instead of starting its own.
+	Coalesced bool
+	// SolveTime is the optimizer wall-clock time that produced the plan
+	// (the original solve's time when served from cache).
+	SolveTime time.Duration
+}
+
+// ErrEngineClosed is returned for requests submitted after Close.
+var ErrEngineClosed = errors.New("service: engine is closed")
+
+type job struct {
+	key    string
+	sp     *spec.Spec
+	opts   switchsynth.Options
+	flight *flight
+}
+
+// Engine is the concurrent synthesis service. Create with New, serve
+// with Do, retire with Close (drain) or CloseNow (cancel).
+type Engine struct {
+	cfg     Config
+	jobs    chan job
+	cache   *cache
+	flights *flightGroup
+	metrics *Metrics
+
+	baseCtx context.Context // cancelled by CloseNow; aborts in-flight solves
+	cancel  context.CancelFunc
+
+	// mu serializes submissions against Close: senders hold the read
+	// lock, so the write-locked close(jobs) can never race a send.
+	mu        sync.RWMutex
+	isClosed  bool
+	closeOnce sync.Once
+	drained   chan struct{} // closed when all workers exited
+
+	// solve is the optimizer entry point; tests substitute it to inject
+	// slow, panicking or counting solves.
+	solve func(ctx context.Context, sp *spec.Spec, opts switchsynth.Options) (*spec.Result, error)
+}
+
+// New creates and starts an engine with cfg's worker pool.
+func New(cfg Config) *Engine {
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:     cfg,
+		jobs:    make(chan job, cfg.queueDepth()),
+		cache:   newCache(cfg.cacheSize()),
+		flights: newFlightGroup(),
+		metrics: &Metrics{},
+		baseCtx: ctx,
+		cancel:  cancel,
+		drained: make(chan struct{}),
+		solve:   switchsynth.SolvePlan,
+	}
+	workers := cfg.workers()
+	done := make(chan struct{}, workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := range e.jobs {
+				e.runJob(j)
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < workers; i++ {
+			<-done
+		}
+		close(e.drained)
+	}()
+	return e
+}
+
+// Do synthesizes sp, serving from the cache or an in-flight solve when
+// possible. It blocks until the plan is ready, ctx is done, or the
+// engine closes. opts.TimeLimit of zero inherits the engine default.
+func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options) (*Response, error) {
+	e.metrics.jobsSubmitted.Add(1)
+	key, err := canonicalJobKey(sp, opts)
+	if err != nil {
+		e.metrics.jobsFailed.Add(1)
+		return nil, err
+	}
+	if opts.TimeLimit == 0 {
+		opts.TimeLimit = e.cfg.defaultTimeLimit()
+	}
+
+	for {
+		if res, ok := e.cache.get(key); ok {
+			e.metrics.cacheHits.Add(1)
+			return e.finish(&Response{Key: key, CacheHit: true, SolveTime: res.Runtime}, res, sp, opts)
+		}
+		f, leader := e.flights.join(key)
+		if leader {
+			e.metrics.cacheMisses.Add(1)
+			if err := e.enqueue(ctx, job{key: key, sp: sp, opts: opts, flight: f}); err != nil {
+				// Nobody will run this flight; fail it so attached
+				// waiters don't hang, and let later requests retry.
+				e.flights.complete(key, f, nil, err)
+				e.metrics.jobsFailed.Add(1)
+				return nil, err
+			}
+		} else {
+			e.metrics.dedupCoalesced.Add(1)
+		}
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			e.metrics.jobsFailed.Add(1)
+			return nil, ctx.Err()
+		}
+		if f.err != nil {
+			// A coalesced waiter whose leader was cancelled before its
+			// job ran retries its own solve rather than inheriting the
+			// leader's private cancellation. Genuine solve timeouts are
+			// *search.ErrTimeout, never a bare context error.
+			if !leader && ctx.Err() == nil && e.baseCtx.Err() == nil &&
+				!errors.Is(f.err, &search.ErrTimeout{}) &&
+				(errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+				continue
+			}
+			e.classifyFailure(f.err)
+			return nil, f.err
+		}
+		return e.finish(&Response{Key: key, Coalesced: !leader, SolveTime: f.res.Runtime}, f.res, sp, opts)
+	}
+}
+
+// enqueue hands a job to the worker pool, blocking while the queue is
+// full. The read lock excludes the close of the jobs channel.
+func (e *Engine) enqueue(ctx context.Context, j job) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.isClosed {
+		return ErrEngineClosed
+	}
+	select {
+	case e.jobs <- j:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// finish adapts the shared plan onto the requesting spec and runs the
+// per-request analyses.
+func (e *Engine) finish(resp *Response, shared *spec.Result, sp *spec.Spec, opts switchsynth.Options) (*Response, error) {
+	adapted, err := adaptResult(shared, sp)
+	if err != nil {
+		e.metrics.jobsFailed.Add(1)
+		return nil, err
+	}
+	syn, err := switchsynth.Analyze(adapted, opts)
+	if err != nil {
+		e.metrics.jobsFailed.Add(1)
+		return nil, err
+	}
+	resp.Synthesis = syn
+	e.metrics.jobsCompleted.Add(1)
+	return resp, nil
+}
+
+func (e *Engine) classifyFailure(err error) {
+	if errors.Is(err, &search.ErrTimeout{}) {
+		e.metrics.jobsTimedOut.Add(1)
+		return
+	}
+	e.metrics.jobsFailed.Add(1)
+}
+
+// runJob executes one queued solve inside a worker, with panic
+// isolation: a panicking optimizer fails the job (and its attached
+// waiters) but never kills the worker pool.
+//
+// The worker solves the spec's canonical presentation, not the
+// requester's: the cached plan is then a pure function of the
+// equivalence class and the engine, never of which member happened to
+// submit first or of goroutine scheduling. Deterministic cache contents
+// are what make cmd/experiments' parallel campaign byte-reproducible.
+func (e *Engine) runJob(j job) {
+	var (
+		res *spec.Result
+		err error
+	)
+	start := time.Now()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, fmt.Errorf("service: synthesis of %q panicked: %v", j.sp.Name, r)
+			}
+		}()
+		var canon *spec.Spec
+		canon, err = j.sp.CanonicalSpec()
+		if err == nil {
+			res, err = e.solve(e.baseCtx, canon, j.opts)
+		}
+	}()
+	e.metrics.observeSolve(time.Since(start))
+	if err == nil {
+		e.cache.put(j.key, res)
+	}
+	// Cache before completing the flight: a request arriving after the
+	// flight disappears must find the entry.
+	e.flights.complete(j.key, j.flight, res, err)
+}
+
+// Snapshot returns the current metrics, cache and queue gauges.
+func (e *Engine) Snapshot() Snapshot {
+	s := e.metrics.snapshot()
+	s.CacheEntries = e.cache.len()
+	s.QueueDepth = len(e.jobs)
+	s.Workers = e.cfg.workers()
+	return s
+}
+
+// Close stops accepting requests, drains queued jobs, and waits for the
+// workers to finish in-flight solves. Safe to call multiple times.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		e.mu.Lock()
+		e.isClosed = true
+		close(e.jobs)
+		e.mu.Unlock()
+	})
+	<-e.drained
+}
+
+// CloseNow is Close but also cancels in-flight optimizer runs through
+// their context; bounded-incumbent solves return their best plan so far.
+func (e *Engine) CloseNow() {
+	e.cancel()
+	e.Close()
+}
+
+// canonicalJobKey extends the spec's canonical key with the options that
+// select a different plan (the engine choice). Analysis-only options
+// (pressure sharing, control routing, SVG) run per request and do not
+// partition the cache.
+func canonicalJobKey(sp *spec.Spec, opts switchsynth.Options) (string, error) {
+	base, err := sp.CanonicalKey()
+	if err != nil {
+		return "", err
+	}
+	engine := opts.Engine
+	if engine == "" {
+		engine = switchsynth.EngineSearch
+	}
+	return base + "|" + engine, nil
+}

@@ -1,0 +1,193 @@
+// HTTP surface of the synthesis service: the handlers behind cmd/synthd.
+//
+//	POST /synthesize  JSON SynthesizeRequest in, SynthesizeResponse out
+//	GET  /healthz     liveness + pool shape
+//	GET  /metrics     Snapshot as JSON
+//
+// Error responses are JSON {"error": ..., "kind": ...} where kind is one
+// of "invalid" (400), "no-solution" (422), "timeout" (504), "unavailable"
+// (503, engine closed) or "internal" (500).
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"switchsynth"
+	"switchsynth/internal/planio"
+	"switchsynth/internal/search"
+	"switchsynth/internal/spec"
+)
+
+// maxRequestBody bounds /synthesize payloads; the largest supported
+// switch spec is a few KB, so 1 MiB is generous.
+const maxRequestBody = 1 << 20
+
+// SynthesizeRequest is the POST /synthesize payload.
+type SynthesizeRequest struct {
+	// Spec is the synthesis input (the library's JSON spec format).
+	Spec *spec.Spec `json:"spec"`
+	// Options tune the solve and the response.
+	Options RequestOptions `json:"options"`
+}
+
+// RequestOptions is the wire form of switchsynth.Options plus response
+// shaping.
+type RequestOptions struct {
+	// Engine selects the optimizer: "search" (default) or "iqp".
+	Engine string `json:"engine,omitempty"`
+	// TimeLimitMS bounds the solve in milliseconds; 0 inherits the
+	// daemon's default limit.
+	TimeLimitMS int64 `json:"timeLimitMs,omitempty"`
+	// PressureSharing groups essential valves onto shared control inlets.
+	PressureSharing bool `json:"pressureSharing,omitempty"`
+	// RouteControl additionally routes the control layer.
+	RouteControl bool `json:"routeControl,omitempty"`
+	// SVG embeds a rendering of the synthesized switch in the response.
+	SVG bool `json:"svg,omitempty"`
+}
+
+// SynthesizeResponse is the POST /synthesize success payload.
+type SynthesizeResponse struct {
+	Name    string `json:"name"`
+	Summary string `json:"summary"`
+
+	// Cache provenance.
+	CacheHit  bool   `json:"cacheHit"`
+	Coalesced bool   `json:"coalesced"`
+	Key       string `json:"key"`
+
+	// Paper feature values.
+	NumSets       int     `json:"numSets"`
+	NumValves     int     `json:"numValves"`
+	ControlInlets int     `json:"controlInlets"`
+	LengthMM      float64 `json:"lengthMm"`
+	Objective     float64 `json:"objective"`
+	Proven        bool    `json:"proven"`
+	SolveSeconds  float64 `json:"solveSeconds"`
+
+	// Plan is the full routed plan in the planio format; feed it to
+	// cmd/verifyplan or planio.Decode for independent re-verification.
+	Plan json.RawMessage `json:"plan"`
+	// SVG is the rendered switch (present when options.svg).
+	SVG string `json:"svg,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// NewHandler serves the engine over HTTP.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/synthesize", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, "invalid", fmt.Errorf("POST required"))
+			return
+		}
+		handleSynthesize(e, w, r)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		snap := e.Snapshot()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":     "ok",
+			"workers":    snap.Workers,
+			"queueDepth": snap.QueueDepth,
+		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.Snapshot())
+	})
+	return mux
+}
+
+func handleSynthesize(e *Engine, w http.ResponseWriter, r *http.Request) {
+	var req SynthesizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid", fmt.Errorf("parsing request: %w", err))
+		return
+	}
+	if req.Spec == nil {
+		writeError(w, http.StatusBadRequest, "invalid", fmt.Errorf("request has no spec"))
+		return
+	}
+	opts := switchsynth.Options{
+		Engine:          req.Options.Engine,
+		TimeLimit:       time.Duration(req.Options.TimeLimitMS) * time.Millisecond,
+		PressureSharing: req.Options.PressureSharing,
+		RouteControl:    req.Options.RouteControl,
+	}
+	resp, err := e.Do(r.Context(), req.Spec, opts)
+	if err != nil {
+		status, kind := classifyHTTP(err)
+		writeError(w, status, kind, err)
+		return
+	}
+	syn := resp.Synthesis
+	plan, err := planio.EncodeWire(syn.Result)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err)
+		return
+	}
+	out := SynthesizeResponse{
+		Name:          req.Spec.Name,
+		Summary:       syn.Summary(),
+		CacheHit:      resp.CacheHit,
+		Coalesced:     resp.Coalesced,
+		Key:           resp.Key,
+		NumSets:       syn.NumSets,
+		NumValves:     syn.NumValves(),
+		ControlInlets: syn.ControlInlets(),
+		LengthMM:      syn.Length,
+		Objective:     syn.Objective,
+		Proven:        syn.Proven,
+		SolveSeconds:  resp.SolveTime.Seconds(),
+		Plan:          plan,
+	}
+	if req.Options.SVG {
+		out.SVG = syn.SVG()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// classifyHTTP maps engine errors onto HTTP statuses using the typed
+// error chains — no string matching.
+func classifyHTTP(err error) (int, string) {
+	var nosol *spec.ErrNoSolution
+	switch {
+	case errors.As(err, &nosol):
+		return http.StatusUnprocessableEntity, "no-solution"
+	case errors.Is(err, &search.ErrTimeout{}),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, ErrEngineClosed):
+		return http.StatusServiceUnavailable, "unavailable"
+	default:
+		var invalid *spec.ValidationError
+		if errors.As(err, &invalid) {
+			return http.StatusBadRequest, "invalid"
+		}
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, kind string, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Kind: kind})
+}

@@ -1,0 +1,209 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"switchsynth"
+	"switchsynth/internal/planio"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Engine) {
+	t.Helper()
+	e := New(Config{Workers: 2})
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(func() {
+		srv.Close()
+		e.CloseNow()
+	})
+	return srv, e
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+const demoRequest = `{
+	"spec": {
+		"name": "http-demo",
+		"switchPins": 8,
+		"modules": ["sample", "buffer", "mix1", "mix2"],
+		"flows": [
+			{"from": "sample", "to": "mix1"},
+			{"from": "buffer", "to": "mix2"}
+		],
+		"conflicts": [[0, 1]],
+		"binding": 2
+	},
+	"options": {"pressureSharing": true, "svg": true}
+}`
+
+// TestSynthesizeRoundTrip posts a spec, decodes the embedded plan with
+// planio, and re-verifies it independently — the full wire round trip.
+func TestSynthesizeRoundTrip(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, body := postJSON(t, srv.URL+"/synthesize", demoRequest)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var out SynthesizeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	if out.Name != "http-demo" || out.CacheHit || out.Key == "" {
+		t.Errorf("provenance wrong: %+v", out)
+	}
+	if out.NumSets < 1 || out.LengthMM <= 0 {
+		t.Errorf("degenerate plan: sets=%d L=%v", out.NumSets, out.LengthMM)
+	}
+	if out.ControlInlets > out.NumValves {
+		t.Errorf("pressure sharing increased inlets: %d > %d", out.ControlInlets, out.NumValves)
+	}
+	if !strings.HasPrefix(out.SVG, "<svg ") {
+		t.Error("svg requested but missing")
+	}
+
+	// Independent re-verification of the wire plan.
+	res, err := planio.Decode(out.Plan)
+	if err != nil {
+		t.Fatalf("decoding wire plan: %v", err)
+	}
+	if err := switchsynth.Verify(res); err != nil {
+		t.Fatalf("wire plan fails verification: %v", err)
+	}
+	if res.NumSets != out.NumSets {
+		t.Errorf("wire plan sets=%d, response says %d", res.NumSets, out.NumSets)
+	}
+
+	// The same request again is a cache hit.
+	resp2, body2 := postJSON(t, srv.URL+"/synthesize", demoRequest)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second status %d", resp2.StatusCode)
+	}
+	var out2 SynthesizeResponse
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !out2.CacheHit || out2.Key != out.Key {
+		t.Errorf("resubmission not served from cache: %+v", out2)
+	}
+}
+
+func TestSynthesizeErrorKinds(t *testing.T) {
+	srv, _ := newTestServer(t)
+	url := srv.URL + "/synthesize"
+
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		kind   string
+	}{
+		{"malformed json", `{"spec": nope}`, http.StatusBadRequest, "invalid"},
+		{"unknown field", `{"speck": {}}`, http.StatusBadRequest, "invalid"},
+		{"no spec", `{"options": {}}`, http.StatusBadRequest, "invalid"},
+		{"invalid spec", `{"spec": {"name": "odd", "switchPins": 9,
+			"modules": ["a", "b"], "flows": [{"from": "a", "to": "b"}]}}`,
+			http.StatusBadRequest, "invalid"},
+		{"no solution", `{"spec": {"name": "nosol", "switchPins": 8,
+			"modules": ["in1", "in2", "out1", "out2"],
+			"flows": [{"from": "in1", "to": "out1"}, {"from": "in2", "to": "out2"}],
+			"conflicts": [[0, 1]], "binding": 0,
+			"fixedPins": {"in1": 0, "out1": 2, "in2": 1, "out2": 3}}}`,
+			http.StatusUnprocessableEntity, "no-solution"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := postJSON(t, url, tc.body)
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.status, body)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("error body not JSON: %s", body)
+			}
+			if e.Kind != tc.kind || e.Error == "" {
+				t.Errorf("error = %+v, want kind %q", e, tc.kind)
+			}
+		})
+	}
+}
+
+func TestSynthesizeMethodNotAllowed(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/synthesize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status %d", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != http.MethodPost {
+		t.Errorf("Allow = %q", allow)
+	}
+}
+
+func TestSynthesizeEngineClosed(t *testing.T) {
+	srv, e := newTestServer(t)
+	e.Close()
+	resp, body := postJSON(t, srv.URL+"/synthesize", demoRequest)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health["status"] != "ok" || health["workers"].(float64) != 2 {
+		t.Errorf("healthz = %v", health)
+	}
+
+	// One solve, then the counters must show it.
+	if resp, body := postJSON(t, srv.URL+"/synthesize", demoRequest); resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup failed: %s", body)
+	}
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.JobsCompleted != 1 || snap.CacheMisses != 1 || snap.SolveCount != 1 {
+		t.Errorf("metrics after one solve: %+v", snap)
+	}
+	if snap.SolveMaxSeconds <= 0 {
+		t.Error("no solve latency recorded")
+	}
+}

@@ -1,0 +1,146 @@
+// Metrics for the synthesis service: lock-free counters and a
+// fixed-bucket latency histogram, aggregated into an immutable Snapshot
+// for the /metrics endpoint and for tests. Everything here is safe for
+// concurrent use; counters are monotonic over the engine's lifetime.
+package service
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// solveBuckets are the upper bounds (seconds) of the solve-latency
+// histogram buckets; the final implicit bucket is +Inf. The range covers
+// sub-millisecond cache-adjacent solves up to the paper's multi-minute
+// unfixed cases.
+var solveBuckets = [...]float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250,
+}
+
+// numSolveBuckets includes the +Inf overflow bucket.
+const numSolveBuckets = len(solveBuckets) + 1
+
+// Metrics aggregates the engine's observability counters.
+type Metrics struct {
+	jobsSubmitted atomic.Int64
+	jobsCompleted atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsTimedOut  atomic.Int64
+
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	dedupCoalesced atomic.Int64
+
+	solveCount   atomic.Int64
+	solveNanos   atomic.Int64
+	solveBucket  [numSolveBuckets]atomic.Int64
+	solveMaxNano atomic.Int64
+}
+
+// observeSolve records one completed (or failed) solve's wall-clock time.
+func (m *Metrics) observeSolve(d time.Duration) {
+	m.solveCount.Add(1)
+	m.solveNanos.Add(d.Nanoseconds())
+	for {
+		prev := m.solveMaxNano.Load()
+		if d.Nanoseconds() <= prev || m.solveMaxNano.CompareAndSwap(prev, d.Nanoseconds()) {
+			break
+		}
+	}
+	sec := d.Seconds()
+	for i, ub := range solveBuckets {
+		if sec <= ub {
+			m.solveBucket[i].Add(1)
+			return
+		}
+	}
+	m.solveBucket[len(solveBuckets)].Add(1)
+}
+
+// Snapshot is a point-in-time copy of the service metrics, shaped for
+// JSON serving. Quantiles are estimated from the histogram by linear
+// interpolation inside the winning bucket (the overflow bucket reports
+// the maximum observed value).
+type Snapshot struct {
+	// Job outcomes. Submitted counts every request handed to the engine;
+	// Completed/Failed/TimedOut partition the finished ones.
+	JobsSubmitted int64 `json:"jobsSubmitted"`
+	JobsCompleted int64 `json:"jobsCompleted"`
+	JobsFailed    int64 `json:"jobsFailed"`
+	JobsTimedOut  int64 `json:"jobsTimedOut"`
+
+	// Result-cache effectiveness. A coalesced request neither hit nor
+	// missed: it attached to another request's in-flight solve.
+	CacheHits      int64 `json:"cacheHits"`
+	CacheMisses    int64 `json:"cacheMisses"`
+	DedupCoalesced int64 `json:"dedupCoalesced"`
+	CacheEntries   int   `json:"cacheEntries"`
+
+	// Engine load.
+	QueueDepth int `json:"queueDepth"`
+	Workers    int `json:"workers"`
+
+	// Solve latency (actual optimizer runs only — cache hits excluded).
+	SolveCount       int64   `json:"solveCount"`
+	SolveMeanSeconds float64 `json:"solveMeanSeconds"`
+	SolveP50Seconds  float64 `json:"solveP50Seconds"`
+	SolveP90Seconds  float64 `json:"solveP90Seconds"`
+	SolveP99Seconds  float64 `json:"solveP99Seconds"`
+	SolveMaxSeconds  float64 `json:"solveMaxSeconds"`
+}
+
+// snapshot copies the counters; the engine fills in cache/queue gauges.
+func (m *Metrics) snapshot() Snapshot {
+	s := Snapshot{
+		JobsSubmitted:  m.jobsSubmitted.Load(),
+		JobsCompleted:  m.jobsCompleted.Load(),
+		JobsFailed:     m.jobsFailed.Load(),
+		JobsTimedOut:   m.jobsTimedOut.Load(),
+		CacheHits:      m.cacheHits.Load(),
+		CacheMisses:    m.cacheMisses.Load(),
+		DedupCoalesced: m.dedupCoalesced.Load(),
+		SolveCount:     m.solveCount.Load(),
+		SolveMaxSeconds: time.Duration(
+			m.solveMaxNano.Load()).Seconds(),
+	}
+	if s.SolveCount > 0 {
+		s.SolveMeanSeconds = time.Duration(m.solveNanos.Load() / s.SolveCount).Seconds()
+	}
+	var counts [numSolveBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = m.solveBucket[i].Load()
+		total += counts[i]
+	}
+	s.SolveP50Seconds = quantile(counts[:], total, 0.50, s.SolveMaxSeconds)
+	s.SolveP90Seconds = quantile(counts[:], total, 0.90, s.SolveMaxSeconds)
+	s.SolveP99Seconds = quantile(counts[:], total, 0.99, s.SolveMaxSeconds)
+	return s
+}
+
+// quantile estimates the q-quantile from cumulative histogram counts.
+func quantile(counts []int64, total int64, q, max float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank || c == 0 {
+			continue
+		}
+		if i == len(solveBuckets) {
+			return max // overflow bucket: report the observed maximum
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = solveBuckets[i-1]
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + frac*(solveBuckets[i]-lo)
+	}
+	return max
+}

@@ -1,0 +1,210 @@
+// Canonicalization of synthesis specs.
+//
+// Two specs that differ only in presentation — the order of the module
+// list (where the policy permits), the order of the flow list, or the
+// order and orientation of the conflict pairs — describe the same
+// synthesis problem and admit the same plans. CanonicalKey maps every
+// member of such an equivalence class to one hash, so a service-level
+// result cache can solve the class once and serve every member from the
+// single stored plan (adapted back onto the requesting spec's flow
+// indexing).
+//
+// The normalizations mirror the symmetries the engines already exploit:
+//
+//   - Unfixed and Fixed binding: the module list order carries no
+//     meaning (unfixed lets the solver pick any pin; fixed pins are
+//     keyed by name), so modules are sorted. This is the spec-level
+//     analog of the rotational pin-symmetry cut in internal/search.
+//   - Clockwise binding: the module list is a cyclic order — rotating
+//     it yields the identical feasibility region (the engine's descent
+//     count is rotation-invariant) — so the list is rotated to its
+//     lexicographically smallest rotation. Reversal is NOT a symmetry
+//     (it turns clockwise into counter-clockwise) and is not applied.
+//   - Flows: sorted by (From, To). Conflict pairs follow the flow
+//     permutation, are oriented low-index-first and sorted.
+//   - Name and Scalable are presentation-only and excluded; the
+//     objective weights and set cap enter via their effective values.
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CanonicalKey returns a stable hex digest identifying sp's equivalence
+// class under the presentation symmetries above. Specs with equal keys
+// are solvable by the same plan (modulo flow reindexing; see
+// CanonicalFlowOrder). The spec must be valid.
+func (s *Spec) CanonicalKey() (string, error) {
+	if s == nil {
+		return "", fmt.Errorf("spec: CanonicalKey on nil spec")
+	}
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1|pins=%d|binding=%s|alpha=%g|beta=%g|maxsets=%d\n",
+		s.SwitchPins, s.Binding, s.EffectiveAlpha(), s.EffectiveBeta(), s.EffectiveMaxSets())
+
+	b.WriteString("modules=")
+	b.WriteString(strings.Join(s.canonicalModules(), "\x1f"))
+	b.WriteByte('\n')
+
+	perm := s.CanonicalFlowOrder()
+	b.WriteString("flows=")
+	for i, fi := range perm {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		f := s.Flows[fi]
+		b.WriteString(f.From)
+		b.WriteByte('\x1e')
+		b.WriteString(f.To)
+	}
+	b.WriteByte('\n')
+
+	// Conflict pairs in the canonical flow indexing, oriented and sorted.
+	pos := make([]int, len(s.Flows)) // original index -> canonical index
+	for ci, fi := range perm {
+		pos[fi] = ci
+	}
+	pairs := s.canonicalConflicts(pos)
+	b.WriteString("conflicts=")
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		fmt.Fprintf(&b, "%d-%d", p[0], p[1])
+	}
+	b.WriteByte('\n')
+
+	if s.Binding == Fixed {
+		names := make([]string, 0, len(s.FixedPins))
+		for m := range s.FixedPins {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		b.WriteString("fixedpins=")
+		for i, m := range names {
+			if i > 0 {
+				b.WriteByte('\x1f')
+			}
+			fmt.Fprintf(&b, "%s\x1e%d", m, s.FixedPins[m])
+		}
+		b.WriteByte('\n')
+	}
+
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// CanonicalSpec returns a semantically identical copy of s in canonical
+// presentation: canonical module order, flows in canonical (From, To)
+// order, conflicts remapped onto the new flow indices, oriented
+// low-first, sorted and deduplicated. Every member of one equivalence
+// class maps to the same canonical presentation (up to Name and
+// Scalable, which no engine consults), so solving the canonical spec
+// yields one deterministic plan per class — independent of which member
+// triggered the solve.
+func (s *Spec) CanonicalSpec() (*Spec, error) {
+	if s == nil {
+		return nil, fmt.Errorf("spec: CanonicalSpec on nil spec")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cp := *s
+	cp.Modules = s.canonicalModules()
+	perm := s.CanonicalFlowOrder()
+	cp.Flows = make([]Flow, len(perm))
+	pos := make([]int, len(perm))
+	for ci, fi := range perm {
+		cp.Flows[ci] = s.Flows[fi]
+		pos[fi] = ci
+	}
+	cp.Conflicts = s.canonicalConflicts(pos)
+	return &cp, nil
+}
+
+// canonicalConflicts maps the conflict pairs through pos (original flow
+// index → canonical index), orients each pair low-first, sorts and
+// deduplicates.
+func (s *Spec) canonicalConflicts(pos []int) [][2]int {
+	pairs := make([][2]int, 0, len(s.Conflicts))
+	seen := make(map[[2]int]bool, len(s.Conflicts))
+	for _, c := range s.Conflicts {
+		p := [2]int{pos[c[0]], pos[c[1]]}
+		if p[0] > p[1] {
+			p[0], p[1] = p[1], p[0]
+		}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	return pairs
+}
+
+// canonicalModules returns the module list in canonical order: sorted
+// for fixed/unfixed binding, the lexicographically smallest rotation for
+// clockwise binding (whose cyclic order is semantic).
+func (s *Spec) canonicalModules() []string {
+	mods := append([]string(nil), s.Modules...)
+	if s.Binding != Clockwise {
+		sort.Strings(mods)
+		return mods
+	}
+	best := 0
+	for r := 1; r < len(mods); r++ {
+		if rotationLess(mods, r, best) {
+			best = r
+		}
+	}
+	out := make([]string, 0, len(mods))
+	out = append(out, mods[best:]...)
+	out = append(out, mods[:best]...)
+	return out
+}
+
+// rotationLess reports whether rotation a of mods sorts before rotation b.
+func rotationLess(mods []string, a, b int) bool {
+	n := len(mods)
+	for i := 0; i < n; i++ {
+		ma, mb := mods[(a+i)%n], mods[(b+i)%n]
+		if ma != mb {
+			return ma < mb
+		}
+	}
+	return false
+}
+
+// CanonicalFlowOrder returns a permutation perm of the flow indices such
+// that walking Flows[perm[0]], Flows[perm[1]], … visits the flows in
+// canonical (From, To)-lexicographic order. Because every outlet module
+// receives at most one flow (Validate's outlet-once rule), the (From,
+// To) pair identifies a flow uniquely, so the permutation is total and
+// deterministic for every valid spec.
+func (s *Spec) CanonicalFlowOrder() []int {
+	perm := make([]int, len(s.Flows))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		fa, fb := s.Flows[perm[a]], s.Flows[perm[b]]
+		if fa.From != fb.From {
+			return fa.From < fb.From
+		}
+		return fa.To < fb.To
+	})
+	return perm
+}

@@ -12,6 +12,7 @@ package spec
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"switchsynth/internal/topo"
@@ -165,48 +166,65 @@ func (s *Spec) ConflictsWith() [][]int {
 	return out
 }
 
+// ValidationError reports a malformed spec. Every failure of Validate is
+// (or wraps) one, so service layers can classify client errors with
+// errors.As instead of matching message strings.
+type ValidationError struct{ msg string }
+
+// Error implements error.
+func (e *ValidationError) Error() string { return e.msg }
+
+// errf builds a ValidationError.
+func errf(format string, args ...any) error {
+	return &ValidationError{msg: fmt.Sprintf(format, args...)}
+}
+
 // Validate checks the spec against the model's preconditions (Section 4.2
 // defaults): switch size is supported; every module is used and is
 // exclusively a source or a destination; destination modules receive at most
-// one flow; conflicts reference distinct flows with distinct sources; fixed
-// binding covers every module with distinct, in-range pins.
+// one flow; conflicts reference distinct flows with distinct sources and no
+// pair appears twice (in either orientation); fixed binding covers every
+// module with distinct, in-range pins; objective weights are finite.
 func (s *Spec) Validate() error {
+	if s == nil {
+		return errf("spec: nil spec")
+	}
 	switch s.SwitchPins {
 	case 8, 12, 16, 20, 24:
 	default:
-		return fmt.Errorf("spec %q: switch size %d not supported (want 8, 12, 16, 20 or 24)", s.Name, s.SwitchPins)
+		return errf("spec %q: switch size %d not supported (want 8, 12, 16, 20 or 24)", s.Name, s.SwitchPins)
 	}
 	if len(s.Modules) == 0 {
-		return fmt.Errorf("spec %q: no modules", s.Name)
+		return errf("spec %q: no modules", s.Name)
 	}
 	if len(s.Modules) > s.SwitchPins {
-		return fmt.Errorf("spec %q: %d modules exceed %d pins", s.Name, len(s.Modules), s.SwitchPins)
+		return errf("spec %q: %d modules exceed %d pins", s.Name, len(s.Modules), s.SwitchPins)
 	}
 	seen := make(map[string]bool, len(s.Modules))
 	for _, m := range s.Modules {
 		if m == "" {
-			return fmt.Errorf("spec %q: empty module name", s.Name)
+			return errf("spec %q: empty module name", s.Name)
 		}
 		if seen[m] {
-			return fmt.Errorf("spec %q: duplicate module %q", s.Name, m)
+			return errf("spec %q: duplicate module %q", s.Name, m)
 		}
 		seen[m] = true
 	}
 	if len(s.Flows) == 0 {
-		return fmt.Errorf("spec %q: no flows", s.Name)
+		return errf("spec %q: no flows", s.Name)
 	}
 	isSource := make(map[string]bool)
 	isDest := make(map[string]bool)
 	destCount := make(map[string]int)
 	for i, f := range s.Flows {
 		if !seen[f.From] {
-			return fmt.Errorf("spec %q: flow %d source %q is not a module", s.Name, i, f.From)
+			return errf("spec %q: flow %d source %q is not a module", s.Name, i, f.From)
 		}
 		if !seen[f.To] {
-			return fmt.Errorf("spec %q: flow %d destination %q is not a module", s.Name, i, f.To)
+			return errf("spec %q: flow %d destination %q is not a module", s.Name, i, f.To)
 		}
 		if f.From == f.To {
-			return fmt.Errorf("spec %q: flow %d has identical endpoints %q", s.Name, i, f.From)
+			return errf("spec %q: flow %d has identical endpoints %q", s.Name, i, f.From)
 		}
 		isSource[f.From] = true
 		isDest[f.To] = true
@@ -214,54 +232,66 @@ func (s *Spec) Validate() error {
 	}
 	for m := range isSource {
 		if isDest[m] {
-			return fmt.Errorf("spec %q: module %q is both a source and a destination (each module must be either the inlet or the outlet to the switch)", s.Name, m)
+			return errf("spec %q: module %q is both a source and a destination (each module must be either the inlet or the outlet to the switch)", s.Name, m)
 		}
 	}
 	for m, c := range destCount {
 		if c > 1 {
-			return fmt.Errorf("spec %q: outlet module %q receives %d flows (each outlet pin can be accessed at most once)", s.Name, m, c)
+			return errf("spec %q: outlet module %q receives %d flows (each outlet pin can be accessed at most once)", s.Name, m, c)
 		}
 	}
 	for _, m := range s.Modules {
 		if !isSource[m] && !isDest[m] {
-			return fmt.Errorf("spec %q: module %q is connected but unused by any flow", s.Name, m)
+			return errf("spec %q: module %q is connected but unused by any flow", s.Name, m)
 		}
 	}
+	conflictSeen := make(map[[2]int]int, len(s.Conflicts))
 	for ci, c := range s.Conflicts {
 		a, b := c[0], c[1]
 		if a < 0 || a >= len(s.Flows) || b < 0 || b >= len(s.Flows) {
-			return fmt.Errorf("spec %q: conflict %d references invalid flow index", s.Name, ci)
+			return errf("spec %q: conflict %d references invalid flow index (pair [%d %d], %d flows)", s.Name, ci, a, b, len(s.Flows))
 		}
 		if a == b {
-			return fmt.Errorf("spec %q: conflict %d pairs flow %d with itself", s.Name, ci, a)
+			return errf("spec %q: conflict %d pairs flow %d with itself", s.Name, ci, a)
 		}
 		if s.Flows[a].From == s.Flows[b].From {
-			return fmt.Errorf("spec %q: conflict %d pairs flows with the same inlet %q (same fluid cannot conflict with itself)", s.Name, ci, s.Flows[a].From)
+			return errf("spec %q: conflict %d pairs flows with the same inlet %q (same fluid cannot conflict with itself)", s.Name, ci, s.Flows[a].From)
 		}
+		key := [2]int{a, b}
+		if a > b {
+			key = [2]int{b, a}
+		}
+		if prev, dup := conflictSeen[key]; dup {
+			return errf("spec %q: conflict %d duplicates conflict %d (flows %d and %d)", s.Name, ci, prev, key[0], key[1])
+		}
+		conflictSeen[key] = ci
 	}
 	if s.Binding == Fixed {
 		if len(s.FixedPins) != len(s.Modules) {
-			return fmt.Errorf("spec %q: fixed binding needs a pin for each of the %d modules, got %d", s.Name, len(s.Modules), len(s.FixedPins))
+			return errf("spec %q: fixed binding needs a pin for each of the %d modules, got %d", s.Name, len(s.Modules), len(s.FixedPins))
 		}
 		pinUsed := make(map[int]string)
 		for m, p := range s.FixedPins {
 			if !seen[m] {
-				return fmt.Errorf("spec %q: fixed pin for unknown module %q", s.Name, m)
+				return errf("spec %q: fixed pin for unknown module %q", s.Name, m)
 			}
 			if p < 0 || p >= s.SwitchPins {
-				return fmt.Errorf("spec %q: module %q pin %d out of range [0,%d)", s.Name, m, p, s.SwitchPins)
+				return errf("spec %q: module %q pin %d out of range [0,%d)", s.Name, m, p, s.SwitchPins)
 			}
 			if other, dup := pinUsed[p]; dup {
-				return fmt.Errorf("spec %q: modules %q and %q share pin %d", s.Name, other, m, p)
+				return errf("spec %q: modules %q and %q share pin %d", s.Name, other, m, p)
 			}
 			pinUsed[p] = m
 		}
 	}
 	if s.Alpha < 0 || s.Beta < 0 {
-		return fmt.Errorf("spec %q: negative objective weights", s.Name)
+		return errf("spec %q: negative objective weights", s.Name)
+	}
+	if math.IsNaN(s.Alpha) || math.IsInf(s.Alpha, 0) || math.IsNaN(s.Beta) || math.IsInf(s.Beta, 0) {
+		return errf("spec %q: objective weights must be finite (alpha=%v beta=%v)", s.Name, s.Alpha, s.Beta)
 	}
 	if s.MaxSets < 0 {
-		return fmt.Errorf("spec %q: negative MaxSets", s.Name)
+		return errf("spec %q: negative MaxSets", s.Name)
 	}
 	return nil
 }

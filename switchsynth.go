@@ -44,6 +44,8 @@
 package switchsynth
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -76,7 +78,23 @@ type (
 	Route = spec.Route
 	// ErrNoSolution reports proven infeasibility under the chosen policy.
 	ErrNoSolution = spec.ErrNoSolution
+	// ErrTimeout reports that the time limit (or context) expired before
+	// any feasible plan was found. Synthesize returns it for every
+	// engine, so callers classify timeouts with
+	// errors.Is(err, &switchsynth.ErrTimeout{}) or errors.As — never by
+	// matching error strings. It unwraps to context.DeadlineExceeded (or
+	// the cancelled context's error).
+	ErrTimeout = search.ErrTimeout
 )
+
+// CanonicalKey returns a stable content hash identifying sp's
+// equivalence class under the spec's presentation symmetries: module
+// order (sorted for fixed/unfixed binding, minimal rotation for the
+// cyclic clockwise order), flow order, and conflict-pair order and
+// orientation. Specs with equal keys describe the same synthesis
+// problem and are served from one cache entry by the service layer
+// (internal/service, cmd/synthd).
+func CanonicalKey(sp *Spec) (string, error) { return sp.CanonicalKey() }
 
 // Binding policies.
 const (
@@ -172,24 +190,57 @@ func (s *Synthesis) Summary() string {
 
 // Synthesize produces an application-specific switch for sp.
 func Synthesize(sp *Spec, opts Options) (*Synthesis, error) {
-	if err := sp.Validate(); err != nil {
-		return nil, err
-	}
-	var (
-		res *Result
-		err error
-	)
-	switch opts.Engine {
-	case "", EngineSearch:
-		res, err = search.Solve(sp, search.Options{TimeLimit: opts.TimeLimit})
-	case EngineIQP:
-		res, err = model.Solve(sp, model.Options{TimeLimit: opts.TimeLimit})
-	default:
-		return nil, fmt.Errorf("switchsynth: unknown engine %q", opts.Engine)
-	}
+	return SynthesizeContext(context.Background(), sp, opts)
+}
+
+// SynthesizeContext is Synthesize with cancellation: when ctx is
+// cancelled or its deadline expires, the optimization stops and either
+// the best incumbent found so far is returned (Result.Proven == false)
+// or an *ErrTimeout wrapping ctx.Err(). The post-optimization analyses
+// (verification, valves, pressure sharing, control routing) run to
+// completion once a plan exists; they are fast relative to the solve.
+func SynthesizeContext(ctx context.Context, sp *Spec, opts Options) (*Synthesis, error) {
+	res, err := SolvePlan(ctx, sp, opts)
 	if err != nil {
 		return nil, err
 	}
+	return Analyze(res, opts)
+}
+
+// SolvePlan runs only the optimizer: routing, scheduling and binding,
+// without the control-layer analyses. Long-running services cache the
+// returned plan and run Analyze per request. Timeouts surface as
+// *ErrTimeout for both engines.
+func SolvePlan(ctx context.Context, sp *Spec, opts Options) (*Result, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &ErrTimeout{SpecName: sp.Name, Cause: err}
+	}
+	switch opts.Engine {
+	case "", EngineSearch:
+		return search.Solve(sp, search.Options{TimeLimit: opts.TimeLimit, Ctx: ctx})
+	case EngineIQP:
+		res, err := model.Solve(sp, model.Options{TimeLimit: iqpTimeLimit(ctx, opts.TimeLimit)})
+		// The MILP substrate is deadline- rather than context-driven;
+		// translate its limit error so both engines report timeouts as
+		// the one public type.
+		var lim *model.ErrLimit
+		if errors.As(err, &lim) {
+			err = &ErrTimeout{SpecName: lim.SpecName, Cause: ctx.Err()}
+		}
+		return res, err
+	default:
+		return nil, fmt.Errorf("switchsynth: unknown engine %q", opts.Engine)
+	}
+}
+
+// Analyze derives the control layer for a solved plan: verification
+// (unless opts.SkipVerify), valve status/essentiality analysis, and the
+// optional pressure-sharing cover and control routing. It accepts plans
+// from SolvePlan as well as externally deserialized ones (internal/planio).
+func Analyze(res *Result, opts Options) (*Synthesis, error) {
 	if !opts.SkipVerify {
 		if verr := contam.Verify(res); verr != nil {
 			return nil, fmt.Errorf("switchsynth: internal error, plan failed verification: %w", verr)
@@ -215,6 +266,17 @@ func Synthesize(sp *Spec, opts Options) (*Synthesis, error) {
 		syn.Control = plan
 	}
 	return syn, nil
+}
+
+// iqpTimeLimit folds a context deadline into the IQP engine's wall-clock
+// limit (the MILP substrate has no context plumbing).
+func iqpTimeLimit(ctx context.Context, limit time.Duration) time.Duration {
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); limit <= 0 || rem < limit {
+			return rem
+		}
+	}
+	return limit
 }
 
 // Verify re-checks a plan against every contamination, collision, binding

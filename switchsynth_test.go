@@ -1,6 +1,7 @@
 package switchsynth
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -304,5 +305,41 @@ func TestTwentyFourPinEndToEnd(t *testing.T) {
 	}
 	if !rep.Clean() {
 		t.Error("24-pin plan simulated dirty")
+	}
+}
+
+func TestSynthesizeContextCancelledBothEngines(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, engine := range []string{EngineSearch, EngineIQP} {
+		_, err := SynthesizeContext(ctx, demoSpec(), Options{Engine: engine})
+		if !errors.Is(err, &ErrTimeout{}) {
+			t.Errorf("engine %s: err = %v, want *ErrTimeout", engine, err)
+		}
+		var te *ErrTimeout
+		if !errors.As(err, &te) || te.SpecName != "demo" {
+			t.Errorf("engine %s: spec name not carried: %+v", engine, te)
+		}
+	}
+}
+
+func TestCanonicalKeyPublicAPI(t *testing.T) {
+	k1, err := CanonicalKey(demoSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := demoSpec()
+	renamed.Name = "something-else"
+	k2, err := CanonicalKey(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("renamed spec changed the canonical key")
+	}
+	bad := demoSpec()
+	bad.SwitchPins = 9
+	if _, err := CanonicalKey(bad); err == nil {
+		t.Error("invalid spec got a canonical key")
 	}
 }
