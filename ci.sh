@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# CI gate: vet + build + full tests, race-checked service layer, and the
-# service throughput benchmark (cold vs cached request rate), which is
-# written to BENCH_service.json.
+# CI gate: vet + build + full tests, race-checked service layer, the
+# seeded chaos suite (goroutine-leak gated, run twice), and two
+# benchmarks: cold-vs-cached request rate (BENCH_service.json) and the
+# degraded-path throughput under injected slow-solve faults
+# (BENCH_resilience.json).
 #
 # Usage: ./ci.sh            (full gate)
 #        BENCHTIME=5s ./ci.sh  (longer benchmark runs)
@@ -18,7 +20,15 @@ echo "== go test (tier 1) =="
 go test ./...
 
 echo "== go test -race (service layer) =="
-go test -race ./internal/service/... ./cmd/synthd/... ./internal/search/
+go test -race ./internal/service/... ./cmd/synthd/... ./internal/search/ ./client/
+
+echo "== chaos suite: 25 seeded fault schedules, -race -count=2 =="
+# The chaos tests carry their own goroutine-leak gate (leakcheck_test.go);
+# -count=2 replays every seed twice to shake out order-dependent state.
+# The throughput run also emits the degraded-path benchmark.
+BENCH_RESILIENCE_OUT="$PWD/BENCH_resilience.json" \
+  go test -race -count=2 -run 'TestChaos' ./internal/service/
+cat BENCH_resilience.json
 
 echo "== service benchmark: cold vs cached =="
 bench_out=$(go test -run '^$' -bench 'BenchmarkService_(Cold|Cached)Synthesize$' -benchtime "${BENCHTIME:-2s}" .)

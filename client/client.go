@@ -1,0 +1,281 @@
+// Package client is the Go client for a synthd daemon
+// (cmd/synthd): it submits synthesis requests over HTTP with
+// context-aware retries, exponential backoff with full jitter, and
+// idempotency keyed on the spec's canonical key.
+//
+// Retry policy: network errors and the shed-load statuses (429, 502,
+// 503, 504) are retried up to Config.MaxAttempts times; a Retry-After
+// header from the daemon's circuit breaker or drain window overrides
+// the computed backoff. All other statuses — including 422 no-solution,
+// which is an infeasibility proof — fail immediately. Requests carry an
+// Idempotency-Key header equal to spec.CanonicalKey, so retries of the
+// same spec land on the daemon's result cache (or coalesce onto an
+// in-flight solve) instead of repeating work.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"switchsynth"
+	"switchsynth/internal/service"
+)
+
+// Config configures a Client.
+type Config struct {
+	// BaseURL locates the daemon, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (default: a plain http.Client;
+	// deadlines come from the caller's context).
+	HTTPClient *http.Client
+	// MaxAttempts bounds the total tries per request, first attempt
+	// included (default 4; negative disables retries entirely).
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff cap (default 100ms); the
+	// cap doubles per attempt up to MaxBackoff (default 2s). The actual
+	// sleep is uniform in [0, cap): full jitter, so synchronized clients
+	// spread out instead of retrying in lockstep.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed makes the jitter deterministic for tests; 0 seeds from the
+	// clock.
+	Seed int64
+}
+
+// Client is a synthd HTTP client; safe for concurrent use.
+type Client struct {
+	base        string
+	hc          *http.Client
+	maxAttempts int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// APIError is a non-2xx daemon response, carrying the service error
+// taxonomy (kind "invalid", "no-solution", "timeout", "overloaded",
+// "unavailable", "panic", "internal") and any Retry-After hint.
+type APIError struct {
+	Status     int
+	Kind       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("synthd: %s (%d %s)", e.Message, e.Status, e.Kind)
+}
+
+// Temporary reports whether retrying the same request can succeed.
+func (e *APIError) Temporary() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// New creates a client for the daemon at cfg.BaseURL.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("client: BaseURL is required")
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	attempts := cfg.MaxAttempts
+	switch {
+	case attempts < 0:
+		attempts = 1
+	case attempts == 0:
+		attempts = 4
+	}
+	base := cfg.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := cfg.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Client{
+		base:        strings.TrimRight(cfg.BaseURL, "/"),
+		hc:          hc,
+		maxAttempts: attempts,
+		baseBackoff: base,
+		maxBackoff:  max,
+		rng:         rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Synthesize submits sp and returns the daemon's response, retrying
+// transient failures until ctx is done or MaxAttempts is exhausted.
+func (c *Client) Synthesize(ctx context.Context, sp *switchsynth.Spec, opts service.RequestOptions) (*service.SynthesizeResponse, error) {
+	// The canonical key both validates the spec locally (no round trip
+	// for garbage) and keys idempotent retries.
+	key, err := switchsynth.CanonicalKey(sp)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(service.SynthesizeRequest{Spec: sp, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, attempt, lastErr); err != nil {
+				return nil, err
+			}
+		}
+		out, err := c.once(ctx, key, body)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !apiErr.Temporary() {
+			return nil, err
+		}
+		// Network errors and temporary statuses fall through to retry.
+	}
+	return nil, lastErr
+}
+
+// once performs a single POST /synthesize round trip.
+func (c *Client) once(ctx context.Context, key string, body []byte) (*service.SynthesizeResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/synthesize", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readAPIError(resp)
+	}
+	var out service.SynthesizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding response: %w", err)
+	}
+	return &out, nil
+}
+
+// sleep waits the retry backoff before attempt: the server's Retry-After
+// hint when present, otherwise full jitter under an exponentially
+// doubling cap. Returns early with ctx.Err() on cancellation.
+func (c *Client) sleep(ctx context.Context, attempt int, lastErr error) error {
+	var wait time.Duration
+	var apiErr *APIError
+	if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > 0 {
+		wait = apiErr.RetryAfter
+	} else {
+		cap := c.baseBackoff << (attempt - 1)
+		if cap > c.maxBackoff {
+			cap = c.maxBackoff
+		}
+		c.mu.Lock()
+		wait = time.Duration(c.rng.Float64() * float64(cap))
+		c.mu.Unlock()
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Metrics fetches the daemon's /metrics snapshot (no retries).
+func (c *Client) Metrics(ctx context.Context) (*service.Snapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readAPIError(resp)
+	}
+	var snap service.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("client: decoding metrics: %w", err)
+	}
+	return &snap, nil
+}
+
+// Healthz probes the daemon's liveness endpoint (no retries).
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readAPIError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// readAPIError decodes the daemon's JSON error envelope and Retry-After
+// header into an *APIError.
+func readAPIError(resp *http.Response) error {
+	apiErr := &APIError{Status: resp.StatusCode, Kind: "internal"}
+	var envelope struct {
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err := json.Unmarshal(data, &envelope); err == nil && envelope.Kind != "" {
+		apiErr.Kind = envelope.Kind
+		apiErr.Message = envelope.Error
+	} else {
+		apiErr.Message = strings.TrimSpace(string(data))
+	}
+	if apiErr.Message == "" {
+		apiErr.Message = http.StatusText(resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return apiErr
+}

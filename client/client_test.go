@@ -1,0 +1,248 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"switchsynth"
+	"switchsynth/internal/service"
+	"switchsynth/internal/spec"
+)
+
+func clientSpec(name string) *switchsynth.Spec {
+	return &switchsynth.Spec{
+		Name:       name,
+		SwitchPins: 8,
+		Modules:    []string{"sample", "buffer", "mix1", "mix2"},
+		Flows: []spec.Flow{
+			{From: "sample", To: "mix1"},
+			{From: "buffer", To: "mix2"},
+		},
+		Conflicts: [][2]int{{0, 1}},
+		Binding:   spec.Unfixed,
+	}
+}
+
+func newTestClient(t *testing.T, url string, cfg Config) *Client {
+	t.Helper()
+	cfg.BaseURL = url
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.BaseBackoff == 0 {
+		cfg.BaseBackoff = time.Millisecond
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSynthesizeAgainstRealDaemonHandler round-trips a spec through the
+// actual service handler: the client must surface the plan metadata and
+// the daemon must see the idempotency key.
+func TestSynthesizeAgainstRealDaemonHandler(t *testing.T) {
+	eng := service.New(service.Config{Workers: 2})
+	defer eng.Close()
+	srv := httptest.NewServer(service.NewHandler(eng))
+	defer srv.Close()
+	c := newTestClient(t, srv.URL, Config{})
+
+	sp := clientSpec("client-roundtrip")
+	resp, err := c.Synthesize(context.Background(), sp, service.RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.NumSets <= 0 {
+		t.Errorf("degenerate plan: sets=%d", resp.NumSets)
+	}
+	wantKey, err := switchsynth.CanonicalKey(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The daemon's job key is the spec's canonical key plus an engine
+	// discriminator.
+	if !strings.HasPrefix(resp.Key, wantKey) {
+		t.Errorf("response key = %q, want canonical-key prefix %q", resp.Key, wantKey)
+	}
+
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Errorf("Healthz: %v", err)
+	}
+	snap, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.JobsSubmitted == 0 {
+		t.Error("metrics snapshot shows no submitted jobs after a synthesis")
+	}
+}
+
+// TestRetriesTransientStatusesThenSucceeds fails twice with retryable
+// statuses before serving; the client must retry through both and attach
+// the idempotency key on every attempt.
+func TestRetriesTransientStatusesThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	var keys atomic.Int64
+	sp := clientSpec("client-retry")
+	wantKey, err := switchsynth.CanonicalKey(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Idempotency-Key") == wantKey {
+			keys.Add(1)
+		}
+		switch calls.Add(1) {
+		case 1:
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "draining", "kind": "unavailable"})
+		case 2:
+			w.WriteHeader(http.StatusGatewayTimeout)
+			json.NewEncoder(w).Encode(map[string]string{"error": "slow", "kind": "timeout"})
+		default:
+			json.NewEncoder(w).Encode(service.SynthesizeResponse{Name: sp.Name, NumSets: 1})
+		}
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, Config{MaxAttempts: 4})
+	resp, err := c.Synthesize(context.Background(), sp, service.RequestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Name != sp.Name {
+		t.Errorf("resp.Name = %q, want %q", resp.Name, sp.Name)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+	if got := keys.Load(); got != 3 {
+		t.Errorf("idempotency key present on %d/3 attempts", got)
+	}
+}
+
+// TestHonorsRetryAfter asserts the 429 Retry-After header overrides the
+// jitter backoff: with a 1s hint the second attempt cannot land sooner.
+func TestHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt, secondAt time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			firstAt = time.Now()
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "breaker open", "kind": "overloaded"})
+			return
+		}
+		secondAt = time.Now()
+		json.NewEncoder(w).Encode(service.SynthesizeResponse{Name: "ra", NumSets: 1})
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, Config{MaxAttempts: 2})
+	if _, err := c.Synthesize(context.Background(), clientSpec("client-ra"), service.RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if gap := secondAt.Sub(firstAt); gap < 900*time.Millisecond {
+		t.Errorf("retried after %v, want >= ~1s from Retry-After header", gap)
+	}
+}
+
+// TestPermanentErrorsFailFast: a 422 infeasibility proof must not be
+// retried — re-solving an infeasible spec cannot help.
+func TestPermanentErrorsFailFast(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(map[string]string{"error": "no feasible plan", "kind": "no-solution"})
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, Config{MaxAttempts: 5})
+	_, err := c.Synthesize(context.Background(), clientSpec("client-nosol"), service.RequestOptions{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if apiErr.Kind != "no-solution" || apiErr.Status != http.StatusUnprocessableEntity {
+		t.Errorf("got %d/%s, want 422/no-solution", apiErr.Status, apiErr.Kind)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retry on permanent error)", got)
+	}
+}
+
+// TestRetriesExhaustedReturnsLastError keeps serving 503 and expects the
+// final typed error after MaxAttempts tries.
+func TestRetriesExhaustedReturnsLastError(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"error": "draining", "kind": "unavailable"})
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, Config{MaxAttempts: 3})
+	_, err := c.Synthesize(context.Background(), clientSpec("client-exhaust"), service.RequestOptions{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 *APIError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want MaxAttempts=3", got)
+	}
+}
+
+// TestContextCancelStopsRetryLoop cancels mid-backoff; the client must
+// return promptly with the context error instead of sleeping it out.
+func TestContextCancelStopsRetryLoop(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]string{"error": "breaker open", "kind": "overloaded"})
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := newTestClient(t, srv.URL, Config{MaxAttempts: 5})
+	start := time.Now()
+	_, err := c.Synthesize(ctx, clientSpec("client-cancel"), service.RequestOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; the 30s Retry-After was not interrupted", elapsed)
+	}
+}
+
+// TestInvalidSpecFailsLocally: canonicalization rejects garbage before
+// any network round trip.
+func TestInvalidSpecFailsLocally(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, Config{})
+	sp := clientSpec("client-invalid")
+	sp.Flows = append(sp.Flows, spec.Flow{From: "ghost", To: "mix1"})
+	if _, err := c.Synthesize(context.Background(), sp, service.RequestOptions{}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if calls.Load() != 0 {
+		t.Errorf("invalid spec reached the server (%d calls)", calls.Load())
+	}
+}

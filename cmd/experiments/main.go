@@ -5,6 +5,11 @@
 //
 //	experiments [-out results] [-timelimit 30s] [-campaign 90] [-seed 42]
 //	            [-only table4.1|table4.2|table4.3|campaign|spine|stress|figures]
+//	            [-daemon http://host:8080]
+//
+// With -daemon the campaign's solves are submitted to a remote synthd
+// daemon through the retrying client; every returned plan is re-verified
+// locally before it counts as solved.
 //
 // Output goes to stdout; figures (SVG) and table text files are written to
 // the -out directory. Runtimes marked with '*' hit the time limit and
@@ -34,10 +39,11 @@ func main() {
 		only      = flag.String("only", "", "run a single experiment: table4.1, table4.2, table4.3, campaign, spine, gru, scaling, stress, figures")
 		engine    = flag.String("engine", "", "optimizer engine: search (default) or iqp")
 		workers   = flag.Int("workers", 0, "concurrent campaign syntheses (0 = GOMAXPROCS, 1 = sequential)")
+		daemon    = flag.String("daemon", "", "synthd base URL; campaign solves go through the remote daemon")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{TimeLimit: *timeLimit, OutDir: *out, Engine: *engine, Workers: *workers}
+	cfg := exp.Config{TimeLimit: *timeLimit, OutDir: *out, Engine: *engine, Workers: *workers, DaemonURL: *daemon}
 	want := func(name string) bool { return *only == "" || *only == name }
 	var files []string
 

@@ -6,6 +6,13 @@
 // Usage:
 //
 //	synthd [-addr :8471] [-workers N] [-queue N] [-cache N] [-timelimit 30s]
+//	       [-drain-timeout 30s] [-breaker-threshold 3] [-breaker-cooldown 5s]
+//	       [-negcache 256]
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
+// accepting, in-flight and queued solves get -drain-timeout to finish,
+// and whatever is still running after that is cancelled (anytime solves
+// return their best incumbent as a degraded plan).
 //
 // Endpoints:
 //
@@ -32,7 +39,7 @@ import (
 )
 
 func main() {
-	cfg, addr := parseFlags(os.Args[1:])
+	cfg, addr, drain := parseFlags(os.Args[1:])
 
 	engine := service.New(cfg)
 	srv := &http.Server{
@@ -57,30 +64,50 @@ func main() {
 		os.Exit(1)
 	}
 
-	// Stop accepting HTTP first, then drain the job queue.
-	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Stop accepting HTTP first, then drain the job queue. One timeout
+	// budget covers both: whatever the HTTP shutdown leaves of the drain
+	// window goes to in-flight and queued solves; after that, CloseNow
+	// cancels the optimizer contexts and anytime solves hand back their
+	// best incumbent.
+	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "synthd: http shutdown:", err)
 	}
-	engine.Close()
+	drained := make(chan struct{})
+	go func() { engine.Close(); close(drained) }()
+	select {
+	case <-drained:
+		fmt.Println("synthd: drained cleanly")
+	case <-shutCtx.Done():
+		fmt.Fprintf(os.Stderr, "synthd: drain window (%s) expired — cancelling in-flight solves\n", drain)
+		engine.CloseNow()
+		<-drained
+	}
 }
 
 // parseFlags builds the engine config from argv (split out for tests).
-func parseFlags(args []string) (service.Config, string) {
+func parseFlags(args []string) (service.Config, string, time.Duration) {
 	fs := flag.NewFlagSet("synthd", flag.ExitOnError)
 	var (
-		addr      = fs.String("addr", ":8471", "listen address")
-		workers   = fs.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
-		queue     = fs.Int("queue", 0, "job queue depth (0 = 4x workers)")
-		cacheSize = fs.Int("cache", 1024, "result cache entries (negative disables)")
-		timeLimit = fs.Duration("timelimit", 30*time.Second, "default per-solve time limit")
+		addr       = fs.String("addr", ":8471", "listen address")
+		workers    = fs.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 0, "job queue depth (0 = 4x workers)")
+		cacheSize  = fs.Int("cache", 1024, "result cache entries (negative disables)")
+		timeLimit  = fs.Duration("timelimit", 30*time.Second, "default per-solve time limit")
+		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown window before in-flight solves are cancelled")
+		brkThresh  = fs.Int("breaker-threshold", 0, "consecutive timeouts before a spec's circuit breaker opens (0 = default 3, negative disables)")
+		brkCool    = fs.Duration("breaker-cooldown", 0, "how long an open breaker fast-fails before probing (0 = default 5s)")
+		negEntries = fs.Int("negcache", 0, "infeasibility-proof cache entries (0 = default 256, negative disables)")
 	)
 	_ = fs.Parse(args)
 	return service.Config{
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		CacheSize:        *cacheSize,
-		DefaultTimeLimit: *timeLimit,
-	}, *addr
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheSize:         *cacheSize,
+		DefaultTimeLimit:  *timeLimit,
+		BreakerThreshold:  *brkThresh,
+		BreakerCooldown:   *brkCool,
+		NegativeCacheSize: *negEntries,
+	}, *addr, *drain
 }

@@ -6,9 +6,11 @@ import (
 )
 
 func TestParseFlags(t *testing.T) {
-	cfg, addr := parseFlags([]string{
+	cfg, addr, drain := parseFlags([]string{
 		"-addr", "127.0.0.1:9000", "-workers", "3", "-queue", "7",
-		"-cache", "99", "-timelimit", "5s",
+		"-cache", "99", "-timelimit", "5s", "-drain-timeout", "2s",
+		"-breaker-threshold", "5", "-breaker-cooldown", "10s",
+		"-negcache", "64",
 	})
 	if addr != "127.0.0.1:9000" {
 		t.Errorf("addr = %q", addr)
@@ -19,14 +21,30 @@ func TestParseFlags(t *testing.T) {
 	if cfg.DefaultTimeLimit != 5*time.Second {
 		t.Errorf("time limit = %v", cfg.DefaultTimeLimit)
 	}
+	if drain != 2*time.Second {
+		t.Errorf("drain = %v", drain)
+	}
+	if cfg.BreakerThreshold != 5 || cfg.BreakerCooldown != 10*time.Second {
+		t.Errorf("breaker cfg = %+v", cfg)
+	}
+	if cfg.NegativeCacheSize != 64 {
+		t.Errorf("negcache = %d", cfg.NegativeCacheSize)
+	}
 }
 
 func TestParseFlagsDefaults(t *testing.T) {
-	cfg, addr := parseFlags(nil)
+	cfg, addr, drain := parseFlags(nil)
 	if addr != ":8471" {
 		t.Errorf("addr = %q", addr)
 	}
 	if cfg.CacheSize != 1024 || cfg.DefaultTimeLimit != 30*time.Second {
 		t.Errorf("cfg = %+v", cfg)
+	}
+	if drain != 30*time.Second {
+		t.Errorf("drain = %v, want 30s default", drain)
+	}
+	// Zero values defer to the service defaults (breaker on, negcache on).
+	if cfg.BreakerThreshold != 0 || cfg.NegativeCacheSize != 0 {
+		t.Errorf("resilience cfg should default to zero: %+v", cfg)
 	}
 }

@@ -288,13 +288,17 @@ func Table43() []Case {
 // numbers of flows, inlets, conflicts and binding policies. The same seed
 // always yields the same cases.
 func Artificial(count int, seed int64) []Case {
+	return ArtificialSized(count, seed, []int{8, 12})
+}
+
+// ArtificialSized is Artificial with the switch sizes cycled from
+// pinSizes instead of the campaign's 8/12 alternation; the resilience
+// tests use it to stress 16-pin cases under tiny time limits.
+func ArtificialSized(count int, seed int64, pinSizes []int) []Case {
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]Case, 0, count)
 	for i := 0; i < count; i++ {
-		pins := 8
-		if i%2 == 1 {
-			pins = 12
-		}
+		pins := pinSizes[i%len(pinSizes)]
 		policy := spec.BindingPolicy(i % 3)
 		sp := randomSpec(rng, fmt.Sprintf("artificial-%02d", i), pins, policy)
 		out = append(out, Case{Spec: sp, Ref: "artificial (Section 4.2)", ID: i + 1})

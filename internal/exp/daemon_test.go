@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"switchsynth/internal/service"
+)
+
+// TestRunCampaignThroughDaemon runs a small campaign against a live
+// service handler and checks that the remote rows match the in-process
+// rows: same deterministic campaign table, byte for byte.
+func TestRunCampaignThroughDaemon(t *testing.T) {
+	eng := service.New(service.Config{Workers: 2})
+	defer eng.Close()
+	srv := httptest.NewServer(service.NewHandler(eng))
+	defer srv.Close()
+
+	cfg := Config{TimeLimit: 5 * time.Second, Workers: 2}
+	local := RunCampaign(cfg, 9, 42)
+
+	cfg.DaemonURL = srv.URL
+	remote := RunCampaign(cfg, 9, 42)
+
+	if remote.Stats.Total != 9 {
+		t.Fatalf("total = %d, want 9", remote.Stats.Total)
+	}
+	if remote.Stats.Solved != local.Stats.Solved ||
+		remote.Stats.NoSolution != local.Stats.NoSolution {
+		t.Errorf("remote solved/nosol = %d/%d, local = %d/%d",
+			remote.Stats.Solved, remote.Stats.NoSolution,
+			local.Stats.Solved, local.Stats.NoSolution)
+	}
+	if !remote.Stats.AllScheduled {
+		t.Error("remote campaign served plans with unscheduled flows")
+	}
+	if got, want := remote.Stats.DeterministicString(), local.Stats.DeterministicString(); got != want {
+		t.Errorf("deterministic stats differ:\nremote: %s\nlocal:  %s", got, want)
+	}
+	if remote.Service == nil {
+		t.Error("remote campaign did not fetch the daemon metrics snapshot")
+	} else if remote.Service.JobsSubmitted == 0 {
+		t.Error("daemon snapshot shows no submitted jobs")
+	}
+}
+
+// TestRunCampaignDaemonUnreachable: a dead daemon must degrade to
+// all-timeout rows, not panic or hang.
+func TestRunCampaignDaemonUnreachable(t *testing.T) {
+	srv := httptest.NewServer(nil)
+	url := srv.URL
+	srv.Close()
+
+	res := RunCampaign(Config{TimeLimit: time.Second, Workers: 2, DaemonURL: url}, 3, 42)
+	if res.Stats.Timeout != 3 {
+		t.Errorf("timeouts = %d, want 3 (daemon unreachable)", res.Stats.Timeout)
+	}
+	if res.Stats.Solved != 0 {
+		t.Errorf("solved = %d against a dead daemon", res.Stats.Solved)
+	}
+}

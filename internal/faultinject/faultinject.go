@@ -1,0 +1,104 @@
+// Package faultinject provides deterministic, seedable fault injection
+// for the synthesis service's chaos tests. An Injector carries a set of
+// rules keyed by named injection points; production code probes the
+// points unconditionally and the injector decides — from its own seeded
+// RNG, never the global one — whether the fault fires.
+//
+// The package is build-tag-free and nop by default: a nil *Injector is
+// valid, every probe on it returns false immediately, and no injection
+// point costs anything beyond a nil check when no injector is
+// configured.
+package faultinject
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Point names an injection site.
+type Point string
+
+// Injection points probed by internal/service.
+const (
+	// SolvePanic makes the optimizer panic inside a worker.
+	SolvePanic Point = "solve.panic"
+	// SolveSlow stretches a solve by the rule's Delay.
+	SolveSlow Point = "solve.slow"
+	// QueueStall delays a dequeued job before it executes.
+	QueueStall Point = "queue.stall"
+	// CacheCorrupt corrupts the plan copy stored in the result cache
+	// (the flight's own copy stays intact).
+	CacheCorrupt Point = "cache.corrupt"
+	// HTTPDelay stalls a request inside the HTTP handler.
+	HTTPDelay Point = "http.delay"
+)
+
+// Rule configures one injection point.
+type Rule struct {
+	// Probability in [0, 1] that the fault fires at each probe; 1 fires
+	// always, 0 (the zero value) never.
+	Probability float64
+	// Delay is slept before Fire returns true. Zero-delay faults fire
+	// instantaneously (panics, corruption).
+	Delay time.Duration
+}
+
+// Injector is a seeded set of fault rules. The zero of its pointer type
+// (nil) is the production configuration: every probe is a nop.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[Point]Rule
+	fired map[Point]int64
+}
+
+// New creates an injector whose fault decisions replay deterministically
+// for a given seed and probe sequence.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[Point]Rule),
+		fired: make(map[Point]int64),
+	}
+}
+
+// Set installs (or replaces) the rule for p and returns the injector for
+// chaining.
+func (in *Injector) Set(p Point, r Rule) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules[p] = r
+	return in
+}
+
+// Fire probes the injection point: it reports whether the fault fires,
+// sleeping the rule's Delay first when it does. Nil-safe; a nil injector
+// (or an unset point) never fires.
+func (in *Injector) Fire(p Point) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	r, ok := in.rules[p]
+	if !ok || r.Probability <= 0 || in.rng.Float64() >= r.Probability {
+		in.mu.Unlock()
+		return false
+	}
+	in.fired[p]++
+	in.mu.Unlock()
+	if r.Delay > 0 {
+		time.Sleep(r.Delay)
+	}
+	return true
+}
+
+// Fired reports how many times the point's fault has fired. Nil-safe.
+func (in *Injector) Fired(p Point) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[p]
+}

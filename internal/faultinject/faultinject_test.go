@@ -1,0 +1,82 @@
+package faultinject
+
+import "testing"
+
+// TestNilInjectorIsNop: the production path passes a nil *Injector; every
+// probe must be a cheap no-op.
+func TestNilInjectorIsNop(t *testing.T) {
+	var inj *Injector
+	for i := 0; i < 100; i++ {
+		if inj.Fire(SolvePanic) {
+			t.Fatal("nil injector fired")
+		}
+	}
+	if inj.Fired(SolvePanic) != 0 {
+		t.Fatal("nil injector counted fires")
+	}
+}
+
+// TestDeterministicPerSeed: the same seed and probe sequence must yield
+// the same fault schedule, or chaos runs would not be reproducible.
+func TestDeterministicPerSeed(t *testing.T) {
+	schedule := func(seed int64) []bool {
+		inj := New(seed).
+			Set(SolvePanic, Rule{Probability: 0.3}).
+			Set(CacheCorrupt, Rule{Probability: 0.5})
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, inj.Fire(SolvePanic), inj.Fire(CacheCorrupt))
+		}
+		return out
+	}
+	a, b := schedule(7), schedule(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at probe %d", i)
+		}
+	}
+	diff := schedule(8)
+	same := true
+	for i := range a {
+		if a[i] != diff[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical 400-probe schedules")
+	}
+}
+
+// TestUnsetPointNeverFiresNorConsumesRandomness: probing a point with no
+// rule must not advance the RNG, so adding instrumentation points to the
+// engine cannot shift existing fault schedules.
+func TestUnsetPointNeverFiresNorConsumesRandomness(t *testing.T) {
+	with := New(3).Set(SolvePanic, Rule{Probability: 0.5})
+	without := New(3).Set(SolvePanic, Rule{Probability: 0.5})
+	for i := 0; i < 100; i++ {
+		if with.Fire(HTTPDelay) {
+			t.Fatal("unset point fired")
+		}
+		a, b := with.Fire(SolvePanic), without.Fire(SolvePanic)
+		if a != b {
+			t.Fatalf("probe %d: unset-point probes perturbed the schedule", i)
+		}
+	}
+}
+
+// TestFiredCounts tallies per-point fire counts.
+func TestFiredCounts(t *testing.T) {
+	inj := New(1).Set(QueueStall, Rule{Probability: 1})
+	for i := 0; i < 5; i++ {
+		if !inj.Fire(QueueStall) {
+			t.Fatal("probability-1 rule did not fire")
+		}
+	}
+	if got := inj.Fired(QueueStall); got != 5 {
+		t.Errorf("Fired = %d, want 5", got)
+	}
+	if got := inj.Fired(SolveSlow); got != 0 {
+		t.Errorf("Fired(unset) = %d, want 0", got)
+	}
+}

@@ -76,6 +76,20 @@ func SolveOn(sp *spec.Spec, sw *topo.Switch, pt *topo.PathTable, opts Options) (
 		return nil, err
 	}
 	res.Proven = sol.Status == milp.Optimal
+	res.Degraded = !res.Proven
+	if res.Proven {
+		res.LowerBound = res.Objective
+	} else {
+		// The MILP substrate exposes no global dual bound; report the
+		// trivial admissible one (every plan needs at least one flow set).
+		res.LowerBound = sp.EffectiveAlpha()
+		if res.LowerBound > res.Objective {
+			res.LowerBound = res.Objective
+		}
+		if res.Objective > 0 {
+			res.Gap = (res.Objective - res.LowerBound) / res.Objective
+		}
+	}
 	res.Runtime = time.Since(start)
 	res.Engine = "iqp"
 	return res, nil

@@ -23,9 +23,14 @@ type fileFormat struct {
 	PinOf map[string]int `json:"pinOf"`
 	// Routes stores one entry per flow in flow order.
 	Routes []routeFormat `json:"routes"`
-	// Engine and Proven describe how the plan was produced.
-	Engine string `json:"engine,omitempty"`
-	Proven bool   `json:"proven,omitempty"`
+	// Engine and Proven describe how the plan was produced. Degraded,
+	// LowerBound and Gap carry the anytime-solver metadata for plans
+	// returned without an optimality proof.
+	Engine     string  `json:"engine,omitempty"`
+	Proven     bool    `json:"proven,omitempty"`
+	Degraded   bool    `json:"degraded,omitempty"`
+	LowerBound float64 `json:"lowerBound,omitempty"`
+	Gap        float64 `json:"gap,omitempty"`
 }
 
 type routeFormat struct {
@@ -60,11 +65,14 @@ func Encode(res *spec.Result) ([]byte, error) {
 
 func toFileFormat(res *spec.Result) (fileFormat, error) {
 	ff := fileFormat{
-		Version: currentVersion,
-		Spec:    res.Spec,
-		PinOf:   res.PinOf,
-		Engine:  res.Engine,
-		Proven:  res.Proven,
+		Version:    currentVersion,
+		Spec:       res.Spec,
+		PinOf:      res.PinOf,
+		Engine:     res.Engine,
+		Proven:     res.Proven,
+		Degraded:   res.Degraded,
+		LowerBound: res.LowerBound,
+		Gap:        res.Gap,
 	}
 	for _, rt := range res.Routes {
 		rf := routeFormat{Flow: rt.Flow, Set: rt.Set}
@@ -101,11 +109,14 @@ func Decode(data []byte) (*spec.Result, error) {
 		return nil, err
 	}
 	res := &spec.Result{
-		Spec:   ff.Spec,
-		Switch: sw,
-		PinOf:  ff.PinOf,
-		Engine: ff.Engine,
-		Proven: ff.Proven,
+		Spec:       ff.Spec,
+		Switch:     sw,
+		PinOf:      ff.PinOf,
+		Engine:     ff.Engine,
+		Proven:     ff.Proven,
+		Degraded:   ff.Degraded,
+		LowerBound: ff.LowerBound,
+		Gap:        ff.Gap,
 	}
 	if len(ff.Routes) != len(ff.Spec.Flows) {
 		return nil, fmt.Errorf("planio: %d routes for %d flows", len(ff.Routes), len(ff.Spec.Flows))

@@ -59,6 +59,29 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestRoundTripDegradedMetadata(t *testing.T) {
+	res := plan(t)
+	res.Proven = false
+	res.Degraded = true
+	res.LowerBound = res.Objective / 2
+	res.Gap = 0.5
+	data, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Proven || !back.Degraded {
+		t.Errorf("Proven = %v, Degraded = %v after round trip", back.Proven, back.Degraded)
+	}
+	if back.LowerBound != res.LowerBound || back.Gap != res.Gap {
+		t.Errorf("bound metadata changed: LowerBound %v→%v Gap %v→%v",
+			res.LowerBound, back.LowerBound, res.Gap, back.Gap)
+	}
+}
+
 func TestDecodeRejectsCorruption(t *testing.T) {
 	res := plan(t)
 	good, err := Encode(res)

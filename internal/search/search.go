@@ -26,17 +26,40 @@ import (
 // Options tune the search.
 type Options struct {
 	// TimeLimit bounds the wall-clock search time; 0 means no limit. On
-	// timeout the best incumbent is returned with Result.Proven == false.
+	// timeout the best incumbent is returned with Result.Proven == false
+	// and Result.Degraded == true (anytime solving); if no incumbent
+	// exists yet the greedy first-fit fallback runs (see GreedyBudget).
 	TimeLimit time.Duration
 	// Ctx, when non-nil, cancels the search: on ctx expiry or
 	// cancellation the best incumbent found so far is returned with
-	// Result.Proven == false, or an ErrTimeout wrapping ctx.Err() if no
+	// Result.Degraded == true, or an ErrTimeout wrapping ctx.Err() if no
 	// plan was found yet. A ctx deadline and TimeLimit compose; whichever
-	// fires first stops the search.
+	// fires first stops the search. Explicit cancellation (ctx.Canceled)
+	// skips the greedy fallback: the caller no longer wants any result.
 	Ctx context.Context
+	// GreedyBudget bounds the greedy first-fit fallback that runs when a
+	// deadline expires before any incumbent exists. Zero means the
+	// default (100ms); negative disables the fallback entirely. The
+	// fallback may therefore overrun the deadline by up to this budget.
+	GreedyBudget time.Duration
 	// DisableSymmetryBreaking turns off the rotational pin-symmetry cut
 	// (used by ablation benchmarks).
 	DisableSymmetryBreaking bool
+}
+
+// DefaultGreedyBudget is the fallback search budget applied when
+// Options.GreedyBudget is zero.
+const DefaultGreedyBudget = 100 * time.Millisecond
+
+func (o Options) greedyBudget() time.Duration {
+	switch {
+	case o.GreedyBudget > 0:
+		return o.GreedyBudget
+	case o.GreedyBudget < 0:
+		return 0
+	default:
+		return DefaultGreedyBudget
+	}
 }
 
 // ErrTimeout is returned when the time limit expires (or Options.Ctx is
@@ -147,6 +170,20 @@ type solver struct {
 	nodes    int64
 	timedOut bool
 	stopErr  error // context/deadline cause when timedOut
+
+	// stopAtFirst makes the DFS return at the first feasible leaf (the
+	// greedy first-fit mode); done records that it fired.
+	stopAtFirst bool
+	done        bool
+	// rootLB is the admissible objective lower bound established at the
+	// root, reported as Result.LowerBound for degraded plans.
+	rootLB float64
+}
+
+// halted reports whether the DFS must unwind (deadline, cancellation, or
+// the first-fit stop).
+func (s *solver) halted() bool {
+	return s.timedOut || s.done
 }
 
 func newSolver(sp *spec.Spec, sw *topo.Switch, pt *topo.PathTable, opts Options) *solver {
@@ -237,15 +274,39 @@ func (s *solver) run() (*spec.Result, error) {
 		}
 	}
 
+	// Admissible root bound: at least one flow set, plus the stub length
+	// every flow must add. Reported as LowerBound on degraded plans.
+	s.rootLB = s.alpha + s.remainingLB(0)
+
 	s.dfs(0)
 
 	rt := time.Since(start)
 	if s.best == nil {
-		if s.timedOut {
-			return nil, &ErrTimeout{SpecName: s.sp.Name, Cause: s.stopErr}
+		if !s.timedOut {
+			return nil, &spec.ErrNoSolution{SpecName: s.sp.Name, Policy: s.sp.Binding}
 		}
-		return nil, &spec.ErrNoSolution{SpecName: s.sp.Name, Policy: s.sp.Binding}
+		// Anytime contract: the deadline expired before any incumbent.
+		// Unless the caller explicitly cancelled (it no longer wants any
+		// result) or this run IS the fallback, degrade to greedy
+		// first-fit instead of failing with ErrTimeout.
+		if !s.stopAtFirst && !errors.Is(s.stopErr, context.Canceled) {
+			if budget := s.opts.greedyBudget(); budget > 0 {
+				res, gerr := greedyOn(s.sp, s.sw, s.pt, s.opts, budget)
+				if gerr == nil {
+					res.Runtime = time.Since(start)
+					return res, nil
+				}
+				var nosol *spec.ErrNoSolution
+				if errors.As(gerr, &nosol) {
+					// The fallback exhausted the tree inside its budget:
+					// a genuine infeasibility proof.
+					return nil, gerr
+				}
+			}
+		}
+		return nil, &ErrTimeout{SpecName: s.sp.Name, Cause: s.stopErr}
 	}
+	proven := !s.timedOut && !s.stopAtFirst
 	res := &spec.Result{
 		Spec:         s.sp,
 		Switch:       s.sw,
@@ -255,7 +316,8 @@ func (s *solver) run() (*spec.Result, error) {
 		UsedEdgeMask: s.best.edges,
 		Length:       s.best.length,
 		Objective:    s.best.cost,
-		Proven:       !s.timedOut,
+		Proven:       proven,
+		Degraded:     !proven,
 		Runtime:      rt,
 		Engine:       "search",
 	}
@@ -267,7 +329,27 @@ func (s *solver) run() (*spec.Result, error) {
 	// Compact set numbering in first-use order (already contiguous by
 	// construction, but renumber defensively).
 	renumberSets(res)
+	s.fillBound(res)
 	return res, nil
+}
+
+// fillBound records the optimality-gap metadata: proven plans are their
+// own bound; degraded plans report the admissible root bound and the
+// relative gap to it.
+func (s *solver) fillBound(res *spec.Result) {
+	if res.Proven {
+		res.LowerBound = res.Objective
+		res.Gap = 0
+		return
+	}
+	lb := s.rootLB
+	if lb > res.Objective {
+		lb = res.Objective
+	}
+	res.LowerBound = lb
+	if res.Objective > 0 {
+		res.Gap = (res.Objective - lb) / res.Objective
+	}
 }
 
 // renumberSets makes set indices contiguous starting at 0 in order of first
@@ -339,7 +421,7 @@ func (s *solver) remainingLB(pos int) float64 {
 }
 
 func (s *solver) dfs(pos int) {
-	if s.timedOut {
+	if s.halted() {
 		return
 	}
 	if pos == len(s.order) {
@@ -353,6 +435,9 @@ func (s *solver) dfs(pos int) {
 				sets:   s.usedSets,
 				length: s.curLen,
 				edges:  s.usedEdges,
+			}
+			if s.stopAtFirst {
+				s.done = true
 			}
 		}
 		return
@@ -401,7 +486,7 @@ func (s *solver) dfs(pos int) {
 	})
 
 	for _, c := range cands {
-		if s.timedOut {
+		if s.halted() {
 			return
 		}
 		boundIn := s.bindIfNeeded(ms, c.pIn)
@@ -448,7 +533,7 @@ func (s *solver) dfs(pos int) {
 			s.place(f, ms, set, path)
 			s.dfs(pos + 1)
 			s.unplace(f, ms, set, path)
-			if s.timedOut {
+			if s.halted() {
 				break
 			}
 		}

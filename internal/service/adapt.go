@@ -36,6 +36,9 @@ func adaptResult(cached *spec.Result, sp *spec.Spec) (*spec.Result, error) {
 		UsedEdgeMask: cached.UsedEdgeMask,
 		Length:       cached.Length,
 		Proven:       cached.Proven,
+		Degraded:     cached.Degraded,
+		LowerBound:   cached.LowerBound,
+		Gap:          cached.Gap,
 		Runtime:      cached.Runtime,
 		Engine:       cached.Engine,
 	}

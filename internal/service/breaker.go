@@ -1,0 +1,211 @@
+// Admission control: a per-canonical-key circuit breaker and a bounded
+// negative-result cache.
+//
+// The breaker sheds load for keys that repeatedly burn a worker slot
+// without producing a plan (timeouts, solver panics): after Threshold
+// consecutive failures the key opens and requests fast-fail with
+// *ErrOverloaded (HTTP 429 + Retry-After) instead of queueing. Once the
+// cooldown elapses a single half-open probe is admitted; its outcome
+// closes the breaker again or re-opens it.
+//
+// The negative cache remembers proven infeasibility: ErrNoSolution is an
+// exhaustive-search proof (timeouts never produce it), so replaying it
+// from the cache is sound and saves a full solve.
+package service
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"switchsynth/internal/spec"
+)
+
+// ErrOverloaded is returned (without queueing a solve) while a key's
+// circuit breaker is open. RetryAfter tells the caller when the next
+// half-open probe will be admitted.
+type ErrOverloaded struct {
+	Key        string
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ErrOverloaded) Error() string {
+	return fmt.Sprintf("service: circuit breaker open for this spec, retry in %s", e.RetryAfter.Round(time.Millisecond))
+}
+
+// Is makes every *ErrOverloaded match every other under errors.Is.
+func (e *ErrOverloaded) Is(target error) bool {
+	var other *ErrOverloaded
+	return errors.As(target, &other)
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	state      breakerState
+	fails      int       // consecutive breaker-relevant failures
+	openedAt   time.Time // when the breaker last opened
+	probeStart time.Time // when the current half-open probe was admitted
+}
+
+// breakerGroup tracks one breaker per canonical job key.
+type breakerGroup struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+func newBreakerGroup(threshold int, cooldown time.Duration) *breakerGroup {
+	return &breakerGroup{threshold: threshold, cooldown: cooldown, m: make(map[string]*breaker)}
+}
+
+// allow reports whether a request for key may proceed; when it may not,
+// retryAfter is the time until the next half-open probe.
+func (g *breakerGroup) allow(key string) (ok bool, retryAfter time.Duration) {
+	if g == nil {
+		return true, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.m[key]
+	if b == nil {
+		return true, 0
+	}
+	now := time.Now()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if wait := g.cooldown - now.Sub(b.openedAt); wait > 0 {
+			return false, wait
+		}
+		b.state = breakerHalfOpen
+		b.probeStart = now
+		return true, 0 // the half-open probe
+	default: // breakerHalfOpen
+		// One probe at a time; if the probe itself got stuck (its job was
+		// never recorded — e.g. the engine rejected the enqueue), admit a
+		// fresh probe after another cooldown.
+		if now.Sub(b.probeStart) >= g.cooldown {
+			b.probeStart = now
+			return true, 0
+		}
+		return false, g.cooldown - now.Sub(b.probeStart)
+	}
+}
+
+// recordFailure notes a breaker-relevant failure (timeout or panic) for
+// key, opening the breaker at the threshold or on a failed probe.
+func (g *breakerGroup) recordFailure(key string) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.m[key]
+	if b == nil {
+		b = &breaker{}
+		g.m[key] = b
+	}
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= g.threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// recordSuccess resets key's breaker: any completed solve — including a
+// proven ErrNoSolution — shows the key is not burning worker slots.
+func (g *breakerGroup) recordSuccess(key string) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.m, key)
+}
+
+// openCount reports how many breakers are currently open or half-open
+// (a metrics gauge).
+func (g *breakerGroup) openCount() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, b := range g.m {
+		if b.state != breakerClosed {
+			n++
+		}
+	}
+	return n
+}
+
+// negCache is a bounded LRU of canonical key → infeasibility proof.
+type negCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List
+	byK map[string]*list.Element
+}
+
+type negEntry struct {
+	key string
+	err *spec.ErrNoSolution
+}
+
+// newNegCache creates the negative cache; capacity <= 0 disables it.
+func newNegCache(capacity int) *negCache {
+	return &negCache{cap: capacity, ll: list.New(), byK: make(map[string]*list.Element)}
+}
+
+func (c *negCache) get(key string) (*spec.ErrNoSolution, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byK[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*negEntry).err, true
+}
+
+func (c *negCache) put(key string, err *spec.ErrNoSolution) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byK[key]; ok {
+		el.Value.(*negEntry).err = err
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byK[key] = c.ll.PushFront(&negEntry{key: key, err: err})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byK, oldest.Value.(*negEntry).key)
+	}
+}
+
+func (c *negCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -76,6 +76,19 @@ func (c *cache) put(key string, res *spec.Result) {
 	}
 }
 
+// invalidate drops key's entry (a corrupted-plan heal).
+func (c *cache) invalidate(key string) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byK[key]; ok {
+		c.ll.Remove(el)
+		delete(c.byK, key)
+	}
+}
+
 // len reports the current number of cached plans.
 func (c *cache) len() int {
 	c.mu.Lock()

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"switchsynth"
+	"switchsynth/internal/cases"
+	"switchsynth/internal/planio"
+	"switchsynth/internal/search"
+	"switchsynth/internal/spec"
+)
+
+// TestDegradedPlansServedUnderTinyLimit is the resilience acceptance
+// check: 16-pin artificial cases under a 10ms limit must come back as
+// HTTP 200 plans (degraded where the proof didn't finish) or a proven
+// 422 — never a 504 — and every served plan must verify.
+func TestDegradedPlansServedUnderTinyLimit(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	var served, degraded int
+	for i, c := range cases.ArtificialSized(12, 7, []int{16}) {
+		// Classify the case with a generous local solve first: the
+		// degraded-serving guarantee covers feasible specs; an
+		// infeasibility that cannot be proven inside the budget may
+		// legitimately time out.
+		_, cerr := switchsynth.SolvePlan(context.Background(), c.Spec,
+			switchsynth.Options{TimeLimit: 5 * time.Second})
+		feasible := cerr == nil
+
+		body, err := json.Marshal(SynthesizeRequest{
+			Spec:    c.Spec,
+			Options: RequestOptions{TimeLimitMS: 10, PressureSharing: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, raw := postJSON(t, srv.URL+"/synthesize", string(body))
+		if !feasible {
+			var nosol *spec.ErrNoSolution
+			if errors.As(cerr, &nosol) && resp.StatusCode == http.StatusOK {
+				t.Errorf("case %d (%s): proven-infeasible spec served a plan", i, c.Spec.Name)
+			}
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("case %d (%s): status %d, want 200 for a feasible spec: %s",
+				i, c.Spec.Name, resp.StatusCode, raw)
+		}
+		var out SynthesizeResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		served++
+		if out.Degraded {
+			degraded++
+			if out.LowerBound <= 0 || out.LowerBound > out.Objective {
+				t.Errorf("case %d: LowerBound %v outside (0, %v]", i, out.LowerBound, out.Objective)
+			}
+			if out.Gap < 0 || out.Gap > 1 {
+				t.Errorf("case %d: Gap %v outside [0, 1]", i, out.Gap)
+			}
+		}
+		plan, err := planio.Decode(out.Plan)
+		if err != nil {
+			t.Fatalf("case %d: decoding wire plan: %v", i, err)
+		}
+		if err := switchsynth.Verify(plan); err != nil {
+			t.Errorf("case %d: served plan fails verification: %v", i, err)
+		}
+	}
+	if served == 0 {
+		t.Fatal("no feasible 16-pin case was served")
+	}
+	t.Logf("served %d plans, %d degraded", served, degraded)
+}
+
+// TestOverloadedResponseCarriesRetryAfter drives a spec's breaker open
+// through the HTTP handler and checks the 429 contract plus the
+// failure-kind breakdown on /metrics.
+func TestOverloadedResponseCarriesRetryAfter(t *testing.T) {
+	e := New(Config{Workers: 1, BreakerThreshold: 1, BreakerCooldown: time.Second})
+	e.solve = func(ctx context.Context, sp *spec.Spec, opts switchsynth.Options) (*spec.Result, error) {
+		return nil, &search.ErrTimeout{SpecName: sp.Name, Cause: context.DeadlineExceeded}
+	}
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(func() {
+		srv.Close()
+		e.CloseNow()
+	})
+
+	// First request times out and trips the threshold-1 breaker.
+	resp, body := postJSON(t, srv.URL+"/synthesize", demoRequest)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("first status %d, want 504: %s", resp.StatusCode, body)
+	}
+	// Second request is shed: 429, kind overloaded, Retry-After set.
+	resp, body = postJSON(t, srv.URL+"/synthesize", demoRequest)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second status %d, want 429: %s", resp.StatusCode, body)
+	}
+	var e429 errorResponse
+	if err := json.Unmarshal(body, &e429); err != nil {
+		t.Fatalf("429 body not JSON: %s", body)
+	}
+	if e429.Kind != "overloaded" {
+		t.Errorf("kind = %q, want overloaded", e429.Kind)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	} else if secs := mustAtoi(t, ra); secs < 1 {
+		t.Errorf("Retry-After = %d, want >= 1", secs)
+	}
+
+	// The /metrics breakdown must attribute both failures to their kinds.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if snap.JobsTimedOut == 0 {
+		t.Error("metrics show no timed-out jobs")
+	}
+	if snap.JobsShed == 0 {
+		t.Error("metrics show no shed jobs")
+	}
+	if snap.BreakersOpen != 1 {
+		t.Errorf("BreakersOpen = %d, want 1", snap.BreakersOpen)
+	}
+}
+
+func mustAtoi(t *testing.T, s string) int {
+	t.Helper()
+	var n int
+	if _, err := fmt.Sscanf(s, "%d", &n); err != nil {
+		t.Fatalf("not a number: %q", s)
+	}
+	return n
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"switchsynth"
+	"switchsynth/internal/faultinject"
 	"switchsynth/internal/search"
 	"switchsynth/internal/spec"
 )
@@ -51,6 +52,22 @@ type Config struct {
 	// DefaultTimeLimit applies to requests that carry no time limit of
 	// their own (default 30s; negative means unlimited).
 	DefaultTimeLimit time.Duration
+	// BreakerThreshold is the number of consecutive slot-burning failures
+	// (timeouts, solver panics) on one canonical key before its circuit
+	// breaker opens and requests fast-fail with *ErrOverloaded (default
+	// 3; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker sheds load before
+	// admitting a half-open probe (default 5s).
+	BreakerCooldown time.Duration
+	// NegativeCacheSize bounds the known-infeasible LRU in entries
+	// (default 256; negative disables it). Only proven ErrNoSolution
+	// outcomes are stored, never timeouts.
+	NegativeCacheSize int
+	// FaultInjector, when non-nil, enables deterministic fault injection
+	// at the engine's chaos points (see internal/faultinject). Nil — the
+	// default — makes every injection point a nop.
+	FaultInjector *faultinject.Injector
 }
 
 func (c Config) workers() int {
@@ -89,6 +106,35 @@ func (c Config) defaultTimeLimit() time.Duration {
 	}
 }
 
+func (c Config) breakerThreshold() int {
+	switch {
+	case c.BreakerThreshold > 0:
+		return c.BreakerThreshold
+	case c.BreakerThreshold < 0:
+		return 0
+	default:
+		return 3
+	}
+}
+
+func (c Config) breakerCooldown() time.Duration {
+	if c.BreakerCooldown > 0 {
+		return c.BreakerCooldown
+	}
+	return 5 * time.Second
+}
+
+func (c Config) negativeCacheSize() int {
+	switch {
+	case c.NegativeCacheSize > 0:
+		return c.NegativeCacheSize
+	case c.NegativeCacheSize < 0:
+		return 0
+	default:
+		return 256
+	}
+}
+
 // Response is the outcome of one synthesis request.
 type Response struct {
 	// Synthesis is the routed, analyzed switch (nil on error).
@@ -108,6 +154,25 @@ type Response struct {
 // ErrEngineClosed is returned for requests submitted after Close.
 var ErrEngineClosed = errors.New("service: engine is closed")
 
+// ErrSolvePanic reports that the optimizer panicked inside a worker. The
+// worker pool survives; only the job (and its coalesced waiters) fail.
+type ErrSolvePanic struct {
+	SpecName string
+	// Value is the recovered panic value.
+	Value any
+}
+
+// Error implements error.
+func (e *ErrSolvePanic) Error() string {
+	return fmt.Sprintf("service: synthesis of %q panicked: %v", e.SpecName, e.Value)
+}
+
+// Is makes every *ErrSolvePanic match every other under errors.Is.
+func (e *ErrSolvePanic) Is(target error) bool {
+	var other *ErrSolvePanic
+	return errors.As(target, &other)
+}
+
 type job struct {
 	key    string
 	sp     *spec.Spec
@@ -118,11 +183,14 @@ type job struct {
 // Engine is the concurrent synthesis service. Create with New, serve
 // with Do, retire with Close (drain) or CloseNow (cancel).
 type Engine struct {
-	cfg     Config
-	jobs    chan job
-	cache   *cache
-	flights *flightGroup
-	metrics *Metrics
+	cfg      Config
+	jobs     chan job
+	cache    *cache
+	neg      *negCache
+	breakers *breakerGroup // nil when the breaker is disabled
+	inj      *faultinject.Injector
+	flights  *flightGroup
+	metrics  *Metrics
 
 	baseCtx context.Context // cancelled by CloseNow; aborts in-flight solves
 	cancel  context.CancelFunc
@@ -146,12 +214,17 @@ func New(cfg Config) *Engine {
 		cfg:     cfg,
 		jobs:    make(chan job, cfg.queueDepth()),
 		cache:   newCache(cfg.cacheSize()),
+		neg:     newNegCache(cfg.negativeCacheSize()),
+		inj:     cfg.FaultInjector,
 		flights: newFlightGroup(),
 		metrics: &Metrics{},
 		baseCtx: ctx,
 		cancel:  cancel,
 		drained: make(chan struct{}),
 		solve:   switchsynth.SolvePlan,
+	}
+	if th := cfg.breakerThreshold(); th > 0 {
+		e.breakers = newBreakerGroup(th, cfg.breakerCooldown())
 	}
 	workers := cfg.workers()
 	done := make(chan struct{}, workers)
@@ -179,17 +252,39 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 	e.metrics.jobsSubmitted.Add(1)
 	key, err := canonicalJobKey(sp, opts)
 	if err != nil {
-		e.metrics.jobsFailed.Add(1)
+		e.classifyFailure(err)
 		return nil, err
 	}
 	if opts.TimeLimit == 0 {
 		opts.TimeLimit = e.cfg.defaultTimeLimit()
 	}
+	if nerr, ok := e.neg.get(key); ok {
+		// A stored ErrNoSolution is an exhaustive-search proof; replay it
+		// without burning a worker slot.
+		e.metrics.negCacheHits.Add(1)
+		e.classifyFailure(nerr)
+		return nil, nerr
+	}
 
 	for {
 		if res, ok := e.cache.get(key); ok {
+			resp, ferr := e.assemble(&Response{Key: key, CacheHit: true, SolveTime: res.Runtime}, res, sp, opts)
+			if ferr != nil {
+				// The stored plan no longer adapts or verifies — a
+				// corrupted entry. Heal: drop it and re-solve; the fresh
+				// flight result is assembled directly, never from the
+				// cache, so this cannot loop.
+				e.cache.invalidate(key)
+				e.metrics.cacheHealed.Add(1)
+				continue
+			}
 			e.metrics.cacheHits.Add(1)
-			return e.finish(&Response{Key: key, CacheHit: true, SolveTime: res.Runtime}, res, sp, opts)
+			e.metrics.jobsCompleted.Add(1)
+			return resp, nil
+		}
+		if ok, retryAfter := e.breakers.allow(key); !ok {
+			e.metrics.jobsShed.Add(1)
+			return nil, &ErrOverloaded{Key: key, RetryAfter: retryAfter}
 		}
 		f, leader := e.flights.join(key)
 		if leader {
@@ -223,7 +318,13 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 			e.classifyFailure(f.err)
 			return nil, f.err
 		}
-		return e.finish(&Response{Key: key, Coalesced: !leader, SolveTime: f.res.Runtime}, f.res, sp, opts)
+		resp, ferr := e.assemble(&Response{Key: key, Coalesced: !leader, SolveTime: f.res.Runtime}, f.res, sp, opts)
+		if ferr != nil {
+			e.metrics.jobsFailed.Add(1)
+			return nil, ferr
+		}
+		e.metrics.jobsCompleted.Add(1)
+		return resp, nil
 	}
 }
 
@@ -243,30 +344,46 @@ func (e *Engine) enqueue(ctx context.Context, j job) error {
 	}
 }
 
-// finish adapts the shared plan onto the requesting spec and runs the
-// per-request analyses.
-func (e *Engine) finish(resp *Response, shared *spec.Result, sp *spec.Spec, opts switchsynth.Options) (*Response, error) {
+// assemble adapts the shared plan onto the requesting spec and runs the
+// per-request analyses (verification, valves, pressure sharing, control
+// routing). It records no metrics; callers classify the outcome, since a
+// failed assembly of a cached entry is a heal, not a job failure.
+func (e *Engine) assemble(resp *Response, shared *spec.Result, sp *spec.Spec, opts switchsynth.Options) (*Response, error) {
 	adapted, err := adaptResult(shared, sp)
 	if err != nil {
-		e.metrics.jobsFailed.Add(1)
 		return nil, err
 	}
 	syn, err := switchsynth.Analyze(adapted, opts)
 	if err != nil {
-		e.metrics.jobsFailed.Add(1)
 		return nil, err
 	}
 	resp.Synthesis = syn
-	e.metrics.jobsCompleted.Add(1)
 	return resp, nil
 }
 
+// classifyFailure counts a failed request, both in the aggregate
+// counters (jobsTimedOut vs jobsFailed) and broken down by kind.
 func (e *Engine) classifyFailure(err error) {
-	if errors.Is(err, &search.ErrTimeout{}) {
+	var (
+		nosol *spec.ErrNoSolution
+		inval *spec.ValidationError
+		pan   *ErrSolvePanic
+	)
+	switch {
+	case errors.Is(err, &search.ErrTimeout{}):
 		e.metrics.jobsTimedOut.Add(1)
-		return
+	case errors.As(err, &nosol):
+		e.metrics.jobsFailed.Add(1)
+		e.metrics.jobsInfeasible.Add(1)
+	case errors.As(err, &inval):
+		e.metrics.jobsFailed.Add(1)
+		e.metrics.jobsInvalid.Add(1)
+	case errors.As(err, &pan):
+		e.metrics.jobsFailed.Add(1)
+		e.metrics.jobsPanicked.Add(1)
+	default:
+		e.metrics.jobsFailed.Add(1)
 	}
-	e.metrics.jobsFailed.Add(1)
 }
 
 // runJob executes one queued solve inside a worker, with panic
@@ -283,13 +400,18 @@ func (e *Engine) runJob(j job) {
 		res *spec.Result
 		err error
 	)
+	e.inj.Fire(faultinject.QueueStall)
 	start := time.Now()
 	func() {
 		defer func() {
 			if r := recover(); r != nil {
-				res, err = nil, fmt.Errorf("service: synthesis of %q panicked: %v", j.sp.Name, r)
+				res, err = nil, &ErrSolvePanic{SpecName: j.sp.Name, Value: r}
 			}
 		}()
+		if e.inj.Fire(faultinject.SolvePanic) {
+			panic("faultinject: injected solver panic")
+		}
+		e.inj.Fire(faultinject.SolveSlow)
 		var canon *spec.Spec
 		canon, err = j.sp.CanonicalSpec()
 		if err == nil {
@@ -297,20 +419,63 @@ func (e *Engine) runJob(j job) {
 		}
 	}()
 	e.metrics.observeSolve(time.Since(start))
+	e.recordBreaker(j.key, err)
 	if err == nil {
-		e.cache.put(j.key, res)
+		// Degraded plans are served but not cached: the cache key ignores
+		// the time limit, so a plan cut short by one caller's tiny budget
+		// must not shadow the proven optimum for everyone else.
+		if res.Proven {
+			toCache := res
+			if e.inj.Fire(faultinject.CacheCorrupt) {
+				toCache = corruptPlan(res)
+			}
+			e.cache.put(j.key, toCache)
+		}
+	} else {
+		var nosol *spec.ErrNoSolution
+		if errors.As(err, &nosol) {
+			e.neg.put(j.key, nosol)
+		}
 	}
 	// Cache before completing the flight: a request arriving after the
-	// flight disappears must find the entry.
+	// flight disappears must find the entry. The flight always carries
+	// the pristine plan, never the possibly-corrupted cache copy.
 	e.flights.complete(j.key, j.flight, res, err)
+}
+
+// recordBreaker feeds a solve outcome into the key's circuit breaker:
+// slot-burning failures (timeout, panic) count against it, anything that
+// completed — a plan, or even a proven ErrNoSolution — resets it.
+func (e *Engine) recordBreaker(key string, err error) {
+	if e.breakers == nil {
+		return
+	}
+	if errors.Is(err, &search.ErrTimeout{}) || errors.Is(err, &ErrSolvePanic{}) {
+		e.breakers.recordFailure(key)
+		return
+	}
+	e.breakers.recordSuccess(key)
+}
+
+// corruptPlan is the cache-corruption fault: a shallow copy of the plan
+// missing its last route, which can neither adapt onto a requester nor
+// pass verification — exercising the heal path in Do.
+func corruptPlan(res *spec.Result) *spec.Result {
+	c := *res
+	if len(c.Routes) > 0 {
+		c.Routes = append([]spec.Route(nil), c.Routes[:len(c.Routes)-1]...)
+	}
+	return &c
 }
 
 // Snapshot returns the current metrics, cache and queue gauges.
 func (e *Engine) Snapshot() Snapshot {
 	s := e.metrics.snapshot()
 	s.CacheEntries = e.cache.len()
+	s.NegCacheSize = e.neg.len()
 	s.QueueDepth = len(e.jobs)
 	s.Workers = e.cfg.workers()
+	s.BreakersOpen = e.breakers.openCount()
 	return s
 }
 

@@ -5,8 +5,10 @@
 //	GET  /metrics     Snapshot as JSON
 //
 // Error responses are JSON {"error": ..., "kind": ...} where kind is one
-// of "invalid" (400), "no-solution" (422), "timeout" (504), "unavailable"
-// (503, engine closed) or "internal" (500).
+// of "invalid" (400), "no-solution" (422), "timeout" (504), "overloaded"
+// (429, circuit breaker open), "unavailable" (503, engine closed) or
+// "panic"/"internal" (500). 429 and 503 responses carry a Retry-After
+// header (in seconds).
 package service
 
 import (
@@ -14,10 +16,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"switchsynth"
+	"switchsynth/internal/faultinject"
 	"switchsynth/internal/planio"
 	"switchsynth/internal/search"
 	"switchsynth/internal/spec"
@@ -68,7 +73,12 @@ type SynthesizeResponse struct {
 	LengthMM      float64 `json:"lengthMm"`
 	Objective     float64 `json:"objective"`
 	Proven        bool    `json:"proven"`
-	SolveSeconds  float64 `json:"solveSeconds"`
+	// Degraded marks an anytime plan returned without an optimality
+	// proof; LowerBound and Gap quantify how far it may be from optimal.
+	Degraded     bool    `json:"degraded,omitempty"`
+	LowerBound   float64 `json:"lowerBound,omitempty"`
+	Gap          float64 `json:"gap,omitempty"`
+	SolveSeconds float64 `json:"solveSeconds"`
 
 	// Plan is the full routed plan in the planio format; feed it to
 	// cmd/verifyplan or planio.Decode for independent re-verification.
@@ -108,6 +118,7 @@ func NewHandler(e *Engine) http.Handler {
 }
 
 func handleSynthesize(e *Engine, w http.ResponseWriter, r *http.Request) {
+	e.inj.Fire(faultinject.HTTPDelay)
 	var req SynthesizeRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
@@ -128,6 +139,7 @@ func handleSynthesize(e *Engine, w http.ResponseWriter, r *http.Request) {
 	resp, err := e.Do(r.Context(), req.Spec, opts)
 	if err != nil {
 		status, kind := classifyHTTP(err)
+		setRetryAfter(w, status, err)
 		writeError(w, status, kind, err)
 		return
 	}
@@ -149,6 +161,9 @@ func handleSynthesize(e *Engine, w http.ResponseWriter, r *http.Request) {
 		LengthMM:      syn.Length,
 		Objective:     syn.Objective,
 		Proven:        syn.Proven,
+		Degraded:      syn.Degraded,
+		LowerBound:    syn.LowerBound,
+		Gap:           syn.Gap,
 		SolveSeconds:  resp.SolveTime.Seconds(),
 		Plan:          plan,
 	}
@@ -165,6 +180,10 @@ func classifyHTTP(err error) (int, string) {
 	switch {
 	case errors.As(err, &nosol):
 		return http.StatusUnprocessableEntity, "no-solution"
+	case errors.Is(err, &ErrOverloaded{}):
+		return http.StatusTooManyRequests, "overloaded"
+	case errors.Is(err, &ErrSolvePanic{}):
+		return http.StatusInternalServerError, "panic"
 	case errors.Is(err, &search.ErrTimeout{}),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
@@ -177,6 +196,27 @@ func classifyHTTP(err error) (int, string) {
 			return http.StatusBadRequest, "invalid"
 		}
 		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// setRetryAfter attaches a Retry-After header (whole seconds, rounded
+// up, minimum 1) to shed-load responses: 429 carries the breaker's
+// cooldown remainder, 503 a fixed hint for the drain window.
+func setRetryAfter(w http.ResponseWriter, status int, err error) {
+	switch status {
+	case http.StatusTooManyRequests:
+		retry := time.Second
+		var over *ErrOverloaded
+		if errors.As(err, &over) && over.RetryAfter > 0 {
+			retry = over.RetryAfter
+		}
+		secs := int(math.Ceil(retry.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "1")
 	}
 }
 

@@ -1,0 +1,33 @@
+package service
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// checkGoroutineLeaks snapshots the goroutine count and returns a
+// function that fails the test if the count has not returned to within
+// a small slack of the baseline. Call the returned func after shutting
+// the engine down; it polls because worker exit is asynchronous.
+func checkGoroutineLeaks(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			runtime.GC()
+			now := runtime.NumGoroutine()
+			if now <= before+2 {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s", before, now, buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

@@ -28,9 +28,20 @@ type Metrics struct {
 	jobsFailed    atomic.Int64
 	jobsTimedOut  atomic.Int64
 
+	// Failure-kind breakdown (each also counts in jobsFailed above,
+	// except timeouts which count in jobsTimedOut).
+	jobsInfeasible atomic.Int64
+	jobsInvalid    atomic.Int64
+	jobsPanicked   atomic.Int64
+	// jobsShed counts requests fast-failed by an open circuit breaker
+	// (these never reach a worker and count in no other bucket).
+	jobsShed atomic.Int64
+
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
 	dedupCoalesced atomic.Int64
+	negCacheHits   atomic.Int64
+	cacheHealed    atomic.Int64
 
 	solveCount   atomic.Int64
 	solveNanos   atomic.Int64
@@ -70,16 +81,31 @@ type Snapshot struct {
 	JobsFailed    int64 `json:"jobsFailed"`
 	JobsTimedOut  int64 `json:"jobsTimedOut"`
 
+	// Failure counts by kind. Infeasible/Invalid/Panicked break down
+	// JobsFailed; TimedOut is its own aggregate above; Shed counts
+	// breaker fast-fails, which never reach a worker.
+	JobsInfeasible int64 `json:"jobsInfeasible"`
+	JobsInvalid    int64 `json:"jobsInvalid"`
+	JobsPanicked   int64 `json:"jobsPanicked"`
+	JobsShed       int64 `json:"jobsShed"`
+
 	// Result-cache effectiveness. A coalesced request neither hit nor
 	// missed: it attached to another request's in-flight solve.
+	// NegCacheHits are requests answered from the known-infeasible cache;
+	// CacheHealed counts corrupted entries dropped and re-solved.
 	CacheHits      int64 `json:"cacheHits"`
 	CacheMisses    int64 `json:"cacheMisses"`
 	DedupCoalesced int64 `json:"dedupCoalesced"`
+	NegCacheHits   int64 `json:"negCacheHits"`
+	CacheHealed    int64 `json:"cacheHealed"`
 	CacheEntries   int   `json:"cacheEntries"`
+	NegCacheSize   int   `json:"negCacheEntries"`
 
-	// Engine load.
-	QueueDepth int `json:"queueDepth"`
-	Workers    int `json:"workers"`
+	// Engine load. BreakersOpen is the number of canonical keys currently
+	// shedding load (open or probing half-open).
+	QueueDepth   int `json:"queueDepth"`
+	Workers      int `json:"workers"`
+	BreakersOpen int `json:"breakersOpen"`
 
 	// Solve latency (actual optimizer runs only — cache hits excluded).
 	SolveCount       int64   `json:"solveCount"`
@@ -97,9 +123,15 @@ func (m *Metrics) snapshot() Snapshot {
 		JobsCompleted:  m.jobsCompleted.Load(),
 		JobsFailed:     m.jobsFailed.Load(),
 		JobsTimedOut:   m.jobsTimedOut.Load(),
+		JobsInfeasible: m.jobsInfeasible.Load(),
+		JobsInvalid:    m.jobsInvalid.Load(),
+		JobsPanicked:   m.jobsPanicked.Load(),
+		JobsShed:       m.jobsShed.Load(),
 		CacheHits:      m.cacheHits.Load(),
 		CacheMisses:    m.cacheMisses.Load(),
 		DedupCoalesced: m.dedupCoalesced.Load(),
+		NegCacheHits:   m.negCacheHits.Load(),
+		CacheHealed:    m.cacheHealed.Load(),
 		SolveCount:     m.solveCount.Load(),
 		SolveMaxSeconds: time.Duration(
 			m.solveMaxNano.Load()).Seconds(),

@@ -328,6 +328,19 @@ type Result struct {
 	Objective float64
 	// Proven reports whether the engine proved the plan optimal.
 	Proven bool
+	// Degraded reports that the plan was returned without an optimality
+	// proof because a resource limit (deadline, cancellation) cut the
+	// optimization short: the best incumbent found so far, or a greedy
+	// first-fit fallback plan. Degraded plans still satisfy every
+	// feasibility rule and pass contam.Verify.
+	Degraded bool
+	// LowerBound is the best proven lower bound on the objective. For a
+	// proven plan it equals Objective; for a degraded plan it is the
+	// admissible root bound the search established before being cut off.
+	LowerBound float64
+	// Gap is the relative optimality gap (Objective − LowerBound) /
+	// Objective, in [0, 1]. Zero for proven plans.
+	Gap float64
 	// Runtime is the wall-clock synthesis time.
 	Runtime time.Duration
 	// Engine names the engine that produced the plan.
