@@ -24,6 +24,7 @@ import (
 	"switchsynth/internal/search"
 	"switchsynth/internal/service"
 	"switchsynth/internal/spec"
+	"switchsynth/internal/store"
 	"switchsynth/internal/topo"
 	"switchsynth/internal/valve"
 )
@@ -517,6 +518,116 @@ func BenchmarkService_ParallelCampaign(b *testing.B) {
 		res := exp.RunCampaign(exp.Config{TimeLimit: 2 * time.Second}, 12, 42)
 		if res.Stats.Solved == 0 {
 			b.Fatal("campaign solved nothing")
+		}
+	}
+}
+
+// --- Durable plan store: cold solve vs memory hit vs disk hit vs warm boot ---
+
+// storeBenchDir opens a synchronous-durability store for benchmarking.
+func storeBenchDir(b *testing.B, dir string) *store.Store {
+	b.Helper()
+	st, err := store.Open(dir, store.Options{FlushInterval: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkStore_ColdSolve is the baseline the store amortizes: a full
+// solve with write-through to disk on every iteration.
+func BenchmarkStore_ColdSolve(b *testing.B) {
+	sp := serviceBenchSpec()
+	for i := 0; i < b.N; i++ {
+		st := storeBenchDir(b, b.TempDir())
+		e := service.New(service.Config{Workers: 2, Store: st})
+		if _, err := e.Do(context.Background(), sp, switchsynth.Options{PressureSharing: true}); err != nil {
+			b.Fatal(err)
+		}
+		e.Close()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStore_MemoryHit measures the first tier: the repeat request
+// never reaches the disk store.
+func BenchmarkStore_MemoryHit(b *testing.B) {
+	st := storeBenchDir(b, b.TempDir())
+	defer st.Close()
+	e := service.New(service.Config{Workers: 2, Store: st})
+	defer e.Close()
+	sp := serviceBenchSpec()
+	if _, err := e.Do(context.Background(), sp, switchsynth.Options{PressureSharing: true}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := e.Do(context.Background(), sp, switchsynth.Options{PressureSharing: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.CacheHit || resp.DiskHit {
+			b.Fatal("expected a memory-tier hit")
+		}
+	}
+}
+
+// BenchmarkStore_DiskHit measures the second tier in isolation: the
+// memory cache is disabled, so every repeat request reads, CRC-checks,
+// and decodes the persisted plan, then re-runs analysis.
+func BenchmarkStore_DiskHit(b *testing.B) {
+	st := storeBenchDir(b, b.TempDir())
+	defer st.Close()
+	e := service.New(service.Config{Workers: 2, CacheSize: -1, Store: st})
+	defer e.Close()
+	sp := serviceBenchSpec()
+	if _, err := e.Do(context.Background(), sp, switchsynth.Options{PressureSharing: true}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := e.Do(context.Background(), sp, switchsynth.Options{PressureSharing: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.DiskHit {
+			b.Fatal("expected a disk-tier hit")
+		}
+	}
+}
+
+// BenchmarkStore_WarmBoot measures the restart path end to end: every
+// iteration opens the store directory (WAL/segment replay), builds a
+// fresh engine with an empty memory cache, and answers the previously
+// solved spec from disk.
+func BenchmarkStore_WarmBoot(b *testing.B) {
+	dir := b.TempDir()
+	st := storeBenchDir(b, dir)
+	e := service.New(service.Config{Workers: 2, Store: st})
+	sp := serviceBenchSpec()
+	if _, err := e.Do(context.Background(), sp, switchsynth.Options{PressureSharing: true}); err != nil {
+		b.Fatal(err)
+	}
+	e.Close()
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := storeBenchDir(b, dir)
+		e := service.New(service.Config{Workers: 2, Store: st})
+		resp, err := e.Do(context.Background(), sp, switchsynth.Options{PressureSharing: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.DiskHit {
+			b.Fatal("expected a warm-boot disk hit")
+		}
+		e.Close()
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

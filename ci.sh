@@ -1,14 +1,24 @@
 #!/usr/bin/env bash
-# CI gate: vet + build + full tests, race-checked service layer, the
-# seeded chaos suite (goroutine-leak gated, run twice), and two
-# benchmarks: cold-vs-cached request rate (BENCH_service.json) and the
-# degraded-path throughput under injected slow-solve faults
-# (BENCH_resilience.json).
+# CI gate: format + vet + build + full tests, race-checked service layer,
+# the seeded chaos suites (service faults and store crash-recovery, both
+# goroutine-leak gated and run twice), and three benchmarks: cold-vs-cached
+# request rate (BENCH_service.json), degraded-path throughput under
+# injected slow-solve faults (BENCH_resilience.json), and the plan-store
+# tiers — cold solve vs memory hit vs disk hit vs warm boot
+# (BENCH_store.json).
 #
 # Usage: ./ci.sh            (full gate)
 #        BENCHTIME=5s ./ci.sh  (longer benchmark runs)
 set -euo pipefail
 cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "ci.sh: gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  exit 1
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -30,6 +40,11 @@ BENCH_RESILIENCE_OUT="$PWD/BENCH_resilience.json" \
   go test -race -count=2 -run 'TestChaos' ./internal/service/
 cat BENCH_resilience.json
 
+echo "== store crash-recovery gate: 25 seeded schedules, -race -count=2 =="
+# Full store suite under the race detector, every crash schedule twice:
+# torn tails, corrupt records, failed fsyncs, abandoned compactions.
+go test -race -count=2 ./internal/store/...
+
 echo "== service benchmark: cold vs cached =="
 bench_out=$(go test -run '^$' -bench 'BenchmarkService_(Cold|Cached)Synthesize$' -benchtime "${BENCHTIME:-2s}" .)
 echo "$bench_out"
@@ -50,5 +65,30 @@ echo "$bench_out" | awk '
     printf "}\n"
   }' > BENCH_service.json
 cat BENCH_service.json
+
+echo "== store benchmark: cold vs memory vs disk vs warm boot =="
+store_out=$(go test -run '^$' -bench 'BenchmarkStore_' -benchtime "${BENCHTIME:-2s}" .)
+echo "$store_out"
+echo "$store_out" | awk '
+  $1 ~ /^BenchmarkStore_ColdSolve/  { cold = $3 }
+  $1 ~ /^BenchmarkStore_MemoryHit/  { mem = $3 }
+  $1 ~ /^BenchmarkStore_DiskHit/    { disk = $3 }
+  $1 ~ /^BenchmarkStore_WarmBoot/   { boot = $3 }
+  END {
+    if (cold == "" || mem == "" || disk == "" || boot == "") {
+      print "ci.sh: store benchmark output incomplete" > "/dev/stderr"
+      exit 1
+    }
+    printf "{\n"
+    printf "  \"coldSolveNsPerOp\": %.0f,\n", cold
+    printf "  \"memoryHitNsPerOp\": %.0f,\n", mem
+    printf "  \"diskHitNsPerOp\": %.0f,\n", disk
+    printf "  \"warmBootNsPerOp\": %.0f,\n", boot
+    printf "  \"diskHitSpeedupOverCold\": %.1f,\n", cold / disk
+    printf "  \"warmBootSpeedupOverCold\": %.1f,\n", cold / boot
+    printf "  \"diskHitSlowdownOverMemory\": %.1f\n", disk / mem
+    printf "}\n"
+  }' > BENCH_store.json
+cat BENCH_store.json
 
 echo "ci.sh: OK"

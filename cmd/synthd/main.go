@@ -7,18 +7,28 @@
 //
 //	synthd [-addr :8471] [-workers N] [-queue N] [-cache N] [-timelimit 30s]
 //	       [-drain-timeout 30s] [-breaker-threshold 3] [-breaker-cooldown 5s]
-//	       [-negcache 256]
+//	       [-negcache 256] [-store-dir DIR] [-store-flush-interval 5ms]
+//	       [-store-max-wal-bytes N] [-export-plans DIR]
+//
+// With -store-dir the result cache gains a durable tier: solved proven
+// plans are persisted to a WAL-backed, content-addressed store in DIR,
+// and a restarted daemon warm-boots from it — a previously solved spec
+// (or any rotated/permuted equivalent) is answered from disk with zero
+// solver invocations. -export-plans dumps every persisted plan from
+// -store-dir as planio JSON files into DIR (for cmd/verifyplan audit)
+// and exits without serving.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
 // accepting, in-flight and queued solves get -drain-timeout to finish,
 // and whatever is still running after that is cancelled (anytime solves
-// return their best incumbent as a degraded plan).
+// return their best incumbent as a degraded plan). The store is closed
+// — final group commit included — after the engine stops writing.
 //
 // Endpoints:
 //
 //	POST /synthesize  {"spec": {...}, "options": {"pressureSharing": true, "svg": true}}
 //	GET  /healthz     liveness and pool shape
-//	GET  /metrics     job/cache/latency counters as JSON
+//	GET  /metrics     job/cache/store/latency counters as JSON
 //
 // The spec payload is the same JSON format cmd/switchsynth reads; the
 // response embeds the routed plan in the cmd/verifyplan format. See the
@@ -36,10 +46,54 @@ import (
 	"time"
 
 	"switchsynth/internal/service"
+	"switchsynth/internal/store"
 )
 
+// storeFlags carries the durable-tier configuration out of parseFlags.
+type storeFlags struct {
+	// Dir enables the store when non-empty.
+	Dir string
+	// FlushInterval is the group-commit window (negative = fsync every
+	// put); MaxWALBytes the compaction threshold (negative disables).
+	FlushInterval time.Duration
+	MaxWALBytes   int64
+	// ExportDir, when non-empty, dumps the store and exits.
+	ExportDir string
+}
+
 func main() {
-	cfg, addr, drain := parseFlags(os.Args[1:])
+	cfg, addr, drain, sf := parseFlags(os.Args[1:])
+
+	var st *store.Store
+	if sf.Dir != "" {
+		var err error
+		st, err = store.Open(sf.Dir, store.Options{
+			FlushInterval: sf.FlushInterval,
+			MaxWALBytes:   sf.MaxWALBytes,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synthd:", err)
+			os.Exit(1)
+		}
+		stats := st.Stats()
+		fmt.Printf("synthd: plan store %s: %d plans (%d bytes), %d records replayed, %d torn bytes truncated\n",
+			sf.Dir, stats.Entries, stats.DiskBytes, stats.Recovered, stats.TruncatedBytes)
+		cfg.Store = st
+	}
+	if sf.ExportDir != "" {
+		if st == nil {
+			fmt.Fprintln(os.Stderr, "synthd: -export-plans requires -store-dir")
+			os.Exit(2)
+		}
+		n, err := st.Export(sf.ExportDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synthd:", err)
+			os.Exit(1)
+		}
+		_ = st.Close()
+		fmt.Printf("synthd: exported %d plans to %s (verify with: verifyplan %s)\n", n, sf.ExportDir, sf.ExportDir)
+		return
+	}
 
 	engine := service.New(cfg)
 	srv := &http.Server{
@@ -61,6 +115,7 @@ func main() {
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "synthd:", err)
 		engine.CloseNow()
+		closeStore(st)
 		os.Exit(1)
 	}
 
@@ -84,30 +139,52 @@ func main() {
 		engine.CloseNow()
 		<-drained
 	}
+	// The engine has stopped writing; the final Close flushes whatever
+	// the last group commit hadn't fsynced yet.
+	closeStore(st)
+}
+
+// closeStore closes the durable tier (nil-safe), reporting flush errors.
+func closeStore(st *store.Store) {
+	if st == nil {
+		return
+	}
+	if err := st.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "synthd: store close:", err)
+	}
 }
 
 // parseFlags builds the engine config from argv (split out for tests).
-func parseFlags(args []string) (service.Config, string, time.Duration) {
+func parseFlags(args []string) (service.Config, string, time.Duration, storeFlags) {
 	fs := flag.NewFlagSet("synthd", flag.ExitOnError)
 	var (
 		addr       = fs.String("addr", ":8471", "listen address")
 		workers    = fs.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
 		queue      = fs.Int("queue", 0, "job queue depth (0 = 4x workers)")
-		cacheSize  = fs.Int("cache", 1024, "result cache entries (negative disables)")
+		cacheSize  = fs.Int("cache", 1024, "result cache entries (negative disables the memory tier)")
 		timeLimit  = fs.Duration("timelimit", 30*time.Second, "default per-solve time limit")
 		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown window before in-flight solves are cancelled")
 		brkThresh  = fs.Int("breaker-threshold", 0, "consecutive timeouts before a spec's circuit breaker opens (0 = default 3, negative disables)")
 		brkCool    = fs.Duration("breaker-cooldown", 0, "how long an open breaker fast-fails before probing (0 = default 5s)")
 		negEntries = fs.Int("negcache", 0, "infeasibility-proof cache entries (0 = default 256, negative disables)")
+		storeDir   = fs.String("store-dir", "", "durable plan store directory (empty disables the disk tier)")
+		storeFlush = fs.Duration("store-flush-interval", 0, "store group-commit window (0 = default 5ms, negative fsyncs every put)")
+		storeWAL   = fs.Int64("store-max-wal-bytes", 0, "WAL size that triggers store compaction (0 = default 8MiB, negative disables)")
+		exportDir  = fs.String("export-plans", "", "with -store-dir: dump persisted plans as planio JSON into this directory and exit")
 	)
 	_ = fs.Parse(args)
 	return service.Config{
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		CacheSize:         *cacheSize,
-		DefaultTimeLimit:  *timeLimit,
-		BreakerThreshold:  *brkThresh,
-		BreakerCooldown:   *brkCool,
-		NegativeCacheSize: *negEntries,
-	}, *addr, *drain
+			Workers:           *workers,
+			QueueDepth:        *queue,
+			CacheSize:         *cacheSize,
+			DefaultTimeLimit:  *timeLimit,
+			BreakerThreshold:  *brkThresh,
+			BreakerCooldown:   *brkCool,
+			NegativeCacheSize: *negEntries,
+		}, *addr, *drain, storeFlags{
+			Dir:           *storeDir,
+			FlushInterval: *storeFlush,
+			MaxWALBytes:   *storeWAL,
+			ExportDir:     *exportDir,
+		}
 }

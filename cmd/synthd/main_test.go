@@ -6,11 +6,13 @@ import (
 )
 
 func TestParseFlags(t *testing.T) {
-	cfg, addr, drain := parseFlags([]string{
+	cfg, addr, drain, sf := parseFlags([]string{
 		"-addr", "127.0.0.1:9000", "-workers", "3", "-queue", "7",
 		"-cache", "99", "-timelimit", "5s", "-drain-timeout", "2s",
 		"-breaker-threshold", "5", "-breaker-cooldown", "10s",
 		"-negcache", "64",
+		"-store-dir", "/tmp/plans", "-store-flush-interval", "25ms",
+		"-store-max-wal-bytes", "4096", "-export-plans", "/tmp/dump",
 	})
 	if addr != "127.0.0.1:9000" {
 		t.Errorf("addr = %q", addr)
@@ -30,10 +32,19 @@ func TestParseFlags(t *testing.T) {
 	if cfg.NegativeCacheSize != 64 {
 		t.Errorf("negcache = %d", cfg.NegativeCacheSize)
 	}
+	if sf.Dir != "/tmp/plans" || sf.FlushInterval != 25*time.Millisecond ||
+		sf.MaxWALBytes != 4096 || sf.ExportDir != "/tmp/dump" {
+		t.Errorf("store flags = %+v", sf)
+	}
+	// parseFlags only carries the configuration; the store is opened (and
+	// wired into cfg.Store) by main, so no directory is touched here.
+	if cfg.Store != nil {
+		t.Error("parseFlags should not open the store")
+	}
 }
 
 func TestParseFlagsDefaults(t *testing.T) {
-	cfg, addr, drain := parseFlags(nil)
+	cfg, addr, drain, sf := parseFlags(nil)
 	if addr != ":8471" {
 		t.Errorf("addr = %q", addr)
 	}
@@ -46,5 +57,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	// Zero values defer to the service defaults (breaker on, negcache on).
 	if cfg.BreakerThreshold != 0 || cfg.NegativeCacheSize != 0 {
 		t.Errorf("resilience cfg should default to zero: %+v", cfg)
+	}
+	// The durable tier is opt-in: no directory, store defaults deferred.
+	if sf.Dir != "" || sf.ExportDir != "" || sf.FlushInterval != 0 || sf.MaxWALBytes != 0 {
+		t.Errorf("store flags should default to zero: %+v", sf)
 	}
 }

@@ -1,4 +1,4 @@
-// Command verifyplan independently re-checks a serialized switch plan:
+// Command verifyplan independently re-checks serialized switch plans:
 // structural verification (binding, paths, conflicts, collisions), valve
 // analysis, and the conservative fluidic simulation.
 //
@@ -6,14 +6,21 @@
 //
 //	switchsynth -plan plan.json case.json   # produce a plan file
 //	verifyplan plan.json                    # re-verify it
+//	synthd -store-dir ./plans -export-plans ./dump
+//	verifyplan ./dump                       # audit a store export
 //
-// Exit status 0 means the plan passed every check.
+// Each argument is a plan file or a directory; a directory audits every
+// *.json inside it (the layout synthd -export-plans and store.Export
+// write). Exit status 0 means every plan passed every check; any failure
+// is reported and verification continues with the remaining plans.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"switchsynth/internal/clique"
 	"switchsynth/internal/contam"
@@ -25,20 +32,70 @@ import (
 func main() {
 	quiet := flag.Bool("q", false, "only print failures")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: verifyplan [-q] plan.json")
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: verifyplan [-q] plan.json|plandir ...")
 		os.Exit(2)
 	}
-	data, err := os.ReadFile(flag.Arg(0))
+	paths, err := expandArgs(flag.Args())
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(os.Stderr, "verifyplan:", err)
+		os.Exit(2)
+	}
+	failed := 0
+	for _, p := range paths {
+		if err := verifyFile(p, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "verifyplan: %s: %v\n", p, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "verifyplan: %d of %d plans FAILED\n", failed, len(paths))
+		os.Exit(1)
+	}
+	if !*quiet && len(paths) > 1 {
+		fmt.Printf("all %d plans verified\n", len(paths))
+	}
+}
+
+// expandArgs resolves each argument to plan files: files pass through,
+// directories contribute their *.json entries (sorted, so a store export
+// audits in a stable order).
+func expandArgs(args []string) ([]string, error) {
+	var paths []string
+	for _, a := range args {
+		fi, err := os.Stat(a)
+		if err != nil {
+			return nil, err
+		}
+		if !fi.IsDir() {
+			paths = append(paths, a)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(a, "*.json"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("directory %s holds no *.json plans", a)
+		}
+		sort.Strings(matches)
+		paths = append(paths, matches...)
+	}
+	return paths, nil
+}
+
+// verifyFile runs the full check pipeline on one plan file.
+func verifyFile(path string, quiet bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
 	}
 	res, err := planio.Decode(data)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	say := func(format string, args ...interface{}) {
-		if !*quiet {
+		if !quiet {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
@@ -46,13 +103,13 @@ func main() {
 		res.Spec.Name, res.Spec.SwitchPins, len(res.Routes), res.NumSets, res.Length)
 
 	if err := contam.Verify(res); err != nil {
-		fatal(fmt.Errorf("structural verification FAILED: %w", err))
+		return fmt.Errorf("structural verification FAILED: %w", err)
 	}
 	say("structural verification: ok (contamination-free, collision-free)")
 
 	va, err := valve.Analyze(res)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cover := clique.MinCover(valve.CompatibilityMatrix(va.EssentialValves()))
 	say("valves: %d essential, %d control inlets after pressure sharing",
@@ -60,18 +117,14 @@ func main() {
 
 	rep, err := sim.Run(res, sim.Options{Valves: va, Pressure: &cover})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if !rep.Clean() {
 		for _, e := range rep.Events {
 			fmt.Fprintln(os.Stderr, "simulation:", e)
 		}
-		fatal(fmt.Errorf("fluidic simulation FAILED with %d events", len(rep.Events)))
+		return fmt.Errorf("fluidic simulation FAILED with %d events", len(rep.Events))
 	}
 	say("fluidic simulation: clean")
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "verifyplan:", err)
-	os.Exit(1)
+	return nil
 }

@@ -34,6 +34,24 @@ const (
 	HTTPDelay Point = "http.delay"
 )
 
+// Injection points probed by internal/store (the durable plan store).
+const (
+	// DiskShortWrite tears a WAL append: only a prefix of the record
+	// reaches the file and the put fails, leaving a torn tail exactly as
+	// a crash mid-write would.
+	DiskShortWrite Point = "disk.shortwrite"
+	// DiskCorrupt flips a payload byte of a record on its way to disk;
+	// the put succeeds but the record fails its CRC on read.
+	DiskCorrupt Point = "disk.corrupt"
+	// DiskFsyncErr fails a group-commit fsync: the flush is skipped and
+	// the durable offset does not advance.
+	DiskFsyncErr Point = "disk.fsyncerr"
+	// DiskCrashBeforeRename aborts a compaction after the new segment is
+	// fully written but before the atomic rename, leaving a stray .tmp
+	// file exactly as a crash at that instant would.
+	DiskCrashBeforeRename Point = "disk.crashbeforerename"
+)
+
 // Rule configures one injection point.
 type Rule struct {
 	// Probability in [0, 1] that the fault fires at each probe; 1 fires

@@ -1,0 +1,57 @@
+package planio
+
+import (
+	"bytes"
+	"testing"
+
+	"switchsynth/internal/search"
+	"switchsynth/internal/spec"
+)
+
+// FuzzDecode throws arbitrary bytes at the wire decoder. Decode guards
+// the trust boundary between the durable store / export files and the
+// solver core, so the contract is strict: it must never panic, and any
+// input it accepts must be internally consistent enough to re-encode.
+func FuzzDecode(f *testing.F) {
+	sp := &spec.Spec{
+		Name:       "fuzz-seed",
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Conflicts:  [][2]int{{0, 1}},
+		Binding:    spec.Unfixed,
+	}
+	res, err := search.Solve(sp, search.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	good, err := Encode(res)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)/2]) // truncated mid-object
+	f.Add(bytes.Replace(good, []byte(`"version": 1`), []byte(`"version": 99`), 1))
+	f.Add(bytes.Replace(good, []byte(`"set"`), []byte(`"sot"`), -1)) // unknown field names
+	f.Add(bytes.Replace(good, []byte(`p0`), []byte(`zz`), -1))       // vertex names off the grid
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"spec":null}`))
+	f.Add([]byte(`{"version":1,"spec":{"switchPins":-8}}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Accepted plans must survive re-encoding: Decode recomputes the
+		// derived fields, so a plan it vouches for is serializable again.
+		if _, err := Encode(out); err != nil {
+			t.Fatalf("Decode accepted a plan Encode rejects: %v", err)
+		}
+	})
+}

@@ -15,7 +15,7 @@ func hardSpec() *spec.Spec {
 	return &spec.Spec{
 		Name:       "ctx-hard",
 		SwitchPins: 24,
-		Modules: []string{"a", "b", "c", "d", "s1", "s2", "s3", "s4", "s5", "s6"},
+		Modules:    []string{"a", "b", "c", "d", "s1", "s2", "s3", "s4", "s5", "s6"},
 		Flows: []spec.Flow{
 			{From: "a", To: "s1"}, {From: "b", To: "s2"},
 			{From: "c", To: "s3"}, {From: "d", To: "s4"},

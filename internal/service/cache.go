@@ -35,10 +35,19 @@ type cacheEntry struct {
 }
 
 // newCache creates an LRU holding up to capacity results; capacity <= 0
-// disables caching (every lookup misses, stores are dropped).
+// disables the memory tier entirely — see enabled.
 func newCache(capacity int) *cache {
 	return &cache{cap: capacity, ll: list.New(), byK: make(map[string]*list.Element)}
 }
+
+// enabled reports whether the memory tier is on. With capacity <= 0 the
+// engine explicitly skips both lookups and stores (the methods below
+// also guard themselves, but the engine branches on this so the
+// disabled path is visible at the call sites): requests still coalesce
+// through the flight group, and a configured durable store still serves
+// disk hits — the supported disk-only configuration (memory off, store
+// on).
+func (c *cache) enabled() bool { return c.cap > 0 }
 
 // get returns the cached plan for key, marking it most recently used.
 func (c *cache) get(key string) (*spec.Result, bool) {

@@ -34,8 +34,10 @@ import (
 
 	"switchsynth"
 	"switchsynth/internal/faultinject"
+	"switchsynth/internal/planio"
 	"switchsynth/internal/search"
 	"switchsynth/internal/spec"
+	"switchsynth/internal/store"
 )
 
 // Config sizes the engine.
@@ -68,6 +70,12 @@ type Config struct {
 	// at the engine's chaos points (see internal/faultinject). Nil — the
 	// default — makes every injection point a nop.
 	FaultInjector *faultinject.Injector
+	// Store, when non-nil, is the durable tier of the result cache: on a
+	// memory miss the engine consults it before solving, and solved
+	// proven plans are written through (degraded plans never persist).
+	// Combined with CacheSize < 0 this gives a disk-only configuration.
+	// The engine does not close the store; its owner does.
+	Store *store.Store
 }
 
 func (c Config) workers() int {
@@ -141,8 +149,13 @@ type Response struct {
 	Synthesis *switchsynth.Synthesis
 	// Key is the spec's canonical cache key.
 	Key string
-	// CacheHit reports that the plan was served from the result cache.
+	// CacheHit reports that the plan was served from the result cache
+	// (either tier) instead of a fresh solve.
 	CacheHit bool
+	// DiskHit reports that the plan came from the durable store: the
+	// memory tier missed (or is disabled) and the plan was decoded and
+	// re-verified from disk.
+	DiskHit bool
 	// Coalesced reports that the request attached to another request's
 	// in-flight solve instead of starting its own.
 	Coalesced bool
@@ -186,6 +199,7 @@ type Engine struct {
 	cfg      Config
 	jobs     chan job
 	cache    *cache
+	store    *store.Store // nil when no durable tier is configured
 	neg      *negCache
 	breakers *breakerGroup // nil when the breaker is disabled
 	inj      *faultinject.Injector
@@ -214,6 +228,7 @@ func New(cfg Config) *Engine {
 		cfg:     cfg,
 		jobs:    make(chan job, cfg.queueDepth()),
 		cache:   newCache(cfg.cacheSize()),
+		store:   cfg.Store,
 		neg:     newNegCache(cfg.negativeCacheSize()),
 		inj:     cfg.FaultInjector,
 		flights: newFlightGroup(),
@@ -267,20 +282,47 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 	}
 
 	for {
-		if res, ok := e.cache.get(key); ok {
-			resp, ferr := e.assemble(&Response{Key: key, CacheHit: true, SolveTime: res.Runtime}, res, sp, opts)
-			if ferr != nil {
-				// The stored plan no longer adapts or verifies — a
-				// corrupted entry. Heal: drop it and re-solve; the fresh
-				// flight result is assembled directly, never from the
-				// cache, so this cannot loop.
-				e.cache.invalidate(key)
-				e.metrics.cacheHealed.Add(1)
-				continue
+		// Memory tier. A disabled cache (capacity <= 0) explicitly skips
+		// both the lookup here and the store in runJob — requests still
+		// coalesce through the flight group and, in a disk-only
+		// configuration, are served from the durable tier below.
+		if e.cache.enabled() {
+			if res, ok := e.cache.get(key); ok {
+				resp, ferr := e.assemble(&Response{Key: key, CacheHit: true, SolveTime: res.Runtime}, res, sp, opts)
+				if ferr != nil {
+					// The stored plan no longer adapts or verifies — a
+					// corrupted entry. Heal: drop it and re-solve; the fresh
+					// flight result is assembled directly, never from the
+					// cache, so this cannot loop.
+					e.cache.invalidate(key)
+					e.metrics.cacheHealed.Add(1)
+					continue
+				}
+				e.metrics.cacheHits.Add(1)
+				e.metrics.jobsCompleted.Add(1)
+				return resp, nil
 			}
-			e.metrics.cacheHits.Add(1)
-			e.metrics.jobsCompleted.Add(1)
-			return resp, nil
+		}
+		// Disk tier: decode the persisted plan and re-verify it through
+		// the same assemble path a memory hit takes (Analyze runs the
+		// full contamination verifier), so a record that rotted on disk
+		// is healed — evicted and re-solved — never served.
+		if e.store != nil {
+			if res, ok := e.loadFromStore(key); ok {
+				resp, ferr := e.assemble(&Response{Key: key, CacheHit: true, DiskHit: true, SolveTime: res.Runtime}, res, sp, opts)
+				if ferr != nil {
+					_ = e.store.Delete(key)
+					e.metrics.storeHealed.Add(1)
+					continue
+				}
+				// Promote to the memory tier so the next hit skips the
+				// disk read and decode.
+				if e.cache.enabled() {
+					e.cache.put(key, res)
+				}
+				e.metrics.jobsCompleted.Add(1)
+				return resp, nil
+			}
 		}
 		if ok, retryAfter := e.breakers.allow(key); !ok {
 			e.metrics.jobsShed.Add(1)
@@ -326,6 +368,29 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 		e.metrics.jobsCompleted.Add(1)
 		return resp, nil
 	}
+}
+
+// loadFromStore fetches and decodes the persisted plan for key. A record
+// that fails its CRC is already evicted by the store itself; one that
+// reads back but no longer decodes (or lost its optimality proof) is
+// deleted here. Either way the caller sees a miss and re-solves — a
+// corrupted persisted plan is never served. Counted as storeHits /
+// storeMisses on the engine, mirroring the store's own counters.
+func (e *Engine) loadFromStore(key string) (*spec.Result, bool) {
+	data, _, ok := e.store.Get(key)
+	if !ok {
+		e.metrics.storeMisses.Add(1)
+		return nil, false
+	}
+	res, err := planio.Decode(data)
+	if err != nil || !res.Proven {
+		_ = e.store.Delete(key)
+		e.metrics.storeHealed.Add(1)
+		e.metrics.storeMisses.Add(1)
+		return nil, false
+	}
+	e.metrics.storeHits.Add(1)
+	return res, true
 }
 
 // enqueue hands a job to the worker pool, blocking while the queue is
@@ -421,15 +486,28 @@ func (e *Engine) runJob(j job) {
 	e.metrics.observeSolve(time.Since(start))
 	e.recordBreaker(j.key, err)
 	if err == nil {
-		// Degraded plans are served but not cached: the cache key ignores
-		// the time limit, so a plan cut short by one caller's tiny budget
-		// must not shadow the proven optimum for everyone else.
+		// Degraded plans are served but not cached or persisted: the
+		// cache key ignores the time limit, so a plan cut short by one
+		// caller's tiny budget must not shadow the proven optimum for
+		// everyone else — in memory or, worse, durably on disk.
 		if res.Proven {
-			toCache := res
-			if e.inj.Fire(faultinject.CacheCorrupt) {
-				toCache = corruptPlan(res)
+			if e.cache.enabled() {
+				toCache := res
+				if e.inj.Fire(faultinject.CacheCorrupt) {
+					toCache = corruptPlan(res)
+				}
+				e.cache.put(j.key, toCache)
 			}
-			e.cache.put(j.key, toCache)
+			// Write through to the durable tier (always the pristine
+			// plan — the cache-corruption fault stays a memory-tier
+			// fault; the store has its own disk fault points). Failures
+			// are absorbed: the store is a cache, not a system of
+			// record, and its error counters surface in the metrics.
+			if e.store != nil {
+				if data, perr := planio.EncodeWire(res); perr == nil {
+					_ = e.store.Put(j.key, engineName(j.opts), data)
+				}
+			}
 		}
 	} else {
 		var nosol *spec.ErrNoSolution
@@ -476,6 +554,19 @@ func (e *Engine) Snapshot() Snapshot {
 	s.QueueDepth = len(e.jobs)
 	s.Workers = e.cfg.workers()
 	s.BreakersOpen = e.breakers.openCount()
+	if e.store != nil {
+		st := e.store.Stats()
+		s.StoreEnabled = true
+		s.StoreEntries = st.Entries
+		s.StoreDiskBytes = st.DiskBytes
+		s.StoreDiskHits = st.Hits
+		s.StoreDiskMisses = st.Misses
+		s.StoreCompactions = st.Compactions
+		s.StoreRecovered = st.Recovered
+		s.StoreTruncatedBytes = st.TruncatedBytes
+		s.StoreCorruptEvicted = st.CorruptEvicted
+		s.StoreFsyncErrors = st.FsyncErrors
+	}
 	return s
 }
 
@@ -507,9 +598,14 @@ func canonicalJobKey(sp *spec.Spec, opts switchsynth.Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	engine := opts.Engine
-	if engine == "" {
-		engine = switchsynth.EngineSearch
+	return base + "|" + engineName(opts), nil
+}
+
+// engineName resolves the effective engine for opts (the key suffix and
+// the provenance recorded alongside persisted plans).
+func engineName(opts switchsynth.Options) string {
+	if opts.Engine != "" {
+		return opts.Engine
 	}
-	return base + "|" + engine, nil
+	return switchsynth.EngineSearch
 }

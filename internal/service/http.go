@@ -61,8 +61,10 @@ type SynthesizeResponse struct {
 	Name    string `json:"name"`
 	Summary string `json:"summary"`
 
-	// Cache provenance.
+	// Cache provenance. DiskHit marks a plan served from the durable
+	// store (warm boot / memory-tier miss).
 	CacheHit  bool   `json:"cacheHit"`
+	DiskHit   bool   `json:"diskHit,omitempty"`
 	Coalesced bool   `json:"coalesced"`
 	Key       string `json:"key"`
 
@@ -153,6 +155,7 @@ func handleSynthesize(e *Engine, w http.ResponseWriter, r *http.Request) {
 		Name:          req.Spec.Name,
 		Summary:       syn.Summary(),
 		CacheHit:      resp.CacheHit,
+		DiskHit:       resp.DiskHit,
 		Coalesced:     resp.Coalesced,
 		Key:           resp.Key,
 		NumSets:       syn.NumSets,

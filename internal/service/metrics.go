@@ -43,6 +43,14 @@ type Metrics struct {
 	negCacheHits   atomic.Int64
 	cacheHealed    atomic.Int64
 
+	// Durable-tier counters (all zero when no store is configured).
+	// storeHits/storeMisses count engine-level lookups that reached the
+	// disk tier; storeHealed counts persisted entries that read back but
+	// failed to decode, adapt or verify and were evicted and re-solved.
+	storeHits   atomic.Int64
+	storeMisses atomic.Int64
+	storeHealed atomic.Int64
+
 	solveCount   atomic.Int64
 	solveNanos   atomic.Int64
 	solveBucket  [numSolveBuckets]atomic.Int64
@@ -101,6 +109,26 @@ type Snapshot struct {
 	CacheEntries   int   `json:"cacheEntries"`
 	NegCacheSize   int   `json:"negCacheEntries"`
 
+	// Durable plan store (the disk tier behind the memory LRU). Enabled
+	// reports whether a store is configured; the engine-level counters
+	// (Hits/Misses/Healed) count two-tier lookups that reached disk,
+	// the gauges mirror the store's own accounting — entries and bytes
+	// on disk, completed compactions, and the recovery outcome of the
+	// last open (records replayed, torn-tail bytes truncated).
+	StoreEnabled        bool  `json:"storeEnabled"`
+	StoreHits           int64 `json:"storeHits"`
+	StoreMisses         int64 `json:"storeMisses"`
+	StoreHealed         int64 `json:"storeHealed"`
+	StoreEntries        int   `json:"storeEntries"`
+	StoreDiskBytes      int64 `json:"storeDiskBytes"`
+	StoreDiskHits       int64 `json:"storeDiskHits"`
+	StoreDiskMisses     int64 `json:"storeDiskMisses"`
+	StoreCompactions    int64 `json:"storeCompactions"`
+	StoreRecovered      int64 `json:"storeRecoveredRecords"`
+	StoreTruncatedBytes int64 `json:"storeTruncatedBytes"`
+	StoreCorruptEvicted int64 `json:"storeCorruptEvicted"`
+	StoreFsyncErrors    int64 `json:"storeFsyncErrors"`
+
 	// Engine load. BreakersOpen is the number of canonical keys currently
 	// shedding load (open or probing half-open).
 	QueueDepth   int `json:"queueDepth"`
@@ -132,6 +160,9 @@ func (m *Metrics) snapshot() Snapshot {
 		DedupCoalesced: m.dedupCoalesced.Load(),
 		NegCacheHits:   m.negCacheHits.Load(),
 		CacheHealed:    m.cacheHealed.Load(),
+		StoreHits:      m.storeHits.Load(),
+		StoreMisses:    m.storeMisses.Load(),
+		StoreHealed:    m.storeHealed.Load(),
 		SolveCount:     m.solveCount.Load(),
 		SolveMaxSeconds: time.Duration(
 			m.solveMaxNano.Load()).Seconds(),

@@ -1,0 +1,659 @@
+// Package store is the durable tier of the synthesis result cache: a
+// crash-safe, content-addressed on-disk plan store. Keys are canonical
+// job keys (spec.CanonicalKey plus the engine name), values are
+// planio-encoded plans, so every member of a presentation-equivalence
+// class maps to one stored plan and a restarted daemon serves previously
+// solved specs without re-running the optimizer (warm boot).
+//
+// Layout of a store directory:
+//
+//	wal.log          append-only write-ahead log of put/delete records
+//	seg-%08d.log     at most one immutable, compacted segment
+//	seg-%08d.tmp     transient compaction output, removed at open
+//
+// Durability is batched: Put appends to the WAL immediately (readable at
+// once) and a background flusher fsyncs the file at most once per
+// FlushInterval (group commit), so a burst of puts costs one fsync.
+// Records written but not yet fsynced may be lost in a crash; everything
+// before the last successful fsync is guaranteed to survive.
+//
+// Recovery tolerates a torn tail: the open-time scan applies records
+// until the first structurally invalid or CRC-mismatching one, truncates
+// the WAL there, and keeps everything before it. Reopen is idempotent —
+// a second open of a recovered directory recovers the same contents and
+// truncates nothing. Get re-verifies the record CRC on every read, so a
+// corrupted record is never returned: it is evicted and reported as a
+// miss, and the caller re-solves.
+//
+// Once the WAL exceeds MaxWALBytes a background compaction snapshots the
+// live entries into a fresh segment (written to a temp file, fsynced,
+// atomically renamed) and resets the WAL. A crash at any point of the
+// compaction leaves a recoverable directory: stray temp files are
+// ignored, and the WAL is only reset after the new segment is durable.
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"switchsynth/internal/faultinject"
+)
+
+// Options tunes a store.
+type Options struct {
+	// FlushInterval is the group-commit window: the longest time an
+	// acknowledged put may sit in the OS cache before it is fsynced.
+	// Zero means the 5ms default; negative fsyncs every put (synchronous
+	// durability, one fsync per write).
+	FlushInterval time.Duration
+	// MaxWALBytes triggers compaction once the WAL grows past it. Zero
+	// means the 8 MiB default; negative disables compaction.
+	MaxWALBytes int64
+	// FaultInjector, when non-nil, enables the disk fault points (see
+	// internal/faultinject). Nil makes every probe a nop.
+	FaultInjector *faultinject.Injector
+}
+
+func (o Options) flushInterval() time.Duration {
+	if o.FlushInterval != 0 {
+		return o.FlushInterval
+	}
+	return 5 * time.Millisecond
+}
+
+func (o Options) maxWALBytes() int64 {
+	if o.MaxWALBytes != 0 {
+		return o.MaxWALBytes
+	}
+	return 8 << 20
+}
+
+// Stats is a point-in-time copy of the store's gauges and counters.
+// Counters reset at Open (they describe this process's store lifetime,
+// except Recovered/TruncatedBytes which describe the open itself).
+type Stats struct {
+	// Entries is the number of live keys; DiskBytes the WAL + segment
+	// footprint.
+	Entries   int   `json:"entries"`
+	DiskBytes int64 `json:"diskBytes"`
+	// Hits/Misses count Get outcomes; a CRC-failed read is a miss and a
+	// CorruptEvicted.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Puts/Deletes count accepted writes.
+	Puts    int64 `json:"puts"`
+	Deletes int64 `json:"deletes"`
+	// Flushes counts group-commit fsync batches; FsyncErrors failed ones
+	// (the durable offset does not advance on failure).
+	Flushes     int64 `json:"flushes"`
+	FsyncErrors int64 `json:"fsyncErrors"`
+	// Compactions counts completed compactions; CompactionsAborted ones
+	// abandoned by a fault or error before the atomic rename.
+	Compactions        int64 `json:"compactions"`
+	CompactionsAborted int64 `json:"compactionsAborted"`
+	// Recovered is the number of records applied by the open-time scan;
+	// TruncatedBytes how much torn tail the open cut off the WAL.
+	Recovered      int64 `json:"recovered"`
+	TruncatedBytes int64 `json:"truncatedBytes"`
+	// CorruptEvicted counts records dropped because their CRC failed on
+	// read (Get, compaction, or the segment scan at open).
+	CorruptEvicted int64 `json:"corruptEvicted"`
+	// TornRepaired counts short-write tails truncated by a later append.
+	TornRepaired int64 `json:"tornRepaired"`
+}
+
+// loc addresses one live record inside the WAL or the segment.
+type loc struct {
+	inSeg bool
+	off   int64
+	size  int
+}
+
+// Store is the durable plan store. All methods are safe for concurrent
+// use. Create with Open, retire with Close.
+type Store struct {
+	dir  string
+	opts Options
+	inj  *faultinject.Injector
+
+	mu         sync.Mutex
+	wal        *os.File
+	walSize    int64 // logical append offset (excludes any torn bytes)
+	walDurable int64 // fsynced prefix of the WAL
+	walDirty   bool  // bytes written since the last fsync
+	torn       bool  // a short write left garbage at walSize
+	seg        *os.File
+	segID      int64
+	segSize    int64
+	index      map[string]loc
+	compacting bool
+	closed     bool
+	stats      Stats
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// walName is the WAL file name inside a store directory.
+const walName = "wal.log"
+
+// segName formats the immutable segment file name for id.
+func segName(id int64) string { return fmt.Sprintf("seg-%08d.log", id) }
+
+// Open creates (or recovers) the store in dir. The directory is created
+// if missing. Recovery applies the newest segment, then the WAL up to
+// the first bad record (truncating the torn tail), removing stray temp
+// files and superseded segments.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		inj:   opts.FaultInjector,
+		index: make(map[string]loc),
+		segID: -1,
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if opts.flushInterval() > 0 {
+		s.flushStop = make(chan struct{})
+		s.flushDone = make(chan struct{})
+		go s.flusher(opts.flushInterval())
+	}
+	return s, nil
+}
+
+// recover scans the directory into a fresh index: stray .tmp files and
+// superseded segments are deleted, the newest segment is replayed, then
+// the WAL is replayed and truncated at its first bad record.
+func (s *Store) recover() error {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var segs []int64
+	for _, de := range names {
+		name := de.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			_ = os.Remove(filepath.Join(s.dir, name))
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".log"):
+			var id int64
+			if _, err := fmt.Sscanf(name, "seg-%08d.log", &id); err == nil {
+				segs = append(segs, id)
+			}
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	// A crash between segment rename and old-segment removal can leave
+	// two segments; the newest wins (it contains a superset of the live
+	// entries at its compaction) and older ones are deleted.
+	for _, id := range segs[:max(0, len(segs)-1)] {
+		_ = os.Remove(filepath.Join(s.dir, segName(id)))
+	}
+	if len(segs) > 0 {
+		s.segID = segs[len(segs)-1]
+		seg, err := os.OpenFile(filepath.Join(s.dir, segName(s.segID)), os.O_RDONLY, 0)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.seg = seg
+		s.segSize, err = s.replay(seg, true)
+		if err != nil {
+			return err
+		}
+	}
+	wal, err := os.OpenFile(filepath.Join(s.dir, walName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.wal = wal
+	good, err := s.replay(wal, false)
+	if err != nil {
+		return err
+	}
+	fi, err := wal.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if torn := fi.Size() - good; torn > 0 {
+		if err := wal.Truncate(good); err != nil {
+			return fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+		if err := wal.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		s.stats.TruncatedBytes = torn
+	}
+	s.walSize = good
+	s.walDurable = good
+	return nil
+}
+
+// replay applies f's records to the index and returns the offset just
+// past the last good record. In a segment (inSeg) a bad record means
+// disk rot in an immutable file: the remainder is ignored and counted as
+// CorruptEvicted. In the WAL it is the torn tail; the caller truncates.
+func (s *Store) replay(f *os.File, inSeg bool) (int64, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	var off int64
+	for int(off) < len(data) {
+		rec, n, err := decodeRecord(data[off:])
+		if err != nil {
+			if inSeg {
+				s.stats.CorruptEvicted++
+			}
+			return off, nil
+		}
+		switch rec.typ {
+		case recPut:
+			s.index[rec.key] = loc{inSeg: inSeg, off: off, size: n}
+		case recDelete:
+			delete(s.index, rec.key)
+		}
+		s.stats.Recovered++
+		off += int64(n)
+	}
+	return off, nil
+}
+
+// Get returns the stored plan bytes and engine name for key. The record
+// is CRC-verified on every read: a record that no longer checks out is
+// evicted and reported as a miss, so a corrupted plan is never returned.
+func (s *Store) Get(key string) (value []byte, engine string, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, "", false
+	}
+	l, found := s.index[key]
+	if !found {
+		s.stats.Misses++
+		return nil, "", false
+	}
+	rec, err := s.readRecord(l)
+	if err != nil || rec.typ != recPut || rec.key != key {
+		delete(s.index, key)
+		s.stats.CorruptEvicted++
+		s.stats.Misses++
+		return nil, "", false
+	}
+	s.stats.Hits++
+	return rec.value, rec.engine, true
+}
+
+// readRecord fetches and validates the record at l.
+func (s *Store) readRecord(l loc) (record, error) {
+	f := s.wal
+	if l.inSeg {
+		f = s.seg
+	}
+	buf := make([]byte, l.size)
+	if _, err := f.ReadAt(buf, l.off); err != nil {
+		return record{}, err
+	}
+	rec, _, err := decodeRecord(buf)
+	return rec, err
+}
+
+// Put durably stores value (a planio-encoded plan) under key. The entry
+// is readable immediately; durability follows at the next group commit.
+func (s *Store) Put(key, engine string, value []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen || len(engine) > maxEngLen || len(value) > maxValLen {
+		return fmt.Errorf("store: put %q: field size out of range", key)
+	}
+	rec := record{typ: recPut, key: key, engine: engine, value: value}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	off, err := s.appendLocked(&rec)
+	if err != nil {
+		return err
+	}
+	s.index[key] = loc{off: off, size: rec.size()}
+	s.stats.Puts++
+	s.maybeCompactLocked()
+	if s.opts.flushInterval() < 0 {
+		return s.syncLocked()
+	}
+	return nil
+}
+
+// Delete removes key, appending a tombstone so the removal survives
+// restart. Deleting an absent key is a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, ok := s.index[key]; !ok {
+		return nil
+	}
+	rec := record{typ: recDelete, key: key}
+	if _, err := s.appendLocked(&rec); err != nil {
+		return err
+	}
+	delete(s.index, key)
+	s.stats.Deletes++
+	if s.opts.flushInterval() < 0 {
+		return s.syncLocked()
+	}
+	return nil
+}
+
+// appendLocked writes rec at the WAL tail and returns its offset. A torn
+// tail left by an earlier short write is truncated away first, so the
+// log stays contiguous. The disk fault points fire here: a short write
+// tears the tail and fails the append; corruption flips a payload byte
+// on the way to disk (the append succeeds, the CRC catches it on read).
+func (s *Store) appendLocked(rec *record) (int64, error) {
+	if s.torn {
+		if err := s.wal.Truncate(s.walSize); err != nil {
+			return 0, fmt.Errorf("store: repairing torn tail: %w", err)
+		}
+		s.torn = false
+		s.stats.TornRepaired++
+	}
+	buf := rec.encode(make([]byte, 0, rec.size()))
+	if s.inj.Fire(faultinject.DiskCorrupt) && len(rec.value) > 0 {
+		// Flip a payload byte; the header and CRC stay as computed, so
+		// the record decodes as structurally sound but fails its CRC.
+		buf[recHeaderLen+len(rec.key)+len(rec.engine)] ^= 0xFF
+	}
+	off := s.walSize
+	if s.inj.Fire(faultinject.DiskShortWrite) {
+		if _, err := s.wal.WriteAt(buf[:len(buf)/2], off); err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		s.torn = true
+		s.walDirty = true
+		return 0, fmt.Errorf("store: short write appending %.16s… (torn tail)", rec.key)
+	}
+	if _, err := s.wal.WriteAt(buf, off); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	s.walSize += int64(len(buf))
+	s.walDirty = true
+	return off, nil
+}
+
+// Sync forces the pending WAL bytes to disk, advancing the durable
+// offset: every put acknowledged before Sync returns survives a crash.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked()
+}
+
+func (s *Store) syncLocked() error {
+	if !s.walDirty {
+		return nil
+	}
+	if s.inj.Fire(faultinject.DiskFsyncErr) {
+		s.stats.FsyncErrors++
+		return fmt.Errorf("store: fsync failed (injected)")
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.stats.FsyncErrors++
+		return fmt.Errorf("store: %w", err)
+	}
+	s.walDurable = s.walSize
+	s.walDirty = false
+	s.stats.Flushes++
+	return nil
+}
+
+// flusher is the group-commit loop: at most one fsync per interval, and
+// only when there is something to flush.
+func (s *Store) flusher(interval time.Duration) {
+	defer close(s.flushDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed {
+				_ = s.syncLocked()
+			}
+			s.mu.Unlock()
+		case <-s.flushStop:
+			return
+		}
+	}
+}
+
+// maybeCompactLocked starts a background compaction when the WAL has
+// outgrown its threshold and none is running.
+func (s *Store) maybeCompactLocked() {
+	if max := s.opts.maxWALBytes(); max < 0 || s.walSize <= max || s.compacting {
+		return
+	}
+	s.compacting = true
+	go s.compact()
+}
+
+// compact snapshots the live entries into a new immutable segment and
+// resets the WAL. The segment is written to a temp file, fsynced, and
+// atomically renamed before the WAL is touched, so a crash at any point
+// leaves either the old state or the new one, never a mix that loses a
+// durable record. Entries whose record no longer CRC-verifies are
+// dropped (and counted) rather than carried into the new segment.
+func (s *Store) compact() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() { s.compacting = false }()
+	if s.closed {
+		return
+	}
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	newID := s.segID + 1
+	tmpPath := filepath.Join(s.dir, fmt.Sprintf("seg-%08d.tmp", newID))
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		s.stats.CompactionsAborted++
+		return
+	}
+	abort := func() {
+		tmp.Close()
+		_ = os.Remove(tmpPath)
+		s.stats.CompactionsAborted++
+	}
+	var (
+		buf    []byte
+		offset int64
+		newIdx = make(map[string]loc, len(keys))
+	)
+	for _, k := range keys {
+		rec, err := s.readRecord(s.index[k])
+		if err != nil || rec.typ != recPut || rec.key != k {
+			delete(s.index, k)
+			s.stats.CorruptEvicted++
+			continue
+		}
+		buf = rec.encode(buf[:0])
+		if _, err := tmp.WriteAt(buf, offset); err != nil {
+			abort()
+			return
+		}
+		newIdx[k] = loc{inSeg: true, off: offset, size: len(buf)}
+		offset += int64(len(buf))
+	}
+	if err := tmp.Sync(); err != nil {
+		abort()
+		return
+	}
+	if s.inj.Fire(faultinject.DiskCrashBeforeRename) {
+		// Simulated crash: the fully written temp file stays behind (a
+		// real crash could not remove it) and the store keeps running on
+		// its current WAL + segment; reopen ignores the stray .tmp.
+		tmp.Close()
+		s.stats.CompactionsAborted++
+		return
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, segName(newID))); err != nil {
+		abort()
+		return
+	}
+	syncDir(s.dir)
+	// The new segment is durable: swap it in, then reset the WAL. A
+	// crash between these steps replays WAL records that also live in
+	// the segment — identical values, so recovery stays idempotent.
+	oldSeg, oldID := s.seg, s.segID
+	s.seg, s.segID, s.segSize = tmp, newID, offset
+	s.index = newIdx
+	if err := s.wal.Truncate(0); err == nil {
+		_ = s.wal.Sync()
+		s.walSize, s.walDurable, s.walDirty, s.torn = 0, 0, false, false
+	}
+	if oldSeg != nil {
+		oldSeg.Close()
+		_ = os.Remove(filepath.Join(s.dir, segName(oldID)))
+	}
+	s.stats.Compactions++
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Len reports the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Keys returns the live keys in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats returns a snapshot of the store's gauges and counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Entries = len(s.index)
+	st.DiskBytes = s.walSize + s.segSize
+	return st
+}
+
+// Export writes every live, CRC-verified plan into dir as an indented
+// planio-compatible JSON file (the stored wire bytes verbatim), named
+// <key-prefix>-<engine>.json, and returns how many were written. The
+// files feed cmd/verifyplan for offline audit of persisted plans.
+func (s *Store) Export(dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, k := range sortedKeys(s.index) {
+		rec, err := s.readRecord(s.index[k])
+		if err != nil || rec.typ != recPut || rec.key != k {
+			delete(s.index, k)
+			s.stats.CorruptEvicted++
+			continue
+		}
+		name := exportName(rec.key, rec.engine)
+		if err := os.WriteFile(filepath.Join(dir, name), rec.value, 0o644); err != nil {
+			return n, fmt.Errorf("store: %w", err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// exportName builds a filesystem-safe file name from a job key. The key
+// is "<64-hex-canonical>|<engine>"; the hex prefix is truncated for
+// readability and the engine keeps the provenance visible.
+func exportName(key, engine string) string {
+	base := key
+	if i := strings.IndexByte(base, '|'); i >= 0 {
+		base = base[:i]
+	}
+	if len(base) > 16 {
+		base = base[:16]
+	}
+	clean := func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}
+	base = strings.Map(clean, base)
+	if engine != "" {
+		base += "-" + strings.Map(clean, engine)
+	}
+	return base + ".json"
+}
+
+func sortedKeys(m map[string]loc) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Close flushes pending writes, stops the group-commit flusher and
+// closes the files. Safe to call once; the store is unusable after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.syncLocked()
+	s.closed = true
+	s.mu.Unlock()
+	if s.flushStop != nil {
+		close(s.flushStop)
+		<-s.flushDone
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		s.wal.Close()
+	}
+	if s.seg != nil {
+		s.seg.Close()
+	}
+	return err
+}

@@ -1,0 +1,384 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"switchsynth/internal/faultinject"
+)
+
+// openT opens a store in dir, failing the test on error and closing it
+// at cleanup (Close is idempotent, so tests may also close explicitly).
+func openT(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// syncOpts makes every put durable immediately so tests never race the
+// background flusher.
+var syncOpts = Options{FlushInterval: -1}
+
+func val(i int) []byte { return []byte(fmt.Sprintf(`{"plan":%d,"pad":"%032d"}`, i, i)) }
+
+func TestPutGetDeleteRoundTrip(t *testing.T) {
+	s := openT(t, t.TempDir(), syncOpts)
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d|search", i), "search", val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	got, eng, ok := s.Get("key-3|search")
+	if !ok || eng != "search" || !bytes.Equal(got, val(3)) {
+		t.Fatalf("Get = %q, %q, %v", got, eng, ok)
+	}
+	if _, _, ok := s.Get("absent"); ok {
+		t.Fatal("absent key hit")
+	}
+	if err := s.Delete("key-3|search"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get("key-3|search"); ok {
+		t.Fatal("deleted key still served")
+	}
+	st := s.Stats()
+	if st.Puts != 10 || st.Deletes != 1 || st.Hits != 1 || st.Misses != 2 || st.Entries != 9 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutOverwriteServesLatest(t *testing.T) {
+	s := openT(t, t.TempDir(), syncOpts)
+	for v := 0; v < 3; v++ {
+		if err := s.Put("k|search", "search", val(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, _, ok := s.Get("k|search")
+	if !ok || !bytes.Equal(got, val(2)) {
+		t.Fatalf("Get = %q, %v; want latest", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestWarmBootReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, syncOpts)
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), "search", val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete("k2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, dir, syncOpts)
+	st := r.Stats()
+	if st.Entries != 4 {
+		t.Fatalf("reopened entries = %d, want 4", st.Entries)
+	}
+	if st.Recovered != 6 { // 5 puts + 1 tombstone
+		t.Fatalf("recovered = %d, want 6", st.Recovered)
+	}
+	if st.TruncatedBytes != 0 {
+		t.Fatalf("clean reopen truncated %d bytes", st.TruncatedBytes)
+	}
+	if _, _, ok := r.Get("k2"); ok {
+		t.Fatal("tombstoned key survived reopen")
+	}
+	got, _, ok := r.Get("k4")
+	if !ok || !bytes.Equal(got, val(4)) {
+		t.Fatalf("k4 = %q, %v", got, ok)
+	}
+}
+
+func TestTornTailTruncatedAndReopenIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, syncOpts)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), "search", val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage bytes at the WAL tail.
+	wal := filepath.Join(dir, walName)
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{recPut, 0xde, 0xad, 0xbe, 0xef, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(wal)
+
+	r := openT(t, dir, syncOpts)
+	st := r.Stats()
+	if st.Entries != 3 || st.TruncatedBytes != 6 {
+		t.Fatalf("stats after torn reopen = %+v", st)
+	}
+	after, _ := os.Stat(wal)
+	if after.Size() != before.Size()-6 {
+		t.Fatalf("wal size %d, want %d", after.Size(), before.Size()-6)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second reopen: the repair is durable, nothing left to truncate.
+	r2 := openT(t, dir, syncOpts)
+	st2 := r2.Stats()
+	if st2.Entries != 3 || st2.TruncatedBytes != 0 {
+		t.Fatalf("second reopen = %+v", st2)
+	}
+}
+
+func TestCompactionKeepsContentsAndShrinksWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, dir, Options{FlushInterval: -1, MaxWALBytes: 2048})
+	// Overwrite a small key set until the WAL crosses the threshold
+	// several times; compaction must preserve exactly the latest values.
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 4; i++ {
+			if err := s.Put(fmt.Sprintf("k%d", i), "search", val(round*10+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitFor(t, "compaction", func() bool { return s.Stats().Compactions >= 1 && !s.compactingNow() })
+	st := s.Stats()
+	if st.Entries != 4 {
+		t.Fatalf("entries = %d, want 4", st.Entries)
+	}
+	for i := 0; i < 4; i++ {
+		got, _, ok := s.Get(fmt.Sprintf("k%d", i))
+		if !ok || !bytes.Equal(got, val(190+i)) {
+			t.Fatalf("k%d = %q, %v; want %q", i, got, ok, val(190+i))
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one live segment, no temp litter, and a reopen sees the
+	// same four entries.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(segs) != 1 || len(tmps) != 0 {
+		t.Fatalf("segments = %v, tmps = %v", segs, tmps)
+	}
+	r := openT(t, dir, syncOpts)
+	if r.Len() != 4 {
+		t.Fatalf("reopened entries = %d", r.Len())
+	}
+	got, _, ok := r.Get("k2")
+	if !ok || !bytes.Equal(got, val(192)) {
+		t.Fatalf("k2 after reopen = %q, %v", got, ok)
+	}
+}
+
+// compactingNow reports whether a background compaction is running.
+func (s *Store) compactingNow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compacting
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCorruptRecordEvictedOnGet(t *testing.T) {
+	inj := faultinject.New(1).Set(faultinject.DiskCorrupt, faultinject.Rule{Probability: 1})
+	s := openT(t, t.TempDir(), Options{FlushInterval: -1, FaultInjector: inj})
+	if err := s.Put("k|search", "search", val(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get("k|search"); ok {
+		t.Fatal("corrupted record served")
+	}
+	st := s.Stats()
+	if st.CorruptEvicted != 1 || st.Misses != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The fault injector keeps firing, but a clean write after the rule
+	// is lifted serves normally.
+	inj.Set(faultinject.DiskCorrupt, faultinject.Rule{})
+	if err := s.Put("k|search", "search", val(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got, _, ok := s.Get("k|search"); !ok || !bytes.Equal(got, val(2)) {
+		t.Fatalf("clean rewrite = %q, %v", got, ok)
+	}
+}
+
+func TestShortWriteFailsPutAndNextAppendRepairs(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(1).Set(faultinject.DiskShortWrite, faultinject.Rule{Probability: 1})
+	s := openT(t, dir, Options{FlushInterval: -1, FaultInjector: inj})
+	if err := s.Put("good-0", "search", val(0)); err == nil {
+		t.Fatal("short write should fail the put")
+	}
+	if s.Len() != 0 {
+		t.Fatal("torn put was indexed")
+	}
+	inj.Set(faultinject.DiskShortWrite, faultinject.Rule{})
+	if err := s.Put("good-1", "search", val(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().TornRepaired != 1 {
+		t.Fatalf("stats = %+v, want 1 torn repair", s.Stats())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The repair truncated the torn bytes before appending, so the log
+	// is contiguous: reopen recovers the good record with no truncation.
+	r := openT(t, dir, syncOpts)
+	st := r.Stats()
+	if st.Entries != 1 || st.TruncatedBytes != 0 {
+		t.Fatalf("reopen stats = %+v", st)
+	}
+	if got, _, ok := r.Get("good-1"); !ok || !bytes.Equal(got, val(1)) {
+		t.Fatalf("good-1 = %q, %v", got, ok)
+	}
+}
+
+func TestFsyncErrorDoesNotAdvanceDurableOffset(t *testing.T) {
+	inj := faultinject.New(1).Set(faultinject.DiskFsyncErr, faultinject.Rule{Probability: 1})
+	s := openT(t, t.TempDir(), Options{FlushInterval: -1, FaultInjector: inj})
+	if err := s.Put("k", "search", val(1)); err == nil {
+		t.Fatal("synchronous put should surface the fsync error")
+	}
+	if s.Stats().FsyncErrors != 1 {
+		t.Fatalf("stats = %+v", s.Stats())
+	}
+	s.mu.Lock()
+	durable := s.walDurable
+	s.mu.Unlock()
+	if durable != 0 {
+		t.Fatalf("durable offset advanced to %d past a failed fsync", durable)
+	}
+	// The entry is still readable (it is in the OS cache, just not
+	// durable) and a later successful sync makes it durable.
+	if _, _, ok := s.Get("k"); !ok {
+		t.Fatal("acked entry unreadable")
+	}
+	inj.Set(faultinject.DiskFsyncErr, faultinject.Rule{})
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	durable, size := s.walDurable, s.walSize
+	s.mu.Unlock()
+	if durable != size {
+		t.Fatalf("durable %d != size %d after successful sync", durable, size)
+	}
+}
+
+func TestCrashBeforeRenameLeavesRecoverableDir(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(1).Set(faultinject.DiskCrashBeforeRename, faultinject.Rule{Probability: 1})
+	s := openT(t, dir, Options{FlushInterval: -1, MaxWALBytes: 512, FaultInjector: inj})
+	for i := 0; i < 8; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), "search", val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "aborted compaction", func() bool { return s.Stats().CompactionsAborted >= 1 })
+	s.crash() // the simulated process death right after the fault
+	tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(tmps) == 0 {
+		t.Fatal("crash-before-rename left no temp file; fault not exercised")
+	}
+	r := openT(t, dir, syncOpts)
+	if r.Len() != 8 {
+		t.Fatalf("reopened entries = %d, want 8", r.Len())
+	}
+	tmps, _ = filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if len(tmps) != 0 {
+		t.Fatalf("open did not clean temp files: %v", tmps)
+	}
+	if r.Stats().Compactions != 0 {
+		t.Fatalf("stats = %+v", r.Stats())
+	}
+}
+
+func TestExportWritesPlanFiles(t *testing.T) {
+	s := openT(t, t.TempDir(), syncOpts)
+	if err := s.Put("aabbccddeeff00112233|search", "search", val(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("ffee|iqp", "iqp", val(8)); err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	n, err := s.Export(out)
+	if err != nil || n != 2 {
+		t.Fatalf("Export = %d, %v", n, err)
+	}
+	data, err := os.ReadFile(filepath.Join(out, "aabbccddeeff0011-search.json"))
+	if err != nil || !bytes.Equal(data, val(7)) {
+		t.Fatalf("exported file = %q, %v", data, err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "ffee-iqp.json")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupCommitFlusherMakesPutsDurable(t *testing.T) {
+	s := openT(t, t.TempDir(), Options{FlushInterval: time.Millisecond})
+	if err := s.Put("k", "search", val(1)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "group commit", func() bool {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.walDurable == s.walSize && s.walSize > 0
+	})
+	if s.Stats().Flushes == 0 {
+		t.Fatal("no flush recorded")
+	}
+}
+
+func TestClosedStoreRejectsWrites(t *testing.T) {
+	s := openT(t, t.TempDir(), syncOpts)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", "e", val(1)); err == nil {
+		t.Fatal("put on closed store succeeded")
+	}
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("get on closed store hit")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal("second close should be a nop")
+	}
+}
