@@ -10,6 +10,7 @@ package switchsynth_test
 
 import (
 	"context"
+	"strconv"
 	"testing"
 	"time"
 
@@ -301,6 +302,126 @@ func pressureMatrix(b *testing.B) [][]bool {
 		b.Fatal(err)
 	}
 	return valve.CompatibilityMatrix(va.EssentialValves())
+}
+
+// --- Solver: allocation profile and parallel speedup ------------------------
+
+// searchRing16 is the parallel-solver benchmark instance: a saturated
+// 16-module distribution ring on the 16-pin switch under the clockwise
+// policy. Five inlets feed the eleven remaining modules round-robin with a
+// one-step phase shift, which places the cheapest rotation late in the
+// sequential candidate order: a single descent commits to an expensive
+// rotation early, while diversified parallel workers reach the cheap
+// rotation almost immediately and their shared incumbent prunes the rest.
+// All sixteen modules are bound, so the only root freedom is the rotation —
+// the instance is proven optimal in about a second sequentially, and the
+// sequential/parallel node ratio is the speedup ci.sh tracks in
+// BENCH_search.json.
+func searchRing16() *spec.Spec {
+	mods := make([]string, 16)
+	for i := range mods {
+		mods[i] = "m" + strconv.Itoa(i)
+	}
+	return &spec.Spec{
+		Name:       "search-ring-16",
+		SwitchPins: 16,
+		Modules:    mods,
+		Flows: []spec.Flow{
+			{From: mods[3], To: mods[1]},
+			{From: mods[6], To: mods[2]},
+			{From: mods[9], To: mods[4]},
+			{From: mods[12], To: mods[5]},
+			{From: mods[0], To: mods[7]},
+			{From: mods[3], To: mods[8]},
+			{From: mods[6], To: mods[10]},
+			{From: mods[9], To: mods[11]},
+			{From: mods[12], To: mods[13]},
+			{From: mods[0], To: mods[14]},
+			{From: mods[3], To: mods[15]},
+		},
+		Binding: spec.Clockwise,
+	}
+}
+
+// benchSearch runs the exact solver with an allocation report; infeasibility
+// proofs and bounded incumbents are valid outcomes, as in bounded().
+func benchSearch(b *testing.B, sp *spec.Spec, workers int, limit time.Duration) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := search.Solve(sp, search.Options{Workers: workers, TimeLimit: limit})
+		if err != nil {
+			if _, ok := err.(*spec.ErrNoSolution); ok {
+				continue
+			}
+			if _, ok := err.(*search.ErrTimeout); ok {
+				continue
+			}
+			b.Fatal(err)
+		}
+	}
+}
+
+// The fixed/clockwise/unfixed family profiles allocation behaviour across
+// switch sizes: the 8-pin rows prove infeasibility (Table 4.1), the 12-pin
+// rows solve the kinase case, and the 16-pin rows run the ring instance
+// (identity pins for the fixed row, a bounded incumbent for the unfixed row).
+
+func BenchmarkSearch_8Pin_Fixed(b *testing.B) {
+	benchSearch(b, cases.NucleicAcid().WithBinding(spec.Fixed), 0, 0)
+}
+
+func BenchmarkSearch_8Pin_Clockwise(b *testing.B) {
+	benchSearch(b, cases.NucleicAcid().WithBinding(spec.Clockwise), 0, 0)
+}
+
+func BenchmarkSearch_8Pin_Unfixed(b *testing.B) {
+	benchSearch(b, cases.NucleicAcid().WithBinding(spec.Unfixed), 0, 10*time.Second)
+}
+
+func BenchmarkSearch_12Pin_Fixed(b *testing.B) {
+	benchSearch(b, cases.KinaseSw1().WithBinding(spec.Fixed), 0, 0)
+}
+
+func BenchmarkSearch_12Pin_Clockwise(b *testing.B) {
+	benchSearch(b, cases.KinaseSw1().WithBinding(spec.Clockwise), 0, 10*time.Second)
+}
+
+func BenchmarkSearch_12Pin_Unfixed(b *testing.B) {
+	benchSearch(b, cases.KinaseSw1().WithBinding(spec.Unfixed), 0, 10*time.Second)
+}
+
+func BenchmarkSearch_16Pin_Fixed(b *testing.B) {
+	sp := searchRing16()
+	sp.Binding = spec.Fixed
+	sp.FixedPins = make(map[string]int, len(sp.Modules))
+	for i, m := range sp.Modules {
+		sp.FixedPins[m] = i
+	}
+	benchSearch(b, sp, 0, 10*time.Second)
+}
+
+func BenchmarkSearch_16Pin_Clockwise(b *testing.B) {
+	benchSearch(b, searchRing16(), 0, 60*time.Second)
+}
+
+func BenchmarkSearch_16Pin_Unfixed(b *testing.B) {
+	sp := searchRing16()
+	sp.Binding = spec.Unfixed
+	benchSearch(b, sp, 0, 300*time.Millisecond)
+}
+
+// Sequential16/Parallel16 are the BENCH_search.json pair: the same full
+// proof on the ring instance at one worker versus four. The results are
+// bit-identical; only the node counts and wall clock differ.
+
+func BenchmarkSearch_Sequential16(b *testing.B) {
+	benchSearch(b, searchRing16(), 0, 60*time.Second)
+}
+
+func BenchmarkSearch_Parallel16(b *testing.B) {
+	benchSearch(b, searchRing16(), 4, 60*time.Second)
 }
 
 // --- Substrates --------------------------------------------------------------

@@ -30,7 +30,26 @@ echo "== go test (tier 1) =="
 go test ./...
 
 echo "== go test -race (service layer) =="
-go test -race ./internal/service/... ./cmd/synthd/... ./internal/search/ ./client/
+go test -race ./internal/service/... ./cmd/synthd/... ./internal/search/ ./internal/topo/ ./client/
+
+echo "== parallel solver gate: -race -count=2 =="
+# The parallel branch-and-bound suite twice under the race detector:
+# shared-incumbent publication, work stealing, topology-cache sharing.
+go test -race -count=2 -run 'TestParallel|TestSharedGrid|TestClaimOrder|TestCounters' \
+  ./internal/search/ ./internal/topo/
+
+echo "== determinism gate: campaign at -solver-workers 1/2/8 =="
+# Plans must be bit-identical at every worker count: run the seeded
+# campaign at three solver widths and byte-diff the deterministic report.
+det_dir=$(mktemp -d)
+trap 'rm -rf "$det_dir"' EXIT
+for w in 1 2 8; do
+  go run ./cmd/experiments -only campaign -campaign 30 -seed 7 \
+    -timelimit 10s -workers 2 -solver-workers "$w" -out "$det_dir/w$w" > /dev/null
+done
+diff "$det_dir/w1/campaign.txt" "$det_dir/w2/campaign.txt"
+diff "$det_dir/w1/campaign.txt" "$det_dir/w8/campaign.txt"
+echo "campaign.txt byte-identical at -solver-workers 1, 2, 8"
 
 echo "== chaos suite: 25 seeded fault schedules, -race -count=2 =="
 # The chaos tests carry their own goroutine-leak gate (leakcheck_test.go);
@@ -65,6 +84,27 @@ echo "$bench_out" | awk '
     printf "}\n"
   }' > BENCH_service.json
 cat BENCH_service.json
+
+echo "== solver benchmark: sequential vs parallel branch and bound =="
+search_out=$(go test -run '^$' -bench 'BenchmarkSearch_(Sequential16|Parallel16)$' -benchmem -benchtime "${BENCHTIME:-2s}" .)
+echo "$search_out"
+echo "$search_out" | awk '
+  $1 ~ /^BenchmarkSearch_Sequential16/ { seq = $3; seqAllocs = $7 }
+  $1 ~ /^BenchmarkSearch_Parallel16/   { par = $3; parAllocs = $7 }
+  END {
+    if (seq == "" || par == "") {
+      print "ci.sh: search benchmark output incomplete" > "/dev/stderr"
+      exit 1
+    }
+    printf "{\n"
+    printf "  \"sequentialNsPerOp\": %.0f,\n", seq
+    printf "  \"parallelNsPerOp\": %.0f,\n", par
+    printf "  \"sequentialAllocsPerOp\": %.0f,\n", seqAllocs
+    printf "  \"parallelAllocsPerOp\": %.0f,\n", parAllocs
+    printf "  \"parallelSpeedup\": %.2f\n", seq / par
+    printf "}\n"
+  }' > BENCH_search.json
+cat BENCH_search.json
 
 echo "== store benchmark: cold vs memory vs disk vs warm boot =="
 store_out=$(go test -run '^$' -bench 'BenchmarkStore_' -benchtime "${BENCHTIME:-2s}" .)

@@ -5,7 +5,12 @@
 //
 //	experiments [-out results] [-timelimit 30s] [-campaign 90] [-seed 42]
 //	            [-only table4.1|table4.2|table4.3|campaign|spine|stress|figures]
-//	            [-daemon http://host:8080]
+//	            [-workers N] [-solver-workers N] [-daemon http://host:8080]
+//
+// -workers bounds how many campaign cases solve concurrently;
+// -solver-workers parallelizes the branch and bound inside each solve.
+// Every table and the deterministic campaign report are byte-identical
+// for any value of either knob.
 //
 // With -daemon the campaign's solves are submitted to a remote synthd
 // daemon through the retrying client; every returned plan is re-verified
@@ -39,11 +44,12 @@ func main() {
 		only      = flag.String("only", "", "run a single experiment: table4.1, table4.2, table4.3, campaign, spine, gru, scaling, stress, figures")
 		engine    = flag.String("engine", "", "optimizer engine: search (default) or iqp")
 		workers   = flag.Int("workers", 0, "concurrent campaign syntheses (0 = GOMAXPROCS, 1 = sequential)")
+		solverWrk = flag.Int("solver-workers", 0, "branch-and-bound goroutines per solve (0 = sequential; results are identical at any value)")
 		daemon    = flag.String("daemon", "", "synthd base URL; campaign solves go through the remote daemon")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{TimeLimit: *timeLimit, OutDir: *out, Engine: *engine, Workers: *workers, DaemonURL: *daemon}
+	cfg := exp.Config{TimeLimit: *timeLimit, OutDir: *out, Engine: *engine, Workers: *workers, SolverWorkers: *solverWrk, DaemonURL: *daemon}
 	want := func(name string) bool { return *only == "" || *only == name }
 	var files []string
 

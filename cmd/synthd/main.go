@@ -5,10 +5,19 @@
 //
 // Usage:
 //
-//	synthd [-addr :8471] [-workers N] [-queue N] [-cache N] [-timelimit 30s]
-//	       [-drain-timeout 30s] [-breaker-threshold 3] [-breaker-cooldown 5s]
-//	       [-negcache 256] [-store-dir DIR] [-store-flush-interval 5ms]
-//	       [-store-max-wal-bytes N] [-export-plans DIR]
+//	synthd [-addr :8471] [-workers N] [-solver-workers N] [-queue N] [-cache N]
+//	       [-timelimit 30s] [-drain-timeout 30s] [-breaker-threshold 3]
+//	       [-breaker-cooldown 5s] [-negcache 256] [-store-dir DIR]
+//	       [-store-flush-interval 5ms] [-store-max-wal-bytes N]
+//	       [-export-plans DIR] [-pprof-addr 127.0.0.1:6060]
+//
+// -workers sizes the job pool (how many specs solve at once);
+// -solver-workers sizes each solve (how many branch-and-bound goroutines
+// explore one spec's search tree). Plans are bit-identical for every
+// -solver-workers value, so the knob is safe to tune in production
+// without invalidating caches. -pprof-addr exposes net/http/pprof on a
+// second, loopback-only listener (off by default; never on the service
+// address).
 //
 // With -store-dir the result cache gains a durable tier: solved proven
 // plans are persisted to a WAL-backed, content-addressed store in DIR,
@@ -39,7 +48,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,8 +72,36 @@ type storeFlags struct {
 	ExportDir string
 }
 
+// serverFlags carries the daemon-level (non-engine) configuration out of
+// parseFlags.
+type serverFlags struct {
+	// Addr is the service listen address.
+	Addr string
+	// Drain is the graceful-shutdown window.
+	Drain time.Duration
+	// PprofAddr, when non-empty, serves net/http/pprof on a second
+	// listener. Loopback only — validatePprofAddr rejects anything else.
+	PprofAddr string
+	// Store is the durable-tier configuration.
+	Store storeFlags
+}
+
 func main() {
-	cfg, addr, drain, sf := parseFlags(os.Args[1:])
+	cfg, srvf := parseFlags(os.Args[1:])
+	sf := srvf.Store
+
+	if srvf.PprofAddr != "" {
+		if err := validatePprofAddr(srvf.PprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "synthd:", err)
+			os.Exit(2)
+		}
+		go func() {
+			if err := http.ListenAndServe(srvf.PprofAddr, pprofMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "synthd: pprof:", err)
+			}
+		}()
+		fmt.Printf("synthd: pprof on http://%s/debug/pprof/\n", srvf.PprofAddr)
+	}
 
 	var st *store.Store
 	if sf.Dir != "" {
@@ -97,7 +136,7 @@ func main() {
 
 	engine := service.New(cfg)
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              srvf.Addr,
 		Handler:           service.NewHandler(engine),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -105,7 +144,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("synthd: listening on %s (%d workers, cache %d, default time limit %s)\n",
-		addr, engine.Snapshot().Workers, cfg.CacheSize, cfg.DefaultTimeLimit)
+		srvf.Addr, engine.Snapshot().Workers, cfg.CacheSize, cfg.DefaultTimeLimit)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -124,7 +163,7 @@ func main() {
 	// window goes to in-flight and queued solves; after that, CloseNow
 	// cancels the optimizer contexts and anytime solves hand back their
 	// best incumbent.
-	shutCtx, cancel := context.WithTimeout(context.Background(), drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), srvf.Drain)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "synthd: http shutdown:", err)
@@ -135,7 +174,7 @@ func main() {
 	case <-drained:
 		fmt.Println("synthd: drained cleanly")
 	case <-shutCtx.Done():
-		fmt.Fprintf(os.Stderr, "synthd: drain window (%s) expired — cancelling in-flight solves\n", drain)
+		fmt.Fprintf(os.Stderr, "synthd: drain window (%s) expired — cancelling in-flight solves\n", srvf.Drain)
 		engine.CloseNow()
 		<-drained
 	}
@@ -155,11 +194,12 @@ func closeStore(st *store.Store) {
 }
 
 // parseFlags builds the engine config from argv (split out for tests).
-func parseFlags(args []string) (service.Config, string, time.Duration, storeFlags) {
+func parseFlags(args []string) (service.Config, serverFlags) {
 	fs := flag.NewFlagSet("synthd", flag.ExitOnError)
 	var (
 		addr       = fs.String("addr", ":8471", "listen address")
-		workers    = fs.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		workers    = fs.Int("workers", 0, "concurrent solve jobs (0 = GOMAXPROCS)")
+		solverWrk  = fs.Int("solver-workers", 0, "branch-and-bound goroutines per solve (0 = default 1; plans are identical at any value)")
 		queue      = fs.Int("queue", 0, "job queue depth (0 = 4x workers)")
 		cacheSize  = fs.Int("cache", 1024, "result cache entries (negative disables the memory tier)")
 		timeLimit  = fs.Duration("timelimit", 30*time.Second, "default per-solve time limit")
@@ -171,20 +211,56 @@ func parseFlags(args []string) (service.Config, string, time.Duration, storeFlag
 		storeFlush = fs.Duration("store-flush-interval", 0, "store group-commit window (0 = default 5ms, negative fsyncs every put)")
 		storeWAL   = fs.Int64("store-max-wal-bytes", 0, "WAL size that triggers store compaction (0 = default 8MiB, negative disables)")
 		exportDir  = fs.String("export-plans", "", "with -store-dir: dump persisted plans as planio JSON into this directory and exit")
+		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
 	)
 	_ = fs.Parse(args)
 	return service.Config{
 			Workers:           *workers,
+			SolverWorkers:     *solverWrk,
 			QueueDepth:        *queue,
 			CacheSize:         *cacheSize,
 			DefaultTimeLimit:  *timeLimit,
 			BreakerThreshold:  *brkThresh,
 			BreakerCooldown:   *brkCool,
 			NegativeCacheSize: *negEntries,
-		}, *addr, *drain, storeFlags{
-			Dir:           *storeDir,
-			FlushInterval: *storeFlush,
-			MaxWALBytes:   *storeWAL,
-			ExportDir:     *exportDir,
+		}, serverFlags{
+			Addr:      *addr,
+			Drain:     *drain,
+			PprofAddr: *pprofAddr,
+			Store: storeFlags{
+				Dir:           *storeDir,
+				FlushInterval: *storeFlush,
+				MaxWALBytes:   *storeWAL,
+				ExportDir:     *exportDir,
+			},
 		}
+}
+
+// validatePprofAddr confines the profiling listener to loopback: pprof
+// exposes heap contents and symbol tables, so it must never bind a
+// routable interface.
+func validatePprofAddr(addr string) error {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-pprof-addr %q: %w", addr, err)
+	}
+	if host == "localhost" {
+		return nil
+	}
+	if ip := net.ParseIP(host); ip != nil && ip.IsLoopback() {
+		return nil
+	}
+	return fmt.Errorf("-pprof-addr %q: profiling is loopback-only (use 127.0.0.1:PORT or localhost:PORT)", addr)
+}
+
+// pprofMux registers the net/http/pprof handlers on a private mux: the
+// service mux must never inherit the default-mux profiling routes.
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -6,25 +6,29 @@ import (
 )
 
 func TestParseFlags(t *testing.T) {
-	cfg, addr, drain, sf := parseFlags([]string{
-		"-addr", "127.0.0.1:9000", "-workers", "3", "-queue", "7",
-		"-cache", "99", "-timelimit", "5s", "-drain-timeout", "2s",
+	cfg, srvf := parseFlags([]string{
+		"-addr", "127.0.0.1:9000", "-workers", "3", "-solver-workers", "4",
+		"-queue", "7", "-cache", "99", "-timelimit", "5s", "-drain-timeout", "2s",
 		"-breaker-threshold", "5", "-breaker-cooldown", "10s",
 		"-negcache", "64",
 		"-store-dir", "/tmp/plans", "-store-flush-interval", "25ms",
 		"-store-max-wal-bytes", "4096", "-export-plans", "/tmp/dump",
+		"-pprof-addr", "127.0.0.1:6060",
 	})
-	if addr != "127.0.0.1:9000" {
-		t.Errorf("addr = %q", addr)
+	if srvf.Addr != "127.0.0.1:9000" {
+		t.Errorf("addr = %q", srvf.Addr)
 	}
 	if cfg.Workers != 3 || cfg.QueueDepth != 7 || cfg.CacheSize != 99 {
 		t.Errorf("cfg = %+v", cfg)
 	}
+	if cfg.SolverWorkers != 4 {
+		t.Errorf("solver workers = %d", cfg.SolverWorkers)
+	}
 	if cfg.DefaultTimeLimit != 5*time.Second {
 		t.Errorf("time limit = %v", cfg.DefaultTimeLimit)
 	}
-	if drain != 2*time.Second {
-		t.Errorf("drain = %v", drain)
+	if srvf.Drain != 2*time.Second {
+		t.Errorf("drain = %v", srvf.Drain)
 	}
 	if cfg.BreakerThreshold != 5 || cfg.BreakerCooldown != 10*time.Second {
 		t.Errorf("breaker cfg = %+v", cfg)
@@ -32,9 +36,13 @@ func TestParseFlags(t *testing.T) {
 	if cfg.NegativeCacheSize != 64 {
 		t.Errorf("negcache = %d", cfg.NegativeCacheSize)
 	}
+	sf := srvf.Store
 	if sf.Dir != "/tmp/plans" || sf.FlushInterval != 25*time.Millisecond ||
 		sf.MaxWALBytes != 4096 || sf.ExportDir != "/tmp/dump" {
 		t.Errorf("store flags = %+v", sf)
+	}
+	if srvf.PprofAddr != "127.0.0.1:6060" {
+		t.Errorf("pprof addr = %q", srvf.PprofAddr)
 	}
 	// parseFlags only carries the configuration; the store is opened (and
 	// wired into cfg.Store) by main, so no directory is touched here.
@@ -44,22 +52,50 @@ func TestParseFlags(t *testing.T) {
 }
 
 func TestParseFlagsDefaults(t *testing.T) {
-	cfg, addr, drain, sf := parseFlags(nil)
-	if addr != ":8471" {
-		t.Errorf("addr = %q", addr)
+	cfg, srvf := parseFlags(nil)
+	if srvf.Addr != ":8471" {
+		t.Errorf("addr = %q", srvf.Addr)
 	}
 	if cfg.CacheSize != 1024 || cfg.DefaultTimeLimit != 30*time.Second {
 		t.Errorf("cfg = %+v", cfg)
 	}
-	if drain != 30*time.Second {
-		t.Errorf("drain = %v, want 30s default", drain)
+	if srvf.Drain != 30*time.Second {
+		t.Errorf("drain = %v, want 30s default", srvf.Drain)
 	}
-	// Zero values defer to the service defaults (breaker on, negcache on).
-	if cfg.BreakerThreshold != 0 || cfg.NegativeCacheSize != 0 {
+	// Zero values defer to the service defaults (breaker on, negcache on,
+	// sequential solver).
+	if cfg.BreakerThreshold != 0 || cfg.NegativeCacheSize != 0 || cfg.SolverWorkers != 0 {
 		t.Errorf("resilience cfg should default to zero: %+v", cfg)
 	}
+	// Profiling is opt-in and off by default.
+	if srvf.PprofAddr != "" {
+		t.Errorf("pprof addr should default empty, got %q", srvf.PprofAddr)
+	}
 	// The durable tier is opt-in: no directory, store defaults deferred.
+	sf := srvf.Store
 	if sf.Dir != "" || sf.ExportDir != "" || sf.FlushInterval != 0 || sf.MaxWALBytes != 0 {
 		t.Errorf("store flags should default to zero: %+v", sf)
+	}
+}
+
+func TestValidatePprofAddr(t *testing.T) {
+	valid := []string{"127.0.0.1:6060", "localhost:6060", "[::1]:6060", "127.0.0.2:80"}
+	for _, addr := range valid {
+		if err := validatePprofAddr(addr); err != nil {
+			t.Errorf("validatePprofAddr(%q) = %v, want nil", addr, err)
+		}
+	}
+	invalid := []string{
+		"0.0.0.0:6060",     // all interfaces
+		":6060",            // empty host binds all interfaces
+		"192.168.1.5:6060", // routable
+		"example.com:6060", // non-loopback name
+		"[::]:6060",        // all interfaces, v6
+		"127.0.0.1",        // missing port
+	}
+	for _, addr := range invalid {
+		if err := validatePprofAddr(addr); err == nil {
+			t.Errorf("validatePprofAddr(%q) accepted a non-loopback or malformed address", addr)
+		}
 	}
 }

@@ -1,0 +1,128 @@
+package search
+
+import (
+	"sync"
+
+	"switchsynth/internal/spec"
+	"switchsynth/internal/topo"
+)
+
+// arena is the pooled backing storage for one solver's mutable state.
+// Solvers are short-lived and allocate the same slice shapes on every
+// call (and, on the parallel driver, once per worker), so recycling the
+// buffers through a sync.Pool removes the dominant per-solve allocations.
+//
+// An arena is bound to exactly one solver at a time. Results never alias
+// arena memory — incumbents are snapshotted into fresh slices — so
+// releasing the arena after finish() is safe.
+type arena struct {
+	pinOf    []int
+	modOf    []int
+	setCount []int
+	stubEdge []int
+	order    []int
+	seenGen  []int64
+
+	// owner is a maxSets × numVertices matrix carved out of one flat
+	// backing slice so the pool recycles a single allocation.
+	ownerFlat []int
+	owner     [][]int
+
+	routes   []spec.Route
+	assigned []bool
+	vmask    []topo.Bits
+
+	candBuf [][]cand
+	inPins  [][]int
+	outPins [][]int
+	cwBuf   []cwBound
+
+	// replay backs the parallel driver's prefix replay (see runUnit).
+	replay []replayFrame
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(arena) }}
+
+func acquireArena() *arena { return arenaPool.Get().(*arena) }
+
+// releaseArena drops the pointer-bearing contents (routes hold path
+// slices) and returns the arena to the pool.
+func releaseArena(a *arena) {
+	clearSlice(a.routes)
+	clearSlice(a.replay)
+	arenaPool.Put(a)
+}
+
+// bind sizes the arena for one solve and points the solver's state at it.
+// Every buffer is reset to its initial value; capacity is retained across
+// solves.
+func (a *arena) bind(s *solver, nModules, nFlows, numPins, maxSets, numVerts int) {
+	a.pinOf = resetInts(a.pinOf, nModules, -1)
+	a.modOf = resetInts(a.modOf, numPins, -1)
+	a.setCount = resetInts(a.setCount, maxSets, 0)
+	a.stubEdge = grown(a.stubEdge, numPins)
+	a.order = grown(a.order, nFlows)
+	a.seenGen = grown(a.seenGen, nModules)
+	for i := range a.seenGen {
+		a.seenGen[i] = 0
+	}
+
+	a.ownerFlat = resetInts(a.ownerFlat, maxSets*numVerts, -1)
+	a.owner = grown(a.owner, maxSets)
+	for i := range a.owner {
+		a.owner[i] = a.ownerFlat[i*numVerts : (i+1)*numVerts]
+	}
+
+	a.routes = grown(a.routes, nFlows)
+	clearSlice(a.routes)
+	a.assigned = grown(a.assigned, nFlows)
+	for i := range a.assigned {
+		a.assigned[i] = false
+	}
+	a.vmask = grown(a.vmask, nFlows)
+	clearSlice(a.vmask)
+
+	// Per-depth scratch: keep inner capacities, they rebuild via [:0].
+	a.candBuf = grown(a.candBuf, nFlows)
+	a.inPins = grown(a.inPins, nFlows)
+	a.outPins = grown(a.outPins, nFlows)
+
+	s.pinOf = a.pinOf
+	s.modOf = a.modOf
+	s.setCount = a.setCount
+	s.stubEdge = a.stubEdge
+	s.order = a.order
+	s.seenGen = a.seenGen
+	s.owner = a.owner
+	s.routes = a.routes
+	s.assigned = a.assigned
+	s.vmask = a.vmask
+	s.candBuf = a.candBuf
+	s.inPins = a.inPins
+	s.outPins = a.outPins
+	s.cwBuf = a.cwBuf[:0]
+}
+
+// grown returns buf resized to n elements, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func grown[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}
+
+func resetInts(buf []int, n, fill int) []int {
+	buf = grown(buf, n)
+	for i := range buf {
+		buf[i] = fill
+	}
+	return buf
+}
+
+func clearSlice[T any](buf []T) {
+	var zero T
+	for i := range buf {
+		buf[i] = zero
+	}
+}

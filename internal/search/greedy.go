@@ -27,11 +27,11 @@ func GreedyFirstFit(sp *spec.Spec, opts Options) (*spec.Result, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	sw, err := topo.NewGrid(sp.SwitchPins)
+	sw, pt, err := topo.SharedGrid(sp.SwitchPins)
 	if err != nil {
 		return nil, err
 	}
-	return GreedyFirstFitOn(sp, sw, topo.BuildPathTable(sw), opts)
+	return GreedyFirstFitOn(sp, sw, pt, opts)
 }
 
 // GreedyFirstFitOn is GreedyFirstFit on a prebuilt switch and path table.

@@ -9,12 +9,20 @@
 // cases, and the pure-Go LP-based branch & bound in internal/milp — the
 // faithful encoding, kept in internal/model — does not scale past toy sizes.
 // Property tests cross-check the two engines' optima on small instances.
+//
+// With Options.Workers > 1 the DFS runs on a parallel driver (parallel.go):
+// the canonical search-tree frontier is split into work units consumed by a
+// pool of workers that share one incumbent bound. Results are bit-identical
+// for every worker count; see DESIGN.md "Parallel search".
 package search
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	mathbits "math/bits"
+	"runtime"
+	"slices"
 	"sort"
 	"time"
 
@@ -45,6 +53,13 @@ type Options struct {
 	// DisableSymmetryBreaking turns off the rotational pin-symmetry cut
 	// (used by ablation benchmarks).
 	DisableSymmetryBreaking bool
+	// Workers is the number of branch-and-bound goroutines exploring the
+	// tree (0 or 1 = the sequential driver). The returned plan is
+	// bit-identical for every value — parallelism only changes how fast
+	// it is found — so callers may tune this freely without invalidating
+	// caches or reproducibility. The greedy first-fit mode is always
+	// sequential regardless of this setting.
+	Workers int
 }
 
 // DefaultGreedyBudget is the fallback search budget applied when
@@ -100,16 +115,18 @@ func (e *ErrTimeout) Is(target error) bool {
 	return errors.As(target, &other)
 }
 
-// Solve synthesizes an application-specific switch plan for sp.
+// Solve synthesizes an application-specific switch plan for sp. The
+// switch model and path table come from the process-wide topo cache, so
+// repeated solves at the same pin count share one immutable topology.
 func Solve(sp *spec.Spec, opts Options) (*spec.Result, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	sw, err := topo.NewGrid(sp.SwitchPins)
+	sw, pt, err := topo.SharedGrid(sp.SwitchPins)
 	if err != nil {
 		return nil, err
 	}
-	return SolveOn(sp, sw, topo.BuildPathTable(sw), opts)
+	return SolveOn(sp, sw, pt, opts)
 }
 
 // SolveOn synthesizes on a prebuilt switch and path table so that callers
@@ -130,6 +147,34 @@ type incumbent struct {
 	length float64
 	edges  topo.Bits
 }
+
+// cand is one (inlet pin, outlet pin, path) choice for a flow, ordered
+// canonically by (length, pIn, pOut, pathIdx). The integer triple is
+// unique per candidate, so the order is strict and total.
+type cand struct {
+	pIn, pOut int
+	pathIdx   int
+	length    float64
+}
+
+// compareCands is the canonical candidate order shared by the sequential
+// DFS and the parallel frontier expansion.
+func compareCands(a, b cand) int {
+	switch {
+	case a.length < b.length:
+		return -1
+	case a.length > b.length:
+		return 1
+	case a.pIn != b.pIn:
+		return a.pIn - b.pIn
+	case a.pOut != b.pOut:
+		return a.pOut - b.pOut
+	default:
+		return a.pathIdx - b.pathIdx
+	}
+}
+
+type cwBound struct{ idx, pin int }
 
 type solver struct {
 	sp    *spec.Spec
@@ -162,6 +207,18 @@ type solver struct {
 	usedEdges  topo.Bits
 	curLen     float64
 
+	// Per-depth scratch reused across nodes at the same depth (the DFS
+	// holds at most one frame per depth, so no aliasing is possible).
+	candBuf [][]cand
+	inPins  [][]int
+	outPins [][]int
+	// remainingLB scratch: stamp array instead of a per-node map.
+	seenGen []int64
+	gen     int64
+	cwBuf   []cwBound
+
+	arena *arena // backing storage for the slices above; pooled
+
 	best     *incumbent
 	bestCost float64
 	deadline time.Time
@@ -170,6 +227,12 @@ type solver struct {
 	nodes    int64
 	timedOut bool
 	stopErr  error // context/deadline cause when timedOut
+
+	// Parallel-driver fields: shared is the cross-worker incumbent and
+	// stop state (nil on the sequential driver), unit the canonical index
+	// of the frontier unit this worker is currently exploring.
+	shared *sharedState
+	unit   int
 
 	// stopAtFirst makes the DFS return at the first feasible leaf (the
 	// greedy first-fit mode); done records that it fired.
@@ -202,38 +265,21 @@ func newSolver(sp *spec.Spec, sw *topo.Switch, pt *topo.PathTable, opts Options)
 		perSide:  sw.PerSide,
 		stubLen:  geom.PinStubLength,
 		bestCost: inf,
+		unit:     maxUnit,
 	}
-	s.stubEdge = make([]int, s.numPins)
+	nFlows := len(sp.Flows)
+	a := acquireArena()
+	s.arena = a
+	a.bind(s, len(sp.Modules), nFlows, s.numPins, s.maxSets, len(sw.Vertices))
+
 	for p := 0; p < s.numPins; p++ {
 		pv := sw.PinVertex(p)
 		edges := sw.IncidentEdges(pv)
 		s.stubEdge[p] = edges[0]
 	}
 
-	nFlows := len(sp.Flows)
-	s.pinOf = make([]int, len(sp.Modules))
-	for i := range s.pinOf {
-		s.pinOf[i] = -1
-	}
-	s.modOf = make([]int, s.numPins)
-	for i := range s.modOf {
-		s.modOf[i] = -1
-	}
-	s.routes = make([]spec.Route, nFlows)
-	s.assigned = make([]bool, nFlows)
-	s.vmask = make([]topo.Bits, nFlows)
-	s.owner = make([][]int, s.maxSets)
-	for i := range s.owner {
-		s.owner[i] = make([]int, len(sw.Vertices))
-		for v := range s.owner[i] {
-			s.owner[i][v] = -1
-		}
-	}
-	s.setCount = make([]int, s.maxSets)
-
 	// Flow ordering: conflicted flows first (most constrained), then by
 	// flow index for determinism.
-	s.order = make([]int, nFlows)
 	for i := range s.order {
 		s.order[i] = i
 	}
@@ -247,10 +293,18 @@ func newSolver(sp *spec.Spec, sw *topo.Switch, pt *topo.PathTable, opts Options)
 	return s
 }
 
-const inf = 1e18
+const (
+	inf = 1e18
+	// eps is the float tolerance separating genuinely better objective
+	// values from reordering noise. Objective values are quantized far
+	// above it: edge lengths are multiples of the grid pitch and stub
+	// length, so distinct costs differ by ≥ β·0.1 while float summation
+	// order perturbs them by ~1e-12.
+	eps = 1e-9
+)
 
-func (s *solver) run() (*spec.Result, error) {
-	start := time.Now()
+// startClock arms the deadline from TimeLimit and the optional context.
+func (s *solver) startClock(start time.Time) {
 	if s.opts.TimeLimit > 0 {
 		s.deadline = start.Add(s.opts.TimeLimit)
 		s.hasDL = true
@@ -262,23 +316,46 @@ func (s *solver) run() (*spec.Result, error) {
 			s.hasDL = true
 		}
 	}
+}
 
-	if s.sp.Binding == spec.Fixed {
-		// Bind everything up front; infeasible cyclic constraints cannot
-		// occur for fixed bindings (the spec validated distinctness).
-		for mi, name := range s.sp.Modules {
-			p := s.sp.FixedPins[name]
-			s.pinOf[mi] = p
-			s.modOf[p] = mi
-			s.boundCount++
-		}
+// bindFixed applies the spec's fixed module→pin binding up front;
+// infeasible cyclic constraints cannot occur for fixed bindings (the
+// spec validated distinctness).
+func (s *solver) bindFixed() {
+	if s.sp.Binding != spec.Fixed {
+		return
 	}
+	for mi, name := range s.sp.Modules {
+		p := s.sp.FixedPins[name]
+		s.pinOf[mi] = p
+		s.modOf[p] = mi
+		s.boundCount++
+	}
+}
+
+func (s *solver) run() (*spec.Result, error) {
+	start := time.Now()
+	s.startClock(start)
+	s.bindFixed()
 
 	// Admissible root bound: at least one flow set, plus the stub length
 	// every flow must add. Reported as LowerBound on degraded plans.
 	s.rootLB = s.alpha + s.remainingLB(0)
 
-	s.dfs(0)
+	if s.opts.Workers > 1 && !s.stopAtFirst && len(s.order) > 0 {
+		s.runParallel()
+	} else {
+		s.dfs(0)
+	}
+	return s.finish(start)
+}
+
+// finish turns the search outcome into a Result (or error), releases the
+// pooled solver state, and flushes the node counter into the package
+// telemetry.
+func (s *solver) finish(start time.Time) (*spec.Result, error) {
+	totalNodes.Add(s.nodes)
+	defer s.release()
 
 	rt := time.Since(start)
 	if s.best == nil {
@@ -333,6 +410,19 @@ func (s *solver) run() (*spec.Result, error) {
 	return res, nil
 }
 
+// release returns the solver's pooled state. The Result never aliases
+// arena memory: incumbent routes and pin assignments are fresh copies.
+func (s *solver) release() {
+	if s.arena == nil {
+		return
+	}
+	// clockwiseFeasible may have regrown its scratch past the arena's
+	// copy; hand the larger buffer back so the capacity is recycled.
+	s.arena.cwBuf = s.cwBuf
+	releaseArena(s.arena)
+	s.arena = nil
+}
+
 // fillBound records the optimality-gap metadata: proven plans are their
 // own bound; degraded plans report the admissible root bound and the
 // relative gap to it.
@@ -368,26 +458,45 @@ func renumberSets(res *spec.Result) {
 	res.NumSets = next
 }
 
+// expired counts a search node and, every 256 nodes, polls the stop
+// sources: the shared stop flag (parallel driver), the context, and the
+// deadline. Oversubscribed parallel runs also yield the processor here
+// so that sibling workers interleave finely even on a single core.
 func (s *solver) expired() bool {
-	if !s.hasDL && s.ctx == nil {
-		return false
-	}
 	s.nodes++
 	if s.nodes&255 != 0 {
 		return s.timedOut
 	}
+	if sh := s.shared; sh != nil {
+		if sh.stopped.Load() {
+			s.timedOut = true
+			s.stopErr = sh.cause()
+			return true
+		}
+		if sh.oversub {
+			runtime.Gosched()
+		}
+	}
 	if s.ctx != nil {
 		if err := s.ctx.Err(); err != nil {
-			s.timedOut = true
-			s.stopErr = err
+			s.halt(err)
 			return true
 		}
 	}
 	if s.hasDL && time.Now().After(s.deadline) {
-		s.timedOut = true
-		s.stopErr = context.DeadlineExceeded
+		s.halt(context.DeadlineExceeded)
 	}
 	return s.timedOut
+}
+
+// halt marks this solver timed out and, on the parallel driver,
+// propagates the stop to the sibling workers.
+func (s *solver) halt(causeErr error) {
+	s.timedOut = true
+	s.stopErr = causeErr
+	if s.shared != nil {
+		s.shared.halt(causeErr)
+	}
 }
 
 func (s *solver) cost() float64 {
@@ -400,15 +509,16 @@ func (s *solver) cost() float64 {
 // stub is unused adds its stub too.
 func (s *solver) remainingLB(pos int) float64 {
 	var extra float64
-	seenInlet := make(map[int]bool)
+	s.gen++
+	gen := s.gen
 	for k := pos; k < len(s.order); k++ {
 		f := s.order[k]
 		extra += s.stubLen // outlet stub is always fresh (outlet-once rule)
 		ms := s.srcs[f]
-		if seenInlet[ms] {
+		if s.seenGen[ms] == gen {
 			continue
 		}
-		seenInlet[ms] = true
+		s.seenGen[ms] = gen
 		if p := s.pinOf[ms]; p >= 0 {
 			if !s.usedEdges.Has(s.stubEdge[p]) {
 				extra += s.stubLen
@@ -420,75 +530,81 @@ func (s *solver) remainingLB(pos int) float64 {
 	return s.beta * extra
 }
 
+// acceptLeaf records the complete assignment at the current leaf if it
+// beats the incumbent. On the parallel driver the decision is delegated
+// to the shared (cost, unit) order; sequentially a strict improvement is
+// required, so among equal-cost optima the first one in canonical DFS
+// order wins — the tie-break the parallel driver reproduces exactly.
+func (s *solver) acceptLeaf() {
+	c := s.cost()
+	if s.shared != nil {
+		s.shared.offer(s, c)
+		return
+	}
+	if c < s.bestCost-eps {
+		s.bestCost = c
+		s.best = s.snapshotIncumbent(c)
+		if s.stopAtFirst {
+			s.done = true
+		}
+	}
+}
+
+// snapshotIncumbent copies the current assignment out of the (pooled,
+// mutable) solver state into a standalone incumbent.
+func (s *solver) snapshotIncumbent(c float64) *incumbent {
+	return &incumbent{
+		routes: append([]spec.Route(nil), s.routes...),
+		pinOf:  append([]int(nil), s.pinOf...),
+		cost:   c,
+		sets:   s.usedSets,
+		length: s.curLen,
+		edges:  s.usedEdges,
+	}
+}
+
+// pruneBound returns the value a node's cost-plus-lower-bound must stay
+// below to be worth exploring. Sequentially that is the incumbent cost
+// (minus tolerance). On the parallel driver the bound depends on where
+// the incumbent came from: against an incumbent from this or an earlier
+// unit the sequential rule applies unchanged, but against one from a
+// later unit only strictly worse subtrees may be cut — an equal-cost
+// leaf here would still win the (cost, unit) tie-break.
+func (s *solver) pruneBound() float64 {
+	if s.shared == nil {
+		return s.bestCost - eps
+	}
+	b := s.shared.best.Load()
+	if s.unit < b.unit {
+		return b.cost + eps
+	}
+	return b.cost - eps
+}
+
 func (s *solver) dfs(pos int) {
 	if s.halted() {
 		return
 	}
 	if pos == len(s.order) {
-		c := s.cost()
-		if c < s.bestCost-1e-9 {
-			s.bestCost = c
-			s.best = &incumbent{
-				routes: append([]spec.Route(nil), s.routes...),
-				pinOf:  append([]int(nil), s.pinOf...),
-				cost:   c,
-				sets:   s.usedSets,
-				length: s.curLen,
-				edges:  s.usedEdges,
-			}
-			if s.stopAtFirst {
-				s.done = true
-			}
-		}
+		s.acceptLeaf()
 		return
 	}
 	if s.expired() {
 		return
 	}
-	if s.cost()+s.remainingLB(pos) >= s.bestCost-1e-9 {
+	if s.cost()+s.remainingLB(pos) >= s.pruneBound() {
 		return
 	}
 
 	f := s.order[pos]
 	ms, md := s.srcs[f], s.dsts[f]
+	cands := s.enumCands(pos)
 
-	type cand struct {
-		pIn, pOut int
-		pathIdx   int
-		length    float64
-	}
-	var cands []cand
-	// The rotational symmetry cut may only constrain the module that is
-	// bound first (the inlet): the outlet binds second, when the rotation
-	// is already fixed.
-	for _, pIn := range s.candidatePins(ms, true) {
-		for _, pOut := range s.candidatePins(md, false) {
-			if pIn == pOut {
-				continue
-			}
-			paths := s.pt.PathsBetween(pIn, pOut)
-			for pi := range paths {
-				cands = append(cands, cand{pIn, pOut, pi, paths[pi].Length})
-			}
-		}
-	}
-	sort.SliceStable(cands, func(a, b int) bool {
-		if cands[a].length != cands[b].length {
-			return cands[a].length < cands[b].length
-		}
-		if cands[a].pIn != cands[b].pIn {
-			return cands[a].pIn < cands[b].pIn
-		}
-		if cands[a].pOut != cands[b].pOut {
-			return cands[a].pOut < cands[b].pOut
-		}
-		return cands[a].pathIdx < cands[b].pathIdx
-	})
-
-	for _, c := range cands {
+	for i := range cands {
 		if s.halted() {
 			return
 		}
+		c := cands[i]
 		boundIn := s.bindIfNeeded(ms, c.pIn)
 		if boundIn == bindConflict {
 			continue
@@ -543,6 +659,37 @@ func (s *solver) dfs(pos int) {
 	}
 }
 
+// enumCands fills the depth's candidate buffer with flow pos's
+// (inlet pin, outlet pin, path) choices in canonical order. The outlet
+// pin set is loop-invariant during enumeration (nothing binds until a
+// candidate is tried), so it is computed once, not per inlet pin.
+func (s *solver) enumCands(pos int) []cand {
+	f := s.order[pos]
+	ms, md := s.srcs[f], s.dsts[f]
+	cands := s.candBuf[pos][:0]
+	// The rotational symmetry cut may only constrain the module that is
+	// bound first (the inlet): the outlet binds second, when the rotation
+	// is already fixed.
+	ins := s.candidatePins(ms, true, &s.inPins[pos])
+	outs := s.candidatePins(md, false, &s.outPins[pos])
+	for _, pIn := range ins {
+		for _, pOut := range outs {
+			if pIn == pOut {
+				continue
+			}
+			paths := s.pt.PathsBetween(pIn, pOut)
+			for pi := range paths {
+				cands = append(cands, cand{pIn, pOut, pi, paths[pi].Length})
+			}
+		}
+	}
+	// The comparator is a strict total order (the pin/path triple is
+	// unique), so the unstable sort is deterministic.
+	slices.SortFunc(cands, compareCands)
+	s.candBuf[pos] = cands
+	return cands
+}
+
 type bindOutcome int
 
 const (
@@ -551,15 +698,18 @@ const (
 	bindConflict                    // impossible (other pin / pin taken)
 )
 
-// candidatePins returns the pins a module may use: its bound pin, or all
-// free pins. With allowCut, the very first binding of the search is
-// restricted to the first side's pins — rotating the switch by 90° shifts
-// every pin order by perSide, so orbit representatives suffice.
-func (s *solver) candidatePins(module int, allowCut bool) []int {
+// candidatePins appends the pins a module may use into *buf: its bound
+// pin, or all free pins. With allowCut, the very first binding of the
+// search is restricted to the first side's pins — rotating the switch by
+// 90° shifts every pin order by perSide, so orbit representatives
+// suffice.
+func (s *solver) candidatePins(module int, allowCut bool, buf *[]int) []int {
+	out := (*buf)[:0]
 	if p := s.pinOf[module]; p >= 0 {
-		return []int{p}
+		out = append(out, p)
+		*buf = out
+		return out
 	}
-	var out []int
 	limit := s.numPins
 	if allowCut && !s.opts.DisableSymmetryBreaking && s.boundCount == 0 {
 		// Rotating the switch by 90° shifts every pin order by perSide; fix
@@ -571,6 +721,7 @@ func (s *solver) candidatePins(module int, allowCut bool) []int {
 			out = append(out, p)
 		}
 	}
+	*buf = out
 	return out
 }
 
@@ -671,10 +822,17 @@ func (s *solver) unplace(f, inletModule, set int, path topo.Path) {
 	s.curLen = s.edgeMaskLen(union)
 }
 
+// edgeMaskLen sums edge lengths over a mask, iterating set bits in
+// ascending order (the same order Bits.Indices would produce, so float
+// summation is bit-identical) without materializing an index slice.
 func (s *solver) edgeMaskLen(mask topo.Bits) float64 {
 	var sum float64
-	for _, e := range mask.Indices() {
-		sum += s.sw.Edges[e].Length
+	for wi, w := range mask {
+		base := wi * 64
+		for w != 0 {
+			sum += s.sw.Edges[base+mathbits.TrailingZeros64(w)].Length
+			w &= w - 1
+		}
 	}
 	return sum
 }
@@ -683,17 +841,17 @@ func (s *solver) edgeMaskLen(mask topo.Bits) float64 {
 // completed into an assignment where the module list order winds exactly
 // once clockwise around the switch (constraints 3.12–3.13).
 func (s *solver) clockwiseFeasible() bool {
-	type bound struct{ idx, pin int }
-	var bs []bound
+	// Appending in module-index order keeps bs sorted by idx.
+	bs := s.cwBuf[:0]
 	for mi, p := range s.pinOf {
 		if p >= 0 {
-			bs = append(bs, bound{mi, p})
+			bs = append(bs, cwBound{mi, p})
 		}
 	}
+	s.cwBuf = bs
 	if len(bs) <= 1 {
 		return true
 	}
-	sort.Slice(bs, func(a, b int) bool { return bs[a].idx < bs[b].idx })
 	// The pins must appear in the same cyclic order as the modules: exactly
 	// one descent around the cycle.
 	descents := 0

@@ -70,6 +70,13 @@ type Config struct {
 	// at the engine's chaos points (see internal/faultinject). Nil — the
 	// default — makes every injection point a nop.
 	FaultInjector *faultinject.Injector
+	// SolverWorkers is the per-solve parallelism applied to requests that
+	// carry no worker count of their own: the number of branch-and-bound
+	// goroutines inside one search-engine solve (default 1 = sequential).
+	// Plans are bit-identical for every value, so this never partitions
+	// the cache; it trades per-job latency against cross-job throughput
+	// of the Workers pool above.
+	SolverWorkers int
 	// Store, when non-nil, is the durable tier of the result cache: on a
 	// memory miss the engine consults it before solving, and solved
 	// proven plans are written through (degraded plans never persist).
@@ -112,6 +119,13 @@ func (c Config) defaultTimeLimit() time.Duration {
 	default:
 		return 30 * time.Second
 	}
+}
+
+func (c Config) solverWorkers() int {
+	if c.SolverWorkers > 0 {
+		return c.SolverWorkers
+	}
+	return 1
 }
 
 func (c Config) breakerThreshold() int {
@@ -272,6 +286,9 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 	}
 	if opts.TimeLimit == 0 {
 		opts.TimeLimit = e.cfg.defaultTimeLimit()
+	}
+	if opts.SolverWorkers == 0 {
+		opts.SolverWorkers = e.cfg.solverWorkers()
 	}
 	if nerr, ok := e.neg.get(key); ok {
 		// A stored ErrNoSolution is an exhaustive-search proof; replay it
@@ -554,6 +571,8 @@ func (e *Engine) Snapshot() Snapshot {
 	s.QueueDepth = len(e.jobs)
 	s.Workers = e.cfg.workers()
 	s.BreakersOpen = e.breakers.openCount()
+	s.SolverWorkers = e.cfg.solverWorkers()
+	s.SolverNodesTotal, s.SolverStealsTotal = search.Counters()
 	if e.store != nil {
 		st := e.store.Stats()
 		s.StoreEnabled = true

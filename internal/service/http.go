@@ -52,6 +52,10 @@ type RequestOptions struct {
 	PressureSharing bool `json:"pressureSharing,omitempty"`
 	// RouteControl additionally routes the control layer.
 	RouteControl bool `json:"routeControl,omitempty"`
+	// SolverWorkers is the number of branch-and-bound goroutines inside
+	// this request's solve; 0 inherits the daemon's -solver-workers
+	// default. The plan is bit-identical for every value.
+	SolverWorkers int `json:"solverWorkers,omitempty"`
 	// SVG embeds a rendering of the synthesized switch in the response.
 	SVG bool `json:"svg,omitempty"`
 }
@@ -137,6 +141,7 @@ func handleSynthesize(e *Engine, w http.ResponseWriter, r *http.Request) {
 		TimeLimit:       time.Duration(req.Options.TimeLimitMS) * time.Millisecond,
 		PressureSharing: req.Options.PressureSharing,
 		RouteControl:    req.Options.RouteControl,
+		SolverWorkers:   req.Options.SolverWorkers,
 	}
 	resp, err := e.Do(r.Context(), req.Spec, opts)
 	if err != nil {

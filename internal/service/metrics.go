@@ -135,6 +135,16 @@ type Snapshot struct {
 	Workers      int `json:"workers"`
 	BreakersOpen int `json:"breakersOpen"`
 
+	// Exact-solver internals (process-wide, cumulative across every solve
+	// in this process — including solves not routed through the engine).
+	// SolverWorkers is the engine's default per-solve parallelism;
+	// SolverNodesTotal counts branch-and-bound nodes expanded;
+	// SolverStealsTotal counts work units claimed by a worker other than
+	// their round-robin owner.
+	SolverWorkers     int   `json:"solver_workers"`
+	SolverNodesTotal  int64 `json:"solver_nodes_total"`
+	SolverStealsTotal int64 `json:"solver_steals_total"`
+
 	// Solve latency (actual optimizer runs only — cache hits excluded).
 	SolveCount       int64   `json:"solveCount"`
 	SolveMeanSeconds float64 `json:"solveMeanSeconds"`

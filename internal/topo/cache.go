@@ -1,0 +1,41 @@
+package topo
+
+import "sync"
+
+// gridCache memoizes SharedGrid results: one entry per pin count for the
+// lifetime of the process. Entries are never evicted — the supported pin
+// counts form a tiny fixed set, and a built 16-pin path table is ~1 MB.
+var gridCache sync.Map // numPins -> *gridEntry
+
+type gridEntry struct {
+	once sync.Once
+	sw   *Switch
+	pt   *PathTable
+	err  error
+}
+
+// SharedGrid returns the process-wide shared grid switch and path table
+// for numPins, building them on first use. Every caller at the same pin
+// count receives the same *Switch and *PathTable pointers.
+//
+// Sharing is safe because both structures are immutable once built:
+// NewGrid publishes the Switch only after finish() seals it, every
+// Switch accessor either returns a copy or reads data that is never
+// written again, and BuildPathTable only reads the sealed switch. The
+// concurrent-read guarantee is exercised under the race detector by
+// TestSharedGridConcurrent.
+//
+// Construction errors (unsupported pin counts) are memoized too, so
+// repeated lookups of a bad size stay cheap.
+func SharedGrid(numPins int) (*Switch, *PathTable, error) {
+	v, _ := gridCache.LoadOrStore(numPins, &gridEntry{})
+	e := v.(*gridEntry)
+	e.once.Do(func() {
+		e.sw, e.err = NewGrid(numPins)
+		if e.err != nil {
+			return
+		}
+		e.pt = BuildPathTable(e.sw)
+	})
+	return e.sw, e.pt, e.err
+}

@@ -1,0 +1,66 @@
+package topo
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSharedGridConcurrent is the concurrent-read guarantee promised in
+// the SharedGrid docs: many goroutines resolving and reading the same
+// pin count must observe one shared, race-free instance. Run under the
+// race detector in CI.
+func TestSharedGridConcurrent(t *testing.T) {
+	baseSw, basePt, err := SharedGrid(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sw, pt, err := SharedGrid(12)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if sw != baseSw || pt != basePt {
+				t.Error("SharedGrid returned distinct instances for one pin count")
+				return
+			}
+			// Exercise unsynchronized reads of both structures.
+			for p := 0; p < sw.NumPins; p++ {
+				_ = sw.IncidentEdges(sw.PinVertex(p))
+			}
+			if len(pt.PathsBetween(0, 5)) == 0 {
+				t.Error("shared path table returned no paths")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSharedGridDistinctSizes(t *testing.T) {
+	sw8, _, err := SharedGrid(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw16, _, err := SharedGrid(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw8 == sw16 || sw8.NumPins != 8 || sw16.NumPins != 16 {
+		t.Errorf("cache mixed up sizes: %d and %d pins", sw8.NumPins, sw16.NumPins)
+	}
+}
+
+func TestSharedGridMemoizesErrors(t *testing.T) {
+	_, _, err1 := SharedGrid(7)
+	_, _, err2 := SharedGrid(7)
+	if err1 == nil || err2 == nil {
+		t.Fatal("unsupported pin count did not error")
+	}
+	if err1 != err2 {
+		t.Errorf("error not memoized: %v vs %v", err1, err2)
+	}
+}

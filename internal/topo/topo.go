@@ -96,6 +96,11 @@ func (e Edge) Other(v int) int {
 // Switch is an immutable flow-layer topology: the full (unreduced)
 // reconfigurable switch model from which application-specific switches are
 // synthesized, or a baseline spine.
+//
+// A Switch is sealed by its constructor and never mutated afterwards;
+// accessors return copies or read-only views. One instance may therefore
+// be read by any number of goroutines concurrently without locking —
+// SharedGrid hands out exactly such shared instances.
 type Switch struct {
 	// Kind describes the topology family ("grid", "spine").
 	Kind string
@@ -590,6 +595,9 @@ func (sw *Switch) distancesFrom(src, allow int) []float64 {
 }
 
 // PathTable holds all shortest paths for every ordered pin pair of a switch.
+// Like Switch it is immutable once BuildPathTable returns and safe for
+// unsynchronized concurrent reads; SharedGrid shares one instance per pin
+// count across all solver goroutines.
 type PathTable struct {
 	Switch *Switch
 	// ByPair maps [inOrder][outOrder] to the candidate paths, indexed by the

@@ -128,6 +128,12 @@ type Options struct {
 	// sharing), from a border control-inlet punch to every valve it
 	// drives. This implements the thesis' declared future work.
 	RouteControl bool
+	// SolverWorkers is the number of branch-and-bound goroutines the
+	// search engine explores the tree with (0 or 1 = sequential). The
+	// plan is bit-identical for every value — the worker count is a pure
+	// throughput knob and never partitions result caches. Ignored by the
+	// IQP engine.
+	SolverWorkers int
 	// SkipVerify disables the internal contamination re-check (used only
 	// by benchmarks; plans are always safe to verify).
 	SkipVerify bool
@@ -220,7 +226,11 @@ func SolvePlan(ctx context.Context, sp *Spec, opts Options) (*Result, error) {
 	}
 	switch opts.Engine {
 	case "", EngineSearch:
-		return search.Solve(sp, search.Options{TimeLimit: opts.TimeLimit, Ctx: ctx})
+		return search.Solve(sp, search.Options{
+			TimeLimit: opts.TimeLimit,
+			Ctx:       ctx,
+			Workers:   opts.SolverWorkers,
+		})
 	case EngineIQP:
 		res, err := model.Solve(sp, model.Options{TimeLimit: iqpTimeLimit(ctx, opts.TimeLimit)})
 		// The MILP substrate is deadline- rather than context-driven;
