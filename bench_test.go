@@ -10,6 +10,7 @@ package switchsynth_test
 
 import (
 	"context"
+	"net/http/httptest"
 	"strconv"
 	"testing"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"switchsynth"
 	"switchsynth/internal/cases"
 	"switchsynth/internal/clique"
+	"switchsynth/internal/cluster"
 	"switchsynth/internal/drc"
 	"switchsynth/internal/exp"
 	"switchsynth/internal/lp"
@@ -750,5 +752,153 @@ func BenchmarkStore_WarmBoot(b *testing.B) {
 		if err := st.Close(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Cluster tier: local cache hit vs peer fill vs cold solve ---
+
+// clusterBenchSpec returns a fast-solving spec whose canonical job key
+// is owned by ownerID under a two-node ring; pin count is the search
+// knob (the canonical key ignores Name).
+func clusterBenchSpec(b *testing.B, r *cluster.Ring, ownerID string) *spec.Spec {
+	b.Helper()
+	for i := 0; i < 6; i++ {
+		sp := &spec.Spec{
+			Name:       "cluster-bench",
+			SwitchPins: 12,
+			Modules:    []string{"sample", "buffer", "mix1", "mix2"},
+			Flows:      []spec.Flow{{From: "sample", To: "mix1"}, {From: "buffer", To: "mix2"}},
+			Binding:    spec.Unfixed,
+		}
+		switch i {
+		case 1:
+			sp.Conflicts = [][2]int{{0, 1}}
+		case 2:
+			sp.Modules = []string{"sample", "mix1"}
+			sp.Flows = sp.Flows[:1]
+		case 3:
+			sp.Modules = []string{"sample", "buffer", "rinse", "mix1", "mix2", "mix3"}
+			sp.Flows = []spec.Flow{{From: "sample", To: "mix1"}, {From: "buffer", To: "mix2"}, {From: "rinse", To: "mix3"}}
+		case 4:
+			sp.Modules = []string{"sample", "buffer", "rinse", "mix1", "mix2", "mix3"}
+			sp.Flows = []spec.Flow{{From: "sample", To: "mix1"}, {From: "buffer", To: "mix2"}, {From: "rinse", To: "mix3"}}
+			sp.Conflicts = [][2]int{{0, 1}}
+		case 5:
+			sp.SwitchPins = 16
+			sp.Modules = []string{"sample", "mix1"}
+			sp.Flows = sp.Flows[:1]
+		}
+		key, err := service.JobKey(sp, switchsynth.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.OwnerID(key) == ownerID {
+			return sp
+		}
+	}
+	b.Fatal("no bench spec owned by " + ownerID)
+	return nil
+}
+
+// clusterBenchPeer boots an owner node ("a") with one solved plan behind
+// a real HTTP server and returns the non-owner's cluster ("b") plus the
+// spec that node a owns. Benchmarks built on this measure the genuine
+// wire path: GET /plans/{key}, re-verify, import.
+func clusterBenchPeer(b *testing.B) (*cluster.Cluster, *spec.Spec) {
+	b.Helper()
+	engA := service.New(service.Config{Workers: 2})
+	b.Cleanup(engA.CloseNow)
+	srvA := httptest.NewServer(service.NewHandler(engA))
+	b.Cleanup(srvA.Close)
+
+	peers := []cluster.Node{
+		{ID: "a", URL: srvA.URL},
+		{ID: "b", URL: "http://127.0.0.1:1"}, // self; never dialed
+	}
+	var engB *service.Engine
+	clB, err := cluster.New(cluster.Config{
+		SelfID:       "b",
+		Peers:        peers,
+		SyncInterval: -1,
+		LocalKeys:    func() []string { return engB.PlanKeys() },
+		LocalImport:  func(key string, data []byte) error { return engB.ImportPlan(key, data) },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp := clusterBenchSpec(b, clB.Ring(), "a")
+	if _, err := engA.Do(context.Background(), sp, switchsynth.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	return clB, sp
+}
+
+// BenchmarkCluster_LocalHit is the sharded steady state: the owner (or a
+// warmed non-owner) answers from its own memory tier; the peer-fill hook
+// is wired but never fires.
+func BenchmarkCluster_LocalHit(b *testing.B) {
+	clB, sp := clusterBenchPeer(b)
+	e := service.New(service.Config{Workers: 2, PeerFill: clB.FetchPlan})
+	defer e.Close()
+	if _, err := e.Do(context.Background(), sp, switchsynth.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := e.Do(context.Background(), sp, switchsynth.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.CacheHit || resp.PeerHit {
+			b.Fatal("expected a local memory-tier hit")
+		}
+	}
+}
+
+// BenchmarkCluster_PeerFill measures the cluster tier in isolation: the
+// local memory cache is disabled, so every request fetches the owner's
+// plan over HTTP, re-verifies it, and re-runs analysis.
+func BenchmarkCluster_PeerFill(b *testing.B) {
+	clB, sp := clusterBenchPeer(b)
+	e := service.New(service.Config{Workers: 2, CacheSize: -1, PeerFill: clB.FetchPlan})
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := e.Do(context.Background(), sp, switchsynth.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.PeerHit {
+			b.Fatal("expected a peer fill")
+		}
+	}
+}
+
+// BenchmarkCluster_ColdSolve is the fallback the fill amortizes: the
+// same spec BenchmarkCluster_PeerFill fetches, solved from scratch. A
+// solo ring makes every key self-owned, so the wired FetchPlan declines
+// instantly and the engine runs a full solve on a fresh cache every
+// iteration.
+func BenchmarkCluster_ColdSolve(b *testing.B) {
+	_, sp := clusterBenchPeer(b)
+	solo, err := cluster.New(cluster.Config{
+		SelfID:       "x",
+		Peers:        []cluster.Node{{ID: "x", URL: "http://127.0.0.1:1"}},
+		SyncInterval: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := service.New(service.Config{Workers: 2, PeerFill: solo.FetchPlan})
+		resp, err := e.Do(context.Background(), sp, switchsynth.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.CacheHit || resp.PeerHit {
+			b.Fatal("expected a cold solve")
+		}
+		e.Close()
 	}
 }

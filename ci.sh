@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # CI gate: format + vet + build + full tests, race-checked service layer,
 # the seeded chaos suites (service faults and store crash-recovery, both
-# goroutine-leak gated and run twice), and three benchmarks: cold-vs-cached
-# request rate (BENCH_service.json), degraded-path throughput under
-# injected slow-solve faults (BENCH_resilience.json), and the plan-store
-# tiers — cold solve vs memory hit vs disk hit vs warm boot
-# (BENCH_store.json).
+# goroutine-leak gated and run twice), the cluster gate (race-checked
+# suite plus the three-topology campaign byte-diff, one node killed
+# mid-run), and four benchmarks: cold-vs-cached request rate
+# (BENCH_service.json), degraded-path throughput under injected
+# slow-solve faults (BENCH_resilience.json), the plan-store tiers — cold
+# solve vs memory hit vs disk hit vs warm boot (BENCH_store.json), and
+# the cluster tiers — local hit vs peer fill vs cold solve
+# (BENCH_cluster.json).
 #
 # Usage: ./ci.sh            (full gate)
 #        BENCHTIME=5s ./ci.sh  (longer benchmark runs)
@@ -63,6 +66,15 @@ echo "== store crash-recovery gate: 25 seeded schedules, -race -count=2 =="
 # Full store suite under the race detector, every crash schedule twice:
 # torn tails, corrupt records, failed fsyncs, abandoned compactions.
 go test -race -count=2 ./internal/store/...
+
+echo "== cluster gate: -race -count=2, three-topology determinism =="
+# The ring/membership/proxy/fill/sync suites twice under the race
+# detector (-short skips only the campaign test), then the campaign
+# determinism test once: it boots one node, three nodes, and three nodes
+# with one killed mid-campaign, and byte-compares the deterministic
+# reports across all three topologies.
+go test -race -count=2 -short ./internal/cluster/
+go test -race -run 'TestCampaignDeterministicAcrossTopologies' ./internal/cluster/
 
 echo "== service benchmark: cold vs cached =="
 bench_out=$(go test -run '^$' -bench 'BenchmarkService_(Cold|Cached)Synthesize$' -benchtime "${BENCHTIME:-2s}" .)
@@ -130,5 +142,27 @@ echo "$store_out" | awk '
     printf "}\n"
   }' > BENCH_store.json
 cat BENCH_store.json
+
+echo "== cluster benchmark: local hit vs peer fill vs cold solve =="
+cluster_out=$(go test -run '^$' -bench 'BenchmarkCluster_' -benchtime "${BENCHTIME:-2s}" .)
+echo "$cluster_out"
+echo "$cluster_out" | awk '
+  $1 ~ /^BenchmarkCluster_LocalHit/  { local = $3 }
+  $1 ~ /^BenchmarkCluster_PeerFill/  { fill = $3 }
+  $1 ~ /^BenchmarkCluster_ColdSolve/ { cold = $3 }
+  END {
+    if (local == "" || fill == "" || cold == "") {
+      print "ci.sh: cluster benchmark output incomplete" > "/dev/stderr"
+      exit 1
+    }
+    printf "{\n"
+    printf "  \"localHitNsPerOp\": %.0f,\n", local
+    printf "  \"peerFillNsPerOp\": %.0f,\n", fill
+    printf "  \"coldSolveNsPerOp\": %.0f,\n", cold
+    printf "  \"peerFillSpeedupOverCold\": %.1f,\n", cold / fill
+    printf "  \"peerFillSlowdownOverLocal\": %.1f\n", fill / local
+    printf "}\n"
+  }' > BENCH_cluster.json
+cat BENCH_cluster.json
 
 echo "ci.sh: OK"

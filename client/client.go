@@ -5,12 +5,19 @@
 //
 // Retry policy: network errors and the shed-load statuses (429, 502,
 // 503, 504) are retried up to Config.MaxAttempts times; a Retry-After
-// header from the daemon's circuit breaker or drain window overrides
-// the computed backoff. All other statuses — including 422 no-solution,
-// which is an infeasibility proof — fail immediately. Requests carry an
+// header from the daemon's circuit breaker or drain window — either the
+// delay-seconds or the HTTP-date form — overrides the computed backoff.
+// All other statuses — including 422 no-solution, which is an
+// infeasibility proof — fail immediately. Requests carry an
 // Idempotency-Key header equal to spec.CanonicalKey, so retries of the
 // same spec land on the daemon's result cache (or coalesce onto an
 // in-flight solve) instead of repeating work.
+//
+// Against a sharded deployment (Config.Peers), the client computes each
+// spec's owning node with the same rendezvous ring the daemons use and
+// sends the request there directly, skipping the server-side forwarding
+// hop; retries walk down the preference order, so a dead owner degrades
+// to the next-ranked node instead of burning attempts on one host.
 package client
 
 import (
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"switchsynth"
+	"switchsynth/internal/cluster"
 	"switchsynth/internal/service"
 )
 
@@ -50,11 +58,19 @@ type Config struct {
 	// Seed makes the jitter deterministic for tests; 0 seeds from the
 	// clock.
 	Seed int64
+	// Peers, when non-empty, is the cluster's static peer list in the
+	// daemon's -peers format ("id=url,..."). The client then routes each
+	// request to the spec's owning node (owner-first routing) and walks
+	// down the preference order on retries. BaseURL becomes optional and
+	// is only used for the non-spec endpoints (Metrics, Healthz),
+	// defaulting to the first peer.
+	Peers string
 }
 
 // Client is a synthd HTTP client; safe for concurrent use.
 type Client struct {
 	base        string
+	ring        *cluster.Ring // nil without Config.Peers
 	hc          *http.Client
 	maxAttempts int
 	baseBackoff time.Duration
@@ -89,8 +105,23 @@ func (e *APIError) Temporary() bool {
 	return false
 }
 
-// New creates a client for the daemon at cfg.BaseURL.
+// New creates a client for the daemon at cfg.BaseURL (or the cluster
+// listed in cfg.Peers).
 func New(cfg Config) (*Client, error) {
+	var ring *cluster.Ring
+	if cfg.Peers != "" {
+		nodes, err := cluster.ParsePeers(cfg.Peers)
+		if err != nil {
+			return nil, fmt.Errorf("client: %w", err)
+		}
+		if len(nodes) == 0 {
+			return nil, fmt.Errorf("client: Peers is blank")
+		}
+		ring = cluster.NewRing(nodes)
+		if cfg.BaseURL == "" {
+			cfg.BaseURL = nodes[0].URL
+		}
+	}
 	if cfg.BaseURL == "" {
 		return nil, fmt.Errorf("client: BaseURL is required")
 	}
@@ -119,6 +150,7 @@ func New(cfg Config) (*Client, error) {
 	}
 	return &Client{
 		base:        strings.TrimRight(cfg.BaseURL, "/"),
+		ring:        ring,
 		hc:          hc,
 		maxAttempts: attempts,
 		baseBackoff: base,
@@ -140,6 +172,7 @@ func (c *Client) Synthesize(ctx context.Context, sp *switchsynth.Spec, opts serv
 	if err != nil {
 		return nil, err
 	}
+	targets := c.targets(sp, opts)
 
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
@@ -148,7 +181,7 @@ func (c *Client) Synthesize(ctx context.Context, sp *switchsynth.Spec, opts serv
 				return nil, err
 			}
 		}
-		out, err := c.once(ctx, key, body)
+		out, err := c.once(ctx, targets[attempt%len(targets)], key, body)
 		if err == nil {
 			return out, nil
 		}
@@ -165,9 +198,32 @@ func (c *Client) Synthesize(ctx context.Context, sp *switchsynth.Spec, opts serv
 	return nil, lastErr
 }
 
-// once performs a single POST /synthesize round trip.
-func (c *Client) once(ctx context.Context, key string, body []byte) (*service.SynthesizeResponse, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/synthesize", bytes.NewReader(body))
+// targets returns the bases to try, in attempt order. Without a peer
+// ring there is one: BaseURL. With one, the ring's full preference
+// order for the spec's job key — the first attempt goes straight to
+// the owner (same cache-locality win as the server-side proxy, minus
+// the extra hop), and each retry moves to the next-ranked node so a
+// dead owner costs one attempt, not all of them.
+func (c *Client) targets(sp *switchsynth.Spec, opts service.RequestOptions) []string {
+	if c.ring == nil {
+		return []string{c.base}
+	}
+	jobKey, err := service.JobKey(sp, switchsynth.Options{Engine: opts.Engine})
+	if err != nil {
+		// The spec failed canonicalization; let the daemon report it.
+		return []string{c.base}
+	}
+	rank := c.ring.Rank(jobKey)
+	targets := make([]string, len(rank))
+	for i, n := range rank {
+		targets[i] = strings.TrimRight(n.URL, "/")
+	}
+	return targets
+}
+
+// once performs a single POST /synthesize round trip against base.
+func (c *Client) once(ctx context.Context, base, key string, body []byte) (*service.SynthesizeResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/synthesize", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
@@ -272,9 +328,16 @@ func readAPIError(resp *http.Response) error {
 	if apiErr.Message == "" {
 		apiErr.Message = http.StatusText(resp.StatusCode)
 	}
+	// Retry-After comes in two RFC 9110 forms: delay-seconds and
+	// HTTP-date. Proxies in front of the daemon may rewrite one into the
+	// other, so honor both.
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
 			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		} else if at, err := http.ParseTime(ra); err == nil {
+			if d := time.Until(at); d > 0 {
+				apiErr.RetryAfter = d
+			}
 		}
 	}
 	return apiErr

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"switchsynth"
+	"switchsynth/internal/cluster"
 	"switchsynth/internal/service"
 	"switchsynth/internal/spec"
 )
@@ -244,5 +246,144 @@ func TestInvalidSpecFailsLocally(t *testing.T) {
 	}
 	if calls.Load() != 0 {
 		t.Errorf("invalid spec reached the server (%d calls)", calls.Load())
+	}
+}
+
+// TestHonorsRetryAfterOn503 asserts a 503 drain hint delays the retry
+// exactly like a 429 breaker hint: the shed-load statuses share one
+// backoff policy.
+func TestHonorsRetryAfterOn503(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt, secondAt time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			firstAt = time.Now()
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "draining", "kind": "unavailable"})
+			return
+		}
+		secondAt = time.Now()
+		json.NewEncoder(w).Encode(service.SynthesizeResponse{Name: "ra503", NumSets: 1})
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, Config{MaxAttempts: 2})
+	if _, err := c.Synthesize(context.Background(), clientSpec("client-ra503"), service.RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if gap := secondAt.Sub(firstAt); gap < 900*time.Millisecond {
+		t.Errorf("retried after %v, want >= ~1s from the 503 Retry-After header", gap)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestRetryAfterHTTPDateForm: proxies may rewrite delay-seconds into an
+// HTTP-date; the client must parse both RFC 9110 forms.
+func TestRetryAfterHTTPDateForm(t *testing.T) {
+	var calls atomic.Int64
+	var firstAt, secondAt time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			firstAt = time.Now()
+			w.Header().Set("Retry-After", time.Now().Add(1200*time.Millisecond).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "draining", "kind": "unavailable"})
+			return
+		}
+		secondAt = time.Now()
+		json.NewEncoder(w).Encode(service.SynthesizeResponse{Name: "radate", NumSets: 1})
+	}))
+	defer srv.Close()
+
+	c := newTestClient(t, srv.URL, Config{MaxAttempts: 2})
+	if _, err := c.Synthesize(context.Background(), clientSpec("client-radate"), service.RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// HTTP-date has 1s resolution, so the observable floor is well under
+	// the nominal 1.2s — but a client that ignored the header entirely
+	// would retry within the 1ms test backoff.
+	if gap := secondAt.Sub(firstAt); gap < 150*time.Millisecond {
+		t.Errorf("retried after %v; HTTP-date Retry-After ignored", gap)
+	}
+}
+
+// TestOwnerFirstRouting: with Config.Peers the first attempt must land
+// on the spec's owning node (per the shared rendezvous ring), not on
+// whichever URL is listed first.
+func TestOwnerFirstRouting(t *testing.T) {
+	sp := clientSpec("client-owner")
+	jobKey, err := service.JobKey(sp, switchsynth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hits [2]atomic.Int64
+	servers := make([]*httptest.Server, 2)
+	peers := make([]string, 2)
+	for i := range servers {
+		i := i
+		servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			json.NewEncoder(w).Encode(service.SynthesizeResponse{Name: sp.Name, NumSets: 1})
+		}))
+		defer servers[i].Close()
+		peers[i] = fmt.Sprintf("n%d=%s", i, servers[i].URL)
+	}
+	ring := cluster.NewRing([]cluster.Node{{ID: "n0", URL: servers[0].URL}, {ID: "n1", URL: servers[1].URL}})
+	owner := 0
+	if ring.OwnerID(jobKey) == "n1" {
+		owner = 1
+	}
+
+	c, err := New(Config{Peers: strings.Join(peers, ","), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Synthesize(context.Background(), sp, service.RequestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if hits[owner].Load() != 1 || hits[1-owner].Load() != 0 {
+		t.Errorf("hits = [%d %d], want the single request on owner n%d",
+			hits[0].Load(), hits[1].Load(), owner)
+	}
+}
+
+// TestOwnerRoutingFailsOverOnRetry: a dead owner costs one attempt; the
+// retry walks to the next-ranked node instead of hammering the corpse.
+func TestOwnerRoutingFailsOverOnRetry(t *testing.T) {
+	sp := clientSpec("client-failover")
+	jobKey, err := service.JobKey(sp, switchsynth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var survivorHits atomic.Int64
+	survivor := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		survivorHits.Add(1)
+		json.NewEncoder(w).Encode(service.SynthesizeResponse{Name: sp.Name, NumSets: 1})
+	}))
+	defer survivor.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from now on
+
+	// Name the dead node so it owns the key: the first attempt must fail.
+	deadID, survivorID := "n0", "n1"
+	if cluster.NewRing([]cluster.Node{{ID: "n0"}, {ID: "n1"}}).OwnerID(jobKey) == "n1" {
+		deadID, survivorID = "n1", "n0"
+	}
+	peers := fmt.Sprintf("%s=%s,%s=%s", deadID, dead.URL, survivorID, survivor.URL)
+
+	c, err := New(Config{Peers: peers, Seed: 1, BaseBackoff: time.Millisecond, MaxAttempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Synthesize(context.Background(), sp, service.RequestOptions{})
+	if err != nil {
+		t.Fatalf("failover request failed: %v", err)
+	}
+	if resp.Name != sp.Name || survivorHits.Load() != 1 {
+		t.Errorf("resp=%q survivorHits=%d, want the retry served by the survivor",
+			resp.Name, survivorHits.Load())
 	}
 }

@@ -10,6 +10,8 @@
 //	       [-breaker-cooldown 5s] [-negcache 256] [-store-dir DIR]
 //	       [-store-flush-interval 5ms] [-store-max-wal-bytes N]
 //	       [-export-plans DIR] [-pprof-addr 127.0.0.1:6060]
+//	       [-node-id ID -peers ID=URL,ID=URL,...]
+//	       [-cluster-probe-interval 2s] [-cluster-sync-interval 15s]
 //
 // -workers sizes the job pool (how many specs solve at once);
 // -solver-workers sizes each solve (how many branch-and-bound goroutines
@@ -27,17 +29,32 @@
 // -store-dir as planio JSON files into DIR (for cmd/verifyplan audit)
 // and exits without serving.
 //
-// On SIGINT/SIGTERM the daemon drains gracefully: the listener stops
-// accepting, in-flight and queued solves get -drain-timeout to finish,
-// and whatever is still running after that is cancelled (anytime solves
+// With -peers (and a -node-id naming this instance's entry in the
+// list) the daemon joins a consistent-hash sharded cluster: each spec's
+// canonical key has one owning node, non-owners proxy /synthesize to
+// the owner (falling back to a local solve whenever the owner is down
+// or shedding), local cache misses try the owner's plan before
+// solving, and a background anti-entropy loop pulls plans this node
+// owns but lacks. Every plan crossing a node boundary is re-verified
+// before it is served or stored. The peer list is static and must be
+// identical on every node; see DESIGN.md §8.
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: /readyz flips to 503
+// so cluster peers stop routing here, the listener stops accepting,
+// in-flight and queued solves get -drain-timeout to finish, and
+// whatever is still running after that is cancelled (anytime solves
 // return their best incumbent as a degraded plan). The store is closed
 // — final group commit included — after the engine stops writing.
 //
 // Endpoints:
 //
-//	POST /synthesize  {"spec": {...}, "options": {"pressureSharing": true, "svg": true}}
-//	GET  /healthz     liveness and pool shape
-//	GET  /metrics     job/cache/store/latency counters as JSON
+//	POST /synthesize   {"spec": {...}, "options": {"pressureSharing": true, "svg": true}}
+//	GET  /healthz      liveness and pool shape
+//	GET  /readyz       readiness: 200 serving, 503 once draining
+//	GET  /metrics      job/cache/store/cluster/latency counters as JSON
+//	GET  /plans        manifest of locally held plan keys
+//	GET  /plans/{key}  one plan's wire bytes (404 when absent)
+//	GET  /cluster      ring membership, health, and forwarding counters
 //
 // The spec payload is the same JSON format cmd/switchsynth reads; the
 // response embeds the routed plan in the cmd/verifyplan format. See the
@@ -56,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"switchsynth/internal/cluster"
 	"switchsynth/internal/service"
 	"switchsynth/internal/store"
 )
@@ -72,6 +90,19 @@ type storeFlags struct {
 	ExportDir string
 }
 
+// clusterFlags carries the sharding configuration out of parseFlags.
+type clusterFlags struct {
+	// Peers is the raw -peers list ("id=url,..."); empty disables
+	// clustering entirely.
+	Peers string
+	// NodeID names this instance's entry in Peers.
+	NodeID string
+	// ProbeInterval paces the peer health probes; SyncInterval the
+	// anti-entropy rounds (negative disables sync).
+	ProbeInterval time.Duration
+	SyncInterval  time.Duration
+}
+
 // serverFlags carries the daemon-level (non-engine) configuration out of
 // parseFlags.
 type serverFlags struct {
@@ -84,6 +115,8 @@ type serverFlags struct {
 	PprofAddr string
 	// Store is the durable-tier configuration.
 	Store storeFlags
+	// Cluster is the sharding configuration.
+	Cluster clusterFlags
 }
 
 func main() {
@@ -134,10 +167,32 @@ func main() {
 		return
 	}
 
-	engine := service.New(cfg)
+	// The cluster is built before the engine (the engine's fill hook is
+	// the cluster's FetchPlan), but its engine-facing callbacks late-bind
+	// through the engine variable, so construction order works out.
+	var engine *service.Engine
+	var cl *cluster.Cluster
+	if srvf.Cluster.Peers != "" {
+		var err error
+		cl, err = buildCluster(srvf.Cluster, &engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "synthd:", err)
+			closeStore(st)
+			os.Exit(2)
+		}
+		cfg.PeerFill = cl.FetchPlan
+	}
+	engine = service.New(cfg)
+	var handler http.Handler = service.NewHandler(engine)
+	if cl != nil {
+		handler = cl.Middleware(service.NewHandlerWith(engine, service.HandlerConfig{
+			ClusterStatus: func() any { return cl.Status() },
+		}))
+		cl.Start()
+	}
 	srv := &http.Server{
 		Addr:              srvf.Addr,
-		Handler:           service.NewHandler(engine),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -145,6 +200,11 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("synthd: listening on %s (%d workers, cache %d, default time limit %s)\n",
 		srvf.Addr, engine.Snapshot().Workers, cfg.CacheSize, cfg.DefaultTimeLimit)
+	if cl != nil {
+		fmt.Printf("synthd: cluster node %q (%s), %d peers, probe %s, sync %s\n",
+			srvf.Cluster.NodeID, cluster.HashScheme, len(cl.Ring().Members()),
+			srvf.Cluster.ProbeInterval, srvf.Cluster.SyncInterval)
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -153,10 +213,16 @@ func main() {
 		fmt.Printf("synthd: %s — draining\n", sig)
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "synthd:", err)
+		stopCluster(cl)
 		engine.CloseNow()
 		closeStore(st)
 		os.Exit(1)
 	}
+
+	// Flip /readyz to 503 first so cluster peers (and load balancers)
+	// stop routing new work here while the listener is still up.
+	engine.StartDrain()
+	stopCluster(cl)
 
 	// Stop accepting HTTP first, then drain the job queue. One timeout
 	// budget covers both: whatever the HTTP shutdown leaves of the drain
@@ -181,6 +247,35 @@ func main() {
 	// The engine has stopped writing; the final Close flushes whatever
 	// the last group commit hadn't fsynced yet.
 	closeStore(st)
+}
+
+// buildCluster parses the peer list and wires the cluster's engine
+// callbacks through eng, which main assigns after service.New — the
+// cluster never performs engine calls before Start, so the late binding
+// is safe.
+func buildCluster(cf clusterFlags, eng **service.Engine) (*cluster.Cluster, error) {
+	if cf.NodeID == "" {
+		return nil, fmt.Errorf("-peers requires -node-id")
+	}
+	peers, err := cluster.ParsePeers(cf.Peers)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cluster.Config{
+		SelfID:        cf.NodeID,
+		Peers:         peers,
+		ProbeInterval: cf.ProbeInterval,
+		SyncInterval:  cf.SyncInterval,
+		LocalKeys:     func() []string { return (*eng).PlanKeys() },
+		LocalImport:   func(key string, data []byte) error { return (*eng).ImportPlan(key, data) },
+	})
+}
+
+// stopCluster halts the probe and sync loops (nil-safe).
+func stopCluster(cl *cluster.Cluster) {
+	if cl != nil {
+		cl.Stop()
+	}
 }
 
 // closeStore closes the durable tier (nil-safe), reporting flush errors.
@@ -212,6 +307,10 @@ func parseFlags(args []string) (service.Config, serverFlags) {
 		storeWAL   = fs.Int64("store-max-wal-bytes", 0, "WAL size that triggers store compaction (0 = default 8MiB, negative disables)")
 		exportDir  = fs.String("export-plans", "", "with -store-dir: dump persisted plans as planio JSON into this directory and exit")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty disables)")
+		peersList  = fs.String("peers", "", "static cluster peer list as id=url,... including this node (empty disables clustering)")
+		nodeID     = fs.String("node-id", "", "this node's id in -peers (required with -peers)")
+		probeInt   = fs.Duration("cluster-probe-interval", 0, "peer health-probe period (0 = default 2s)")
+		syncInt    = fs.Duration("cluster-sync-interval", 0, "anti-entropy sync period (0 = default 15s, negative disables)")
 	)
 	_ = fs.Parse(args)
 	return service.Config{
@@ -232,6 +331,12 @@ func parseFlags(args []string) (service.Config, serverFlags) {
 				FlushInterval: *storeFlush,
 				MaxWALBytes:   *storeWAL,
 				ExportDir:     *exportDir,
+			},
+			Cluster: clusterFlags{
+				Peers:         *peersList,
+				NodeID:        *nodeID,
+				ProbeInterval: *probeInt,
+				SyncInterval:  *syncInt,
 			},
 		}
 }

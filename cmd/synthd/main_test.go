@@ -3,6 +3,8 @@ package main
 import (
 	"testing"
 	"time"
+
+	"switchsynth/internal/service"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -14,6 +16,8 @@ func TestParseFlags(t *testing.T) {
 		"-store-dir", "/tmp/plans", "-store-flush-interval", "25ms",
 		"-store-max-wal-bytes", "4096", "-export-plans", "/tmp/dump",
 		"-pprof-addr", "127.0.0.1:6060",
+		"-node-id", "a", "-peers", "a=http://h1:1,b=http://h2:1",
+		"-cluster-probe-interval", "500ms", "-cluster-sync-interval", "3s",
 	})
 	if srvf.Addr != "127.0.0.1:9000" {
 		t.Errorf("addr = %q", srvf.Addr)
@@ -48,6 +52,42 @@ func TestParseFlags(t *testing.T) {
 	// wired into cfg.Store) by main, so no directory is touched here.
 	if cfg.Store != nil {
 		t.Error("parseFlags should not open the store")
+	}
+	cf := srvf.Cluster
+	if cf.NodeID != "a" || cf.Peers != "a=http://h1:1,b=http://h2:1" ||
+		cf.ProbeInterval != 500*time.Millisecond || cf.SyncInterval != 3*time.Second {
+		t.Errorf("cluster flags = %+v", cf)
+	}
+	// parseFlags only carries the configuration; the cluster (and the
+	// engine's fill hook) are built by main.
+	if cfg.PeerFill != nil {
+		t.Error("parseFlags should not wire the peer-fill hook")
+	}
+}
+
+func TestBuildCluster(t *testing.T) {
+	var eng *service.Engine
+	cl, err := buildCluster(clusterFlags{
+		NodeID: "a",
+		Peers:  "a=http://h1:1,b=http://h2:1",
+	}, &eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.SelfID() != "a" || len(cl.Ring().Members()) != 2 {
+		t.Errorf("cluster = self %q, %d members", cl.SelfID(), len(cl.Ring().Members()))
+	}
+
+	// A node id missing from the list, or no id at all, is a config
+	// error the daemon must refuse to boot with.
+	if _, err := buildCluster(clusterFlags{Peers: "a=http://h1:1"}, &eng); err == nil {
+		t.Error("missing -node-id accepted")
+	}
+	if _, err := buildCluster(clusterFlags{NodeID: "z", Peers: "a=http://h1:1"}, &eng); err == nil {
+		t.Error("-node-id absent from -peers accepted")
+	}
+	if _, err := buildCluster(clusterFlags{NodeID: "a", Peers: "garbage"}, &eng); err == nil {
+		t.Error("malformed -peers accepted")
 	}
 }
 

@@ -1,0 +1,390 @@
+// Package cluster turns a set of independent synthd nodes into a
+// consistent-hash sharded cluster with no external dependencies and no
+// coordinator: a static peer list, rendezvous hashing for ownership
+// (ring.go), health-probed membership with flap damping
+// (membership.go), request forwarding with local fallback (proxy.go),
+// peer cache fill (FetchPlan below) and background anti-entropy plan
+// sync (sync.go).
+//
+// The design invariants, in priority order:
+//
+//  1. Never fail a request a single node could have served. Every
+//     cluster path — forwarding, peer fill, sync — degrades to "solve
+//     it locally" on any error. A fully partitioned node behaves
+//     exactly like a single-node synthd.
+//  2. Only proven plans propagate. Every plan that crosses a node
+//     boundary is re-verified by the receiver (decode, Proven flag,
+//     canonical-key re-derivation, full contamination verification)
+//     before it is served or stored. A corrupt or malicious peer can
+//     cost a redundant solve, never a wrong answer.
+//  3. Determinism is topology-independent. The solver produces
+//     bit-identical plans at any worker count, so a plan is the same
+//     bytes whether solved locally, by the owner, or recovered from a
+//     dead node's replica — clients cannot tell which node solved.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"switchsynth/internal/faultinject"
+)
+
+// Defaults; each is overridable via Config.
+const (
+	defaultProbeInterval = 2 * time.Second
+	defaultProbeTimeout  = 1 * time.Second
+	defaultSyncInterval  = 15 * time.Second
+	defaultFetchTimeout  = 5 * time.Second
+	defaultMaxHops       = 2
+
+	// maxPlanBytes bounds a fetched plan; real plans are tens of KB.
+	maxPlanBytes = 8 << 20
+)
+
+// Config wires a Cluster to its node list and to the local engine.
+type Config struct {
+	// SelfID is this node's ID; it must appear in Peers.
+	SelfID string
+	// Peers is the full static member list, self included.
+	Peers []Node
+
+	// ProbeInterval is the period of the /readyz health-probe loop;
+	// ProbeTimeout bounds each probe round trip.
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// SyncInterval is the period of the anti-entropy loop; < 0 disables
+	// it (0 means default).
+	SyncInterval time.Duration
+	// FetchTimeout bounds one peer plan fetch.
+	FetchTimeout time.Duration
+	// MaxHops caps forwarding chains (see proxy.go); 0 means default.
+	MaxHops int
+	// UpAfter/DownAfter are the flap-damping streak thresholds
+	// (membership.go); 0 means default.
+	UpAfter   int
+	DownAfter int
+
+	// HTTPClient performs all peer traffic; nil uses a private client
+	// with sane timeouts.
+	HTTPClient *http.Client
+	// FaultInjector, when non-nil, lets chaos tests break peer traffic
+	// (PeerDown, PeerSlow, FetchCorrupt). Nil in production.
+	FaultInjector *faultinject.Injector
+
+	// LocalKeys returns the canonical keys of every plan held locally;
+	// LocalImport verifies and stores one fetched plan. Both are
+	// engine callbacks (Engine.PlanKeys / Engine.ImportPlan) passed as
+	// plain funcs so the service layer never imports cluster.
+	LocalKeys   func() []string
+	LocalImport func(key string, data []byte) error
+}
+
+// Cluster is one node's view of the sharded deployment.
+type Cluster struct {
+	self Node
+	ring *Ring
+	mem  *membership
+	hc   *http.Client
+	inj  *faultinject.Injector
+	cfg  Config
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// Counters for /cluster and /metrics.
+	forwards         atomic.Int64 // requests proxied to the owner
+	forwardFallbacks atomic.Int64 // forwards that fell back to local solve
+	localServes      atomic.Int64 // /synthesize served locally (owner or fallback)
+	fillHits         atomic.Int64 // peer fills that returned plan bytes
+	fillMisses       atomic.Int64 // peer fills answered 404 (owner lacks it)
+	fillErrors       atomic.Int64 // peer fills that failed in transit
+	syncRounds       atomic.Int64
+	syncPulls        atomic.Int64 // plans imported by anti-entropy
+	syncErrors       atomic.Int64
+	probes           atomic.Int64
+}
+
+// New validates cfg and builds the cluster (probe and sync loops start
+// with Start). An empty peer list (or a list containing only self) is
+// valid and yields a single-node cluster whose middleware and fill hook
+// are pass-through.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.SelfID == "" {
+		return nil, fmt.Errorf("cluster: SelfID is required")
+	}
+	var self *Node
+	for i := range cfg.Peers {
+		if cfg.Peers[i].ID == cfg.SelfID {
+			self = &cfg.Peers[i]
+		}
+	}
+	if self == nil {
+		return nil, fmt.Errorf("cluster: SelfID %q not in peer list", cfg.SelfID)
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = defaultProbeInterval
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = defaultProbeTimeout
+	}
+	if cfg.SyncInterval == 0 {
+		cfg.SyncInterval = defaultSyncInterval
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = defaultFetchTimeout
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = defaultMaxHops
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Cluster{
+		self: *self,
+		ring: NewRing(cfg.Peers),
+		mem:  newMembership(cfg.SelfID, cfg.Peers, cfg.UpAfter, cfg.DownAfter),
+		hc:   hc,
+		inj:  cfg.FaultInjector,
+		cfg:  cfg,
+		stop: make(chan struct{}),
+	}, nil
+}
+
+// SelfID returns this node's ID.
+func (c *Cluster) SelfID() string { return c.self.ID }
+
+// Ring exposes the ownership ring (for the owner-routing client).
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// Start launches the probe loop and, unless disabled, the anti-entropy
+// loop. Stop must be called exactly once after a successful Start.
+func (c *Cluster) Start() {
+	c.wg.Add(1)
+	go c.probeLoop()
+	if c.cfg.SyncInterval > 0 && c.cfg.LocalKeys != nil && c.cfg.LocalImport != nil {
+		c.wg.Add(1)
+		go c.syncLoop()
+	}
+}
+
+// Stop halts the background loops and waits for them to exit.
+func (c *Cluster) Stop() {
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// Owner returns key's highest-ranked *alive* node and whether that is
+// the local node. With every preferred peer down the local node answers
+// for the whole keyspace (invariant 1: a partitioned node is a working
+// single node).
+func (c *Cluster) Owner(key string) (Node, bool) {
+	for _, n := range c.ring.Rank(key) {
+		if n.ID == c.self.ID {
+			return n, true
+		}
+		if c.mem.alive(n.ID) {
+			return n, false
+		}
+	}
+	return c.self, true
+}
+
+// probeLoop hits every peer's /readyz on a fixed period, feeding the
+// flap-damped state machines. The first round runs immediately so a
+// dead peer at boot is detected within DownAfter probes, not
+// DownAfter+1 intervals.
+func (c *Cluster) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		c.probeOnce()
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probeOnce probes every non-self peer sequentially (peer lists are
+// small; a hung peer is bounded by ProbeTimeout).
+func (c *Cluster) probeOnce() {
+	for _, n := range c.ring.Members() {
+		if n.ID == c.self.ID {
+			continue
+		}
+		c.probes.Add(1)
+		err := c.probe(n)
+		if err != nil {
+			c.mem.observe(n.ID, false, err.Error())
+		} else {
+			c.mem.observe(n.ID, true, "")
+		}
+	}
+}
+
+// probe performs one /readyz round trip. A 503 (draining) counts as
+// down: the peer is alive but asking not to be routed to.
+func (c *Cluster) probe(n Node) error {
+	if c.inj.Fire(faultinject.PeerDown) {
+		return fmt.Errorf("injected: peer down")
+	}
+	c.inj.Fire(faultinject.PeerSlow)
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readyz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// FetchPlan is the engine's peer-fill hook (service.Config.PeerFill):
+// on a local memory+disk miss it asks key's owner for the plan bytes
+// before solving. Returns (nil, nil) — a clean miss that falls through
+// to the local solve — when the local node owns the key, the owner is
+// down, or the owner does not have the plan. The engine re-verifies
+// whatever comes back; this function only moves bytes.
+func (c *Cluster) FetchPlan(ctx context.Context, key string) ([]byte, error) {
+	owner, self := c.Owner(key)
+	if self {
+		return nil, nil
+	}
+	data, found, err := c.fetchFrom(ctx, owner, key)
+	if err != nil {
+		c.fillErrors.Add(1)
+		c.mem.observe(owner.ID, false, err.Error())
+		return nil, err
+	}
+	if !found {
+		c.fillMisses.Add(1)
+		return nil, nil
+	}
+	c.fillHits.Add(1)
+	return data, nil
+}
+
+// fetchFrom GETs /plans/{key} from n. found is false on 404 (the peer
+// does not have the plan — not an error, not evidence of ill health).
+func (c *Cluster) fetchFrom(ctx context.Context, n Node, key string) (data []byte, found bool, err error) {
+	if c.inj.Fire(faultinject.PeerDown) {
+		return nil, false, fmt.Errorf("injected: peer down")
+	}
+	c.inj.Fire(faultinject.PeerSlow)
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.FetchTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+"/plans/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("plans/%s: status %d", key, resp.StatusCode)
+	}
+	data, err = io.ReadAll(io.LimitReader(resp.Body, maxPlanBytes+1))
+	if err != nil {
+		return nil, false, err
+	}
+	if len(data) > maxPlanBytes {
+		return nil, false, fmt.Errorf("plans/%s: plan exceeds %d bytes", key, maxPlanBytes)
+	}
+	if len(data) > 0 && c.inj.Fire(faultinject.FetchCorrupt) {
+		// Flip one byte mid-payload; the receiver's re-verification must
+		// reject the plan (invariant 2).
+		data[len(data)/2] ^= 0x40
+	}
+	return data, true, nil
+}
+
+// Status is the /cluster endpoint's payload: ownership scheme, the
+// damped health of every peer, and the node's cluster counters.
+type Status struct {
+	Self    string `json:"self"`
+	Hash    string `json:"hash"`
+	MaxHops int    `json:"maxHops"`
+
+	// Peers lists every member ID-sorted, self included (self is always
+	// up and never probed).
+	Peers []PeerStatus `json:"peers"`
+
+	Forwards         int64 `json:"forwards"`
+	ForwardFallbacks int64 `json:"forwardFallbacks"`
+	LocalServes      int64 `json:"localServes"`
+	FillHits         int64 `json:"fillHits"`
+	FillMisses       int64 `json:"fillMisses"`
+	FillErrors       int64 `json:"fillErrors"`
+	SyncRounds       int64 `json:"syncRounds"`
+	SyncPulls        int64 `json:"syncPulls"`
+	SyncErrors       int64 `json:"syncErrors"`
+	Probes           int64 `json:"probes"`
+}
+
+// Status snapshots the cluster's externally visible state.
+func (c *Cluster) Status() Status {
+	health := c.mem.snapshot()
+	peers := make([]PeerStatus, 0, len(c.ring.members))
+	for _, n := range c.ring.Members() {
+		if n.ID == c.self.ID {
+			peers = append(peers, PeerStatus{ID: n.ID, URL: n.URL, Self: true, Up: true})
+			continue
+		}
+		if ps, ok := health[n.ID]; ok {
+			peers = append(peers, ps)
+		}
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].ID < peers[j].ID })
+	return Status{
+		Self:             c.self.ID,
+		Hash:             HashScheme,
+		MaxHops:          c.cfg.MaxHops,
+		Peers:            peers,
+		Forwards:         c.forwards.Load(),
+		ForwardFallbacks: c.forwardFallbacks.Load(),
+		LocalServes:      c.localServes.Load(),
+		FillHits:         c.fillHits.Load(),
+		FillMisses:       c.fillMisses.Load(),
+		FillErrors:       c.fillErrors.Load(),
+		SyncRounds:       c.syncRounds.Load(),
+		SyncPulls:        c.syncPulls.Load(),
+		SyncErrors:       c.syncErrors.Load(),
+		Probes:           c.probes.Load(),
+	}
+}
+
+// writeJSON is the package's minimal response helper.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

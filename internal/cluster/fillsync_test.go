@@ -1,0 +1,186 @@
+// Peer cache fill and anti-entropy sync, including the chaos cases the
+// replication invariant exists for: corrupted bytes from a peer must
+// never be served or stored, only cost a redundant (and bit-identical)
+// local solve.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"switchsynth"
+	"switchsynth/internal/faultinject"
+	"switchsynth/internal/service"
+)
+
+func TestPeerFillServesVerifiedPlan(t *testing.T) {
+	nodes := startNodes(t, 2, nil)
+	sp, key := specOwnedBy(t, nodes[0].cl.Ring(), "n0")
+
+	// Owner solves first; the plan now lives only on n0.
+	if _, err := nodes[0].eng.Do(context.Background(), sp, switchsynth.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// n1 misses memory and disk, fetches from the owner, re-verifies,
+	// and serves without solving.
+	resp, err := nodes[1].eng.Do(context.Background(), sp, switchsynth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.PeerHit || !resp.CacheHit {
+		t.Errorf("peerHit=%v cacheHit=%v, want true/true", resp.PeerHit, resp.CacheHit)
+	}
+	if err := switchsynth.Verify(resp.Synthesis.Result); err != nil {
+		t.Fatalf("peer-filled plan failed verification: %v", err)
+	}
+	snap := nodes[1].eng.Snapshot()
+	if snap.PeerHits != 1 || snap.SolveCount != 0 {
+		t.Errorf("peerHits=%d solveCount=%d, want 1/0 (no local solve)", snap.PeerHits, snap.SolveCount)
+	}
+	if st := nodes[1].cl.Status(); st.FillHits != 1 {
+		t.Errorf("fillHits = %d, want 1", st.FillHits)
+	}
+
+	// The fill wrote through: both nodes now hold identical plan bytes.
+	a, okA := nodes[0].eng.PlanBytes(key)
+	b, okB := nodes[1].eng.PlanBytes(key)
+	if !okA || !okB {
+		t.Fatalf("plan bytes present: owner=%v filler=%v, want both", okA, okB)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("peer-filled plan bytes differ from the owner's")
+	}
+}
+
+func TestPeerFillMissFallsThroughToSolve(t *testing.T) {
+	nodes := startNodes(t, 2, nil)
+	sp, _ := specOwnedBy(t, nodes[0].cl.Ring(), "n0")
+
+	// Owner has nothing: n1's fill is a clean miss and n1 solves.
+	resp, err := nodes[1].eng.Do(context.Background(), sp, switchsynth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PeerHit || resp.CacheHit {
+		t.Errorf("peerHit=%v cacheHit=%v, want cold solve", resp.PeerHit, resp.CacheHit)
+	}
+	snap := nodes[1].eng.Snapshot()
+	if snap.PeerMisses != 1 || snap.SolveCount != 1 {
+		t.Errorf("peerMisses=%d solveCount=%d, want 1/1", snap.PeerMisses, snap.SolveCount)
+	}
+}
+
+func TestCorruptFetchNeverServedOrStored(t *testing.T) {
+	var inj *faultinject.Injector
+	nodes := startNodes(t, 2, func(i int, ccfg *Config, scfg *service.Config) {
+		if i == 1 {
+			inj = faultinject.New(7).Set(faultinject.FetchCorrupt, faultinject.Rule{Probability: 1})
+			ccfg.FaultInjector = inj
+		}
+	})
+	sp, key := specOwnedBy(t, nodes[0].cl.Ring(), "n0")
+	if _, err := nodes[0].eng.Do(context.Background(), sp, switchsynth.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every fetched byte stream is corrupted; n1 must reject the plan
+	// and fall back to solving — the request still succeeds.
+	resp, err := nodes[1].eng.Do(context.Background(), sp, switchsynth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PeerHit {
+		t.Fatal("corrupted fetch served as a peer hit")
+	}
+	if err := switchsynth.Verify(resp.Synthesis.Result); err != nil {
+		t.Fatalf("plan failed verification after corrupt-fetch fallback: %v", err)
+	}
+	if inj.Fired(faultinject.FetchCorrupt) == 0 {
+		t.Fatal("fault never fired; test exercised nothing")
+	}
+	snap := nodes[1].eng.Snapshot()
+	if snap.PeerRejected == 0 {
+		t.Error("peerRejected = 0, want the corrupted plan counted")
+	}
+	if snap.SolveCount != 1 {
+		t.Errorf("solveCount = %d, want 1 (local fallback solve)", snap.SolveCount)
+	}
+
+	// Determinism makes the fallback solve bit-identical to the owner's.
+	a, _ := nodes[0].eng.PlanBytes(key)
+	b, okB := nodes[1].eng.PlanBytes(key)
+	if !okB {
+		t.Fatal("fallback solve not stored locally")
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("locally solved plan differs from the owner's — determinism broken")
+	}
+}
+
+func TestAntiEntropyPullsOwnedKeys(t *testing.T) {
+	nodes := startNodes(t, 2, nil)
+	sp, key := specOwnedBy(t, nodes[0].cl.Ring(), "n1")
+
+	// n0 solved a key n1 owns (a fallback solve while n1 was down, say).
+	if _, err := nodes[0].eng.Do(context.Background(), sp, switchsynth.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nodes[1].eng.PlanBytes(key); ok {
+		t.Fatal("n1 already has the plan; test setup broken")
+	}
+
+	pulled := nodes[1].cl.syncOnce(context.Background())
+	if pulled != 1 {
+		t.Fatalf("syncOnce pulled %d plans, want 1", pulled)
+	}
+	a, _ := nodes[0].eng.PlanBytes(key)
+	b, ok := nodes[1].eng.PlanBytes(key)
+	if !ok || !bytes.Equal(a, b) {
+		t.Fatalf("synced plan present=%v identical=%v, want true/true", ok, bytes.Equal(a, b))
+	}
+	if snap := nodes[1].eng.Snapshot(); snap.PeerImported != 1 {
+		t.Errorf("peerImported = %d, want 1", snap.PeerImported)
+	}
+
+	// A second round is a no-op: the manifest diff is empty.
+	if pulled := nodes[1].cl.syncOnce(context.Background()); pulled != 0 {
+		t.Errorf("second syncOnce pulled %d, want 0", pulled)
+	}
+
+	// n0 does not own the key, so it never pulls it back out.
+	if pulled := nodes[0].cl.syncOnce(context.Background()); pulled != 0 {
+		t.Errorf("non-owner syncOnce pulled %d, want 0", pulled)
+	}
+}
+
+func TestAntiEntropyRejectsCorruptPlans(t *testing.T) {
+	var inj *faultinject.Injector
+	nodes := startNodes(t, 2, func(i int, ccfg *Config, scfg *service.Config) {
+		if i == 1 {
+			inj = faultinject.New(11).Set(faultinject.FetchCorrupt, faultinject.Rule{Probability: 1})
+			ccfg.FaultInjector = inj
+		}
+	})
+	sp, key := specOwnedBy(t, nodes[0].cl.Ring(), "n1")
+	if _, err := nodes[0].eng.Do(context.Background(), sp, switchsynth.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if pulled := nodes[1].cl.syncOnce(context.Background()); pulled != 0 {
+		t.Fatalf("syncOnce imported %d corrupted plans, want 0", pulled)
+	}
+	if inj.Fired(faultinject.FetchCorrupt) == 0 {
+		t.Fatal("fault never fired; test exercised nothing")
+	}
+	if _, ok := nodes[1].eng.PlanBytes(key); ok {
+		t.Fatal("corrupted plan reached the local store")
+	}
+	if st := nodes[1].cl.Status(); st.SyncErrors == 0 {
+		t.Error("syncErrors = 0, want the rejected import counted")
+	}
+	if snap := nodes[1].eng.Snapshot(); snap.PeerRejected == 0 {
+		t.Error("peerRejected = 0, want the rejected import counted")
+	}
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMembershipFlapDamping(t *testing.T) {
+	m := newMembership("self", []Node{{ID: "self"}, {ID: "p"}}, 2, 3)
+
+	if !m.alive("self") {
+		t.Fatal("self must always be alive")
+	}
+	if m.alive("stranger") {
+		t.Fatal("unknown peers must not be alive")
+	}
+	if !m.alive("p") {
+		t.Fatal("peers start optimistically up")
+	}
+
+	// Two failures are below DownAfter=3: still up.
+	m.observe("p", false, "conn refused")
+	m.observe("p", false, "conn refused")
+	if !m.alive("p") {
+		t.Fatal("peer went down after 2/3 failures — damping broken")
+	}
+	// A success resets the failure streak entirely.
+	m.observe("p", true, "")
+	m.observe("p", false, "x")
+	m.observe("p", false, "x")
+	if !m.alive("p") {
+		t.Fatal("failure streak survived an intervening success")
+	}
+	// Third consecutive failure flips the state.
+	if flipped := m.observe("p", false, "x"); !flipped {
+		t.Fatal("3rd consecutive failure should flip to down")
+	}
+	if m.alive("p") {
+		t.Fatal("peer still alive after DownAfter failures")
+	}
+
+	// One success is below UpAfter=2: still down.
+	m.observe("p", true, "")
+	if m.alive("p") {
+		t.Fatal("peer revived after 1/2 successes — damping broken")
+	}
+	if flipped := m.observe("p", true, ""); !flipped {
+		t.Fatal("2nd consecutive success should flip to up")
+	}
+	if !m.alive("p") {
+		t.Fatal("peer not alive after UpAfter successes")
+	}
+
+	snap := m.snapshot()
+	ps, ok := snap["p"]
+	if !ok {
+		t.Fatal("snapshot missing peer p")
+	}
+	if ps.Flaps != 2 {
+		t.Errorf("flaps = %d, want 2 (one down, one up)", ps.Flaps)
+	}
+	if ps.Probes != 8 {
+		t.Errorf("probes = %d, want 8", ps.Probes)
+	}
+	if _, ok := snap["self"]; ok {
+		t.Error("snapshot must not include self")
+	}
+
+	// Observations about self are ignored, not state-changing.
+	for i := 0; i < 10; i++ {
+		m.observe("self", false, "x")
+	}
+	if !m.alive("self") {
+		t.Fatal("self went down from observations")
+	}
+}
+
+// TestProbeLoopDetectsDownAndRecovery drives the real probe loop
+// against a peer whose /readyz flips from healthy to failing and back,
+// checking the damped state machine follows with the configured lag.
+func TestProbeLoopDetectsDownAndRecovery(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/readyz" {
+			http.NotFound(w, r)
+			return
+		}
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer peer.Close()
+
+	c, err := New(Config{
+		SelfID: "self",
+		Peers: []Node{
+			{ID: "self", URL: "http://127.0.0.1:0"},
+			{ID: "p", URL: peer.URL},
+		},
+		ProbeInterval: 10 * time.Millisecond,
+		SyncInterval:  -1,
+		UpAfter:       2,
+		DownAfter:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	waitFor := func(want bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if c.mem.alive("p") == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("peer never became %s", what)
+	}
+
+	waitFor(true, "up")
+	healthy.Store(false)
+	waitFor(false, "down (2 consecutive 503 probes)")
+	healthy.Store(true)
+	waitFor(true, "up again (2 consecutive 200 probes)")
+
+	if st := c.Status(); st.Probes == 0 {
+		t.Error("probe counter never advanced")
+	}
+}

@@ -1,0 +1,178 @@
+// Request forwarding: the middleware that makes any node a valid entry
+// point. A /synthesize request landing on a non-owner is proxied to the
+// key's owner so the cluster-wide cache and in-flight deduplication
+// concentrate per key on one node; everything else (and every failure
+// mode) is served by the local engine underneath.
+//
+// Forwarding rules:
+//
+//   - Only POST /synthesize is routed; all other paths go straight to
+//     the local handler.
+//   - The body is read (bounded by service.MaxRequestBody) to compute
+//     the canonical job key; a body that cannot be decoded or keyed is
+//     handed to the local handler, which owns error reporting.
+//   - A request is forwarded only when the owner is a live peer and the
+//     X-Synthd-Hop count is below MaxHops. The hop limit makes routing
+//     loops (possible transiently when two nodes disagree about
+//     liveness) terminate at a node that solves locally.
+//   - A forward that fails in transit, or that the owner sheds
+//     (429/502/503/504), falls back to the local engine. Shed statuses
+//     that are per-request verdicts (400/404/422 etc.) are relayed
+//     as-is — retrying locally would return the same verdict.
+//
+// Every response carries X-Synthd-Node: the ID of the node whose engine
+// actually answered (forwarded responses keep the owner's header).
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+
+	"switchsynth"
+	"switchsynth/internal/faultinject"
+	"switchsynth/internal/service"
+)
+
+// Forwarding headers.
+const (
+	// HopHeader counts forwards; a request above MaxHops is served
+	// locally no matter who owns it.
+	HopHeader = "X-Synthd-Hop"
+	// NodeHeader names the node whose engine produced the response.
+	NodeHeader = "X-Synthd-Node"
+)
+
+// shedStatus reports whether a proxied status means the owner refused
+// load (fall back to the local engine) rather than judged the request.
+func shedStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Middleware wraps a synthd handler with owner routing and the
+// /cluster status endpoint.
+func (c *Cluster) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/cluster" {
+			if r.Method != http.MethodGet {
+				w.Header().Set("Allow", http.MethodGet)
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			writeJSON(w, http.StatusOK, c.Status())
+			return
+		}
+		if r.Method != http.MethodPost || r.URL.Path != "/synthesize" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		c.routeSynthesize(w, r, next)
+	})
+}
+
+// routeSynthesize decides local vs forward for one /synthesize request.
+func (c *Cluster) routeSynthesize(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, service.MaxRequestBody+1))
+	if err != nil {
+		// Couldn't buffer the body; hand the stub downstream so the
+		// local handler reports the read error uniformly.
+		c.serveLocal(w, r, next, body)
+		return
+	}
+	key, ok := jobKeyOf(body)
+	if !ok || len(body) > service.MaxRequestBody {
+		// Undecodable or oversized: local handler owns the 400/413.
+		c.serveLocal(w, r, next, body)
+		return
+	}
+	hop, _ := strconv.Atoi(r.Header.Get(HopHeader))
+	owner, self := c.Owner(key)
+	if self || hop >= c.cfg.MaxHops {
+		c.serveLocal(w, r, next, body)
+		return
+	}
+	if c.forward(w, r, owner, body, hop) {
+		return
+	}
+	c.forwardFallbacks.Add(1)
+	c.serveLocal(w, r, next, body)
+}
+
+// serveLocal replays the buffered body into the wrapped handler.
+func (c *Cluster) serveLocal(w http.ResponseWriter, r *http.Request, next http.Handler, body []byte) {
+	c.localServes.Add(1)
+	w.Header().Set(NodeHeader, c.self.ID)
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	next.ServeHTTP(w, r2)
+}
+
+// forward proxies the request to owner. It reports whether a response
+// was written; false means the caller must fall back to the local
+// engine (nothing has been written yet in that case). Transport
+// failures also feed the membership state machine — a request-path
+// error is health evidence just like a failed probe.
+func (c *Cluster) forward(w http.ResponseWriter, r *http.Request, owner Node, body []byte, hop int) bool {
+	if c.inj.Fire(faultinject.PeerDown) {
+		c.mem.observe(owner.ID, false, "injected: peer down")
+		return false
+	}
+	c.inj.Fire(faultinject.PeerSlow)
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner.URL+"/synthesize", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HopHeader, strconv.Itoa(hop+1))
+	if ik := r.Header.Get("Idempotency-Key"); ik != "" {
+		req.Header.Set("Idempotency-Key", ik)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		c.mem.observe(owner.ID, false, err.Error())
+		return false
+	}
+	defer resp.Body.Close()
+	if shedStatus(resp.StatusCode) {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return false
+	}
+	c.forwards.Add(1)
+	c.mem.observe(owner.ID, true, "")
+	h := w.Header()
+	for _, k := range []string{"Content-Type", "Retry-After", NodeHeader} {
+		if v := resp.Header.Get(k); v != "" {
+			h.Set(k, v)
+		}
+	}
+	if h.Get(NodeHeader) == "" {
+		h.Set(NodeHeader, owner.ID)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// jobKeyOf extracts the canonical job key from a /synthesize body. The
+// decode here is deliberately lenient (no unknown-field rejection) —
+// strict validation is the local handler's job; the router only needs
+// the key.
+func jobKeyOf(body []byte) (string, bool) {
+	var req service.SynthesizeRequest
+	if err := json.Unmarshal(body, &req); err != nil || req.Spec == nil {
+		return "", false
+	}
+	key, err := service.JobKey(req.Spec, switchsynth.Options{Engine: req.Options.Engine})
+	if err != nil {
+		return "", false
+	}
+	return key, true
+}

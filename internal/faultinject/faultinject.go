@@ -34,6 +34,18 @@ const (
 	HTTPDelay Point = "http.delay"
 )
 
+// Injection points probed by internal/cluster (the multi-node tier).
+const (
+	// PeerDown makes a peer HTTP round trip (probe, forward, or plan
+	// fetch) fail as if the peer were unreachable.
+	PeerDown Point = "peer.down"
+	// PeerSlow stretches a peer round trip by the rule's Delay.
+	PeerSlow Point = "peer.slow"
+	// FetchCorrupt flips a byte of a plan fetched from a peer; the
+	// receiver's re-verification must catch it and fall back to solving.
+	FetchCorrupt Point = "peer.corruptfetch"
+)
+
 // Injection points probed by internal/store (the durable plan store).
 const (
 	// DiskShortWrite tears a WAL append: only a prefix of the record

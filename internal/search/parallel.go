@@ -151,7 +151,13 @@ func (s *solver) expandFrontier() []workUnit {
 		maxD = len(s.order)
 	}
 	var units []workUnit
+	// Each deepening round re-walks the tree from the root, so without a
+	// reset the shallow interior nodes would be counted once per round —
+	// inflating solver_nodes_total relative to the sequential DFS, which
+	// visits them exactly once. Only the final round's walk is kept.
+	base := s.nodes
 	for d := 1; d <= maxD; d++ {
+		s.nodes = base
 		units = units[:0]
 		prefix := make([]unitStep, 0, d)
 		s.expand(0, d, prefix, &units)

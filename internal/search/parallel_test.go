@@ -9,6 +9,7 @@ import (
 
 	"switchsynth/internal/contam"
 	"switchsynth/internal/spec"
+	"switchsynth/internal/topo"
 )
 
 // parallelSpecs are the determinism corpus: every binding policy, with
@@ -267,5 +268,57 @@ func TestCountersAdvanceShallowFrontier(t *testing.T) {
 	nodes1, _ := Counters()
 	if nodes1 <= nodes0 {
 		t.Errorf("solver_nodes_total did not advance on a shallow frontier: %d -> %d", nodes0, nodes1)
+	}
+}
+
+// TestCountersFrontierSingleCount pins the node-accounting contract of
+// the iterative-deepening frontier: however many deepening rounds
+// expandFrontier runs, each interior node above the final frontier depth
+// is counted exactly once — the same accounting the sequential DFS gives
+// those nodes. A frontier that re-counted the shallow rounds would
+// inflate solver_nodes_total whenever a request both expands and replays.
+func TestCountersFrontierSingleCount(t *testing.T) {
+	deepened := false
+	for _, sp := range parallelSpecs() {
+		if err := sp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		sw, pt, err := topo.SharedGrid(sp.SwitchPins)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		a := newSolver(sp, sw, pt, Options{Workers: 2})
+		a.bindFixed()
+		units := a.expandFrontier()
+		got := a.nodes
+		a.release()
+		if len(units) == 0 {
+			t.Fatalf("%s: empty frontier", sp.Name)
+		}
+		depth := len(units[0].steps)
+		if depth > 1 {
+			deepened = true
+		}
+
+		// Reference: one expansion pass straight at the final depth.
+		b := newSolver(sp, sw, pt, Options{Workers: 2})
+		b.bindFixed()
+		var ref []workUnit
+		b.expand(0, depth, make([]unitStep, 0, depth), &ref)
+		want := b.nodes
+		b.release()
+
+		if len(ref) != len(units) {
+			t.Errorf("%s: deepened frontier has %d units, single depth-%d pass %d",
+				sp.Name, len(units), depth, len(ref))
+		}
+		if got != want {
+			t.Errorf("%s: expandFrontier counted %d nodes, single depth-%d pass counts %d (iterative deepening double-counts interior nodes)",
+				sp.Name, got, depth, want)
+		}
+	}
+	if !deepened {
+		t.Fatal("no corpus spec deepened past depth 1; the single-count assertion exercised nothing")
 	}
 }

@@ -98,6 +98,18 @@ func (c *cache) invalidate(key string) {
 	}
 }
 
+// keys returns the cached keys in LRU order (front = most recent). Used
+// by the cluster tier's plan manifest; order is not part of the contract.
+func (c *cache) keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*cacheEntry).key)
+	}
+	return out
+}
+
 // len reports the current number of cached plans.
 func (c *cache) len() int {
 	c.mu.Lock()

@@ -29,7 +29,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"switchsynth"
@@ -83,6 +85,15 @@ type Config struct {
 	// Combined with CacheSize < 0 this gives a disk-only configuration.
 	// The engine does not close the store; its owner does.
 	Store *store.Store
+	// PeerFill, when non-nil, is the cluster tier of the result cache: on
+	// a full local miss (memory and disk) the engine asks it for the
+	// planio-encoded plan before solving — in a sharded deployment this is
+	// the key's owning peer (internal/cluster). The fetched plan is
+	// decoded, its canonical key re-derived and compared, and the full
+	// contamination verifier re-run before it is served or persisted; a
+	// plan failing any of those is discarded and the request falls back to
+	// a local solve. A (nil, error) or (nil, nil) return is a miss.
+	PeerFill func(ctx context.Context, key string) ([]byte, error)
 }
 
 func (c Config) workers() int {
@@ -170,6 +181,10 @@ type Response struct {
 	// memory tier missed (or is disabled) and the plan was decoded and
 	// re-verified from disk.
 	DiskHit bool
+	// PeerHit reports that the plan came from the cluster tier: both
+	// local tiers missed and the key's owning peer supplied a plan that
+	// passed re-verification here.
+	PeerHit bool
 	// Coalesced reports that the request attached to another request's
 	// in-flight solve instead of starting its own.
 	Coalesced bool
@@ -214,11 +229,17 @@ type Engine struct {
 	jobs     chan job
 	cache    *cache
 	store    *store.Store // nil when no durable tier is configured
+	fill     func(ctx context.Context, key string) ([]byte, error)
 	neg      *negCache
 	breakers *breakerGroup // nil when the breaker is disabled
 	inj      *faultinject.Injector
 	flights  *flightGroup
 	metrics  *Metrics
+
+	// draining is set by StartDrain (graceful shutdown has begun) so
+	// readiness probes — /readyz, cluster membership — can steer traffic
+	// away while in-flight work finishes.
+	draining atomic.Bool
 
 	baseCtx context.Context // cancelled by CloseNow; aborts in-flight solves
 	cancel  context.CancelFunc
@@ -243,6 +264,7 @@ func New(cfg Config) *Engine {
 		jobs:    make(chan job, cfg.queueDepth()),
 		cache:   newCache(cfg.cacheSize()),
 		store:   cfg.Store,
+		fill:    cfg.PeerFill,
 		neg:     newNegCache(cfg.negativeCacheSize()),
 		inj:     cfg.FaultInjector,
 		flights: newFlightGroup(),
@@ -298,6 +320,7 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 		return nil, nerr
 	}
 
+	triedPeer := false
 	for {
 		// Memory tier. A disabled cache (capacity <= 0) explicitly skips
 		// both the lookup here and the store in runJob — requests still
@@ -339,6 +362,35 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 				}
 				e.metrics.jobsCompleted.Add(1)
 				return resp, nil
+			}
+		}
+		// Cluster tier: both local tiers missed — ask the key's owning
+		// peer before burning a solver slot. The fetched plan passes the
+		// same assemble path as any cache hit (full contamination
+		// verification), so a corrupt fetch is rejected here and the
+		// request falls through to a local solve; only verified plans are
+		// written through to the local tiers. Tried at most once per
+		// request — a heal-loop retry must not hammer the peer.
+		if e.fill != nil && !triedPeer {
+			triedPeer = true
+			if res, ok := e.loadFromPeer(ctx, key); ok {
+				resp, ferr := e.assemble(&Response{Key: key, CacheHit: true, PeerHit: true, SolveTime: res.Runtime}, res, sp, opts)
+				if ferr == nil {
+					e.metrics.peerHits.Add(1)
+					if e.cache.enabled() {
+						e.cache.put(key, res)
+					}
+					if e.store != nil {
+						if data, perr := planio.EncodeWire(res); perr == nil {
+							_ = e.store.Put(key, engineName(opts), data)
+						}
+					}
+					e.metrics.jobsCompleted.Add(1)
+					return resp, nil
+				}
+				// Fetched plan failed verification: never served, never
+				// stored. Fall through to the local solve.
+				e.metrics.peerRejected.Add(1)
 			}
 		}
 		if ok, retryAfter := e.breakers.allow(key); !ok {
@@ -408,6 +460,136 @@ func (e *Engine) loadFromStore(key string) (*spec.Result, bool) {
 	}
 	e.metrics.storeHits.Add(1)
 	return res, true
+}
+
+// loadFromPeer asks the cluster tier (the key's owning peer) for the
+// plan. The fetched bytes are decoded and structurally vetted here —
+// proven, and carrying a spec whose re-derived canonical job key matches
+// the requested key, so a peer can never poison a foreign cache slot.
+// Contamination verification happens in the caller's assemble step, the
+// same path every cache hit takes. Counted as peerMisses (no plan) or
+// peerRejected (plan that failed vetting).
+func (e *Engine) loadFromPeer(ctx context.Context, key string) (*spec.Result, bool) {
+	data, err := e.fill(ctx, key)
+	if err != nil || data == nil {
+		e.metrics.peerMisses.Add(1)
+		return nil, false
+	}
+	res, err := planio.Decode(data)
+	if err != nil || !res.Proven {
+		e.metrics.peerRejected.Add(1)
+		return nil, false
+	}
+	derived, err := canonicalJobKey(res.Spec, switchsynth.Options{Engine: res.Engine})
+	if err != nil || derived != key {
+		e.metrics.peerRejected.Add(1)
+		return nil, false
+	}
+	return res, true
+}
+
+// ImportPlan verifies a planio-encoded plan fetched from a peer and, on
+// success, installs it in the local tiers under key. It is the pull side
+// of anti-entropy sync (internal/cluster): only proven plans whose
+// re-derived canonical job key matches key and which pass the full
+// contamination verifier replicate — a corrupt or forged plan is an
+// error, never a stored entry. Importing an already-present key is a
+// cheap no-op.
+func (e *Engine) ImportPlan(key string, data []byte) error {
+	if e.cache.enabled() {
+		if _, ok := e.cache.get(key); ok {
+			return nil
+		}
+	}
+	if e.store != nil && e.store.Has(key) {
+		return nil
+	}
+	res, err := planio.Decode(data)
+	if err != nil {
+		e.metrics.peerRejected.Add(1)
+		return fmt.Errorf("service: import %s: %w", key, err)
+	}
+	if !res.Proven {
+		e.metrics.peerRejected.Add(1)
+		return fmt.Errorf("service: import %s: plan is degraded (unproven plans do not replicate)", key)
+	}
+	derived, err := canonicalJobKey(res.Spec, switchsynth.Options{Engine: res.Engine})
+	if err != nil || derived != key {
+		e.metrics.peerRejected.Add(1)
+		return fmt.Errorf("service: import %s: canonical key mismatch (derived %q)", key, derived)
+	}
+	if err := switchsynth.Verify(res); err != nil {
+		e.metrics.peerRejected.Add(1)
+		return fmt.Errorf("service: import %s: %w", key, err)
+	}
+	if e.cache.enabled() {
+		e.cache.put(key, res)
+	}
+	if e.store != nil {
+		if err := e.store.Put(key, res.Engine, data); err != nil {
+			return err
+		}
+	}
+	e.metrics.peerImported.Add(1)
+	return nil
+}
+
+// PlanBytes returns the planio-encoded plan stored under key, serving
+// the memory tier first and the durable store second. This is what GET
+// /plans/{key} hands to peers; absent keys report ok == false.
+func (e *Engine) PlanBytes(key string) ([]byte, bool) {
+	if e.cache.enabled() {
+		if res, ok := e.cache.get(key); ok {
+			if data, err := planio.Encode(res); err == nil {
+				return data, true
+			}
+		}
+	}
+	if e.store != nil {
+		if data, _, ok := e.store.Get(key); ok {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// PlanKeys returns the sorted union of the keys held by the local tiers
+// (memory cache and durable store) — the manifest anti-entropy peers
+// compare against their own.
+func (e *Engine) PlanKeys() []string {
+	seen := map[string]struct{}{}
+	if e.store != nil {
+		for _, k := range e.store.Keys() {
+			seen[k] = struct{}{}
+		}
+	}
+	for _, k := range e.cache.keys() {
+		seen[k] = struct{}{}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// StartDrain marks the engine as draining: /readyz flips to 503 so
+// cluster probes and load balancers stop routing here, while in-flight
+// and queued work keeps completing. Draining is one-way and idempotent;
+// Close/CloseNow imply it.
+func (e *Engine) StartDrain() { e.draining.Store(true) }
+
+// Draining reports whether graceful shutdown has begun (StartDrain) or
+// the engine is closed — either way this node must not receive new
+// traffic.
+func (e *Engine) Draining() bool {
+	if e.draining.Load() {
+		return true
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.isClosed
 }
 
 // enqueue hands a job to the worker pool, blocking while the queue is
@@ -571,6 +753,7 @@ func (e *Engine) Snapshot() Snapshot {
 	s.QueueDepth = len(e.jobs)
 	s.Workers = e.cfg.workers()
 	s.BreakersOpen = e.breakers.openCount()
+	s.PeerFillEnabled = e.fill != nil
 	s.SolverWorkers = e.cfg.solverWorkers()
 	s.SolverNodesTotal, s.SolverStealsTotal = search.Counters()
 	if e.store != nil {
@@ -606,6 +789,14 @@ func (e *Engine) Close() {
 func (e *Engine) CloseNow() {
 	e.cancel()
 	e.Close()
+}
+
+// JobKey is the exported form of canonicalJobKey: the canonical cache
+// key the engine files sp's plan under when solved with opts. The
+// cluster tier (internal/cluster) and clients use it to pick the key's
+// owning node consistently with the engine's own cache.
+func JobKey(sp *spec.Spec, opts switchsynth.Options) (string, error) {
+	return canonicalJobKey(sp, opts)
 }
 
 // canonicalJobKey extends the spec's canonical key with the options that

@@ -1,12 +1,20 @@
 // HTTP surface of the synthesis service: the handlers behind cmd/synthd.
 //
-//	POST /synthesize  JSON SynthesizeRequest in, SynthesizeResponse out
-//	GET  /healthz     liveness + pool shape
-//	GET  /metrics     Snapshot as JSON
+//	POST /synthesize    JSON SynthesizeRequest in, SynthesizeResponse out
+//	GET  /healthz       liveness + pool shape (alive even while draining)
+//	GET  /readyz        readiness: 503 once drain has begun or the engine
+//	                    closed, so probes and load balancers stop routing
+//	                    here while /healthz still reports the process up
+//	GET  /metrics       Snapshot as JSON (plus a "cluster" section when a
+//	                    cluster status hook is configured)
+//	GET  /plans         manifest of locally held canonical plan keys
+//	GET  /plans/{key}   the stored planio-encoded plan, 404 when absent —
+//	                    the peer cache-fill and anti-entropy endpoints
 //
 // Error responses are JSON {"error": ..., "kind": ...} where kind is one
-// of "invalid" (400), "no-solution" (422), "timeout" (504), "overloaded"
-// (429, circuit breaker open), "unavailable" (503, engine closed) or
+// of "invalid" (400, or 413 for an oversized body), "not-found" (404),
+// "no-solution" (422), "timeout" (504), "overloaded" (429, circuit
+// breaker open), "unavailable" (503, engine closed or draining) or
 // "panic"/"internal" (500). 429 and 503 responses carry a Retry-After
 // header (in seconds).
 package service
@@ -19,6 +27,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"switchsynth"
@@ -31,6 +40,11 @@ import (
 // maxRequestBody bounds /synthesize payloads; the largest supported
 // switch spec is a few KB, so 1 MiB is generous.
 const maxRequestBody = 1 << 20
+
+// MaxRequestBody is the exported body limit, so the cluster middleware
+// (which must read the body to compute the routing key) enforces the
+// same bound instead of buffering an unbounded payload.
+const MaxRequestBody = maxRequestBody
 
 // SynthesizeRequest is the POST /synthesize payload.
 type SynthesizeRequest struct {
@@ -66,9 +80,11 @@ type SynthesizeResponse struct {
 	Summary string `json:"summary"`
 
 	// Cache provenance. DiskHit marks a plan served from the durable
-	// store (warm boot / memory-tier miss).
+	// store (warm boot / memory-tier miss); PeerHit one fetched from the
+	// key's owning cluster peer and re-verified locally.
 	CacheHit  bool   `json:"cacheHit"`
 	DiskHit   bool   `json:"diskHit,omitempty"`
+	PeerHit   bool   `json:"peerHit,omitempty"`
 	Coalesced bool   `json:"coalesced"`
 	Key       string `json:"key"`
 
@@ -98,8 +114,22 @@ type errorResponse struct {
 	Kind  string `json:"kind"`
 }
 
-// NewHandler serves the engine over HTTP.
+// HandlerConfig carries the optional, daemon-level hooks into the HTTP
+// surface. The zero value is a plain single-node handler.
+type HandlerConfig struct {
+	// ClusterStatus, when non-nil, is rendered as the "cluster" section
+	// of the /metrics response (cmd/synthd wires the cluster's Status
+	// here). /cluster itself is served by the cluster middleware.
+	ClusterStatus func() any
+}
+
+// NewHandler serves the engine over HTTP with no daemon-level hooks.
 func NewHandler(e *Engine) http.Handler {
+	return NewHandlerWith(e, HandlerConfig{})
+}
+
+// NewHandlerWith serves the engine over HTTP with hc's hooks attached.
+func NewHandlerWith(e *Engine, hc HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/synthesize", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -117,9 +147,51 @@ func NewHandler(e *Engine) http.Handler {
 			"queueDepth": snap.QueueDepth,
 		})
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, e.Snapshot())
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness and readiness split: /healthz stays 200 for the whole
+		// process lifetime (the drain itself is healthy behavior), while
+		// /readyz flips to 503 the moment drain begins so cluster
+		// membership probes and load balancers stop routing here.
+		if e.Draining() {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "unavailable", fmt.Errorf("draining"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := e.Snapshot()
+		if hc.ClusterStatus != nil {
+			writeJSON(w, http.StatusOK, struct {
+				Snapshot
+				Cluster any `json:"cluster"`
+			}{snap, hc.ClusterStatus()})
+			return
+		}
+		writeJSON(w, http.StatusOK, snap)
+	})
+	plans := func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			writeError(w, http.StatusMethodNotAllowed, "invalid", fmt.Errorf("GET required"))
+			return
+		}
+		key := strings.TrimPrefix(r.URL.Path, "/plans")
+		key = strings.TrimPrefix(key, "/")
+		if key == "" {
+			writeJSON(w, http.StatusOK, map[string]any{"keys": e.PlanKeys()})
+			return
+		}
+		data, ok := e.PlanBytes(key)
+		if !ok {
+			writeError(w, http.StatusNotFound, "not-found", fmt.Errorf("no plan for key %q", key))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+	}
+	mux.HandleFunc("/plans", plans)
+	mux.HandleFunc("/plans/", plans)
 	return mux
 }
 
@@ -129,6 +201,16 @@ func handleSynthesize(e *Engine, w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		// An oversized body is not malformed JSON but a limit violation:
+		// report 413 so the client knows shrinking (not fixing) the
+		// payload is the remedy. Both paths return the JSON error
+		// envelope — never a decoder panic or a bare text body.
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "invalid",
+				fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, "invalid", fmt.Errorf("parsing request: %w", err))
 		return
 	}
@@ -161,6 +243,7 @@ func handleSynthesize(e *Engine, w http.ResponseWriter, r *http.Request) {
 		Summary:       syn.Summary(),
 		CacheHit:      resp.CacheHit,
 		DiskHit:       resp.DiskHit,
+		PeerHit:       resp.PeerHit,
 		Coalesced:     resp.Coalesced,
 		Key:           resp.Key,
 		NumSets:       syn.NumSets,

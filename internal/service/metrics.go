@@ -51,6 +51,19 @@ type Metrics struct {
 	storeMisses atomic.Int64
 	storeHealed atomic.Int64
 
+	// Cluster-tier counters (all zero when no peer fill is configured).
+	// peerHits count plans fetched from the owning peer, re-verified and
+	// served without a local solve; peerMisses count fill attempts that
+	// found no plan (owner down, not owner of the key, or owner lacks
+	// it); peerRejected counts fetched plans that failed decoding, key
+	// re-derivation or verification — these never reach a client or the
+	// local store. peerImported counts plans pulled in by anti-entropy
+	// sync and verified into the local tiers.
+	peerHits     atomic.Int64
+	peerMisses   atomic.Int64
+	peerRejected atomic.Int64
+	peerImported atomic.Int64
+
 	solveCount   atomic.Int64
 	solveNanos   atomic.Int64
 	solveBucket  [numSolveBuckets]atomic.Int64
@@ -129,6 +142,15 @@ type Snapshot struct {
 	StoreCorruptEvicted int64 `json:"storeCorruptEvicted"`
 	StoreFsyncErrors    int64 `json:"storeFsyncErrors"`
 
+	// Cluster tier (the peer-fill path in front of the local solve).
+	// PeerFillEnabled reports whether a fill hook is configured; the
+	// counters mirror the Metrics fields of the same names.
+	PeerFillEnabled bool  `json:"peerFillEnabled"`
+	PeerHits        int64 `json:"peerHits"`
+	PeerMisses      int64 `json:"peerMisses"`
+	PeerRejected    int64 `json:"peerRejected"`
+	PeerImported    int64 `json:"peerImported"`
+
 	// Engine load. BreakersOpen is the number of canonical keys currently
 	// shedding load (open or probing half-open).
 	QueueDepth   int `json:"queueDepth"`
@@ -173,6 +195,10 @@ func (m *Metrics) snapshot() Snapshot {
 		StoreHits:      m.storeHits.Load(),
 		StoreMisses:    m.storeMisses.Load(),
 		StoreHealed:    m.storeHealed.Load(),
+		PeerHits:       m.peerHits.Load(),
+		PeerMisses:     m.peerMisses.Load(),
+		PeerRejected:   m.peerRejected.Load(),
+		PeerImported:   m.peerImported.Load(),
 		SolveCount:     m.solveCount.Load(),
 		SolveMaxSeconds: time.Duration(
 			m.solveMaxNano.Load()).Seconds(),

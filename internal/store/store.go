@@ -548,6 +548,15 @@ func (s *Store) Len() int {
 	return len(s.index)
 }
 
+// Has reports whether key is live in the index, without touching disk or
+// the hit/miss counters — the membership probe behind anti-entropy sync.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[key]
+	return ok
+}
+
 // Keys returns the live keys in sorted order.
 func (s *Store) Keys() []string {
 	s.mu.Lock()
