@@ -3,12 +3,15 @@
 # the seeded chaos suites (service faults and store crash-recovery, both
 # goroutine-leak gated and run twice), the cluster gate (race-checked
 # suite plus the three-topology campaign byte-diff, one node killed
-# mid-run), and four benchmarks: cold-vs-cached request rate
-# (BENCH_service.json), degraded-path throughput under injected
-# slow-solve faults (BENCH_resilience.json), the plan-store tiers — cold
-# solve vs memory hit vs disk hit vs warm boot (BENCH_store.json), and
-# the cluster tiers — local hit vs peer fill vs cold solve
-# (BENCH_cluster.json).
+# mid-run), the admission gate (batch dedup/determinism, per-tenant
+# fairness and the streaming contract, race-checked twice), and five
+# benchmarks: cold-vs-cached request rate (BENCH_service.json),
+# degraded-path throughput under injected slow-solve faults
+# (BENCH_resilience.json), the plan-store tiers — cold solve vs memory
+# hit vs disk hit vs warm boot (BENCH_store.json), the cluster tiers —
+# local hit vs peer fill vs cold solve (BENCH_cluster.json), and the
+# admission tier — batch dedup speedup, per-class queue latency,
+# streamed time-to-first-plan vs time-to-proof (BENCH_admission.json).
 #
 # Usage: ./ci.sh            (full gate)
 #        BENCHTIME=5s ./ci.sh  (longer benchmark runs)
@@ -75,6 +78,28 @@ echo "== cluster gate: -race -count=2, three-topology determinism =="
 # reports across all three topologies.
 go test -race -count=2 -short ./internal/cluster/
 go test -race -run 'TestCampaignDeterministicAcrossTopologies' ./internal/cluster/
+
+echo "== admission gate: batch determinism + fair queuing, -race -count=2 =="
+# Batch dedup and determinism: a 100-spec/7-key batch must trigger
+# exactly 7 solves, and a batch answer must be byte-identical to solving
+# the same specs sequentially. Fairness: DRR must bound the interactive
+# tenant's queue wait under a background flood (engine level and queue
+# level), and shed verdicts must carry the measured Retry-After. All of
+# it twice under the race detector, plus the streaming contract (frames,
+# key watching, wait=proof byte-identity with the cold path).
+go test -race -count=2 -run \
+  'TestBatch|TestRetryAfterQueueShedPath|TestInvalidPriorityHeaderRejected|TestEngineTwoTenantFairness|TestErrorKindStatusTable|TestDoStream|TestWatchKey|TestHTTPWaitProofStreamsAndMatchesCold|TestHTTPStreamKeyEndpoint' \
+  ./internal/service/
+go test -race -count=2 ./internal/admission/
+
+echo "== admission benchmark: batch dedup, per-class latency, streaming =="
+# Emits BENCH_admission.json: batch dedup speedup over sequential cold
+# solves (gate: >= 5x), EWMA queue wait per priority class under a mixed
+# interactive/background load, and streamed time-to-first-plan vs
+# time-to-proof on the saturated 16-pin case.
+BENCH_ADMISSION_OUT="$PWD/BENCH_admission.json" \
+  go test -run 'TestAdmissionBenchReport' ./internal/service/
+cat BENCH_admission.json
 
 echo "== service benchmark: cold vs cached =="
 bench_out=$(go test -run '^$' -bench 'BenchmarkService_(Cold|Cached)Synthesize$' -benchtime "${BENCHTIME:-2s}" .)

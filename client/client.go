@@ -65,6 +65,14 @@ type Config struct {
 	// is only used for the non-spec endpoints (Metrics, Healthz),
 	// defaulting to the first peer.
 	Peers string
+	// Tenant names this client in the daemon's per-tenant fair queue
+	// (sent as X-Synthd-Tenant; empty means the daemon's default tenant).
+	Tenant string
+	// Priority is the admission class for this client's solves:
+	// "interactive", "batch" or "background". Empty defers to the
+	// endpoint's default (interactive for Synthesize/Stream, batch for
+	// Batch). The daemon rejects unknown classes with a 400.
+	Priority string
 }
 
 // Client is a synthd HTTP client; safe for concurrent use.
@@ -75,6 +83,8 @@ type Client struct {
 	maxAttempts int
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
+	tenant      string
+	priority    string
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -155,8 +165,21 @@ func New(cfg Config) (*Client, error) {
 		maxAttempts: attempts,
 		baseBackoff: base,
 		maxBackoff:  max,
+		tenant:      cfg.Tenant,
+		priority:    cfg.Priority,
 		rng:         rand.New(rand.NewSource(seed)),
 	}, nil
+}
+
+// setIdentity attaches the admission identity headers configured on the
+// client; absent values defer to the daemon's per-endpoint defaults.
+func (c *Client) setIdentity(req *http.Request) {
+	if c.tenant != "" {
+		req.Header.Set(service.TenantHeader, c.tenant)
+	}
+	if c.priority != "" {
+		req.Header.Set(service.PriorityHeader, c.priority)
+	}
 }
 
 // Synthesize submits sp and returns the daemon's response, retrying
@@ -229,6 +252,7 @@ func (c *Client) once(ctx context.Context, base, key string, body []byte) (*serv
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set("Idempotency-Key", key)
+	c.setIdentity(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -269,6 +293,212 @@ func (c *Client) sleep(ctx context.Context, attempt int, lastErr error) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// BatchItem is one member's outcome from Batch. Exactly one of Response
+// or Err is set: a failed member carries an *APIError with the daemon's
+// per-item kind/status taxonomy ("invalid", "overloaded", ...), so one
+// shed or malformed member never hides its neighbours' plans.
+type BatchItem struct {
+	// Key is the member's canonical job key (empty when the spec never
+	// canonicalized).
+	Key string
+	// Dedup marks a member answered by adapting another member's plan
+	// from the same batch instead of a solve of its own.
+	Dedup    bool
+	Response *service.SynthesizeResponse
+	Err      error
+}
+
+// Batch submits the members in one POST /synthesize/batch: the daemon
+// canonicalizes and dedups them against each other and its cache tiers,
+// solving once per distinct canonical key. It returns the envelope plus
+// one BatchItem per input, in input order. opts are the batch-level
+// defaults; a member's own Options override them. The whole batch is
+// retried on transient envelope-level failures (the request is
+// idempotent — every member lands on the daemon's result cache), and
+// per-item failures are reported in the items, never as a method error.
+//
+// Batches are sent to BaseURL even when Peers is set: a batch spans many
+// canonical keys, so there is no single owning node to route to.
+func (c *Client) Batch(ctx context.Context, items []service.BatchRequestItem, opts service.RequestOptions) (*service.BatchResponse, []BatchItem, error) {
+	body, err := json.Marshal(service.BatchRequest{Specs: items, Options: opts})
+	if err != nil {
+		return nil, nil, err
+	}
+	var (
+		envelope *service.BatchResponse
+		lastErr  error
+	)
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, attempt, lastErr); err != nil {
+				return nil, nil, err
+			}
+		}
+		envelope, lastErr = c.batchOnce(ctx, body)
+		if lastErr == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			return nil, nil, lastErr
+		}
+		var apiErr *APIError
+		if errors.As(lastErr, &apiErr) && !apiErr.Temporary() {
+			return nil, nil, lastErr
+		}
+	}
+	if lastErr != nil {
+		return nil, nil, lastErr
+	}
+	out := make([]BatchItem, len(envelope.Items))
+	for i, it := range envelope.Items {
+		out[i] = BatchItem{Key: it.Key, Dedup: it.Dedup, Response: it.Response}
+		if it.Response == nil {
+			out[i].Err = &APIError{Status: it.Status, Kind: it.Kind, Message: it.Error}
+		}
+	}
+	return envelope, out, nil
+}
+
+// batchOnce performs a single POST /synthesize/batch round trip.
+func (c *Client) batchOnce(ctx context.Context, body []byte) (*service.BatchResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/synthesize/batch", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.setIdentity(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readAPIError(resp)
+	}
+	var out service.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding batch response: %w", err)
+	}
+	return &out, nil
+}
+
+// Stream submits sp with ?wait=proof and follows the daemon's ndjson
+// stream: onFrame (optional) receives every anytime incumbent — a
+// Degraded plan with a Gap — as the solver improves, and Stream returns
+// the final proven response, whose plan is byte-identical to what a
+// plain Synthesize of the same spec returns. A non-nil error from
+// onFrame abandons the stream (the daemon's solve continues; its result
+// still lands in the cache).
+//
+// Admission failures before the first frame (429/503) are retried like
+// Synthesize, honoring Retry-After. Once frames are flowing there are
+// no retries — a broken stream returns an error and the caller may call
+// Stream again, which attaches to the in-flight solve instead of
+// restarting it.
+func (c *Client) Stream(ctx context.Context, sp *switchsynth.Spec, opts service.RequestOptions, onFrame func(*service.SynthesizeResponse) error) (*service.SynthesizeResponse, error) {
+	key, err := switchsynth.CanonicalKey(sp)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(service.SynthesizeRequest{Spec: sp, Options: opts})
+	if err != nil {
+		return nil, err
+	}
+	targets := c.targets(sp, opts)
+
+	var lastErr error
+	for attempt := 0; attempt < c.maxAttempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, attempt, lastErr); err != nil {
+				return nil, err
+			}
+		}
+		out, started, err := c.streamOnce(ctx, targets[attempt%len(targets)], key, body, onFrame)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if started || ctx.Err() != nil {
+			// The 200 was committed: frames may already have been
+			// delivered, so the attempt is not idempotently retryable.
+			return nil, err
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !apiErr.Temporary() {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// streamOnce performs one ?wait=proof round trip; started reports
+// whether the response stream was entered (no retries past that point).
+func (c *Client) streamOnce(ctx context.Context, base, key string, body []byte, onFrame func(*service.SynthesizeResponse) error) (_ *service.SynthesizeResponse, started bool, _ error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/synthesize?wait=proof", bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	c.setIdentity(req)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, readAPIError(resp)
+	}
+	// Each ndjson line is either a SynthesizeResponse frame or, after a
+	// mid-stream failure, the daemon's {"error","kind"} envelope.
+	type streamLine struct {
+		service.SynthesizeResponse
+		Error string `json:"error"`
+		Kind  string `json:"kind"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var line streamLine
+		if err := dec.Decode(&line); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, true, fmt.Errorf("client: stream ended without a final frame")
+			}
+			return nil, true, fmt.Errorf("client: reading stream: %w", err)
+		}
+		if line.Error != "" {
+			return nil, true, &APIError{Status: statusForKind(line.Kind), Kind: line.Kind, Message: line.Error}
+		}
+		if line.Final {
+			return &line.SynthesizeResponse, true, nil
+		}
+		if onFrame != nil {
+			if err := onFrame(&line.SynthesizeResponse); err != nil {
+				return nil, true, err
+			}
+		}
+	}
+}
+
+// statusForKind maps an in-band stream error kind back onto the status
+// the same error would have carried before the stream committed its 200.
+func statusForKind(kind string) int {
+	switch kind {
+	case "invalid":
+		return http.StatusBadRequest
+	case "not-found":
+		return http.StatusNotFound
+	case "no-solution":
+		return http.StatusUnprocessableEntity
+	case "overloaded":
+		return http.StatusTooManyRequests
+	case "unavailable":
+		return http.StatusServiceUnavailable
+	case "timeout":
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
 }
 
 // Metrics fetches the daemon's /metrics snapshot (no retries).

@@ -6,9 +6,9 @@
 // Usage:
 //
 //	synthd [-addr :8471] [-workers N] [-solver-workers N] [-queue N] [-cache N]
-//	       [-timelimit 30s] [-drain-timeout 30s] [-breaker-threshold 3]
-//	       [-breaker-cooldown 5s] [-negcache 256] [-store-dir DIR]
-//	       [-store-flush-interval 5ms] [-store-max-wal-bytes N]
+//	       [-timelimit 30s] [-max-queue-wait 30s] [-drain-timeout 30s]
+//	       [-breaker-threshold 3] [-breaker-cooldown 5s] [-negcache 256]
+//	       [-store-dir DIR] [-store-flush-interval 5ms] [-store-max-wal-bytes N]
 //	       [-export-plans DIR] [-pprof-addr 127.0.0.1:6060]
 //	       [-node-id ID -peers ID=URL,ID=URL,...]
 //	       [-cluster-probe-interval 2s] [-cluster-sync-interval 15s]
@@ -20,6 +20,15 @@
 // without invalidating caches. -pprof-addr exposes net/http/pprof on a
 // second, loopback-only listener (off by default; never on the service
 // address).
+//
+// Admission runs through a per-tenant weighted fair queue (see DESIGN.md
+// §9): requests name their tenant and priority class via the
+// X-Synthd-Tenant / X-Synthd-Priority headers, classes share the workers
+// by deficit round-robin, and under load the lower classes are shed
+// early with 429s whose Retry-After is measured from the observed
+// dequeue rate. -max-queue-wait sets the global wait watermark: when the
+// queue's predicted wait for a new arrival exceeds it, every class —
+// interactive included — is shed rather than queued beyond use.
 //
 // With -store-dir the result cache gains a durable tier: solved proven
 // plans are persisted to a WAL-backed, content-addressed store in DIR,
@@ -48,13 +57,21 @@
 //
 // Endpoints:
 //
-//	POST /synthesize   {"spec": {...}, "options": {"pressureSharing": true, "svg": true}}
-//	GET  /healthz      liveness and pool shape
-//	GET  /readyz       readiness: 200 serving, 503 once draining
-//	GET  /metrics      job/cache/store/cluster/latency counters as JSON
-//	GET  /plans        manifest of locally held plan keys
-//	GET  /plans/{key}  one plan's wire bytes (404 when absent)
-//	GET  /cluster      ring membership, health, and forwarding counters
+//	POST /synthesize              {"spec": {...}, "options": {"pressureSharing": true, "svg": true}};
+//	                              with ?wait=proof the response is an ndjson
+//	                              stream of improving anytime plans ending in
+//	                              the proven one
+//	POST /synthesize/batch        {"specs": [{"spec": ...}, ...], "options": ...};
+//	                              members are canonicalized and deduped, one
+//	                              solve per distinct key, per-item outcomes
+//	GET  /synthesize/stream/{key} attach to a key's in-flight solve and follow
+//	                              its incumbents (ndjson)
+//	GET  /healthz                 liveness and pool shape
+//	GET  /readyz                  readiness: 200 serving, 503 once draining
+//	GET  /metrics                 job/cache/store/cluster/admission counters as JSON
+//	GET  /plans                   manifest of locally held plan keys
+//	GET  /plans/{key}             one plan's wire bytes (404 when absent)
+//	GET  /cluster                 ring membership, health, and forwarding counters
 //
 // The spec payload is the same JSON format cmd/switchsynth reads; the
 // response embeds the routed plan in the cmd/verifyplan format. See the
@@ -298,6 +315,7 @@ func parseFlags(args []string) (service.Config, serverFlags) {
 		queue      = fs.Int("queue", 0, "job queue depth (0 = 4x workers)")
 		cacheSize  = fs.Int("cache", 1024, "result cache entries (negative disables the memory tier)")
 		timeLimit  = fs.Duration("timelimit", 30*time.Second, "default per-solve time limit")
+		maxWait    = fs.Duration("max-queue-wait", 0, "shed any request whose predicted queue wait exceeds this (0 = default 30s)")
 		drain      = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown window before in-flight solves are cancelled")
 		brkThresh  = fs.Int("breaker-threshold", 0, "consecutive timeouts before a spec's circuit breaker opens (0 = default 3, negative disables)")
 		brkCool    = fs.Duration("breaker-cooldown", 0, "how long an open breaker fast-fails before probing (0 = default 5s)")
@@ -319,6 +337,7 @@ func parseFlags(args []string) (service.Config, serverFlags) {
 			QueueDepth:        *queue,
 			CacheSize:         *cacheSize,
 			DefaultTimeLimit:  *timeLimit,
+			MaxQueueWait:      *maxWait,
 			BreakerThreshold:  *brkThresh,
 			BreakerCooldown:   *brkCool,
 			NegativeCacheSize: *negEntries,

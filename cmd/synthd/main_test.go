@@ -10,7 +10,8 @@ import (
 func TestParseFlags(t *testing.T) {
 	cfg, srvf := parseFlags([]string{
 		"-addr", "127.0.0.1:9000", "-workers", "3", "-solver-workers", "4",
-		"-queue", "7", "-cache", "99", "-timelimit", "5s", "-drain-timeout", "2s",
+		"-queue", "7", "-cache", "99", "-timelimit", "5s", "-max-queue-wait", "12s",
+		"-drain-timeout", "2s",
 		"-breaker-threshold", "5", "-breaker-cooldown", "10s",
 		"-negcache", "64",
 		"-store-dir", "/tmp/plans", "-store-flush-interval", "25ms",
@@ -30,6 +31,9 @@ func TestParseFlags(t *testing.T) {
 	}
 	if cfg.DefaultTimeLimit != 5*time.Second {
 		t.Errorf("time limit = %v", cfg.DefaultTimeLimit)
+	}
+	if cfg.MaxQueueWait != 12*time.Second {
+		t.Errorf("max queue wait = %v, want 12s", cfg.MaxQueueWait)
 	}
 	if srvf.Drain != 2*time.Second {
 		t.Errorf("drain = %v", srvf.Drain)
@@ -103,8 +107,8 @@ func TestParseFlagsDefaults(t *testing.T) {
 		t.Errorf("drain = %v, want 30s default", srvf.Drain)
 	}
 	// Zero values defer to the service defaults (breaker on, negcache on,
-	// sequential solver).
-	if cfg.BreakerThreshold != 0 || cfg.NegativeCacheSize != 0 || cfg.SolverWorkers != 0 {
+	// sequential solver, 30s wait watermark).
+	if cfg.BreakerThreshold != 0 || cfg.NegativeCacheSize != 0 || cfg.SolverWorkers != 0 || cfg.MaxQueueWait != 0 {
 		t.Errorf("resilience cfg should default to zero: %+v", cfg)
 	}
 	// Profiling is opt-in and off by default.

@@ -1,0 +1,131 @@
+// Per-canonical-key circuit breaker (moved here from internal/service:
+// the breaker is admission control, deciding before a worker slot is
+// burned, so it lives with the queue and the watermarks).
+//
+// The breaker sheds load for keys that repeatedly burn a worker slot
+// without producing a plan (timeouts, solver panics): after Threshold
+// consecutive failures the key opens and requests fast-fail with
+// *ErrOverloaded (HTTP 429 + Retry-After) instead of queueing. Once the
+// cooldown elapses a single half-open probe is admitted; its outcome
+// closes the breaker again or re-opens it.
+package admission
+
+import (
+	"sync"
+	"time"
+)
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	state      breakerState
+	fails      int       // consecutive breaker-relevant failures
+	openedAt   time.Time // when the breaker last opened
+	probeStart time.Time // when the current half-open probe was admitted
+}
+
+// Breakers tracks one circuit breaker per canonical job key. A nil
+// *Breakers is the disabled breaker: every method is a safe no-op that
+// admits everything.
+type Breakers struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+// NewBreakers creates a breaker group opening after threshold
+// consecutive failures and admitting a half-open probe after cooldown.
+func NewBreakers(threshold int, cooldown time.Duration) *Breakers {
+	return &Breakers{threshold: threshold, cooldown: cooldown, m: make(map[string]*breaker)}
+}
+
+// Allow reports whether a request for key may proceed; when it may not,
+// retryAfter is the time until the next half-open probe.
+func (g *Breakers) Allow(key string) (ok bool, retryAfter time.Duration) {
+	if g == nil {
+		return true, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.m[key]
+	if b == nil {
+		return true, 0
+	}
+	now := time.Now()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		if wait := g.cooldown - now.Sub(b.openedAt); wait > 0 {
+			return false, wait
+		}
+		b.state = breakerHalfOpen
+		b.probeStart = now
+		return true, 0 // the half-open probe
+	default: // breakerHalfOpen
+		// One probe at a time; if the probe itself got stuck (its job was
+		// never recorded — e.g. the engine rejected the enqueue), admit a
+		// fresh probe after another cooldown.
+		if now.Sub(b.probeStart) >= g.cooldown {
+			b.probeStart = now
+			return true, 0
+		}
+		return false, g.cooldown - now.Sub(b.probeStart)
+	}
+}
+
+// RecordFailure notes a breaker-relevant failure (timeout or panic) for
+// key, opening the breaker at the threshold or on a failed probe.
+func (g *Breakers) RecordFailure(key string) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.m[key]
+	if b == nil {
+		b = &breaker{}
+		g.m[key] = b
+	}
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= g.threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// RecordSuccess resets key's breaker: any completed solve — including a
+// proven ErrNoSolution — shows the key is not burning worker slots.
+func (g *Breakers) RecordSuccess(key string) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.m, key)
+}
+
+// OpenCount reports how many breakers are currently open or half-open
+// (a metrics gauge).
+func (g *Breakers) OpenCount() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, b := range g.m {
+		if b.state != breakerClosed {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,64 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakersOpenAtThresholdAndProbe(t *testing.T) {
+	g := NewBreakers(2, 30*time.Millisecond)
+	if ok, _ := g.Allow("k"); !ok {
+		t.Fatal("fresh key not allowed")
+	}
+	g.RecordFailure("k")
+	if ok, _ := g.Allow("k"); !ok {
+		t.Fatal("key blocked below threshold")
+	}
+	g.RecordFailure("k")
+	ok, retry := g.Allow("k")
+	if ok {
+		t.Fatal("key allowed at threshold")
+	}
+	if retry <= 0 || retry > 30*time.Millisecond {
+		t.Errorf("retryAfter = %v, want within (0, cooldown]", retry)
+	}
+	if g.OpenCount() != 1 {
+		t.Errorf("OpenCount = %d, want 1", g.OpenCount())
+	}
+
+	// After the cooldown one half-open probe is admitted; a second
+	// concurrent request is still shed.
+	time.Sleep(35 * time.Millisecond)
+	if ok, _ := g.Allow("k"); !ok {
+		t.Fatal("half-open probe not admitted after cooldown")
+	}
+	if ok, _ := g.Allow("k"); ok {
+		t.Fatal("second request admitted during half-open probe")
+	}
+
+	// A failed probe re-opens immediately; a successful one closes.
+	g.RecordFailure("k")
+	if ok, _ := g.Allow("k"); ok {
+		t.Fatal("key allowed right after failed probe")
+	}
+	g.RecordSuccess("k")
+	if ok, _ := g.Allow("k"); !ok {
+		t.Fatal("key blocked after success")
+	}
+	if g.OpenCount() != 0 {
+		t.Errorf("OpenCount = %d after recovery, want 0", g.OpenCount())
+	}
+}
+
+func TestBreakersNilIsDisabled(t *testing.T) {
+	var g *Breakers
+	g.RecordFailure("k")
+	g.RecordFailure("k")
+	g.RecordSuccess("k")
+	if ok, _ := g.Allow("k"); !ok {
+		t.Fatal("nil Breakers must admit everything")
+	}
+	if g.OpenCount() != 0 {
+		t.Fatal("nil Breakers must report zero open")
+	}
+}

@@ -1,0 +1,465 @@
+// The fair admission queue: a bounded, multi-tenant, priority-classed
+// queue dispensing worker slots by deficit round robin.
+//
+// Scheduling is two-level. Across classes, a deficit-round-robin (DRR)
+// cursor walks interactive → batch → background; each backlogged class
+// earns its weight in credits per full rotation (16 : 4 : 1), so under
+// saturation interactive work receives 16/21 of the dequeue bandwidth
+// while batch and background still make guaranteed progress (no
+// starvation, unlike strict priority). Within one class, tenants form a
+// round-robin ring with per-tenant FIFO order, so one tenant's 10k-item
+// burst costs other tenants of the same class at most one item of extra
+// wait per dequeue.
+//
+// Load shedding happens at Submit, before a slot is consumed, from two
+// watermarks:
+//
+//   - depth: batch submissions are shed when the total backlog reaches
+//     75% of capacity, background at 50%. Interactive never sheds on
+//     depth — it blocks at the hard capacity bound, preserving the
+//     pre-admission engine semantics for default callers.
+//   - wait: when the measured dequeue rate predicts a queue wait beyond
+//     MaxWait, every class sheds — this is the global watermark.
+//
+// Both produce *ErrShed carrying a measured Retry-After: the queue
+// EWMA-tracks the gap between consecutive dequeues while backlogged, so
+// the hint is (backlog+1) × observed-gap, clamped to [1s, 30s].
+package admission
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// classWeights are the DRR credits each backlogged class earns per full
+// cursor rotation.
+var classWeights = [NumClasses]int{
+	Interactive: 16,
+	Batch:       4,
+	Background:  1,
+}
+
+// Depth-watermark fractions of capacity at which a class sheds instead
+// of queueing. Interactive has no depth watermark (it blocks at the
+// hard capacity bound instead).
+const (
+	batchShedFraction      = 0.75
+	backgroundShedFraction = 0.50
+)
+
+// Retry-After clamp bounds (satellite: the hint is measured, but stays
+// inside [1s, 30s] so clients neither hammer nor stall).
+const (
+	minRetryAfter = 1 * time.Second
+	maxRetryAfter = 30 * time.Second
+)
+
+// DefaultMaxWait is the wait watermark applied when QueueConfig.MaxWait
+// is zero.
+const DefaultMaxWait = 30 * time.Second
+
+// ewmaAlpha is the smoothing factor for the dequeue-gap and class-wait
+// averages (new sample weight 0.2).
+const ewmaAlpha = 0.2
+
+// QueueConfig sizes a Queue.
+type QueueConfig struct {
+	// Capacity is the hard bound on queued items; Submit blocks (context
+	// aware) when the queue is full and no watermark applies. Default 16.
+	Capacity int
+	// MaxWait is the wait watermark: once the measured dequeue rate
+	// predicts a queue wait beyond it, submissions of every class shed
+	// with *ErrShed. Zero means DefaultMaxWait; negative disables the
+	// wait watermark.
+	MaxWait time.Duration
+}
+
+func (c QueueConfig) capacity() int {
+	if c.Capacity > 0 {
+		return c.Capacity
+	}
+	return 16
+}
+
+func (c QueueConfig) maxWait() time.Duration {
+	switch {
+	case c.MaxWait > 0:
+		return c.MaxWait
+	case c.MaxWait < 0:
+		return 0
+	default:
+		return DefaultMaxWait
+	}
+}
+
+// Item is one queued unit of work.
+type Item struct {
+	Tenant  string
+	Class   Class
+	Payload any
+
+	enqueued time.Time
+}
+
+// tenantQueue is one tenant's FIFO within a class: a head-indexed slice
+// compacted once the dead prefix dominates.
+type tenantQueue struct {
+	tenant string
+	items  []Item
+	head   int
+}
+
+func (t *tenantQueue) push(it Item) { t.items = append(t.items, it) }
+
+func (t *tenantQueue) pop() Item {
+	it := t.items[t.head]
+	t.items[t.head] = Item{} // release payload for GC
+	t.head++
+	if t.head == len(t.items) {
+		t.items = t.items[:0]
+		t.head = 0
+	} else if t.head >= 32 && t.head*2 >= len(t.items) {
+		n := copy(t.items, t.items[t.head:])
+		t.items = t.items[:n]
+		t.head = 0
+	}
+	return it
+}
+
+func (t *tenantQueue) empty() bool { return t.head == len(t.items) }
+
+// classQueue is one priority class: a round-robin ring of tenant FIFOs.
+type classQueue struct {
+	byTenant map[string]*tenantQueue
+	ring     []*tenantQueue
+	cursor   int
+	depth    int
+}
+
+func newClassQueue() *classQueue {
+	return &classQueue{byTenant: make(map[string]*tenantQueue)}
+}
+
+func (c *classQueue) push(it Item) {
+	tq := c.byTenant[it.Tenant]
+	if tq == nil {
+		tq = &tenantQueue{tenant: it.Tenant}
+		c.byTenant[it.Tenant] = tq
+		c.ring = append(c.ring, tq)
+	}
+	tq.push(it)
+	c.depth++
+}
+
+// pop removes the next item in tenant round-robin order. The ring holds
+// only tenants with queued items (empty tenants are unlinked on pop),
+// so the tenant at the cursor always has one.
+func (c *classQueue) pop() Item {
+	if c.cursor >= len(c.ring) {
+		c.cursor = 0
+	}
+	tq := c.ring[c.cursor]
+	it := tq.pop()
+	c.depth--
+	if tq.empty() {
+		delete(c.byTenant, tq.tenant)
+		c.ring = append(c.ring[:c.cursor], c.ring[c.cursor+1:]...)
+		// The cursor now points at the next tenant already.
+	} else {
+		c.cursor++
+	}
+	if c.cursor >= len(c.ring) {
+		c.cursor = 0
+	}
+	return it
+}
+
+// Queue is the bounded fair admission queue. Create with NewQueue,
+// submit with Submit, consume with Next from worker goroutines, retire
+// with Close. All methods are safe for concurrent use.
+type Queue struct {
+	cfg QueueConfig
+
+	// space is a counting semaphore with one token per queued item:
+	// producers acquire before pushing (blocking, context-aware, when
+	// the queue is at capacity), consumers release after popping.
+	space chan struct{}
+	done  chan struct{} // closed by Close; unblocks producers
+
+	mu     sync.Mutex
+	cond   *sync.Cond // signals consumers waiting in Next
+	closed bool
+
+	classes [NumClasses]*classQueue
+	credit  [NumClasses]int
+	cursor  int // DRR class cursor
+	total   int
+
+	// Dequeue-rate measurement: the EWMA of the gap between consecutive
+	// pops, sampled only across intervals where the queue stayed
+	// backlogged (an idle queue's gaps measure traffic, not capacity).
+	gapEWMA        float64 // seconds
+	lastPop        time.Time
+	lastBacklogged bool
+	// Per-class queue-wait EWMA, sampled at pop time.
+	waitEWMA [NumClasses]float64 // seconds
+
+	submitted [NumClasses]int64
+	shed      [NumClasses]int64
+}
+
+// NewQueue creates an empty queue.
+func NewQueue(cfg QueueConfig) *Queue {
+	q := &Queue{
+		cfg:   cfg,
+		space: make(chan struct{}, cfg.capacity()),
+		done:  make(chan struct{}),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	for i := range q.classes {
+		q.classes[i] = newClassQueue()
+	}
+	return q
+}
+
+// Capacity returns the hard queue bound.
+func (q *Queue) Capacity() int { return cap(q.space) }
+
+// Submit enqueues payload for the caller, blocking — respecting ctx —
+// while the queue is at capacity. It returns *ErrShed when a load
+// watermark rejects the request before queueing, ErrClosed after Close,
+// or ctx.Err() when the caller gives up waiting for a slot.
+func (q *Queue) Submit(ctx context.Context, caller Caller, payload any) error {
+	caller = caller.normalize()
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrClosed
+	}
+	q.submitted[caller.Class]++
+	if shed, hint := q.shouldShedLocked(caller.Class); shed {
+		q.shed[caller.Class]++
+		q.mu.Unlock()
+		return &ErrShed{Tenant: caller.Tenant, Class: caller.Class, RetryAfter: hint}
+	}
+	q.mu.Unlock()
+
+	select {
+	case q.space <- struct{}{}:
+	case <-q.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		<-q.space // hand the slot back; nobody will consume the item
+		return ErrClosed
+	}
+	q.classes[caller.Class].push(Item{
+		Tenant:   caller.Tenant,
+		Class:    caller.Class,
+		Payload:  payload,
+		enqueued: time.Now(),
+	})
+	q.total++
+	q.cond.Signal()
+	q.mu.Unlock()
+	return nil
+}
+
+// shouldShedLocked applies the depth and wait watermarks for class.
+func (q *Queue) shouldShedLocked(class Class) (bool, time.Duration) {
+	capy := cap(q.space)
+	switch class {
+	case Batch:
+		if float64(q.total) >= batchShedFraction*float64(capy) {
+			return true, q.retryAfterLocked()
+		}
+	case Background:
+		if float64(q.total) >= backgroundShedFraction*float64(capy) {
+			return true, q.retryAfterLocked()
+		}
+	}
+	// Wait watermark (the global one): only once a dequeue-rate sample
+	// exists — before the first measured gap the queue cannot honestly
+	// predict anything.
+	if maxWait := q.cfg.maxWait(); maxWait > 0 && q.gapEWMA > 0 {
+		est := time.Duration(q.gapEWMA * float64(q.total+1) * float64(time.Second))
+		if est > maxWait {
+			return true, q.retryAfterLocked()
+		}
+	}
+	return false, 0
+}
+
+// retryAfterLocked derives the Retry-After hint from the measured
+// dequeue rate: the time to drain the current backlog plus one slot,
+// clamped to [1s, 30s]. Without a rate sample it returns the minimum.
+func (q *Queue) retryAfterLocked() time.Duration {
+	if q.gapEWMA <= 0 {
+		return minRetryAfter
+	}
+	est := time.Duration(q.gapEWMA * float64(q.total+1) * float64(time.Second))
+	if est < minRetryAfter {
+		return minRetryAfter
+	}
+	if est > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return est
+}
+
+// RetryAfterHint is the exported measured backoff hint (clamped to
+// [1s, 30s]): how long a rejected caller should wait before the backlog
+// has likely drained.
+func (q *Queue) RetryAfterHint() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.retryAfterLocked()
+}
+
+// Next blocks until an item is available and returns it in DRR order.
+// After Close it keeps draining the backlog; once the queue is both
+// closed and empty it returns ok == false (the worker-pool exit
+// signal).
+func (q *Queue) Next() (Item, bool) {
+	q.mu.Lock()
+	for q.total == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.total == 0 {
+		q.mu.Unlock()
+		return Item{}, false
+	}
+	it := q.popLocked()
+	q.mu.Unlock()
+	// Release the item's capacity token. Tokens and items are 1:1, so
+	// this never blocks.
+	<-q.space
+	return it, true
+}
+
+// popLocked removes the next item by deficit round robin across the
+// classes, and feeds the rate and wait estimators.
+func (q *Queue) popLocked() Item {
+	// Walking the cursor visits each class at most once per rotation and
+	// credits are refilled at the wrap, so with a non-empty queue the
+	// walk finds an item within two rotations.
+	for steps := 0; ; steps++ {
+		c := q.classes[q.cursor]
+		if c.depth > 0 && q.credit[q.cursor] > 0 {
+			q.credit[q.cursor]--
+			it := c.pop()
+			q.total--
+			q.observePopLocked(it)
+			return it
+		}
+		q.cursor++
+		if q.cursor == NumClasses {
+			q.cursor = 0
+			for i := range q.credit {
+				if q.classes[i].depth > 0 {
+					q.credit[i] = classWeights[i]
+				} else {
+					q.credit[i] = 0
+				}
+			}
+		}
+		if steps > 2*NumClasses {
+			// Defensive: cannot happen while total > 0, but a scheduling
+			// bug must not become a spin under the lock.
+			for i := range q.classes {
+				if q.classes[i].depth > 0 {
+					it := q.classes[i].pop()
+					q.total--
+					q.observePopLocked(it)
+					return it
+				}
+			}
+		}
+	}
+}
+
+// observePopLocked updates the dequeue-gap and class-wait EWMAs for one
+// popped item.
+func (q *Queue) observePopLocked(it Item) {
+	now := time.Now()
+	if !q.lastPop.IsZero() && q.lastBacklogged {
+		gap := now.Sub(q.lastPop).Seconds()
+		if q.gapEWMA == 0 {
+			q.gapEWMA = gap
+		} else {
+			q.gapEWMA = (1-ewmaAlpha)*q.gapEWMA + ewmaAlpha*gap
+		}
+	}
+	q.lastPop = now
+	q.lastBacklogged = q.total > 0
+
+	wait := now.Sub(it.enqueued).Seconds()
+	if q.waitEWMA[it.Class] == 0 {
+		q.waitEWMA[it.Class] = wait
+	} else {
+		q.waitEWMA[it.Class] = (1-ewmaAlpha)*q.waitEWMA[it.Class] + ewmaAlpha*wait
+	}
+}
+
+// Close stops accepting submissions and unblocks every producer and
+// consumer. Items already queued keep draining through Next; once
+// empty, Next reports ok == false. Idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.done)
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of the queue, shaped for the
+// /metrics endpoint.
+type Stats struct {
+	// Depth is the total backlog; DepthByClass breaks it down.
+	Depth        int               `json:"depth"`
+	Capacity     int               `json:"capacity"`
+	DepthByClass [NumClasses]int   `json:"depthByClass"`
+	Submitted    [NumClasses]int64 `json:"submittedByClass"`
+	Shed         [NumClasses]int64 `json:"shedByClass"`
+	// Tenants is the number of distinct tenants currently backlogged.
+	Tenants int `json:"tenants"`
+	// DequeueGapSeconds is the measured EWMA gap between dequeues while
+	// backlogged (0 until the first sample); WaitSecondsByClass the
+	// measured EWMA queue wait per class.
+	DequeueGapSeconds  float64             `json:"dequeueGapSeconds"`
+	WaitSecondsByClass [NumClasses]float64 `json:"waitSecondsByClass"`
+	// RetryAfterSeconds is the current measured backoff hint.
+	RetryAfterSeconds float64 `json:"retryAfterSeconds"`
+}
+
+// Stats snapshots the queue gauges and estimators.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := Stats{
+		Depth:             q.total,
+		Capacity:          cap(q.space),
+		Submitted:         q.submitted,
+		Shed:              q.shed,
+		DequeueGapSeconds: q.gapEWMA,
+		RetryAfterSeconds: q.retryAfterLocked().Seconds(),
+	}
+	tenants := map[string]struct{}{}
+	for i, c := range q.classes {
+		s.DepthByClass[i] = c.depth
+		s.WaitSecondsByClass[i] = q.waitEWMA[i]
+		for t := range c.byTenant {
+			tenants[t] = struct{}{}
+		}
+	}
+	s.Tenants = len(tenants)
+	return s
+}

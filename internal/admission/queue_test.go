@@ -1,0 +1,421 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func submit(t *testing.T, q *Queue, tenant string, class Class, payload any) {
+	t.Helper()
+	if err := q.Submit(context.Background(), Caller{Tenant: tenant, Class: class}, payload); err != nil {
+		t.Fatalf("Submit(%s/%s): %v", tenant, class, err)
+	}
+}
+
+func drain(t *testing.T, q *Queue, n int) []Item {
+	t.Helper()
+	out := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		it, ok := q.Next()
+		if !ok {
+			t.Fatalf("Next returned ok=false after %d of %d items", i, n)
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
+func TestQueueFIFOWithinTenant(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 8})
+	defer q.Close()
+	for i := 0; i < 4; i++ {
+		submit(t, q, "a", Interactive, i)
+	}
+	for i, it := range drain(t, q, 4) {
+		if it.Payload.(int) != i {
+			t.Errorf("pop %d = payload %v, want %d (FIFO)", i, it.Payload, i)
+		}
+	}
+}
+
+func TestQueueTenantRoundRobinWithinClass(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 32})
+	defer q.Close()
+	// Tenant a floods; tenant b submits two. b must not wait behind
+	// a's whole backlog.
+	for i := 0; i < 10; i++ {
+		submit(t, q, "a", Interactive, fmt.Sprintf("a%d", i))
+	}
+	submit(t, q, "b", Interactive, "b0")
+	submit(t, q, "b", Interactive, "b1")
+
+	items := drain(t, q, 12)
+	posB1 := -1
+	for i, it := range items {
+		if it.Payload == "b1" {
+			posB1 = i
+		}
+	}
+	// Round robin alternates a,b while both are backlogged, so b's
+	// second item surfaces within the first four pops.
+	if posB1 < 0 || posB1 > 3 {
+		t.Errorf("tenant b's second item popped at position %d, want <= 3 (round robin)", posB1)
+	}
+}
+
+func TestQueueDRRClassWeights(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 64})
+	defer q.Close()
+	// Saturate all three classes, then count the class mix of one full
+	// DRR rotation: 16 interactive, 4 batch, 1 background per 21 pops.
+	// (Submit batch/background first: depth watermarks check total
+	// backlog, so fill the low classes while the queue is still short.)
+	for i := 0; i < 21; i++ {
+		submit(t, q, "bg", Background, i)
+	}
+	for i := 0; i < 21; i++ {
+		submit(t, q, "bt", Batch, i)
+	}
+	for i := 0; i < 21; i++ {
+		submit(t, q, "it", Interactive, i)
+	}
+
+	var got [NumClasses]int
+	for _, it := range drain(t, q, 21) {
+		got[it.Class]++
+	}
+	want := [NumClasses]int{Interactive: 16, Batch: 4, Background: 1}
+	if got != want {
+		t.Errorf("class mix over one rotation = %v, want %v", got, want)
+	}
+}
+
+func TestQueueDepthWatermarksShedBatchAndBackgroundNotInteractive(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 16})
+	defer q.Close()
+	// Fill to 8/16 (the background watermark, below batch's 12/16).
+	for i := 0; i < 8; i++ {
+		submit(t, q, "a", Interactive, i)
+	}
+	err := q.Submit(context.Background(), Caller{Tenant: "b", Class: Background}, "x")
+	var shed *ErrShed
+	if !errors.As(err, &shed) {
+		t.Fatalf("background submit at 50%% depth: err = %v, want *ErrShed", err)
+	}
+	if shed.RetryAfter < time.Second {
+		t.Errorf("RetryAfter = %v, want >= 1s (clamped)", shed.RetryAfter)
+	}
+	// Batch still fits below its 75% watermark...
+	for q.Stats().Depth < 11 {
+		submit(t, q, "b", Batch, "y")
+	}
+	// ...and sheds at 12/16.
+	submit(t, q, "b", Batch, "y")
+	if err := q.Submit(context.Background(), Caller{Tenant: "b", Class: Batch}, "z"); !errors.Is(err, &ErrShed{}) {
+		t.Fatalf("batch submit at 75%% depth: err = %v, want *ErrShed", err)
+	}
+	// Interactive never depth-sheds: it fills right up to capacity.
+	for q.Stats().Depth < 16 {
+		submit(t, q, "a", Interactive, "w")
+	}
+	st := q.Stats()
+	if st.Shed[Interactive] != 0 {
+		t.Errorf("interactive sheds = %d, want 0", st.Shed[Interactive])
+	}
+	if st.Shed[Batch] == 0 || st.Shed[Background] == 0 {
+		t.Errorf("batch/background sheds = %d/%d, want both > 0", st.Shed[Batch], st.Shed[Background])
+	}
+}
+
+func TestQueueSubmitBlocksAtCapacityAndRespectsContext(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 2})
+	defer q.Close()
+	submit(t, q, "a", Interactive, 1)
+	submit(t, q, "a", Interactive, 2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := q.Submit(ctx, Caller{}, 3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("submit to full queue: err = %v, want DeadlineExceeded", err)
+	}
+
+	// A consumer frees a slot; the blocked producer proceeds.
+	done := make(chan error, 1)
+	go func() {
+		done <- q.Submit(context.Background(), Caller{}, 4)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if _, ok := q.Next(); !ok {
+		t.Fatal("Next returned ok=false on a non-empty open queue")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("unblocked submit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer still blocked after a slot freed")
+	}
+}
+
+func TestQueueCloseUnblocksProducersAndDrainsBacklog(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 2})
+	submit(t, q, "a", Interactive, 1)
+	submit(t, q, "a", Interactive, 2)
+
+	blocked := make(chan error, 1)
+	go func() {
+		blocked <- q.Submit(context.Background(), Caller{}, 3)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+
+	select {
+	case err := <-blocked:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("blocked producer after Close: err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("producer still blocked after Close")
+	}
+	// The backlog drains, then Next reports closed.
+	if got := len(drain(t, q, 2)); got != 2 {
+		t.Fatalf("drained %d items, want 2", got)
+	}
+	if _, ok := q.Next(); ok {
+		t.Fatal("Next returned an item from a closed empty queue")
+	}
+	if err := q.Submit(context.Background(), Caller{}, 4); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestQueueMeasuredRetryAfterTracksDequeueRate(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 64, MaxWait: -1})
+	defer q.Close()
+	// A consumer popping every ~5ms from a standing backlog gives a
+	// measurable gap EWMA.
+	for i := 0; i < 20; i++ {
+		submit(t, q, "a", Interactive, i)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := q.Next(); !ok {
+			t.Fatal("unexpected close")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := q.Stats()
+	if st.DequeueGapSeconds <= 0 {
+		t.Fatal("no dequeue-gap sample after 10 backlogged pops")
+	}
+	hint := q.RetryAfterHint()
+	if hint < time.Second || hint > 30*time.Second {
+		t.Errorf("RetryAfterHint = %v, want within [1s, 30s]", hint)
+	}
+	// The unclamped estimate is (backlog+1)×gap ≈ 11 × 5ms ≈ 55ms; the
+	// clamp floors it at 1s.
+	if hint != time.Second {
+		t.Errorf("RetryAfterHint = %v, want exactly the 1s floor for a fast queue", hint)
+	}
+}
+
+func TestQueueWaitWatermarkShedsWhenDrainTooSlow(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 64, MaxWait: 50 * time.Millisecond})
+	defer q.Close()
+	for i := 0; i < 10; i++ {
+		submit(t, q, "a", Interactive, i)
+	}
+	// Slow consumer: ~20ms per item with a standing backlog → predicted
+	// wait for a new item ≈ 10 × 20ms = 200ms > the 50ms watermark.
+	for i := 0; i < 5; i++ {
+		if _, ok := q.Next(); !ok {
+			t.Fatal("unexpected close")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	err := q.Submit(context.Background(), Caller{Tenant: "b", Class: Interactive}, "late")
+	if !errors.Is(err, &ErrShed{}) {
+		t.Fatalf("submit over wait watermark: err = %v, want *ErrShed", err)
+	}
+}
+
+// TestQueueFairnessTwoTenantSaturation is the fairness gate: tenant
+// "flood" saturates the queue with background batches while tenant
+// "user" submits interactive singles. The interactive tenant must never
+// be shed (total stays below the global watermark) and its p99 queue
+// wait must stay bounded — within a small multiple of the per-item
+// service time, not the flood's backlog.
+func TestQueueFairnessTwoTenantSaturation(t *testing.T) {
+	const serviceTime = 2 * time.Millisecond
+	q := NewQueue(QueueConfig{Capacity: 128, MaxWait: -1})
+	defer q.Close()
+
+	// One consumer simulating a worker with a fixed service time.
+	var mu sync.Mutex
+	waits := map[string][]time.Duration{}
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for {
+			it, ok := q.Next()
+			if !ok {
+				return
+			}
+			d := time.Since(it.enqueued)
+			mu.Lock()
+			waits[it.Tenant] = append(waits[it.Tenant], d)
+			mu.Unlock()
+			time.Sleep(serviceTime)
+		}
+	}()
+
+	// The flood: keep ~40 background items queued at all times.
+	floodCtx, stopFlood := context.WithCancel(context.Background())
+	var floodWG sync.WaitGroup
+	floodWG.Add(1)
+	go func() {
+		defer floodWG.Done()
+		for floodCtx.Err() == nil {
+			err := q.Submit(floodCtx, Caller{Tenant: "flood", Class: Background}, "bulk")
+			if err != nil {
+				// Shed by the background watermark: back off briefly.
+				time.Sleep(serviceTime)
+			}
+		}
+	}()
+
+	// The interactive tenant: 30 singles, one at a time.
+	const singles = 30
+	for i := 0; i < singles; i++ {
+		if err := q.Submit(context.Background(), Caller{Tenant: "user", Class: Interactive}, i); err != nil {
+			t.Fatalf("interactive single %d shed: %v", i, err)
+		}
+		time.Sleep(serviceTime)
+	}
+
+	// Let the consumer catch up on the interactive items, then stop.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(waits["user"])
+		mu.Unlock()
+		if n == singles || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(serviceTime)
+	}
+	stopFlood()
+	floodWG.Wait()
+	q.Close()
+	<-consumerDone
+
+	userWaits := waits["user"]
+	if len(userWaits) != singles {
+		t.Fatalf("consumer saw %d interactive items, want %d", len(userWaits), singles)
+	}
+	var p99 time.Duration
+	for _, d := range userWaits {
+		if d > p99 {
+			p99 = d // 30 samples: the max is the p99
+		}
+	}
+	// With DRR weight 16:1 the interactive tenant waits behind at most a
+	// handful of background items, never the flood's whole backlog
+	// (~40 items ≈ 80ms+). Allow generous CI scheduling slack.
+	bound := 25 * serviceTime
+	if p99 > bound {
+		t.Errorf("interactive p99 wait = %v under background flood, want <= %v", p99, bound)
+	}
+	if q.Stats().Shed[Interactive] != 0 {
+		t.Errorf("interactive sheds = %d, want 0", q.Stats().Shed[Interactive])
+	}
+}
+
+func TestQueueConcurrentSubmitNextRaceClean(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 8})
+	var wg sync.WaitGroup
+	const producers, perProducer = 8, 50
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", p%3)
+			class := Class(p % NumClasses)
+			for i := 0; i < perProducer; i++ {
+				_ = q.Submit(context.Background(), Caller{Tenant: tenant, Class: class}, i)
+			}
+		}(p)
+	}
+	var consumed int
+	var cwg sync.WaitGroup
+	var cmu sync.Mutex
+	for c := 0; c < 4; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				if _, ok := q.Next(); !ok {
+					return
+				}
+				cmu.Lock()
+				consumed++
+				cmu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	st := q.Stats()
+	var submitted, shed int64
+	for i := 0; i < NumClasses; i++ {
+		submitted += st.Submitted[i]
+		shed += st.Shed[i]
+	}
+	if int64(consumed)+shed != submitted {
+		t.Errorf("consumed %d + shed %d != submitted %d", consumed, shed, submitted)
+	}
+	if st.Depth != 0 {
+		t.Errorf("depth = %d after full drain, want 0", st.Depth)
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Class
+		ok   bool
+	}{
+		{"", Interactive, true},
+		{"interactive", Interactive, true},
+		{"batch", Batch, true},
+		{"background", Background, true},
+		{"urgent", 0, false},
+		{"Interactive", 0, false},
+	} {
+		got, ok := ParseClass(tc.in)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("ParseClass(%q) = (%v, %v), want (%v, %v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestCallerContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if c := CallerFrom(ctx); c.Tenant != DefaultTenant || c.Class != Interactive {
+		t.Errorf("CallerFrom(empty ctx) = %+v, want default/interactive", c)
+	}
+	ctx = WithCaller(ctx, Caller{Tenant: "acme", Class: Batch})
+	if c := CallerFrom(ctx); c.Tenant != "acme" || c.Class != Batch {
+		t.Errorf("CallerFrom = %+v, want acme/batch", c)
+	}
+	// The zero caller normalizes on the way in.
+	ctx = WithCaller(context.Background(), Caller{})
+	if c := CallerFrom(ctx); c.Tenant != DefaultTenant || c.Class != Interactive {
+		t.Errorf("CallerFrom(zero caller) = %+v, want default/interactive", c)
+	}
+}

@@ -94,8 +94,12 @@ type Cluster struct {
 	ring *Ring
 	mem  *membership
 	hc   *http.Client
-	inj  *faultinject.Injector
-	cfg  Config
+	// streamHC shares hc's transport but has no whole-request timeout:
+	// forwarded streaming solves (?wait=proof, /synthesize/stream/) run
+	// as long as the solve does, bounded by the watcher's own context.
+	streamHC *http.Client
+	inj      *faultinject.Injector
+	cfg      Config
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -150,13 +154,14 @@ func New(cfg Config) (*Cluster, error) {
 		hc = &http.Client{Timeout: 10 * time.Second}
 	}
 	return &Cluster{
-		self: *self,
-		ring: NewRing(cfg.Peers),
-		mem:  newMembership(cfg.SelfID, cfg.Peers, cfg.UpAfter, cfg.DownAfter),
-		hc:   hc,
-		inj:  cfg.FaultInjector,
-		cfg:  cfg,
-		stop: make(chan struct{}),
+		self:     *self,
+		ring:     NewRing(cfg.Peers),
+		mem:      newMembership(cfg.SelfID, cfg.Peers, cfg.UpAfter, cfg.DownAfter),
+		hc:       hc,
+		streamHC: &http.Client{Transport: hc.Transport},
+		inj:      cfg.FaultInjector,
+		cfg:      cfg,
+		stop:     make(chan struct{}),
 	}, nil
 }
 

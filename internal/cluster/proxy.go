@@ -6,15 +6,24 @@
 //
 // Forwarding rules:
 //
-//   - Only POST /synthesize is routed; all other paths go straight to
-//     the local handler.
-//   - The body is read (bounded by service.MaxRequestBody) to compute
-//     the canonical job key; a body that cannot be decoded or keyed is
-//     handed to the local handler, which owns error reporting.
+//   - POST /synthesize (including ?wait=proof) and GET
+//     /synthesize/stream/{key} are routed to the key's owner; all other
+//     paths go straight to the local handler. POST /synthesize/batch
+//     stays local by design: its members span many canonical keys, so
+//     there is no single owner — per-key cache locality is recovered by
+//     the engine's peer cache fill instead.
+//   - The /synthesize body is read (bounded by service.MaxRequestBody)
+//     to compute the canonical job key; a body that cannot be decoded
+//     or keyed is handed to the local handler, which owns error
+//     reporting. The stream endpoint carries its key in the path.
 //   - A request is forwarded only when the owner is a live peer and the
 //     X-Synthd-Hop count is below MaxHops. The hop limit makes routing
 //     loops (possible transiently when two nodes disagree about
 //     liveness) terminate at a node that solves locally.
+//   - The query string and the admission identity headers
+//     (X-Synthd-Tenant, X-Synthd-Priority) ride along on the forward,
+//     and the owner's response is flushed chunk by chunk, so streamed
+//     ndjson frames pass through the proxy as they are produced.
 //   - A forward that fails in transit, or that the owner sheds
 //     (429/502/503/504), falls back to the local engine. Shed statuses
 //     that are per-request verdicts (400/404/422 etc.) are relayed
@@ -30,6 +39,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"switchsynth"
 	"switchsynth/internal/faultinject"
@@ -69,6 +79,10 @@ func (c *Cluster) Middleware(next http.Handler) http.Handler {
 			writeJSON(w, http.StatusOK, c.Status())
 			return
 		}
+		if r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/synthesize/stream/") {
+			c.routeStreamKey(w, r, next)
+			return
+		}
 		if r.Method != http.MethodPost || r.URL.Path != "/synthesize" {
 			next.ServeHTTP(w, r)
 			return
@@ -105,6 +119,29 @@ func (c *Cluster) routeSynthesize(w http.ResponseWriter, r *http.Request, next h
 	c.serveLocal(w, r, next, body)
 }
 
+// routeStreamKey routes GET /synthesize/stream/{key}: the watched
+// solve's feed — and its cached plan — live on the key's owner, so a
+// watcher landing anywhere else is forwarded there. Local fallback is
+// still correct (the local engine answers 404 or serves its own copy).
+func (c *Cluster) routeStreamKey(w http.ResponseWriter, r *http.Request, next http.Handler) {
+	key := strings.TrimPrefix(r.URL.Path, "/synthesize/stream/")
+	hop, _ := strconv.Atoi(r.Header.Get(HopHeader))
+	if key == "" {
+		c.serveLocal(w, r, next, nil)
+		return
+	}
+	owner, self := c.Owner(key)
+	if self || hop >= c.cfg.MaxHops {
+		c.serveLocal(w, r, next, nil)
+		return
+	}
+	if c.forward(w, r, owner, nil, hop) {
+		return
+	}
+	c.forwardFallbacks.Add(1)
+	c.serveLocal(w, r, next, nil)
+}
+
 // serveLocal replays the buffered body into the wrapped handler.
 func (c *Cluster) serveLocal(w http.ResponseWriter, r *http.Request, next http.Handler, body []byte) {
 	c.localServes.Add(1)
@@ -115,27 +152,46 @@ func (c *Cluster) serveLocal(w http.ResponseWriter, r *http.Request, next http.H
 	next.ServeHTTP(w, r2)
 }
 
-// forward proxies the request to owner. It reports whether a response
-// was written; false means the caller must fall back to the local
-// engine (nothing has been written yet in that case). Transport
-// failures also feed the membership state machine — a request-path
-// error is health evidence just like a failed probe.
+// forward proxies the request (same method, path and query) to owner;
+// body is the buffered request body, nil for body-less methods. It
+// reports whether a response was written; false means the caller must
+// fall back to the local engine (nothing has been written yet in that
+// case). Transport failures also feed the membership state machine — a
+// request-path error is health evidence just like a failed probe.
 func (c *Cluster) forward(w http.ResponseWriter, r *http.Request, owner Node, body []byte, hop int) bool {
 	if c.inj.Fire(faultinject.PeerDown) {
 		c.mem.observe(owner.ID, false, "injected: peer down")
 		return false
 	}
 	c.inj.Fire(faultinject.PeerSlow)
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, owner.URL+"/synthesize", bytes.NewReader(body))
+	target := owner.URL + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, rd)
 	if err != nil {
 		return false
 	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(HopHeader, strconv.Itoa(hop+1))
-	if ik := r.Header.Get("Idempotency-Key"); ik != "" {
-		req.Header.Set("Idempotency-Key", ik)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := c.hc.Do(req)
+	req.Header.Set(HopHeader, strconv.Itoa(hop+1))
+	for _, k := range []string{"Idempotency-Key", service.TenantHeader, service.PriorityHeader} {
+		if v := r.Header.Get(k); v != "" {
+			req.Header.Set(k, v)
+		}
+	}
+	// Streaming forwards stay open for the whole solve; everything else
+	// keeps the bounded client so a hung owner falls back quickly.
+	hc := c.hc
+	if r.Method == http.MethodGet || r.URL.Query().Get("wait") == "proof" {
+		hc = c.streamHC
+	}
+	resp, err := hc.Do(req)
 	if err != nil {
 		c.mem.observe(owner.ID, false, err.Error())
 		return false
@@ -157,8 +213,28 @@ func (c *Cluster) forward(w http.ResponseWriter, r *http.Request, owner Node, bo
 		h.Set(NodeHeader, owner.ID)
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	flushCopy(w, resp.Body)
 	return true
+}
+
+// flushCopy streams src to w, flushing after every chunk, so ndjson
+// frames forwarded from an owner's streaming solve reach the client as
+// the owner produces them instead of when a proxy buffer fills.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			_ = rc.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
 }
 
 // jobKeyOf extracts the canonical job key from a /synthesize body. The

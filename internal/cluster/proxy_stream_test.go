@@ -1,0 +1,134 @@
+// Owner routing for the admission tier's streaming surface: the query
+// string and identity headers must survive the forward, and
+// GET /synthesize/stream/{key} must land on the key's owner.
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"switchsynth/internal/service"
+)
+
+// TestProxyForwardsWaitProofQuery: a ?wait=proof POST entering at a
+// non-owner must reach the owner WITH its query string — the response
+// is the ndjson stream, not a plain JSON body.
+func TestProxyForwardsWaitProofQuery(t *testing.T) {
+	nodes := startNodes(t, 2, nil)
+	sp, key := specOwnedBy(t, nodes[0].cl.Ring(), "n1")
+
+	body, err := json.Marshal(service.SynthesizeRequest{Spec: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(nodes[0].url+"/synthesize?wait=proof", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get(NodeHeader); got != "n1" {
+		t.Errorf("X-Synthd-Node = %q, want owner n1", got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson — the query string was dropped in the forward", ct)
+	}
+	var last service.SynthesizeResponse
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	frames := 0
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("frame %d not JSON: %v", frames, err)
+		}
+		frames++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if frames == 0 || !last.Final || !last.Proven {
+		t.Errorf("stream = %d frames, last final=%v proven=%v; want a proven final frame", frames, last.Final, last.Proven)
+	}
+	if last.Key != key {
+		t.Errorf("final frame key %q, want %q", last.Key, key)
+	}
+	// The solve happened on the owner; the entry node only proxied.
+	if snap := nodes[1].eng.Snapshot(); snap.JobsSubmitted != 1 {
+		t.Errorf("owner jobsSubmitted = %d, want 1", snap.JobsSubmitted)
+	}
+	if snap := nodes[0].eng.Snapshot(); snap.JobsSubmitted != 0 {
+		t.Errorf("entry-node jobsSubmitted = %d, want 0", snap.JobsSubmitted)
+	}
+}
+
+// TestProxyRoutesStreamKeyToOwner: a key watcher landing on a non-owner
+// is forwarded to the owner, whose cache tier answers with the final
+// frame; locally the key is unknown.
+func TestProxyRoutesStreamKeyToOwner(t *testing.T) {
+	nodes := startNodes(t, 2, nil)
+	sp, key := specOwnedBy(t, nodes[0].cl.Ring(), "n1")
+
+	// Solve on the owner first, so its cache holds the plan.
+	status, node, out := postSynthesize(t, nodes[1].url, service.SynthesizeRequest{Spec: sp}, "")
+	if status != http.StatusOK || node != "n1" || out.Key != key {
+		t.Fatalf("seed solve = %d/%s/%s, want 200/n1/%s", status, node, out.Key, key)
+	}
+
+	resp, err := http.Get(nodes[0].url + "/synthesize/stream/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream watch via non-owner: status %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get(NodeHeader); got != "n1" {
+		t.Errorf("X-Synthd-Node = %q, want owner n1", got)
+	}
+	var frame service.SynthesizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
+		t.Fatal(err)
+	}
+	if !frame.Final || frame.Key != key {
+		t.Errorf("frame = final %v key %q, want the owner's cached final for %q", frame.Final, frame.Key, key)
+	}
+	if st := nodes[0].cl.Status(); st.Forwards != 1 {
+		t.Errorf("entry node forwards = %d, want 1", st.Forwards)
+	}
+}
+
+// TestProxyForwardsIdentityHeaders: the admission identity must survive
+// the forward. A priority class the owner rejects proves the header
+// arrived — without forwarding, the request would default to
+// interactive and succeed.
+func TestProxyForwardsIdentityHeaders(t *testing.T) {
+	nodes := startNodes(t, 2, nil)
+	sp, _ := specOwnedBy(t, nodes[0].cl.Ring(), "n1")
+	body, err := json.Marshal(service.SynthesizeRequest{Spec: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, nodes[0].url+"/synthesize", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.TenantHeader, "acme")
+	req.Header.Set(service.PriorityHeader, "bogus-class")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want the owner's 400 for the unknown priority class", resp.StatusCode)
+	}
+	if got := resp.Header.Get(NodeHeader); got != "n1" {
+		t.Errorf("X-Synthd-Node = %q, want n1 — the 400 must be the owner's verdict, not local", got)
+	}
+}

@@ -1,0 +1,113 @@
+package search
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"switchsynth/internal/contam"
+	"switchsynth/internal/spec"
+)
+
+// TestOnIncumbentSequentialPublishesImprovingPlans checks the streaming
+// hook's sequential contract: every published snapshot is a verified,
+// degraded plan with bound metadata, objectives strictly improve, and
+// the last snapshot is the plan the solve finally returns.
+func TestOnIncumbentSequentialPublishesImprovingPlans(t *testing.T) {
+	var frames []*spec.Result
+	res, err := Solve(anytimeSpec(), Options{
+		TimeLimit:   200 * time.Millisecond,
+		OnIncumbent: func(r *spec.Result) { frames = append(frames, r) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) == 0 {
+		t.Fatal("no incumbents published for a solve that returned a plan")
+	}
+	prev := inf
+	for i, f := range frames {
+		if !f.Degraded || f.Proven {
+			t.Errorf("frame %d: Degraded = %v, Proven = %v, want degraded snapshot", i, f.Degraded, f.Proven)
+		}
+		if f.Objective >= prev {
+			t.Errorf("frame %d: objective %v did not improve on %v", i, f.Objective, prev)
+		}
+		prev = f.Objective
+		if f.LowerBound <= 0 || f.LowerBound > f.Objective+eps {
+			t.Errorf("frame %d: LowerBound = %v, want in (0, %v]", i, f.LowerBound, f.Objective)
+		}
+		if f.Gap < 0 || f.Gap > 1 {
+			t.Errorf("frame %d: Gap = %v, want in [0, 1]", i, f.Gap)
+		}
+		if verr := contam.Verify(f); verr != nil {
+			t.Errorf("frame %d failed verification: %v", i, verr)
+		}
+	}
+	last := frames[len(frames)-1]
+	if last.Objective != res.Objective {
+		t.Errorf("last frame objective = %v, final result = %v", last.Objective, res.Objective)
+	}
+	if len(last.Routes) != len(res.Routes) {
+		t.Fatalf("last frame has %d routes, final result %d", len(last.Routes), len(res.Routes))
+	}
+	for i := range res.Routes {
+		lf, rf := last.Routes[i], res.Routes[i]
+		if lf.Flow != rf.Flow || lf.Set != rf.Set || lf.Path.Length != rf.Path.Length {
+			t.Errorf("route %d differs between last frame and final result", i)
+		}
+	}
+}
+
+// TestOnIncumbentParallelConcurrencySafe checks the parallel contract:
+// the hook fires from worker goroutines (race detector covers the
+// safety), frames may arrive out of objective order, but the best frame
+// matches the final plan and every frame verifies.
+func TestOnIncumbentParallelConcurrencySafe(t *testing.T) {
+	var mu sync.Mutex
+	var frames []*spec.Result
+	res, err := Solve(anytimeSpec(), Options{
+		TimeLimit: 200 * time.Millisecond,
+		Workers:   4,
+		OnIncumbent: func(r *spec.Result) {
+			mu.Lock()
+			frames = append(frames, r)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(frames) == 0 {
+		t.Fatal("no incumbents published for a parallel solve that returned a plan")
+	}
+	best := inf
+	for i, f := range frames {
+		if f.Objective < best {
+			best = f.Objective
+		}
+		if verr := contam.Verify(f); verr != nil {
+			t.Errorf("frame %d failed verification: %v", i, verr)
+		}
+	}
+	if best != res.Objective {
+		t.Errorf("best published objective = %v, final result = %v", best, res.Objective)
+	}
+}
+
+// TestOnIncumbentGreedyModesNeverPublish pins that the first-fit mode
+// and the deadline greedy fallback do not stream: their plans are
+// one-shot degraded results, not refinement sequences.
+func TestOnIncumbentGreedyModesNeverPublish(t *testing.T) {
+	var calls int
+	if _, err := GreedyFirstFit(anytimeSpec(), Options{
+		OnIncumbent: func(*spec.Result) { calls++ },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Errorf("greedy first-fit published %d incumbents, want 0", calls)
+	}
+}

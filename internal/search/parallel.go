@@ -135,6 +135,11 @@ func (sh *sharedState) offer(s *solver, c float64) {
 			inc = s.snapshotIncumbent(c)
 		}
 		if sh.best.CompareAndSwap(b, &sharedBest{cost: c, unit: s.unit, inc: inc}) {
+			// Publish outside the CAS loop's retry path but after the
+			// install: concurrent workers may publish out of order (a
+			// worse incumbent after a better one) — the hook contract
+			// makes ordering the subscriber's job.
+			s.publishIncumbent(inc)
 			return
 		}
 	}
@@ -301,6 +306,10 @@ func newWorker(root *solver, sh *sharedState) *solver {
 	w.hasDL = root.hasDL
 	w.ctx = root.ctx
 	w.shared = sh
+	// Workers never run run(), so the root bound and start time used by
+	// published incumbent snapshots must be inherited explicitly.
+	w.rootLB = root.rootLB
+	w.started = root.started
 	w.bindFixed()
 	return w
 }

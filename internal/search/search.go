@@ -60,6 +60,17 @@ type Options struct {
 	// caches or reproducibility. The greedy first-fit mode is always
 	// sequential regardless of this setting.
 	Workers int
+	// OnIncumbent, when non-nil, is invoked each time the search installs
+	// a new best incumbent, with a self-contained snapshot Result
+	// (Degraded: true, LowerBound/Gap filled from the admissible root
+	// bound). This is the anytime-streaming hook: a service can forward
+	// successively better plans to a waiting client while the proof is
+	// still running. On the parallel driver the callback fires from
+	// multiple solver goroutines — concurrently and possibly with a
+	// stale (worse) incumbent racing a fresh one — so it must be safe
+	// for concurrent use and must order updates itself (e.g. by
+	// Objective). It must not block: the solver calls it inline.
+	OnIncumbent func(*spec.Result)
 }
 
 // DefaultGreedyBudget is the fallback search budget applied when
@@ -241,6 +252,9 @@ type solver struct {
 	// rootLB is the admissible objective lower bound established at the
 	// root, reported as Result.LowerBound for degraded plans.
 	rootLB float64
+	// started is the solve start time, stamped onto streamed incumbent
+	// snapshots as their Runtime (parallel workers inherit the root's).
+	started time.Time
 }
 
 // halted reports whether the DFS must unwind (deadline, cancellation, or
@@ -335,6 +349,7 @@ func (s *solver) bindFixed() {
 
 func (s *solver) run() (*spec.Result, error) {
 	start := time.Now()
+	s.started = start
 	s.startClock(start)
 	s.bindFixed()
 
@@ -547,7 +562,43 @@ func (s *solver) acceptLeaf() {
 		if s.stopAtFirst {
 			s.done = true
 		}
+		s.publishIncumbent(s.best)
 	}
+}
+
+// publishIncumbent hands a fresh incumbent snapshot to the OnIncumbent
+// hook as a self-contained degraded Result. The routes are copied —
+// renumberSets mutates Route.Set in place, and finish() will renumber
+// the same incumbent again for the final Result — so the published plan
+// never aliases solver state. Greedy first-fit runs never publish: the
+// deadline fallback is a fresh solver with its own Options and no hook.
+func (s *solver) publishIncumbent(inc *incumbent) {
+	cb := s.opts.OnIncumbent
+	if cb == nil || s.stopAtFirst {
+		return
+	}
+	res := &spec.Result{
+		Spec:         s.sp,
+		Switch:       s.sw,
+		PinOf:        make(map[string]int, len(s.sp.Modules)),
+		Routes:       append([]spec.Route(nil), inc.routes...),
+		NumSets:      inc.sets,
+		UsedEdgeMask: inc.edges,
+		Length:       inc.length,
+		Objective:    inc.cost,
+		Proven:       false,
+		Degraded:     true,
+		Runtime:      time.Since(s.started),
+		Engine:       "search",
+	}
+	for mi, name := range s.sp.Modules {
+		if p := inc.pinOf[mi]; p >= 0 {
+			res.PinOf[name] = p
+		}
+	}
+	renumberSets(res)
+	s.fillBound(res)
+	cb(res)
 }
 
 // snapshotIncumbent copies the current assignment out of the (pooled,

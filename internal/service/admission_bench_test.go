@@ -1,0 +1,136 @@
+// Admission-tier benchmark report for ci.sh: batch dedup speedup over
+// sequential cold solves, per-class queue latency under a mixed load,
+// and streamed time-to-first-plan vs time-to-proof. Runs only when
+// BENCH_ADMISSION_OUT names the JSON file to write (ci.sh sets it);
+// plain test runs skip it.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"switchsynth"
+	"switchsynth/internal/admission"
+)
+
+func TestAdmissionBenchReport(t *testing.T) {
+	out := os.Getenv("BENCH_ADMISSION_OUT")
+	if out == "" {
+		t.Skip("set BENCH_ADMISSION_OUT to emit the admission benchmark report")
+	}
+
+	// Batch dedup: 100 specs over 7 canonical keys, solved as one batch
+	// vs one by one. Both engines run with the memory cache disabled so
+	// the comparison isolates the batch-level dedup (not the cache tier).
+	const batchN, batchKeys = 100, 7
+	items := make([]BatchSpec, batchN)
+	for i := range items {
+		items[i] = BatchSpec{Spec: batchSpecVariant(i, batchKeys)}
+	}
+	eSeq := newTestEngine(t, Config{Workers: 4, CacheSize: -1})
+	seqStart := time.Now()
+	for i := range items {
+		if _, err := eSeq.Do(context.Background(), items[i].Spec, items[i].Opts); err != nil {
+			t.Fatalf("sequential solve %d: %v", i, err)
+		}
+	}
+	seqElapsed := time.Since(seqStart)
+
+	eBatch := newTestEngine(t, Config{Workers: 4, CacheSize: -1})
+	batchStart := time.Now()
+	outcomes := eBatch.DoBatch(context.Background(), items)
+	batchElapsed := time.Since(batchStart)
+	for i, oc := range outcomes {
+		if oc.Err != nil {
+			t.Fatalf("batch item %d: %v", i, oc.Err)
+		}
+	}
+	batchSolves := eBatch.Snapshot().SolveCount
+	speedup := seqElapsed.Seconds() / batchElapsed.Seconds()
+	if speedup < 5 {
+		t.Errorf("batch dedup speedup %.1fx, want >= 5x (sequential %s, batch %s)", speedup, seqElapsed, batchElapsed)
+	}
+
+	// Per-class queue latency: one worker, a background flood and
+	// interleaved interactive probes; the queue's EWMA wait estimators
+	// are the reported per-class latency.
+	eQ := newTestEngine(t, Config{Workers: 1, CacheSize: -1, QueueDepth: 64})
+	bgCtx := admission.WithCaller(context.Background(), admission.Caller{Tenant: "bench-bg", Class: admission.Background})
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := serviceSpec(fmt.Sprintf("bench-bg-%d", i))
+			sp.Alpha = float64(i + 2)
+			_, _ = eQ.Do(bgCtx, sp, switchsynth.Options{})
+		}(i)
+	}
+	iaCtx := admission.WithCaller(context.Background(), admission.Caller{Tenant: "bench-ia", Class: admission.Interactive})
+	for i := 0; i < 8; i++ {
+		sp := serviceSpec(fmt.Sprintf("bench-ia-%d", i))
+		sp.Beta = float64(i + 101)
+		if _, err := eQ.Do(iaCtx, sp, switchsynth.Options{}); err != nil {
+			t.Fatalf("interactive probe %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	queueStats := eQ.Snapshot().Admission
+
+	// Streaming: time to the first usable (degraded) plan vs time to the
+	// optimality proof on the saturated 16-pin case.
+	eS := newTestEngine(t, Config{Workers: 1})
+	streamStart := time.Now()
+	var firstPlan time.Duration
+	res, err := eS.DoStream(context.Background(), stream16("bench-stream"), switchsynth.Options{TimeLimit: 2 * time.Minute},
+		func(*Response, bool) error {
+			if firstPlan == 0 {
+				firstPlan = time.Since(streamStart)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof := time.Since(streamStart)
+	if !res.Synthesis.Proven || firstPlan == 0 {
+		t.Fatalf("streaming bench degenerate: proven=%v firstPlan=%s", res.Synthesis.Proven, firstPlan)
+	}
+
+	waitByClass := map[string]float64{}
+	submittedByClass := map[string]int64{}
+	shedByClass := map[string]int64{}
+	for c := 0; c < admission.NumClasses; c++ {
+		name := admission.Class(c).String()
+		waitByClass[name] = queueStats.WaitSecondsByClass[c]
+		submittedByClass[name] = queueStats.Submitted[c]
+		shedByClass[name] = queueStats.Shed[c]
+	}
+	report := map[string]any{
+		"benchmark":               "admission-tier",
+		"batchSpecs":              batchN,
+		"batchDistinctKeys":       batchKeys,
+		"batchSolves":             batchSolves,
+		"sequentialSeconds":       seqElapsed.Seconds(),
+		"batchSeconds":            batchElapsed.Seconds(),
+		"batchDedupSpeedup":       speedup,
+		"queueWaitSecondsByClass": waitByClass,
+		"queueSubmittedByClass":   submittedByClass,
+		"queueShedByClass":        shedByClass,
+		"timeToFirstPlanSeconds":  firstPlan.Seconds(),
+		"timeToProofSeconds":      proof.Seconds(),
+		"streamFirstPlanSpeedup":  proof.Seconds() / firstPlan.Seconds(),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

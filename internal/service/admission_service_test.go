@@ -1,0 +1,216 @@
+// Admission-tier behavior through the engine and HTTP surface: measured
+// Retry-After on queue sheds, priority/tenant header plumbing, and
+// two-tenant fairness under saturation.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"switchsynth"
+	"switchsynth/internal/admission"
+	"switchsynth/internal/search"
+	"switchsynth/internal/spec"
+)
+
+// TestRetryAfterQueueShedPath completes the shed-path Retry-After table
+// (breaker 429, drain 503 and closed 503 are pinned in
+// TestErrorKindStatusTable): a background-class request arriving with
+// the queue over its depth watermark is a 429 "overloaded" whose
+// Retry-After is a whole second count in [1, 30].
+func TestRetryAfterQueueShedPath(t *testing.T) {
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	e := New(Config{Workers: 1, QueueDepth: 4})
+	e.solve = func(ctx context.Context, sp *spec.Spec, opts switchsynth.Options) (*spec.Result, error) {
+		<-release
+		return nil, &search.ErrTimeout{SpecName: sp.Name, Cause: context.DeadlineExceeded}
+	}
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(func() {
+		unblock()
+		srv.Close()
+		e.CloseNow()
+	})
+
+	// One request occupies the single worker; the queue (capacity 4)
+	// fills until the background depth watermark (total >= 2) sheds.
+	// Distinct keys keep the requests from coalescing.
+	const n = 5
+	type result struct {
+		status int
+		retry  string
+		kind   string
+	}
+	results := make(chan result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := serviceSpec(fmt.Sprintf("shed-%d", i))
+			sp.Alpha = float64(i + 1)
+			body, _ := json.Marshal(SynthesizeRequest{Spec: sp})
+			req, err := http.NewRequest(http.MethodPost, srv.URL+"/synthesize", strings.NewReader(string(body)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set(PriorityHeader, "background")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var env errorResponse
+			_ = json.NewDecoder(resp.Body).Decode(&env)
+			results <- result{resp.StatusCode, resp.Header.Get("Retry-After"), env.Kind}
+		}(i)
+	}
+
+	// The shed requests return immediately; the admitted ones stay
+	// blocked in the stuck solve until unblock(). Wait for the first
+	// 429, validate it, then release the worker so the rest drain.
+	shed := 0
+	timeout := time.After(10 * time.Second)
+	for shed == 0 {
+		select {
+		case r := <-results:
+			if r.status != http.StatusTooManyRequests {
+				continue
+			}
+			shed++
+			if r.kind != "overloaded" {
+				t.Errorf("queue shed kind = %q, want overloaded", r.kind)
+			}
+			secs, err := strconv.Atoi(r.retry)
+			if err != nil || secs < 1 || secs > 30 {
+				t.Errorf("queue shed Retry-After = %q, want an integer in [1, 30]", r.retry)
+			}
+		case <-timeout:
+			t.Fatal("no background request was shed with the queue saturated")
+		}
+	}
+	unblock()
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.status == http.StatusTooManyRequests {
+			shed++
+		}
+	}
+	if got := e.Snapshot().JobsShedQueue; int(got) != shed {
+		t.Errorf("JobsShedQueue = %d, want %d (one per shed response)", got, shed)
+	}
+}
+
+// TestInvalidPriorityHeaderRejected: an unknown class never silently
+// degrades to a default — it is a 400 before the spec is even parsed.
+func TestInvalidPriorityHeaderRejected(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for _, path := range []string{"/synthesize", "/synthesize/batch"} {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+path, strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(PriorityHeader, "urgent")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s with bogus priority: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestEngineTwoTenantFairness is the fairness acceptance check at the
+// engine level: one tenant floods the queue with background work while
+// another submits single interactive solves. The interactive tenant must
+// never be shed (the global wait watermark is far away) and its waits
+// must stay bounded by a handful of service times, not the flood's
+// backlog.
+func TestEngineTwoTenantFairness(t *testing.T) {
+	const serviceTime = 2 * time.Millisecond
+	shared := solveOnce(t, serviceSpec("fair"))
+	var solves atomic.Int64
+	e := New(Config{Workers: 1, QueueDepth: 64, CacheSize: -1})
+	e.solve = func(ctx context.Context, sp *spec.Spec, opts switchsynth.Options) (*spec.Result, error) {
+		solves.Add(1)
+		time.Sleep(serviceTime)
+		return shared, nil
+	}
+	t.Cleanup(e.CloseNow)
+
+	// The flood: keep ~20 background jobs from tenant "flood" in the
+	// queue at all times. Distinct keys defeat coalescing.
+	floodCtx, stopFlood := context.WithCancel(context.Background())
+	defer stopFlood()
+	floodDone := make(chan struct{})
+	go func() {
+		defer close(floodDone)
+		ctx := admission.WithCaller(floodCtx, admission.Caller{Tenant: "flood", Class: admission.Background})
+		var wg sync.WaitGroup
+		for i := 0; floodCtx.Err() == nil; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sp := serviceSpec(fmt.Sprintf("flood-%d", i))
+				sp.Alpha = float64(i%997 + 1)
+				_, _ = e.Do(ctx, sp, switchsynth.Options{})
+			}(i)
+			if i%20 == 19 {
+				time.Sleep(serviceTime)
+			}
+		}
+		wg.Wait()
+	}()
+	time.Sleep(20 * serviceTime) // let the backlog build
+
+	userCtx := admission.WithCaller(context.Background(),
+		admission.Caller{Tenant: "user", Class: admission.Interactive})
+	var worst time.Duration
+	const probes = 20
+	for i := 0; i < probes; i++ {
+		sp := serviceSpec(fmt.Sprintf("user-%d", i))
+		sp.Beta = float64(i + 1) // distinct keys: every probe queues for real
+		start := time.Now()
+		if _, err := e.Do(userCtx, sp, switchsynth.Options{}); err != nil {
+			t.Fatalf("interactive probe %d failed: %v", i, err)
+		}
+		if wait := time.Since(start); wait > worst {
+			worst = wait
+		}
+	}
+	stopFlood()
+	<-floodDone
+
+	// DRR gives interactive a 16:1 weight over background, so a single
+	// interactive probe behind one in-service job and its class rotation
+	// should wait a few service times — not the flood's whole backlog
+	// (~20 jobs). The bound is deliberately loose for CI scheduling
+	// noise.
+	if limit := 25 * serviceTime; worst > limit {
+		t.Errorf("worst interactive wait %s exceeds %s under a background flood", worst, limit)
+	}
+	if shed := e.Snapshot().JobsShedQueue; shed > 0 {
+		// Background floods may shed; the probe tenant must not have.
+		// JobsShedQueue counts both, so only fail when the interactive
+		// probes themselves errored — which the loop above already
+		// catches. Log for context.
+		t.Logf("background flood shed %d submissions (expected under saturation)", shed)
+	}
+}

@@ -1,12 +1,8 @@
-// Admission control: a per-canonical-key circuit breaker and a bounded
-// negative-result cache.
-//
-// The breaker sheds load for keys that repeatedly burn a worker slot
-// without producing a plan (timeouts, solver panics): after Threshold
-// consecutive failures the key opens and requests fast-fail with
-// *ErrOverloaded (HTTP 429 + Retry-After) instead of queueing. Once the
-// cooldown elapses a single half-open probe is admitted; its outcome
-// closes the breaker again or re-opens it.
+// Negative-result cache and breaker re-exports. The per-key circuit
+// breaker itself lives in internal/admission (it is admission control,
+// shared policy with the fair queue); the service keeps the
+// ErrOverloaded alias so existing callers' errors.Is/As chains and type
+// assertions keep working unchanged.
 //
 // The negative cache remembers proven infeasibility: ErrNoSolution is an
 // exhaustive-search proof (timeouts never produce it), so replaying it
@@ -15,143 +11,17 @@ package service
 
 import (
 	"container/list"
-	"errors"
-	"fmt"
 	"sync"
-	"time"
 
+	"switchsynth/internal/admission"
 	"switchsynth/internal/spec"
 )
 
 // ErrOverloaded is returned (without queueing a solve) while a key's
 // circuit breaker is open. RetryAfter tells the caller when the next
-// half-open probe will be admitted.
-type ErrOverloaded struct {
-	Key        string
-	RetryAfter time.Duration
-}
-
-// Error implements error.
-func (e *ErrOverloaded) Error() string {
-	return fmt.Sprintf("service: circuit breaker open for this spec, retry in %s", e.RetryAfter.Round(time.Millisecond))
-}
-
-// Is makes every *ErrOverloaded match every other under errors.Is.
-func (e *ErrOverloaded) Is(target error) bool {
-	var other *ErrOverloaded
-	return errors.As(target, &other)
-}
-
-type breakerState int
-
-const (
-	breakerClosed breakerState = iota
-	breakerOpen
-	breakerHalfOpen
-)
-
-type breaker struct {
-	state      breakerState
-	fails      int       // consecutive breaker-relevant failures
-	openedAt   time.Time // when the breaker last opened
-	probeStart time.Time // when the current half-open probe was admitted
-}
-
-// breakerGroup tracks one breaker per canonical job key.
-type breakerGroup struct {
-	threshold int
-	cooldown  time.Duration
-
-	mu sync.Mutex
-	m  map[string]*breaker
-}
-
-func newBreakerGroup(threshold int, cooldown time.Duration) *breakerGroup {
-	return &breakerGroup{threshold: threshold, cooldown: cooldown, m: make(map[string]*breaker)}
-}
-
-// allow reports whether a request for key may proceed; when it may not,
-// retryAfter is the time until the next half-open probe.
-func (g *breakerGroup) allow(key string) (ok bool, retryAfter time.Duration) {
-	if g == nil {
-		return true, 0
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	b := g.m[key]
-	if b == nil {
-		return true, 0
-	}
-	now := time.Now()
-	switch b.state {
-	case breakerClosed:
-		return true, 0
-	case breakerOpen:
-		if wait := g.cooldown - now.Sub(b.openedAt); wait > 0 {
-			return false, wait
-		}
-		b.state = breakerHalfOpen
-		b.probeStart = now
-		return true, 0 // the half-open probe
-	default: // breakerHalfOpen
-		// One probe at a time; if the probe itself got stuck (its job was
-		// never recorded — e.g. the engine rejected the enqueue), admit a
-		// fresh probe after another cooldown.
-		if now.Sub(b.probeStart) >= g.cooldown {
-			b.probeStart = now
-			return true, 0
-		}
-		return false, g.cooldown - now.Sub(b.probeStart)
-	}
-}
-
-// recordFailure notes a breaker-relevant failure (timeout or panic) for
-// key, opening the breaker at the threshold or on a failed probe.
-func (g *breakerGroup) recordFailure(key string) {
-	if g == nil {
-		return
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	b := g.m[key]
-	if b == nil {
-		b = &breaker{}
-		g.m[key] = b
-	}
-	b.fails++
-	if b.state == breakerHalfOpen || b.fails >= g.threshold {
-		b.state = breakerOpen
-		b.openedAt = time.Now()
-	}
-}
-
-// recordSuccess resets key's breaker: any completed solve — including a
-// proven ErrNoSolution — shows the key is not burning worker slots.
-func (g *breakerGroup) recordSuccess(key string) {
-	if g == nil {
-		return
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	delete(g.m, key)
-}
-
-// openCount reports how many breakers are currently open or half-open
-// (a metrics gauge).
-func (g *breakerGroup) openCount() int {
-	if g == nil {
-		return 0
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	n := 0
-	for _, b := range g.m {
-		if b.state != breakerClosed {
-			n++
-		}
-	}
-	return n
-}
+// half-open probe will be admitted. It is an alias for the admission
+// package's type, where the breaker now lives.
+type ErrOverloaded = admission.ErrOverloaded
 
 // negCache is a bounded LRU of canonical key → infeasibility proof.
 type negCache struct {

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"switchsynth"
+	"switchsynth/internal/admission"
 	"switchsynth/internal/faultinject"
 	"switchsynth/internal/planio"
 	"switchsynth/internal/search"
@@ -47,9 +48,16 @@ type Config struct {
 	// Workers is the number of concurrent solver goroutines
 	// (default runtime.GOMAXPROCS(0)).
 	Workers int
-	// QueueDepth bounds the job queue (default 4×Workers). Submission
-	// blocks — respecting the caller's context — when the queue is full.
+	// QueueDepth bounds the job queue (default 4×Workers). Interactive
+	// submission blocks — respecting the caller's context — when the
+	// queue is full; batch and background submissions shed earlier at
+	// their depth watermarks (see internal/admission).
 	QueueDepth int
+	// MaxQueueWait is the admission queue's wait watermark: once the
+	// measured dequeue rate predicts a queue wait beyond it, new
+	// submissions of every class are shed with *admission.ErrShed
+	// (default 30s; negative disables the wait watermark).
+	MaxQueueWait time.Duration
 	// CacheSize bounds the result LRU in entries (default 1024; negative
 	// disables caching).
 	CacheSize int
@@ -226,28 +234,29 @@ type job struct {
 // with Do, retire with Close (drain) or CloseNow (cancel).
 type Engine struct {
 	cfg      Config
-	jobs     chan job
+	queue    *admission.Queue // fair admission queue feeding the workers
 	cache    *cache
 	store    *store.Store // nil when no durable tier is configured
 	fill     func(ctx context.Context, key string) ([]byte, error)
 	neg      *negCache
-	breakers *breakerGroup // nil when the breaker is disabled
+	breakers *admission.Breakers // nil when the breaker is disabled
 	inj      *faultinject.Injector
 	flights  *flightGroup
+	feeds    *feedGroup // per-key anytime incumbent feeds (streaming)
 	metrics  *Metrics
 
-	// draining is set by StartDrain (graceful shutdown has begun) so
-	// readiness probes — /readyz, cluster membership — can steer traffic
-	// away while in-flight work finishes.
+	// draining is set by StartDrain (graceful shutdown has begun):
+	// readiness probes — /readyz, cluster membership — steer traffic
+	// away, and new solves are rejected with *admission.ErrDraining
+	// while in-flight and queued work finishes.
 	draining atomic.Bool
+	// closed is set by Close before the queue closes, so late Do calls
+	// fail with the typed ErrEngineClosed instead of racing the queue.
+	closed atomic.Bool
 
 	baseCtx context.Context // cancelled by CloseNow; aborts in-flight solves
 	cancel  context.CancelFunc
 
-	// mu serializes submissions against Close: senders hold the read
-	// lock, so the write-locked close(jobs) can never race a send.
-	mu        sync.RWMutex
-	isClosed  bool
 	closeOnce sync.Once
 	drained   chan struct{} // closed when all workers exited
 
@@ -260,14 +269,18 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
-		cfg:     cfg,
-		jobs:    make(chan job, cfg.queueDepth()),
+		cfg: cfg,
+		queue: admission.NewQueue(admission.QueueConfig{
+			Capacity: cfg.queueDepth(),
+			MaxWait:  cfg.MaxQueueWait,
+		}),
 		cache:   newCache(cfg.cacheSize()),
 		store:   cfg.Store,
 		fill:    cfg.PeerFill,
 		neg:     newNegCache(cfg.negativeCacheSize()),
 		inj:     cfg.FaultInjector,
 		flights: newFlightGroup(),
+		feeds:   newFeedGroup(),
 		metrics: &Metrics{},
 		baseCtx: ctx,
 		cancel:  cancel,
@@ -275,15 +288,19 @@ func New(cfg Config) *Engine {
 		solve:   switchsynth.SolvePlan,
 	}
 	if th := cfg.breakerThreshold(); th > 0 {
-		e.breakers = newBreakerGroup(th, cfg.breakerCooldown())
+		e.breakers = admission.NewBreakers(th, cfg.breakerCooldown())
 	}
 	workers := cfg.workers()
 	done := make(chan struct{}, workers)
 	for i := 0; i < workers; i++ {
 		go func() {
 			defer func() { done <- struct{}{} }()
-			for j := range e.jobs {
-				e.runJob(j)
+			for {
+				it, ok := e.queue.Next()
+				if !ok {
+					return
+				}
+				e.runJob(it.Payload.(job))
 			}
 		}()
 	}
@@ -393,7 +410,7 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 				e.metrics.peerRejected.Add(1)
 			}
 		}
-		if ok, retryAfter := e.breakers.allow(key); !ok {
+		if ok, retryAfter := e.breakers.Allow(key); !ok {
 			e.metrics.jobsShed.Add(1)
 			return nil, &ErrOverloaded{Key: key, RetryAfter: retryAfter}
 		}
@@ -404,7 +421,14 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 				// Nobody will run this flight; fail it so attached
 				// waiters don't hang, and let later requests retry.
 				e.flights.complete(key, f, nil, err)
-				e.metrics.jobsFailed.Add(1)
+				switch {
+				case errors.Is(err, &admission.ErrShed{}):
+					e.metrics.jobsShedQueue.Add(1)
+				case errors.Is(err, &admission.ErrDraining{}):
+					e.metrics.jobsDrainRejected.Add(1)
+				default:
+					e.metrics.jobsFailed.Add(1)
+				}
 				return nil, err
 			}
 		} else {
@@ -584,28 +608,39 @@ func (e *Engine) StartDrain() { e.draining.Store(true) }
 // the engine is closed — either way this node must not receive new
 // traffic.
 func (e *Engine) Draining() bool {
-	if e.draining.Load() {
-		return true
-	}
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.isClosed
+	return e.draining.Load() || e.closed.Load()
 }
 
-// enqueue hands a job to the worker pool, blocking while the queue is
-// full. The read lock excludes the close of the jobs channel.
+// RetryAfterHint is the admission queue's measured backoff suggestion:
+// the predicted wait of a submission arriving now, derived from the
+// observed dequeue rate and clamped to [1s, 30s]. HTTP handlers use it
+// for Retry-After headers on every shed and drain path.
+func (e *Engine) RetryAfterHint() time.Duration {
+	return e.queue.RetryAfterHint()
+}
+
+// enqueue hands a job to the admission queue, which applies the caller's
+// tenant and priority class (admission.CallerFrom): interactive
+// submissions block — respecting ctx — while the queue is at capacity;
+// batch and background submissions shed earlier at their depth
+// watermarks, and every class sheds once the measured wait watermark
+// trips. A draining engine rejects new solves with *admission.ErrDraining
+// so the HTTP layer can answer 503 with a measured Retry-After; a closed
+// engine fails with the typed ErrEngineClosed.
 func (e *Engine) enqueue(ctx context.Context, j job) error {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.isClosed {
+	if e.closed.Load() {
 		return ErrEngineClosed
 	}
-	select {
-	case e.jobs <- j:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	if e.draining.Load() {
+		return &admission.ErrDraining{RetryAfter: e.queue.RetryAfterHint()}
 	}
+	if err := e.queue.Submit(ctx, admission.CallerFrom(ctx), j); err != nil {
+		if errors.Is(err, admission.ErrClosed) {
+			return ErrEngineClosed
+		}
+		return err
+	}
+	return nil
 }
 
 // assemble adapts the shared plan onto the requesting spec and runs the
@@ -665,6 +700,17 @@ func (e *Engine) runJob(j job) {
 		err error
 	)
 	e.inj.Fire(faultinject.QueueStall)
+	// Open the key's incumbent feed and stream every anytime improvement
+	// the optimizer installs: DoStream watchers see each snapshot as it
+	// lands, ahead of the optimality proof. The hook may fire from solver
+	// worker goroutines concurrently; the feed serializes and orders by
+	// objective internally.
+	feed := e.feeds.open(j.key)
+	opts := j.opts
+	opts.OnIncumbent = func(r *spec.Result) {
+		e.metrics.incumbentsPublished.Add(1)
+		feed.publish(r)
+	}
 	start := time.Now()
 	func() {
 		defer func() {
@@ -679,7 +725,7 @@ func (e *Engine) runJob(j job) {
 		var canon *spec.Spec
 		canon, err = j.sp.CanonicalSpec()
 		if err == nil {
-			res, err = e.solve(e.baseCtx, canon, j.opts)
+			res, err = e.solve(e.baseCtx, canon, opts)
 		}
 	}()
 	e.metrics.observeSolve(time.Since(start))
@@ -716,8 +762,11 @@ func (e *Engine) runJob(j job) {
 	}
 	// Cache before completing the flight: a request arriving after the
 	// flight disappears must find the entry. The flight always carries
-	// the pristine plan, never the possibly-corrupted cache copy.
+	// the pristine plan, never the possibly-corrupted cache copy. The
+	// feed completes last so a stream watcher woken by the final frame
+	// already finds the cached entry when it falls back to Do.
 	e.flights.complete(j.key, j.flight, res, err)
+	e.feeds.complete(j.key, feed, res, err)
 }
 
 // recordBreaker feeds a solve outcome into the key's circuit breaker:
@@ -728,10 +777,10 @@ func (e *Engine) recordBreaker(key string, err error) {
 		return
 	}
 	if errors.Is(err, &search.ErrTimeout{}) || errors.Is(err, &ErrSolvePanic{}) {
-		e.breakers.recordFailure(key)
+		e.breakers.RecordFailure(key)
 		return
 	}
-	e.breakers.recordSuccess(key)
+	e.breakers.RecordSuccess(key)
 }
 
 // corruptPlan is the cache-corruption fault: a shallow copy of the plan
@@ -750,9 +799,10 @@ func (e *Engine) Snapshot() Snapshot {
 	s := e.metrics.snapshot()
 	s.CacheEntries = e.cache.len()
 	s.NegCacheSize = e.neg.len()
-	s.QueueDepth = len(e.jobs)
+	s.Admission = e.queue.Stats()
+	s.QueueDepth = s.Admission.Depth
 	s.Workers = e.cfg.workers()
-	s.BreakersOpen = e.breakers.openCount()
+	s.BreakersOpen = e.breakers.OpenCount()
 	s.PeerFillEnabled = e.fill != nil
 	s.SolverWorkers = e.cfg.solverWorkers()
 	s.SolverNodesTotal, s.SolverStealsTotal = search.Counters()
@@ -776,10 +826,8 @@ func (e *Engine) Snapshot() Snapshot {
 // workers to finish in-flight solves. Safe to call multiple times.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
-		e.mu.Lock()
-		e.isClosed = true
-		close(e.jobs)
-		e.mu.Unlock()
+		e.closed.Store(true)
+		e.queue.Close()
 	})
 	<-e.drained
 }

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -49,6 +50,14 @@ func TestErrorKindStatusTable(t *testing.T) {
 		{
 			kind: "unavailable", status: http.StatusServiceUnavailable,
 			prepare: func(e *Engine) { e.Close() },
+		},
+		{
+			// A draining engine rejects new solves with the typed
+			// *admission.ErrDraining before they reach the queue: same
+			// kind and status as closed, but the process is still
+			// finishing its backlog.
+			kind: "unavailable", status: http.StatusServiceUnavailable,
+			prepare: func(e *Engine) { e.StartDrain() },
 		},
 		{
 			// Threshold-1 breaker: the prepare request times out and
@@ -90,6 +99,15 @@ func TestErrorKindStatusTable(t *testing.T) {
 			}
 			if env.Kind != tc.kind || env.Error == "" {
 				t.Errorf("envelope = %+v, want kind %q with a message", env, tc.kind)
+			}
+			// Every shed or unavailable response must tell the client
+			// when to come back, as whole seconds in [1, 30].
+			if tc.status == http.StatusTooManyRequests || tc.status == http.StatusServiceUnavailable {
+				ra := resp.Header.Get("Retry-After")
+				secs, err := strconv.Atoi(ra)
+				if err != nil || secs < 1 || secs > 30 {
+					t.Errorf("Retry-After = %q, want an integer in [1, 30]", ra)
+				}
 			}
 		})
 	}

@@ -7,6 +7,8 @@ package service
 import (
 	"sync/atomic"
 	"time"
+
+	"switchsynth/internal/admission"
 )
 
 // solveBuckets are the upper bounds (seconds) of the solve-latency
@@ -36,6 +38,13 @@ type Metrics struct {
 	// jobsShed counts requests fast-failed by an open circuit breaker
 	// (these never reach a worker and count in no other bucket).
 	jobsShed atomic.Int64
+	// jobsShedQueue counts requests shed by the admission queue's depth
+	// or wait watermarks (429 + measured Retry-After), and
+	// jobsDrainRejected counts requests refused because the engine was
+	// draining (503). Like breaker sheds, neither reaches a worker and
+	// neither counts in any other bucket.
+	jobsShedQueue     atomic.Int64
+	jobsDrainRejected atomic.Int64
 
 	cacheHits      atomic.Int64
 	cacheMisses    atomic.Int64
@@ -63,6 +72,20 @@ type Metrics struct {
 	peerMisses   atomic.Int64
 	peerRejected atomic.Int64
 	peerImported atomic.Int64
+
+	// Batch intake counters: batchRequests counts POST /synthesize/batch
+	// calls (Engine.DoBatch), batchSpecs the specs they carried, and
+	// batchDeduped the members answered from another member's solve —
+	// the intra-batch dedup the admission tier exists for.
+	batchRequests atomic.Int64
+	batchSpecs    atomic.Int64
+	batchDeduped  atomic.Int64
+
+	// Streaming counters: incumbentsPublished counts anytime plans the
+	// optimizer pushed through the incumbent hook; streamWatches counts
+	// DoStream/WatchKey subscriptions.
+	incumbentsPublished atomic.Int64
+	streamWatches       atomic.Int64
 
 	solveCount   atomic.Int64
 	solveNanos   atomic.Int64
@@ -109,6 +132,11 @@ type Snapshot struct {
 	JobsInvalid    int64 `json:"jobsInvalid"`
 	JobsPanicked   int64 `json:"jobsPanicked"`
 	JobsShed       int64 `json:"jobsShed"`
+	// JobsShedQueue counts admission-queue sheds (watermarks), and
+	// JobsDrainRejected requests refused during graceful drain; both are
+	// disjoint from JobsShed (breaker) and from the finished buckets.
+	JobsShedQueue     int64 `json:"jobsShedQueue"`
+	JobsDrainRejected int64 `json:"jobsDrainRejected"`
 
 	// Result-cache effectiveness. A coalesced request neither hit nor
 	// missed: it attached to another request's in-flight solve.
@@ -151,11 +179,21 @@ type Snapshot struct {
 	PeerRejected    int64 `json:"peerRejected"`
 	PeerImported    int64 `json:"peerImported"`
 
+	// Batch intake and streaming (the admission tier's other two jobs).
+	BatchRequests       int64 `json:"batchRequests"`
+	BatchSpecs          int64 `json:"batchSpecs"`
+	BatchDeduped        int64 `json:"batchDeduped"`
+	IncumbentsPublished int64 `json:"incumbentsPublished"`
+	StreamWatches       int64 `json:"streamWatches"`
+
 	// Engine load. BreakersOpen is the number of canonical keys currently
-	// shedding load (open or probing half-open).
-	QueueDepth   int `json:"queueDepth"`
-	Workers      int `json:"workers"`
-	BreakersOpen int `json:"breakersOpen"`
+	// shedding load (open or probing half-open). Admission is the fair
+	// queue's own gauge block: per-class depths, sheds, measured dequeue
+	// gap and the current Retry-After hint.
+	QueueDepth   int             `json:"queueDepth"`
+	Workers      int             `json:"workers"`
+	BreakersOpen int             `json:"breakersOpen"`
+	Admission    admission.Stats `json:"admission"`
 
 	// Exact-solver internals (process-wide, cumulative across every solve
 	// in this process — including solves not routed through the engine).
@@ -179,27 +217,36 @@ type Snapshot struct {
 // snapshot copies the counters; the engine fills in cache/queue gauges.
 func (m *Metrics) snapshot() Snapshot {
 	s := Snapshot{
-		JobsSubmitted:  m.jobsSubmitted.Load(),
-		JobsCompleted:  m.jobsCompleted.Load(),
-		JobsFailed:     m.jobsFailed.Load(),
-		JobsTimedOut:   m.jobsTimedOut.Load(),
-		JobsInfeasible: m.jobsInfeasible.Load(),
-		JobsInvalid:    m.jobsInvalid.Load(),
-		JobsPanicked:   m.jobsPanicked.Load(),
-		JobsShed:       m.jobsShed.Load(),
-		CacheHits:      m.cacheHits.Load(),
-		CacheMisses:    m.cacheMisses.Load(),
-		DedupCoalesced: m.dedupCoalesced.Load(),
-		NegCacheHits:   m.negCacheHits.Load(),
-		CacheHealed:    m.cacheHealed.Load(),
-		StoreHits:      m.storeHits.Load(),
-		StoreMisses:    m.storeMisses.Load(),
-		StoreHealed:    m.storeHealed.Load(),
-		PeerHits:       m.peerHits.Load(),
-		PeerMisses:     m.peerMisses.Load(),
-		PeerRejected:   m.peerRejected.Load(),
-		PeerImported:   m.peerImported.Load(),
-		SolveCount:     m.solveCount.Load(),
+		JobsSubmitted:     m.jobsSubmitted.Load(),
+		JobsCompleted:     m.jobsCompleted.Load(),
+		JobsFailed:        m.jobsFailed.Load(),
+		JobsTimedOut:      m.jobsTimedOut.Load(),
+		JobsInfeasible:    m.jobsInfeasible.Load(),
+		JobsInvalid:       m.jobsInvalid.Load(),
+		JobsPanicked:      m.jobsPanicked.Load(),
+		JobsShed:          m.jobsShed.Load(),
+		JobsShedQueue:     m.jobsShedQueue.Load(),
+		JobsDrainRejected: m.jobsDrainRejected.Load(),
+		CacheHits:         m.cacheHits.Load(),
+		CacheMisses:       m.cacheMisses.Load(),
+		DedupCoalesced:    m.dedupCoalesced.Load(),
+		NegCacheHits:      m.negCacheHits.Load(),
+		CacheHealed:       m.cacheHealed.Load(),
+		StoreHits:         m.storeHits.Load(),
+		StoreMisses:       m.storeMisses.Load(),
+		StoreHealed:       m.storeHealed.Load(),
+		PeerHits:          m.peerHits.Load(),
+		PeerMisses:        m.peerMisses.Load(),
+		PeerRejected:      m.peerRejected.Load(),
+		PeerImported:      m.peerImported.Load(),
+
+		BatchRequests:       m.batchRequests.Load(),
+		BatchSpecs:          m.batchSpecs.Load(),
+		BatchDeduped:        m.batchDeduped.Load(),
+		IncumbentsPublished: m.incumbentsPublished.Load(),
+		StreamWatches:       m.streamWatches.Load(),
+
+		SolveCount: m.solveCount.Load(),
 		SolveMaxSeconds: time.Duration(
 			m.solveMaxNano.Load()).Seconds(),
 	}

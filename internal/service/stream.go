@@ -1,0 +1,275 @@
+// Streaming refinement: per-key anytime incumbent feeds.
+//
+// The optimizer's branch-and-bound is an anytime algorithm — it installs
+// a feasible plan early and keeps tightening it until the optimality
+// proof lands. The feed layer turns that into a service primitive: every
+// running solve publishes each improving incumbent on its canonical
+// key's feed, and watchers (Engine.DoStream, Engine.WatchKey, and the
+// ?wait=proof / GET /synthesize/stream/{key} HTTP endpoints on top of
+// them) receive the degraded snapshots as they land, ahead of the final
+// proven plan.
+//
+// A feed is strictly improving: out-of-order publishes from parallel
+// solver workers are dropped unless they beat the best seen, so every
+// watcher observes a monotonically decreasing objective. Feeds are
+// created by the worker that runs the solve (and by DoStream, which must
+// subscribe before its request races the solve) and removed from the
+// group when the solve completes; watchers holding the pointer still
+// read the terminal state from it.
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"switchsynth"
+	"switchsynth/internal/spec"
+)
+
+// ErrUnknownKey is returned by WatchKey when the key has no cached plan
+// and no in-flight solve to attach to. Degraded (unproven) results are
+// never cached, so a watcher arriving after such a solve finished sees
+// this too. HTTP maps it to 404.
+var ErrUnknownKey = errors.New("service: no cached plan or in-flight solve for this key")
+
+// feed is one canonical key's incumbent stream. All fields are guarded
+// by mu; updated is closed (and, while the feed is live, replaced) on
+// every state change, so watchers can block on it without polling.
+type feed struct {
+	mu      sync.Mutex
+	seq     int64        // bumped per accepted incumbent
+	best    *spec.Result // lowest-objective incumbent published so far
+	done    bool         // terminal state reached; res/err are set
+	res     *spec.Result
+	err     error
+	updated chan struct{}
+}
+
+// feedState is an atomic snapshot of a feed, taken under its lock so a
+// watcher can never observe a seq without the incumbent that produced it
+// (the missed-wakeup hazard of reading fields separately).
+type feedState struct {
+	seq     int64
+	best    *spec.Result
+	done    bool
+	res     *spec.Result
+	err     error
+	updated chan struct{}
+}
+
+func (f *feed) state() feedState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return feedState{seq: f.seq, best: f.best, done: f.done, res: f.res, err: f.err, updated: f.updated}
+}
+
+// publish offers an incumbent to the feed. Parallel solver workers may
+// call this concurrently and out of objective order; only strict
+// improvements over the best seen are kept.
+func (f *feed) publish(r *spec.Result) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done || (f.best != nil && r.Objective >= f.best.Objective) {
+		return
+	}
+	f.best = r
+	f.seq++
+	close(f.updated)
+	f.updated = make(chan struct{})
+}
+
+// finish moves the feed to its terminal state. The first finisher wins;
+// the updated channel is closed for good (watchers check done before
+// blocking on it).
+func (f *feed) finish(res *spec.Result, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return
+	}
+	f.done = true
+	f.res, f.err = res, err
+	close(f.updated)
+}
+
+// feedGroup indexes the live feeds by canonical job key.
+type feedGroup struct {
+	mu sync.Mutex
+	m  map[string]*feed
+}
+
+func newFeedGroup() *feedGroup {
+	return &feedGroup{m: make(map[string]*feed)}
+}
+
+// open returns key's live feed, creating it if absent. Both the worker
+// that runs the solve and DoStream watchers land on the same feed.
+func (g *feedGroup) open(key string) *feed {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f := g.m[key]
+	if f == nil {
+		f = &feed{updated: make(chan struct{})}
+		g.m[key] = f
+	}
+	return f
+}
+
+// watch returns key's live feed without creating one: a WatchKey caller
+// can only attach to a solve something else started.
+func (g *feedGroup) watch(key string) (*feed, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	f, ok := g.m[key]
+	return f, ok
+}
+
+// complete finishes f with the solve outcome and unlinks it from the
+// group (watchers holding the pointer read the terminal state from it;
+// later requests for the key get a fresh feed).
+func (g *feedGroup) complete(key string, f *feed, res *spec.Result, err error) {
+	g.mu.Lock()
+	if g.m[key] == f {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	f.finish(res, err)
+}
+
+// release drops a feed that DoStream opened but no worker ever ran — the
+// request was served from a cache tier, shed, or failed before
+// enqueueing. Unlinking only if the group still maps key to f keeps a
+// concurrently running worker's feed (same pointer or a successor)
+// untouched; finishing with ErrUnknownKey unblocks any watcher that
+// attached to the orphan in the meantime.
+func (g *feedGroup) release(key string, f *feed) {
+	g.mu.Lock()
+	owner := g.m[key] == f
+	if owner {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	if owner {
+		f.finish(nil, ErrUnknownKey)
+	}
+}
+
+// DoStream is Do with streaming refinement: it submits sp like Do, but
+// while the solve runs it delivers every improving anytime incumbent to
+// emit as a degraded plan (Proven false, Gap > 0), adapted onto sp's own
+// flow indexing like any cached result. emit's final parameter is always
+// false — the proven plan is DoStream's return value, byte-identical to
+// what a plain Do of the same spec returns. A request served from a
+// cache tier or coalesced onto a nearly finished solve may see no
+// intermediate frames at all. If emit returns an error (the client went
+// away), delivery stops; the solve itself continues for other waiters
+// and the cache.
+func (e *Engine) DoStream(ctx context.Context, sp *spec.Spec, opts switchsynth.Options, emit func(resp *Response, final bool) error) (*Response, error) {
+	e.metrics.streamWatches.Add(1)
+	key, kerr := canonicalJobKey(sp, opts)
+	if kerr != nil {
+		// Invalid spec: Do re-derives the key, fails identically, and
+		// classifies the failure. Nothing to stream.
+		return e.Do(ctx, sp, opts)
+	}
+	// Subscribe before submitting so no early incumbent slips between
+	// the solve starting and the watch attaching.
+	f := e.feeds.open(key)
+	defer e.feeds.release(key, f)
+
+	type outcome struct {
+		resp *Response
+		err  error
+	}
+	doneCh := make(chan outcome, 1)
+	go func() {
+		resp, err := e.Do(ctx, sp, opts)
+		doneCh <- outcome{resp, err}
+	}()
+
+	var lastSeq int64
+	emitDead := false
+	for {
+		st := f.state()
+		if !emitDead && st.seq > lastSeq && st.best != nil {
+			lastSeq = st.seq
+			// Adapt the canonical-presentation incumbent onto the
+			// requester's spec exactly like a cache hit. A frame that
+			// fails to assemble is skipped, not fatal: the final plan
+			// still arrives through Do's own assemble.
+			if resp, ferr := e.assemble(&Response{Key: key, SolveTime: st.best.Runtime}, st.best, sp, opts); ferr == nil {
+				if err := emit(resp, false); err != nil {
+					emitDead = true
+				}
+			}
+			continue // more frames may already have landed
+		}
+		if st.done {
+			// No further frames will be published; just wait for Do.
+			out := <-doneCh
+			return out.resp, out.err
+		}
+		select {
+		case out := <-doneCh:
+			return out.resp, out.err
+		case <-st.updated:
+		case <-ctx.Done():
+			out := <-doneCh // Do respects ctx and returns promptly
+			return out.resp, out.err
+		}
+	}
+}
+
+// WatchKey attaches to key's solve without submitting a spec: frames and
+// the final plan are presented on the solve's canonical spec (the
+// watcher supplied none of its own). A key whose plan is already cached
+// (memory or disk tier) returns it immediately with no frames; a key
+// with no cached plan and no in-flight solve — including one whose solve
+// just finished degraded, since degraded plans are never cached — fails
+// with ErrUnknownKey.
+func (e *Engine) WatchKey(ctx context.Context, key string, emit func(resp *Response, final bool) error) (*Response, error) {
+	e.metrics.streamWatches.Add(1)
+	serve := func(shared *spec.Result, resp *Response) (*Response, error) {
+		return e.assemble(resp, shared, shared.Spec, switchsynth.Options{Engine: shared.Engine})
+	}
+	if e.cache.enabled() {
+		if res, ok := e.cache.get(key); ok {
+			return serve(res, &Response{Key: key, CacheHit: true, SolveTime: res.Runtime})
+		}
+	}
+	if e.store != nil {
+		if res, ok := e.loadFromStore(key); ok {
+			return serve(res, &Response{Key: key, CacheHit: true, DiskHit: true, SolveTime: res.Runtime})
+		}
+	}
+	f, ok := e.feeds.watch(key)
+	if !ok {
+		return nil, ErrUnknownKey
+	}
+	var lastSeq int64
+	emitDead := false
+	for {
+		st := f.state()
+		if !emitDead && !st.done && st.seq > lastSeq && st.best != nil {
+			lastSeq = st.seq
+			if resp, ferr := e.assemble(&Response{Key: key, SolveTime: st.best.Runtime}, st.best, st.best.Spec, switchsynth.Options{Engine: st.best.Engine}); ferr == nil {
+				if err := emit(resp, false); err != nil {
+					emitDead = true
+				}
+			}
+			continue
+		}
+		if st.done {
+			if st.err != nil {
+				return nil, st.err
+			}
+			return serve(st.res, &Response{Key: key, Coalesced: true, SolveTime: st.res.Runtime})
+		}
+		select {
+		case <-st.updated:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	"switchsynth"
+	"switchsynth/internal/spec"
+)
+
+// stream16 is a 16-pin unfixed case hard enough that the solver installs
+// a degraded incumbent well before the optimality proof (roughly a
+// second of search), but easy enough that the proof lands — the spot the
+// streaming contract needs: frames first, proof after.
+func stream16(name string) *spec.Spec {
+	return &spec.Spec{
+		Name:       name,
+		SwitchPins: 16,
+		Modules:    []string{"a", "b", "c", "o1", "o2", "o3", "o4"},
+		Flows: []spec.Flow{
+			{From: "a", To: "o1"}, {From: "b", To: "o2"},
+			{From: "c", To: "o3"}, {From: "a", To: "o4"},
+		},
+		Binding: spec.Unfixed,
+	}
+}
+
+// TestDoStreamDeliversDegradedIncumbentBeforeProof is the streaming
+// acceptance check: a saturated 16-pin solve must hand the watcher at
+// least one degraded plan (Gap > 0) before the proven one arrives as the
+// call's return value.
+func TestDoStreamDeliversDegradedIncumbentBeforeProof(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	var frames []*Response
+	res, err := e.DoStream(context.Background(), stream16("stream"), switchsynth.Options{TimeLimit: 2 * time.Minute},
+		func(r *Response, final bool) error {
+			if final {
+				t.Error("DoStream emitted final=true; the proven plan is the return value")
+			}
+			frames = append(frames, r)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Synthesis.Proven {
+		t.Fatal("solve did not prove optimality; raise the time limit")
+	}
+	if len(frames) == 0 {
+		t.Fatal("no degraded incumbents streamed before the proof")
+	}
+	for i, f := range frames {
+		syn := f.Synthesis
+		if !syn.Degraded || syn.Proven {
+			t.Errorf("frame %d: Degraded=%v Proven=%v, want degraded snapshot", i, syn.Degraded, syn.Proven)
+		}
+		if syn.Gap <= 0 {
+			t.Errorf("frame %d: Gap = %v, want > 0", i, syn.Gap)
+		}
+		if syn.Objective < res.Synthesis.Objective {
+			t.Errorf("frame %d: objective %v beats the proven optimum %v", i, syn.Objective, res.Synthesis.Objective)
+		}
+		if err := switchsynth.Verify(syn.Result); err != nil {
+			t.Errorf("frame %d failed verification: %v", i, err)
+		}
+	}
+}
+
+// TestDoStreamCacheHitHasNoFrames: a spec whose plan is already cached
+// resolves through the cache tier like any Do — nothing to stream.
+func TestDoStreamCacheHitHasNoFrames(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	if _, err := e.Do(context.Background(), serviceSpec("warm"), switchsynth.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	frames := 0
+	res, err := e.DoStream(context.Background(), serviceSpec("warm"), switchsynth.Options{},
+		func(*Response, bool) error { frames++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("second DoStream of the same spec missed the cache")
+	}
+	if frames != 0 {
+		t.Errorf("cache hit streamed %d frames, want 0", frames)
+	}
+}
+
+// TestWatchKeyAttachesToInFlightSolve: a watcher holding only the
+// canonical key attaches to someone else's running solve, receives its
+// incumbents, and gets the proven plan when it lands.
+func TestWatchKeyAttachesToInFlightSolve(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	sp := stream16("watch")
+	key, err := JobKey(sp, switchsynth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		resp *Response
+		err  error
+	}
+	doCh := make(chan outcome, 1)
+	go func() {
+		resp, err := e.Do(context.Background(), sp, switchsynth.Options{TimeLimit: 2 * time.Minute})
+		doCh <- outcome{resp, err}
+	}()
+
+	frames := 0
+	var watched *Response
+	for {
+		resp, err := e.WatchKey(context.Background(), key, func(*Response, bool) error { frames++; return nil })
+		if errors.Is(err, ErrUnknownKey) {
+			time.Sleep(time.Millisecond) // the solve has not been picked up yet
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		watched = resp
+		break
+	}
+	done := <-doCh
+	if done.err != nil {
+		t.Fatal(done.err)
+	}
+	if !watched.Synthesis.Proven {
+		t.Error("watcher's final plan is not proven")
+	}
+	if watched.Synthesis.Objective != done.resp.Synthesis.Objective {
+		t.Errorf("watcher objective %v != submitter objective %v",
+			watched.Synthesis.Objective, done.resp.Synthesis.Objective)
+	}
+	if frames == 0 {
+		t.Error("watcher attached mid-solve but saw no incumbent frames")
+	}
+}
+
+// TestWatchKeyUnknownKey: no cached plan, no in-flight solve — the typed
+// miss, mapped to 404 by HTTP.
+func TestWatchKeyUnknownKey(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	_, err := e.WatchKey(context.Background(), "no-such-key", func(*Response, bool) error { return nil })
+	if !errors.Is(err, ErrUnknownKey) {
+		t.Errorf("WatchKey error = %v, want ErrUnknownKey", err)
+	}
+}
+
+// TestHTTPWaitProofStreamsAndMatchesCold drives POST /synthesize
+// ?wait=proof end to end: an ndjson stream whose first frame is a
+// degraded incumbent with a gap, whose seq numbers increase, whose last
+// frame carries final=true with the proof — and whose final plan is
+// byte-identical to what a plain POST /synthesize returns for the same
+// spec.
+func TestHTTPWaitProofStreamsAndMatchesCold(t *testing.T) {
+	srv, _ := newTestServer(t)
+	body, err := json.Marshal(SynthesizeRequest{
+		Spec:    stream16("ws"),
+		Options: RequestOptions{TimeLimitMS: (2 * time.Minute).Milliseconds()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/synthesize?wait=proof", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	var framesList []SynthesizeResponse
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var f SynthesizeResponse
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("frame %d is not a SynthesizeResponse: %v: %.200s", len(framesList), err, sc.Text())
+		}
+		framesList = append(framesList, f)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(framesList) < 2 {
+		t.Fatalf("stream delivered %d frames, want a degraded incumbent before the proof", len(framesList))
+	}
+	first, last := framesList[0], framesList[len(framesList)-1]
+	if !first.Degraded || first.Proven || first.Final {
+		t.Errorf("first frame: degraded=%v proven=%v final=%v, want a non-final degraded plan",
+			first.Degraded, first.Proven, first.Final)
+	}
+	if first.Gap <= 0 {
+		t.Errorf("first frame gap = %v, want > 0", first.Gap)
+	}
+	if !last.Final || !last.Proven {
+		t.Errorf("last frame: final=%v proven=%v, want the proof", last.Final, last.Proven)
+	}
+	for i := 1; i < len(framesList); i++ {
+		if framesList[i].Seq <= framesList[i-1].Seq {
+			t.Errorf("frame %d: seq %d does not increase over %d", i, framesList[i].Seq, framesList[i-1].Seq)
+		}
+		if framesList[i].Final && i != len(framesList)-1 {
+			t.Errorf("frame %d flagged final before the stream ended", i)
+		}
+	}
+
+	cold, raw := postJSON(t, srv.URL+"/synthesize", string(body))
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("plain POST status %d: %.300s", cold.StatusCode, raw)
+	}
+	var coldResp SynthesizeResponse
+	if err := json.Unmarshal(raw, &coldResp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(last.Plan, coldResp.Plan) {
+		t.Error("final streamed plan is not byte-identical to POST /synthesize")
+	}
+}
+
+// TestHTTPStreamKeyEndpoint: GET /synthesize/stream/{key} for a cached
+// plan is a single final frame; an unknown key is a 404 envelope; an
+// empty key a 400.
+func TestHTTPStreamKeyEndpoint(t *testing.T) {
+	srv, e := newTestServer(t)
+	resp, err := e.Do(context.Background(), serviceSpec("streamkey"), switchsynth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sresp, err := http.Get(srv.URL + "/synthesize/stream/" + resp.Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("stream of cached key: status %d, want 200", sresp.StatusCode)
+	}
+	var lines []SynthesizeResponse
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var f SynthesizeResponse
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			t.Fatalf("bad frame: %v: %.200s", err, sc.Text())
+		}
+		lines = append(lines, f)
+	}
+	if len(lines) != 1 || !lines[0].Final || !lines[0].Proven || !lines[0].CacheHit {
+		t.Errorf("cached-key stream = %d frames (first: final=%v proven=%v cacheHit=%v), want one final cached frame",
+			len(lines), lines[0].Final, lines[0].Proven, lines[0].CacheHit)
+	}
+	if lines[0].Key != resp.Key {
+		t.Errorf("frame key %q, want %q", lines[0].Key, resp.Key)
+	}
+
+	nresp, err := http.Get(srv.URL + "/synthesize/stream/no-such-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown key: status %d, want 404", nresp.StatusCode)
+	}
+	var env errorResponse
+	if err := json.NewDecoder(nresp.Body).Decode(&env); err != nil || env.Kind != "not-found" {
+		t.Errorf("404 envelope = %+v (err %v), want kind not-found", env, err)
+	}
+
+	eresp, err := http.Get(srv.URL + "/synthesize/stream/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eresp.Body.Close()
+	if eresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty key: status %d, want 400", eresp.StatusCode)
+	}
+}
+
+// TestStreamTimeToFirstPlanBench measures, for ci.sh's BENCH_admission
+// report, how much sooner a streaming watcher holds a usable plan than a
+// blocking caller holds the proof. Skipped unless BENCH_ADMISSION_OUT
+// demand pulls it in through the admission bench test (it is cheap
+// enough to always run; the numbers are logged for humans here).
+func TestStreamTimeToFirstPlanBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive benchmark companion")
+	}
+	e := newTestEngine(t, Config{Workers: 1})
+	start := time.Now()
+	var firstPlan time.Duration
+	res, err := e.DoStream(context.Background(), stream16("ttfp"), switchsynth.Options{TimeLimit: 2 * time.Minute},
+		func(*Response, bool) error {
+			if firstPlan == 0 {
+				firstPlan = time.Since(start)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof := time.Since(start)
+	if firstPlan == 0 {
+		t.Fatal("no streamed frame before the proof")
+	}
+	if !res.Synthesis.Proven {
+		t.Fatal("solve did not prove")
+	}
+	if firstPlan >= proof {
+		t.Errorf("first plan at %s, proof at %s: streaming bought nothing", firstPlan, proof)
+	}
+	t.Logf("time-to-first-plan %s vs time-to-proof %s (%.1fx earlier)",
+		firstPlan, proof, float64(proof)/float64(firstPlan))
+}

@@ -137,6 +137,14 @@ type Options struct {
 	// SkipVerify disables the internal contamination re-check (used only
 	// by benchmarks; plans are always safe to verify).
 	SkipVerify bool
+	// OnIncumbent, when non-nil, receives each successively better
+	// anytime incumbent while the solve is still running: a degraded
+	// snapshot Result with LowerBound and Gap filled. This powers the
+	// service layer's streaming-refinement mode. The callback may fire
+	// concurrently from multiple solver goroutines (see
+	// search.Options.OnIncumbent for the exact contract); it is ignored
+	// by the IQP engine.
+	OnIncumbent func(*Result)
 }
 
 // Synthesis bundles the routing plan with the control-layer analyses.
@@ -227,9 +235,10 @@ func SolvePlan(ctx context.Context, sp *Spec, opts Options) (*Result, error) {
 	switch opts.Engine {
 	case "", EngineSearch:
 		return search.Solve(sp, search.Options{
-			TimeLimit: opts.TimeLimit,
-			Ctx:       ctx,
-			Workers:   opts.SolverWorkers,
+			TimeLimit:   opts.TimeLimit,
+			Ctx:         ctx,
+			Workers:     opts.SolverWorkers,
+			OnIncumbent: opts.OnIncumbent,
 		})
 	case EngineIQP:
 		res, err := model.Solve(sp, model.Options{TimeLimit: iqpTimeLimit(ctx, opts.TimeLimit)})
