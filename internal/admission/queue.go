@@ -23,7 +23,10 @@
 //
 // Both produce *ErrShed carrying a measured Retry-After: the queue
 // EWMA-tracks the gap between consecutive dequeues while backlogged, so
-// the hint is (backlog+1) × observed-gap, clamped to [1s, 30s].
+// the hint is (backlog+1) × observed-gap, clamped to [1s, 30s]. The
+// backlog both watermarks and the hint see counts queued items AND
+// submissions blocked on the capacity semaphore — work the queue has
+// already committed to absorb, even though it holds no slot yet.
 package admission
 
 import (
@@ -195,6 +198,12 @@ type Queue struct {
 	credit  [NumClasses]int
 	cursor  int // DRR class cursor
 	total   int
+	// pending counts submissions that passed the shed check but have not
+	// landed as items yet — producers blocked on (or racing for) the
+	// capacity semaphore. The watermarks count them as backlog: work the
+	// queue has already committed to absorb must not be invisible to the
+	// shed math just because it has no slot yet.
+	pending int
 
 	// Dequeue-rate measurement: the EWMA of the gap between consecutive
 	// pops, sampled only across intervals where the queue stayed
@@ -243,17 +252,21 @@ func (q *Queue) Submit(ctx context.Context, caller Caller, payload any) error {
 		q.mu.Unlock()
 		return &ErrShed{Tenant: caller.Tenant, Class: caller.Class, RetryAfter: hint}
 	}
+	q.pending++
 	q.mu.Unlock()
 
 	select {
 	case q.space <- struct{}{}:
 	case <-q.done:
+		q.unpend()
 		return ErrClosed
 	case <-ctx.Done():
+		q.unpend()
 		return ctx.Err()
 	}
 
 	q.mu.Lock()
+	q.pending--
 	if q.closed {
 		q.mu.Unlock()
 		<-q.space // hand the slot back; nobody will consume the item
@@ -271,16 +284,33 @@ func (q *Queue) Submit(ctx context.Context, caller Caller, payload any) error {
 	return nil
 }
 
+// unpend drops an in-transit submission that never became an item (the
+// producer gave up waiting for a slot, or the queue closed under it).
+func (q *Queue) unpend() {
+	q.mu.Lock()
+	q.pending--
+	q.mu.Unlock()
+}
+
+// backlogLocked is the effective backlog the watermarks and the
+// Retry-After estimate see: queued items plus in-transit submissions
+// blocked on the capacity semaphore. Without the pending term, a wall of
+// producers stalled on a full queue would be invisible to the shed math
+// — depth checks and the wait prediction would admit work the queue
+// cannot absorb.
+func (q *Queue) backlogLocked() int { return q.total + q.pending }
+
 // shouldShedLocked applies the depth and wait watermarks for class.
 func (q *Queue) shouldShedLocked(class Class) (bool, time.Duration) {
 	capy := cap(q.space)
+	backlog := q.backlogLocked()
 	switch class {
 	case Batch:
-		if float64(q.total) >= batchShedFraction*float64(capy) {
+		if float64(backlog) >= batchShedFraction*float64(capy) {
 			return true, q.retryAfterLocked()
 		}
 	case Background:
-		if float64(q.total) >= backgroundShedFraction*float64(capy) {
+		if float64(backlog) >= backgroundShedFraction*float64(capy) {
 			return true, q.retryAfterLocked()
 		}
 	}
@@ -288,7 +318,7 @@ func (q *Queue) shouldShedLocked(class Class) (bool, time.Duration) {
 	// exists — before the first measured gap the queue cannot honestly
 	// predict anything.
 	if maxWait := q.cfg.maxWait(); maxWait > 0 && q.gapEWMA > 0 {
-		est := time.Duration(q.gapEWMA * float64(q.total+1) * float64(time.Second))
+		est := time.Duration(q.gapEWMA * float64(backlog+1) * float64(time.Second))
 		if est > maxWait {
 			return true, q.retryAfterLocked()
 		}
@@ -297,13 +327,14 @@ func (q *Queue) shouldShedLocked(class Class) (bool, time.Duration) {
 }
 
 // retryAfterLocked derives the Retry-After hint from the measured
-// dequeue rate: the time to drain the current backlog plus one slot,
-// clamped to [1s, 30s]. Without a rate sample it returns the minimum.
+// dequeue rate: the time to drain the current backlog (queued plus
+// blocked submissions) and one more slot, clamped to [1s, 30s]. Without
+// a rate sample it returns the minimum.
 func (q *Queue) retryAfterLocked() time.Duration {
 	if q.gapEWMA <= 0 {
 		return minRetryAfter
 	}
-	est := time.Duration(q.gapEWMA * float64(q.total+1) * float64(time.Second))
+	est := time.Duration(q.gapEWMA * float64(q.backlogLocked()+1) * float64(time.Second))
 	if est < minRetryAfter {
 		return minRetryAfter
 	}
@@ -423,8 +454,12 @@ func (q *Queue) Close() {
 // Stats is a point-in-time snapshot of the queue, shaped for the
 // /metrics endpoint.
 type Stats struct {
-	// Depth is the total backlog; DepthByClass breaks it down.
+	// Depth is the total backlog; DepthByClass breaks it down. Pending
+	// counts submissions blocked on the capacity semaphore — admitted by
+	// the watermarks but not yet holding a slot; the shed math treats
+	// Depth+Pending as the effective backlog.
 	Depth        int               `json:"depth"`
+	Pending      int               `json:"pending"`
 	Capacity     int               `json:"capacity"`
 	DepthByClass [NumClasses]int   `json:"depthByClass"`
 	Submitted    [NumClasses]int64 `json:"submittedByClass"`
@@ -446,6 +481,7 @@ func (q *Queue) Stats() Stats {
 	defer q.mu.Unlock()
 	s := Stats{
 		Depth:             q.total,
+		Pending:           q.pending,
 		Capacity:          cap(q.space),
 		Submitted:         q.submitted,
 		Shed:              q.shed,

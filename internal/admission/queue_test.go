@@ -243,6 +243,85 @@ func TestQueueWaitWatermarkShedsWhenDrainTooSlow(t *testing.T) {
 	}
 }
 
+// TestQueueWatermarksCountPendingSubmitters: producers blocked on the
+// capacity semaphore are backlog the shed math must see — the depth
+// watermarks and the Retry-After prediction count queued items plus
+// pending submissions, so a wall of stalled producers cannot make the
+// queue admit work it has no room to absorb.
+func TestQueueWatermarksCountPendingSubmitters(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 16})
+	defer q.Close()
+	q.mu.Lock()
+	q.total = 4 // alone: below both the 8/16 and 12/16 depth watermarks
+	shedBatch, _ := q.shouldShedLocked(Batch)
+	shedBG, _ := q.shouldShedLocked(Background)
+	q.mu.Unlock()
+	if shedBatch || shedBG {
+		t.Fatalf("shed at depth 4/16 with nothing pending: batch=%v background=%v, want neither", shedBatch, shedBG)
+	}
+	q.mu.Lock()
+	q.pending = 8 // effective backlog 12: both depth watermarks trip
+	shedBatch, _ = q.shouldShedLocked(Batch)
+	shedBG, _ = q.shouldShedLocked(Background)
+	q.gapEWMA = 0.2 // 200ms per dequeue: (4+8+1) slots predict ~2.6s
+	hint := q.retryAfterLocked()
+	q.mu.Unlock()
+	if !shedBatch || !shedBG {
+		t.Errorf("shed with 8 pending producers behind depth 4: batch=%v background=%v, want both", shedBatch, shedBG)
+	}
+	if hint < 2*time.Second || hint > 3*time.Second {
+		t.Errorf("retryAfterLocked = %v, want ~2.6s ((4+8+1) × 200ms), not the 1s floor of the queued items alone", hint)
+	}
+	q.mu.Lock()
+	q.total, q.pending, q.gapEWMA = 0, 0, 0
+	q.mu.Unlock()
+}
+
+// TestQueuePendingGaugeTracksBlockedProducers: the pending gauge rises
+// while producers sit on the full semaphore, falls when one lands after
+// a pop, and drains to zero when the rest give up.
+func TestQueuePendingGaugeTracksBlockedProducers(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 2})
+	defer q.Close()
+	submit(t, q, "a", Interactive, 1)
+	submit(t, q, "a", Interactive, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = q.Submit(ctx, Caller{Tenant: "a", Class: Interactive}, "blocked")
+		}()
+	}
+	waitFor := func(desc string, cond func(Stats) bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond(q.Stats()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: stats = %+v", desc, q.Stats())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFor("3 producers pending", func(s Stats) bool { return s.Pending == 3 })
+
+	// One pop frees a slot: a blocked producer lands.
+	if _, ok := q.Next(); !ok {
+		t.Fatal("unexpected close")
+	}
+	waitFor("one producer landed", func(s Stats) bool { return s.Pending == 2 && s.Depth == 2 })
+
+	// The rest give up; pending drains without items appearing.
+	cancel()
+	wg.Wait()
+	if s := q.Stats(); s.Pending != 0 || s.Depth != 2 {
+		t.Fatalf("after cancel: stats = %+v, want pending 0 depth 2", s)
+	}
+}
+
 // TestQueueFairnessTwoTenantSaturation is the fairness gate: tenant
 // "flood" saturates the queue with background batches while tenant
 // "user" submits interactive singles. The interactive tenant must never

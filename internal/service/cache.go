@@ -151,6 +151,17 @@ func (g *flightGroup) join(key string) (f *flight, leader bool) {
 // The removal happens before done is closed so that a request arriving
 // after completion starts fresh (and finds the cache already populated —
 // the caller must put into the cache before calling complete).
+// inFlight reports whether a solve for key is queued or running. The
+// feed layer consults this on release: a feed whose flight is still in
+// flight stays live even at zero refs, because the worker that picks the
+// job up will adopt and complete it.
+func (g *flightGroup) inFlight(key string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.m[key]
+	return ok
+}
+
 func (g *flightGroup) complete(key string, f *flight, res *spec.Result, err error) {
 	f.res, f.err = res, err
 	g.mu.Lock()

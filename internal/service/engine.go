@@ -419,8 +419,12 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 			e.metrics.cacheMisses.Add(1)
 			if err := e.enqueue(ctx, job{key: key, sp: sp, opts: opts, flight: f}); err != nil {
 				// Nobody will run this flight; fail it so attached
-				// waiters don't hang, and let later requests retry.
+				// waiters don't hang, and let later requests retry. A
+				// feed held open for this flight (a DoStream whose
+				// release deferred to the in-flight check) now has no
+				// worker coming — reap it so its watchers unblock too.
 				e.flights.complete(key, f, nil, err)
+				e.feeds.abandon(key)
 				switch {
 				case errors.Is(err, &admission.ErrShed{}):
 					e.metrics.jobsShedQueue.Add(1)

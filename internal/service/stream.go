@@ -15,7 +15,10 @@
 // created by the worker that runs the solve (and by DoStream, which must
 // subscribe before its request races the solve) and removed from the
 // group when the solve completes; watchers holding the pointer still
-// read the terminal state from it.
+// read the terminal state from it. Openers are refcounted: the worker
+// that adopted a feed is its sole authoritative finisher, and a streamer
+// that gives up early only finishes a feed no worker (queued or running)
+// will ever complete.
 package service
 
 import (
@@ -93,65 +96,118 @@ func (f *feed) finish(res *spec.Result, err error) {
 	close(f.updated)
 }
 
-// feedGroup indexes the live feeds by canonical job key.
+// feedGroup indexes the live feeds by canonical job key. Every opener —
+// the worker that runs the solve and each DoStream watcher — holds one
+// ref on the entry, so a watcher that gives up (client cancel, early
+// return) cannot finish a live feed out from under the others: only the
+// last releaser of a feed no worker completed may declare it an orphan.
 type feedGroup struct {
 	mu sync.Mutex
-	m  map[string]*feed
+	m  map[string]*feedEntry
+}
+
+// feedEntry pairs a live feed with its open refcount (guarded by the
+// group's mu, not the feed's).
+type feedEntry struct {
+	f    *feed
+	refs int
 }
 
 func newFeedGroup() *feedGroup {
-	return &feedGroup{m: make(map[string]*feed)}
+	return &feedGroup{m: make(map[string]*feedEntry)}
 }
 
-// open returns key's live feed, creating it if absent. Both the worker
-// that runs the solve and DoStream watchers land on the same feed.
+// open returns key's live feed, creating it if absent, and takes one
+// ref. Both the worker that runs the solve and DoStream watchers land on
+// the same feed; each must pair this with exactly one complete or
+// release.
 func (g *feedGroup) open(key string) *feed {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	f := g.m[key]
-	if f == nil {
-		f = &feed{updated: make(chan struct{})}
-		g.m[key] = f
+	e := g.m[key]
+	if e == nil {
+		e = &feedEntry{f: &feed{updated: make(chan struct{})}}
+		g.m[key] = e
 	}
-	return f
+	e.refs++
+	return e.f
 }
 
-// watch returns key's live feed without creating one: a WatchKey caller
-// can only attach to a solve something else started.
+// watch returns key's live feed without creating one and without taking
+// a ref: a WatchKey caller can only attach to a solve something else
+// started, and reads the terminal state from the pointer it holds.
 func (g *feedGroup) watch(key string) (*feed, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	f, ok := g.m[key]
-	return f, ok
+	e, ok := g.m[key]
+	if !ok {
+		return nil, false
+	}
+	return e.f, true
 }
 
 // complete finishes f with the solve outcome and unlinks it from the
-// group (watchers holding the pointer read the terminal state from it;
-// later requests for the key get a fresh feed).
+// group. Only the worker that ran the solve calls this; it is
+// authoritative, so the feed terminates regardless of refs still held by
+// DoStream watchers (their later release finds the key unlinked and is a
+// no-op). Watchers holding the pointer read the terminal state from it;
+// later requests for the key get a fresh feed.
 func (g *feedGroup) complete(key string, f *feed, res *spec.Result, err error) {
 	g.mu.Lock()
-	if g.m[key] == f {
+	if e := g.m[key]; e != nil && e.f == f {
 		delete(g.m, key)
 	}
 	g.mu.Unlock()
 	f.finish(res, err)
 }
 
-// release drops a feed that DoStream opened but no worker ever ran — the
-// request was served from a cache tier, shed, or failed before
-// enqueueing. Unlinking only if the group still maps key to f keeps a
-// concurrently running worker's feed (same pointer or a successor)
-// untouched; finishing with ErrUnknownKey unblocks any watcher that
-// attached to the orphan in the meantime.
-func (g *feedGroup) release(key string, f *feed) {
+// release returns one open ref. A feed whose last ref drops while it is
+// still linked is an orphan — DoStream opened it but no worker ever
+// adopted and completed it (the request was served from a cache tier,
+// shed, or failed before enqueueing) — so it is unlinked and finished
+// with ErrUnknownKey to unblock any watcher that attached in the
+// meantime. Two things keep a feed alive past the release: another
+// opener's ref (a worker mid-solve, another streamer), or keepAlive(key)
+// reporting true — DoStream passes the flight group's in-flight check,
+// so a solve still sitting in the admission queue (whose worker has not
+// opened the feed yet, but will) is not 404ed out from under concurrent
+// WatchKey watchers by a ?wait=proof client that cancelled. A feed left
+// linked at zero refs this way is adopted by that worker when it runs,
+// or reaped by abandon if the flight fails before reaching one.
+func (g *feedGroup) release(key string, f *feed, keepAlive func(string) bool) {
 	g.mu.Lock()
-	owner := g.m[key] == f
-	if owner {
+	e := g.m[key]
+	if e == nil || e.f != f {
+		// Already unlinked (the worker completed it) or superseded by a
+		// fresh feed for the key; nothing to account.
+		g.mu.Unlock()
+		return
+	}
+	e.refs--
+	orphan := e.refs == 0 && (keepAlive == nil || !keepAlive(key))
+	if orphan {
 		delete(g.m, key)
 	}
 	g.mu.Unlock()
-	if owner {
+	if orphan {
 		f.finish(nil, ErrUnknownKey)
+	}
+}
+
+// abandon reaps key's feed when no opener holds a ref: the flight that
+// would have adopted it failed before reaching a worker (enqueue
+// rejected by shed, drain, or close). A feed with live refs is left to
+// its holders' own release/complete.
+func (g *feedGroup) abandon(key string) {
+	g.mu.Lock()
+	e := g.m[key]
+	orphan := e != nil && e.refs == 0
+	if orphan {
+		delete(g.m, key)
+	}
+	g.mu.Unlock()
+	if orphan {
+		e.f.finish(nil, ErrUnknownKey)
 	}
 }
 
@@ -174,9 +230,13 @@ func (e *Engine) DoStream(ctx context.Context, sp *spec.Spec, opts switchsynth.O
 		return e.Do(ctx, sp, opts)
 	}
 	// Subscribe before submitting so no early incumbent slips between
-	// the solve starting and the watch attaching.
+	// the solve starting and the watch attaching. The release consults
+	// the flight group: it only orphans the feed when no worker holds it
+	// AND no solve for the key is queued or running — this streamer
+	// going away (or its client cancelling mid-solve) must never finish
+	// the live feed other watchers are attached to.
 	f := e.feeds.open(key)
-	defer e.feeds.release(key, f)
+	defer e.feeds.release(key, f, e.flights.inFlight)
 
 	type outcome struct {
 		resp *Response
@@ -233,18 +293,31 @@ func (e *Engine) WatchKey(ctx context.Context, key string, emit func(resp *Respo
 	serve := func(shared *spec.Result, resp *Response) (*Response, error) {
 		return e.assemble(resp, shared, shared.Spec, switchsynth.Options{Engine: shared.Engine})
 	}
-	if e.cache.enabled() {
-		if res, ok := e.cache.get(key); ok {
-			return serve(res, &Response{Key: key, CacheHit: true, SolveTime: res.Runtime})
+	fromTiers := func() (*spec.Result, *Response, bool) {
+		if e.cache.enabled() {
+			if res, ok := e.cache.get(key); ok {
+				return res, &Response{Key: key, CacheHit: true, SolveTime: res.Runtime}, true
+			}
 		}
+		if e.store != nil {
+			if res, ok := e.loadFromStore(key); ok {
+				return res, &Response{Key: key, CacheHit: true, DiskHit: true, SolveTime: res.Runtime}, true
+			}
+		}
+		return nil, nil, false
 	}
-	if e.store != nil {
-		if res, ok := e.loadFromStore(key); ok {
-			return serve(res, &Response{Key: key, CacheHit: true, DiskHit: true, SolveTime: res.Runtime})
-		}
+	if res, resp, ok := fromTiers(); ok {
+		return serve(res, resp)
 	}
 	f, ok := e.feeds.watch(key)
 	if !ok {
+		// A solve that completed between the tier lookup above and this
+		// watch has already cached its plan (runJob caches before the
+		// feed unlinks), so a miss here is not yet a 404: re-check the
+		// tiers once before declaring the key unknown.
+		if res, resp, ok := fromTiers(); ok {
+			return serve(res, resp)
+		}
 		return nil, ErrUnknownKey
 	}
 	var lastSeq int64

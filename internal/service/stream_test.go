@@ -143,6 +143,80 @@ func TestWatchKeyAttachesToInFlightSolve(t *testing.T) {
 	}
 }
 
+// TestDoStreamCancelMidSolveKeepsFeedAliveForWatchers: a ?wait=proof
+// client that disconnects mid-solve must not finish the live feed out
+// from under the worker — the solve continues on the engine's base
+// context for other waiters, and a WatchKey watcher attached to the same
+// feed still receives later incumbents and the proven plan, never a
+// spurious ErrUnknownKey.
+func TestDoStreamCancelMidSolveKeepsFeedAliveForWatchers(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	sp := stream16("cancelkeep")
+	key, err := JobKey(sp, switchsynth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	streamFrame := make(chan struct{}, 1)
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		_, _ = e.DoStream(ctx, sp, switchsynth.Options{TimeLimit: 2 * time.Minute},
+			func(*Response, bool) error {
+				select {
+				case streamFrame <- struct{}{}:
+				default:
+				}
+				return nil
+			})
+	}()
+	select {
+	case <-streamFrame:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("no incumbent frame arrived; the solve never started publishing")
+	}
+
+	// A watcher attaches to the live feed; the already-published
+	// incumbent reaches it immediately, proving it is attached before
+	// the streaming client goes away.
+	watchFrame := make(chan struct{}, 1)
+	type outcome struct {
+		resp *Response
+		err  error
+	}
+	watchDone := make(chan outcome, 1)
+	go func() {
+		resp, werr := e.WatchKey(context.Background(), key, func(*Response, bool) error {
+			select {
+			case watchFrame <- struct{}{}:
+			default:
+			}
+			return nil
+		})
+		watchDone <- outcome{resp, werr}
+	}()
+	select {
+	case <-watchFrame:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("watcher saw no frame; it never attached to the live feed")
+	}
+
+	// The streaming client disconnects mid-solve. Its deferred feed
+	// release runs now; it must leave the worker's feed alone.
+	cancel()
+	<-streamDone
+
+	out := <-watchDone
+	if out.err != nil {
+		t.Fatalf("watcher of a still-running solve failed: %v", out.err)
+	}
+	if !out.resp.Synthesis.Proven {
+		t.Error("watcher's final plan is not proven")
+	}
+}
+
 // TestWatchKeyUnknownKey: no cached plan, no in-flight solve — the typed
 // miss, mapped to 404 by HTTP.
 func TestWatchKeyUnknownKey(t *testing.T) {
