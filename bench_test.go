@@ -9,9 +9,13 @@
 package switchsynth_test
 
 import (
+	"bytes"
 	"context"
+	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strconv"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -23,6 +27,7 @@ import (
 	"switchsynth/internal/exp"
 	"switchsynth/internal/lp"
 	"switchsynth/internal/milp"
+	"switchsynth/internal/planio"
 	"switchsynth/internal/render"
 	"switchsynth/internal/search"
 	"switchsynth/internal/service"
@@ -900,5 +905,112 @@ func BenchmarkCluster_ColdSolve(b *testing.B) {
 			b.Fatal("expected a cold solve")
 		}
 		e.Close()
+	}
+}
+
+// BenchmarkCluster_ReplicaPush prices one write-time replica push as
+// the receiver experiences it: a PUT /plans/{key} round trip whose
+// handler decodes, re-derives the canonical key and fully re-verifies
+// the plan before storing (verify-on-receipt, cluster invariant 2).
+// The receiver is rebuilt outside the timer each iteration so every
+// measured push is a genuine first import, not a present-key no-op.
+func BenchmarkCluster_ReplicaPush(b *testing.B) {
+	donor := service.New(service.Config{Workers: 2})
+	b.Cleanup(donor.CloseNow)
+	ring := cluster.NewRing([]cluster.Node{{ID: "a"}, {ID: "b"}})
+	sp := clusterBenchSpec(b, ring, "a")
+	resp, err := donor.Do(context.Background(), sp, switchsynth.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	wire, err := planio.EncodeWire(resp.Synthesis.Result)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := "/plans/" + url.PathEscape(resp.Key)
+
+	var handler atomic.Value // http.Handler of the current receiver
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	b.Cleanup(srv.Close)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		recv := service.New(service.Config{Workers: 1})
+		handler.Store(service.NewHandler(recv))
+		b.StartTimer()
+		req, err := http.NewRequest(http.MethodPut, srv.URL+target, bytes.NewReader(wire))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr, err := http.DefaultClient.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr.Body.Close()
+		if pr.StatusCode != http.StatusNoContent {
+			b.Fatalf("push status %d, want 204", pr.StatusCode)
+		}
+		b.StopTimer()
+		recv.CloseNow()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkCluster_FailoverRead prices the worst-case replica read: the
+// key's owner is a dead port that every iteration dials (DownAfter is
+// set unreachably high so membership never learns), fails, and fails
+// over to the successor's replica. The delta against
+// BenchmarkCluster_PeerFill is the cost of one refused connection on
+// the read path.
+func BenchmarkCluster_FailoverRead(b *testing.B) {
+	engS := service.New(service.Config{Workers: 2})
+	b.Cleanup(engS.CloseNow)
+	srvS := httptest.NewServer(service.NewHandler(engS))
+	b.Cleanup(srvS.Close)
+
+	probe := cluster.NewRing([]cluster.Node{{ID: "o"}, {ID: "s"}, {ID: "r"}})
+	sp := clusterBenchSpec(b, probe, "o")
+	key, err := service.JobKey(sp, switchsynth.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The live server plays whichever node ranks just behind the dead
+	// owner; the reader is the last-ranked node.
+	rank := probe.Rank(key)
+	urls := map[string]string{
+		rank[0].ID: "http://127.0.0.1:1", // dead owner: refuses instantly
+		rank[1].ID: srvS.URL,             // successor with the replica
+		rank[2].ID: "http://127.0.0.1:1", // self; never dialed
+	}
+	peers := make([]cluster.Node, 0, 3)
+	for _, id := range []string{"o", "s", "r"} {
+		peers = append(peers, cluster.Node{ID: id, URL: urls[id]})
+	}
+	cl, err := cluster.New(cluster.Config{
+		SelfID:       rank[2].ID,
+		Peers:        peers,
+		SyncInterval: -1,
+		DownAfter:    1 << 30, // keep believing the corpse is up
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := engS.Do(context.Background(), sp, switchsynth.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	e := service.New(service.Config{Workers: 2, CacheSize: -1, PeerFill: cl.FetchPlan})
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := e.Do(context.Background(), sp, switchsynth.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.PeerHit {
+			b.Fatal("expected a failover peer hit")
+		}
 	}
 }

@@ -2,14 +2,17 @@
 # CI gate: format + vet + build + full tests, race-checked service layer,
 # the seeded chaos suites (service faults and store crash-recovery, both
 # goroutine-leak gated and run twice), the cluster gate (race-checked
-# suite plus the three-topology campaign byte-diff, one node killed
-# mid-run), the admission gate (batch dedup/determinism, per-tenant
-# fairness and the streaming contract, race-checked twice), and five
+# suite — including the replication, partition-heal and kill-restart
+# chaos tests — plus the three-topology campaign byte-diff and the
+# kill-any-node zero-re-solve campaign), the admission gate (batch
+# dedup/determinism, per-tenant fairness and the streaming contract,
+# race-checked twice), and five
 # benchmarks: cold-vs-cached request rate (BENCH_service.json),
 # degraded-path throughput under injected slow-solve faults
 # (BENCH_resilience.json), the plan-store tiers — cold solve vs memory
 # hit vs disk hit vs warm boot (BENCH_store.json), the cluster tiers —
-# local hit vs peer fill vs cold solve (BENCH_cluster.json), and the
+# local hit, peer fill, cold solve, replica push and failover read
+# (BENCH_cluster.json), and the
 # admission tier — batch dedup speedup, per-class queue latency,
 # streamed time-to-first-plan vs time-to-proof (BENCH_admission.json).
 #
@@ -75,9 +78,20 @@ echo "== cluster gate: -race -count=2, three-topology determinism =="
 # detector (-short skips only the campaign test), then the campaign
 # determinism test once: it boots one node, three nodes, and three nodes
 # with one killed mid-campaign, and byte-compares the deterministic
-# reports across all three topologies.
+# reports across all three topologies. The -short suite now also carries
+# the replication chaos gate: write-time push, failover reads,
+# read-repair, corrupt-push rejection, partition+heal anti-entropy
+# convergence and kill-restart rejoin, all seeded and run twice.
 go test -race -count=2 -short ./internal/cluster/
 go test -race -run 'TestCampaignDeterministicAcrossTopologies' ./internal/cluster/
+
+echo "== replication chaos gate: kill any node mid-campaign, zero re-solves =="
+# For every choice of victim in a replicated 3-node cluster: warm a
+# seeded campaign, kill the victim mid-rerun, and require the rerun to
+# stay byte-identical to a single-node reference with zero additional
+# solver runs — every plan the victim held must be served from a
+# successor's replica.
+go test -race -run 'TestChaosKillAnyNodeMidCampaignZeroResolves' ./internal/cluster/
 
 echo "== admission gate: batch determinism + fair queuing, -race -count=2 =="
 # Batch dedup and determinism: a 100-spec/7-key batch must trigger
@@ -168,15 +182,17 @@ echo "$store_out" | awk '
   }' > BENCH_store.json
 cat BENCH_store.json
 
-echo "== cluster benchmark: local hit vs peer fill vs cold solve =="
+echo "== cluster benchmark: local hit, peer fill, cold solve, replica push, failover read =="
 cluster_out=$(go test -run '^$' -bench 'BenchmarkCluster_' -benchtime "${BENCHTIME:-2s}" .)
 echo "$cluster_out"
 echo "$cluster_out" | awk '
-  $1 ~ /^BenchmarkCluster_LocalHit/  { local = $3 }
-  $1 ~ /^BenchmarkCluster_PeerFill/  { fill = $3 }
-  $1 ~ /^BenchmarkCluster_ColdSolve/ { cold = $3 }
+  $1 ~ /^BenchmarkCluster_LocalHit/     { local = $3 }
+  $1 ~ /^BenchmarkCluster_PeerFill/     { fill = $3 }
+  $1 ~ /^BenchmarkCluster_ColdSolve/    { cold = $3 }
+  $1 ~ /^BenchmarkCluster_ReplicaPush/  { push = $3 }
+  $1 ~ /^BenchmarkCluster_FailoverRead/ { fo = $3 }
   END {
-    if (local == "" || fill == "" || cold == "") {
+    if (local == "" || fill == "" || cold == "" || push == "" || fo == "") {
       print "ci.sh: cluster benchmark output incomplete" > "/dev/stderr"
       exit 1
     }
@@ -184,8 +200,12 @@ echo "$cluster_out" | awk '
     printf "  \"localHitNsPerOp\": %.0f,\n", local
     printf "  \"peerFillNsPerOp\": %.0f,\n", fill
     printf "  \"coldSolveNsPerOp\": %.0f,\n", cold
+    printf "  \"replicaPushNsPerOp\": %.0f,\n", push
+    printf "  \"failoverReadNsPerOp\": %.0f,\n", fo
     printf "  \"peerFillSpeedupOverCold\": %.1f,\n", cold / fill
-    printf "  \"peerFillSlowdownOverLocal\": %.1f\n", fill / local
+    printf "  \"peerFillSlowdownOverLocal\": %.1f,\n", fill / local
+    printf "  \"failoverReadOverPeerFill\": %.1f,\n", fo / fill
+    printf "  \"replicaPushSpeedupOverCold\": %.1f\n", cold / push
     printf "}\n"
   }' > BENCH_cluster.json
 cat BENCH_cluster.json

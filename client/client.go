@@ -17,7 +17,10 @@
 // spec's owning node with the same rendezvous ring the daemons use and
 // sends the request there directly, skipping the server-side forwarding
 // hop; retries walk down the preference order, so a dead owner degrades
-// to the next-ranked node instead of burning attempts on one host.
+// to the next-ranked node instead of burning attempts on one host —
+// and a transport failure (connection refused, reset) fails over to
+// the successor immediately, without the backoff sleep, since backoff
+// paces overload, not node death.
 package client
 
 import (
@@ -199,7 +202,7 @@ func (c *Client) Synthesize(ctx context.Context, sp *switchsynth.Spec, opts serv
 
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
-		if attempt > 0 {
+		if attempt > 0 && !(transportFailure(lastErr) && len(targets) > 1) {
 			if err := c.sleep(ctx, attempt, lastErr); err != nil {
 				return nil, err
 			}
@@ -266,6 +269,17 @@ func (c *Client) once(ctx context.Context, base, key string, body []byte) (*serv
 		return nil, fmt.Errorf("client: decoding response: %w", err)
 	}
 	return &out, nil
+}
+
+// transportFailure reports whether err is a network-level failure — no
+// daemon response at all — rather than a daemon verdict (*APIError).
+// When the next attempt targets a different node (owner→successor
+// failover), a transport failure skips the backoff sleep entirely:
+// backoff paces retries against an overloaded daemon, and a dead host
+// says nothing about the health of its successor.
+func transportFailure(err error) bool {
+	var apiErr *APIError
+	return err != nil && !errors.As(err, &apiErr)
 }
 
 // sleep waits the retry backoff before attempt: the server's Retry-After
@@ -410,7 +424,7 @@ func (c *Client) Stream(ctx context.Context, sp *switchsynth.Spec, opts service.
 
 	var lastErr error
 	for attempt := 0; attempt < c.maxAttempts; attempt++ {
-		if attempt > 0 {
+		if attempt > 0 && !(transportFailure(lastErr) && len(targets) > 1) {
 			if err := c.sleep(ctx, attempt, lastErr); err != nil {
 				return nil, err
 			}

@@ -310,6 +310,52 @@ func TestRetryAfterHTTPDateForm(t *testing.T) {
 	}
 }
 
+// TestFailoverSkipsBackoffOnTransportError: backoff paces a node that
+// is up but overloaded; a node that cannot be reached at all is not
+// overloaded. With more than one target, a transport failure must walk
+// to the next-ranked node immediately instead of sleeping out a
+// backoff the dead node will never benefit from.
+func TestFailoverSkipsBackoffOnTransportError(t *testing.T) {
+	sp := clientSpec("client-fast-failover")
+	jobKey, err := service.JobKey(sp, switchsynth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var survivorHits atomic.Int64
+	survivor := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		survivorHits.Add(1)
+		json.NewEncoder(w).Encode(service.SynthesizeResponse{Name: sp.Name, NumSets: 1})
+	}))
+	defer survivor.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close()
+
+	deadID, survivorID := "n0", "n1"
+	if cluster.NewRing([]cluster.Node{{ID: "n0"}, {ID: "n1"}}).OwnerID(jobKey) == "n1" {
+		deadID, survivorID = "n1", "n0"
+	}
+	peers := fmt.Sprintf("%s=%s,%s=%s", deadID, dead.URL, survivorID, survivor.URL)
+
+	// A backoff long enough that sleeping even once would blow the
+	// elapsed budget below.
+	c, err := New(Config{Peers: peers, Seed: 1, BaseBackoff: time.Minute, MaxBackoff: time.Minute, MaxAttempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := c.Synthesize(context.Background(), sp, service.RequestOptions{})
+	if err != nil {
+		t.Fatalf("failover request failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("failover took %v; the transport error must skip the backoff sleep", elapsed)
+	}
+	if resp.Name != sp.Name || survivorHits.Load() != 1 {
+		t.Errorf("resp=%q survivorHits=%d, want the immediate retry served by the survivor",
+			resp.Name, survivorHits.Load())
+	}
+}
+
 // TestOwnerFirstRouting: with Config.Peers the first attempt must land
 // on the spec's owning node (per the shared rendezvous ring), not on
 // whichever URL is listed first.

@@ -10,7 +10,7 @@
 //	       [-breaker-threshold 3] [-breaker-cooldown 5s] [-negcache 256]
 //	       [-store-dir DIR] [-store-flush-interval 5ms] [-store-max-wal-bytes N]
 //	       [-export-plans DIR] [-pprof-addr 127.0.0.1:6060]
-//	       [-node-id ID -peers ID=URL,ID=URL,...]
+//	       [-node-id ID -peers ID=URL,ID=URL,...] [-replication 2]
 //	       [-cluster-probe-interval 2s] [-cluster-sync-interval 15s]
 //
 // -workers sizes the job pool (how many specs solve at once);
@@ -40,13 +40,17 @@
 //
 // With -peers (and a -node-id naming this instance's entry in the
 // list) the daemon joins a consistent-hash sharded cluster: each spec's
-// canonical key has one owning node, non-owners proxy /synthesize to
-// the owner (falling back to a local solve whenever the owner is down
-// or shedding), local cache misses try the owner's plan before
-// solving, and a background anti-entropy loop pulls plans this node
-// owns but lacks. Every plan crossing a node boundary is re-verified
-// before it is served or stored. The peer list is static and must be
-// identical on every node; see DESIGN.md §8.
+// canonical key has one owning node and -replication minus one
+// successors forming its replica set. Non-owners proxy /synthesize to
+// the owner, failing over to successors when the owner is down and
+// falling back to a local solve when no replica answers; local cache
+// misses try the replica set's plans before solving; freshly proven
+// plans are pushed asynchronously to the key's replica set; and a
+// background anti-entropy loop pulls plans this node replicates but
+// lacks, so a killed-and-restarted node re-converges. Every plan
+// crossing a node boundary is re-verified before it is served or
+// stored. The peer list is static and must be identical on every node;
+// see DESIGN.md §8.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: /readyz flips to 503
 // so cluster peers stop routing here, the listener stops accepting,
@@ -71,6 +75,8 @@
 //	GET  /metrics                 job/cache/store/cluster/admission counters as JSON
 //	GET  /plans                   manifest of locally held plan keys
 //	GET  /plans/{key}             one plan's wire bytes (404 when absent)
+//	PUT  /plans/{key}             receive a peer's replication push (re-verified
+//	                              before storing; 204 ok, 422 rejected)
 //	GET  /cluster                 ring membership, health, and forwarding counters
 //
 // The spec payload is the same JSON format cmd/switchsynth reads; the
@@ -118,6 +124,9 @@ type clusterFlags struct {
 	// anti-entropy rounds (negative disables sync).
 	ProbeInterval time.Duration
 	SyncInterval  time.Duration
+	// Replication is the replica-set size R (0 = default 2, clamped to
+	// the cluster size; 1 disables replication).
+	Replication int
 }
 
 // serverFlags carries the daemon-level (non-engine) configuration out of
@@ -198,6 +207,7 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.PeerFill = cl.FetchPlan
+		cfg.OnPlanStored = cl.ReplicatePlan
 	}
 	engine = service.New(cfg)
 	var handler http.Handler = service.NewHandler(engine)
@@ -218,9 +228,9 @@ func main() {
 	fmt.Printf("synthd: listening on %s (%d workers, cache %d, default time limit %s)\n",
 		srvf.Addr, engine.Snapshot().Workers, cfg.CacheSize, cfg.DefaultTimeLimit)
 	if cl != nil {
-		fmt.Printf("synthd: cluster node %q (%s), %d peers, probe %s, sync %s\n",
+		fmt.Printf("synthd: cluster node %q (%s), %d peers, replication %d, probe %s, sync %s\n",
 			srvf.Cluster.NodeID, cluster.HashScheme, len(cl.Ring().Members()),
-			srvf.Cluster.ProbeInterval, srvf.Cluster.SyncInterval)
+			cl.Status().Replication, srvf.Cluster.ProbeInterval, srvf.Cluster.SyncInterval)
 	}
 
 	sigc := make(chan os.Signal, 1)
@@ -283,6 +293,7 @@ func buildCluster(cf clusterFlags, eng **service.Engine) (*cluster.Cluster, erro
 		Peers:         peers,
 		ProbeInterval: cf.ProbeInterval,
 		SyncInterval:  cf.SyncInterval,
+		Replication:   cf.Replication,
 		LocalKeys:     func() []string { return (*eng).PlanKeys() },
 		LocalImport:   func(key string, data []byte) error { return (*eng).ImportPlan(key, data) },
 	})
@@ -329,6 +340,7 @@ func parseFlags(args []string) (service.Config, serverFlags) {
 		nodeID     = fs.String("node-id", "", "this node's id in -peers (required with -peers)")
 		probeInt   = fs.Duration("cluster-probe-interval", 0, "peer health-probe period (0 = default 2s)")
 		syncInt    = fs.Duration("cluster-sync-interval", 0, "anti-entropy sync period (0 = default 15s, negative disables)")
+		replicas   = fs.Int("replication", 0, "replica-set size per plan (0 = default 2, clamped to cluster size; 1 disables replication)")
 	)
 	_ = fs.Parse(args)
 	return service.Config{
@@ -356,6 +368,7 @@ func parseFlags(args []string) (service.Config, serverFlags) {
 				NodeID:        *nodeID,
 				ProbeInterval: *probeInt,
 				SyncInterval:  *syncInt,
+				Replication:   *replicas,
 			},
 		}
 }

@@ -1,0 +1,129 @@
+// The chaos acceptance gate for replication: kill ANY single node of a
+// three-node replicated cluster mid-campaign and the campaign output
+// stays byte-identical — with zero re-solves of already-proven plans,
+// because every plan the victim held is served from a successor's
+// replica instead of being recomputed. External package for the same
+// import-cycle reason as determinism_test.go.
+package cluster_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"switchsynth/internal/exp"
+	"switchsynth/internal/report"
+)
+
+// totalSolves sums actual solver runs across the cluster (counters stay
+// readable after a node's server is killed — only its listener died).
+func totalSolves(nodes []*detNode) int64 {
+	var sum int64
+	for _, n := range nodes {
+		sum += n.eng.Snapshot().SolveCount
+	}
+	return sum
+}
+
+// waitReplicated blocks until every plan held anywhere in the cluster
+// is present on every member of its replica set.
+func waitReplicated(t *testing.T, nodes []*detNode) {
+	t.Helper()
+	byID := make(map[string]*detNode, len(nodes))
+	for _, n := range nodes {
+		byID[n.id] = n
+	}
+	keys := make(map[string]bool)
+	for _, n := range nodes {
+		for _, k := range n.eng.PlanKeys() {
+			keys[k] = true
+		}
+	}
+	if len(keys) == 0 {
+		t.Fatal("no plans anywhere; the warm campaign solved nothing")
+	}
+	r := nodes[0].cl.Status().Replication
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		missing := 0
+		for key := range keys {
+			rank := nodes[0].cl.Ring().Rank(key)
+			rr := r
+			if rr > len(rank) {
+				rr = len(rank)
+			}
+			for _, member := range rank[:rr] {
+				if _, ok := byID[member.ID].eng.PlanBytes(key); !ok {
+					missing++
+				}
+			}
+		}
+		if missing == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication never converged: %d replica slots still empty", missing)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosKillAnyNodeMidCampaignZeroResolves runs the same seeded
+// campaign twice against a replicated 3-node cluster — once to warm
+// and replicate every plan, once with one node killed mid-run — for
+// every choice of victim. The rerun must be byte-identical to a
+// single-node reference AND must not re-solve a single plan: failover
+// reads serve the dead node's share from its successors' replicas.
+func TestChaosKillAnyNodeMidCampaignZeroResolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node chaos campaign in -short mode")
+	}
+	const count, seed = 12, 42
+	run := func(url string) (table, stats string) {
+		res := exp.RunCampaign(exp.Config{
+			DaemonURL: url,
+			Workers:   4,
+			TimeLimit: 10 * time.Second,
+		}, count, seed)
+		return report.CampaignTable(res.Rows), res.Stats.DeterministicString()
+	}
+
+	single := bootNodes(t, 1, false)
+	wantTable, wantStats := run(single[0].url)
+
+	for victim := 0; victim < 3; victim++ {
+		victim := victim
+		t.Run(fmt.Sprintf("victim=n%d", victim), func(t *testing.T) {
+			nodes := bootNodes(t, 3, true)
+			// Enter through a survivor: the client targets one URL and the
+			// cluster does the routing, so the entry point must outlive the
+			// kill for the run to mean anything.
+			entry := nodes[(victim+1)%3].url
+
+			// Warm run: solves spread across owners, replication fans each
+			// plan out to its successor.
+			gotTable, gotStats := run(entry)
+			if gotTable != wantTable || gotStats != wantStats {
+				t.Fatalf("warm campaign not byte-identical to single-node reference:\n--- want\n%s\n--- got\n%s", wantTable, gotTable)
+			}
+			waitReplicated(t, nodes)
+			before := totalSolves(nodes)
+
+			// Kill the victim mid-rerun. Every plan it held has a live
+			// replica, so the rerun completes identically without a single
+			// additional solve.
+			timer := time.AfterFunc(50*time.Millisecond, nodes[victim].srv.Close)
+			defer timer.Stop()
+			kTable, kStats := run(entry)
+			if kTable != wantTable {
+				t.Errorf("kill-n%d campaign table differs:\n--- want\n%s\n--- got\n%s", victim, wantTable, kTable)
+			}
+			if kStats != wantStats {
+				t.Errorf("kill-n%d campaign stats differ: %q vs %q", victim, kStats, wantStats)
+			}
+			if after := totalSolves(nodes); after != before {
+				t.Errorf("kill-n%d rerun re-solved %d plans; replicas must serve instead", victim, after-before)
+			}
+		})
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"sort"
@@ -45,9 +46,15 @@ const (
 	defaultSyncInterval  = 15 * time.Second
 	defaultFetchTimeout  = 5 * time.Second
 	defaultMaxHops       = 2
+	defaultReplication   = 2
 
 	// maxPlanBytes bounds a fetched plan; real plans are tens of KB.
 	maxPlanBytes = 8 << 20
+
+	// probeFanout bounds concurrent probes per round: enough to overlap
+	// the timeouts of several hung peers without opening a connection
+	// per member on large rings.
+	probeFanout = 4
 )
 
 // Config wires a Cluster to its node list and to the local engine.
@@ -68,6 +75,12 @@ type Config struct {
 	FetchTimeout time.Duration
 	// MaxHops caps forwarding chains (see proxy.go); 0 means default.
 	MaxHops int
+	// Replication is the replica-set size R: every plan lives on the
+	// first R nodes of its key's rendezvous ranking (replicate.go).
+	// 0 means default (2); values above the cluster size are clamped to
+	// it; 1 disables replication and reproduces the single-owner
+	// behaviour.
+	Replication int
 	// UpAfter/DownAfter are the flap-damping streak thresholds
 	// (membership.go); 0 means default.
 	UpAfter   int
@@ -101,16 +114,29 @@ type Cluster struct {
 	inj      *faultinject.Injector
 	cfg      Config
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	// replq carries asynchronous replication and read-repair pushes
+	// (replicate.go); replPending tracks enqueued-but-unfinished tasks
+	// so tests can wait for the queue to settle.
+	replq       chan replTask
+	replPending atomic.Int64
 
 	// Counters for /cluster and /metrics.
 	forwards         atomic.Int64 // requests proxied to the owner
 	forwardFallbacks atomic.Int64 // forwards that fell back to local solve
+	forwardFailovers atomic.Int64 // forwards served by a successor, not the owner
 	localServes      atomic.Int64 // /synthesize served locally (owner or fallback)
 	fillHits         atomic.Int64 // peer fills that returned plan bytes
-	fillMisses       atomic.Int64 // peer fills answered 404 (owner lacks it)
+	fillMisses       atomic.Int64 // peer fills answered 404 (peer lacks it)
 	fillErrors       atomic.Int64 // peer fills that failed in transit
+	fillFailovers    atomic.Int64 // peer fills served by a successor, not the owner
+	replPushes       atomic.Int64 // write-time replica pushes delivered
+	replErrors       atomic.Int64 // replica/repair pushes that failed or were rejected
+	replDropped      atomic.Int64 // pushes dropped because the queue was full
+	repairPushes     atomic.Int64 // read-repair pushes delivered
 	syncRounds       atomic.Int64
 	syncPulls        atomic.Int64 // plans imported by anti-entropy
 	syncErrors       atomic.Int64
@@ -149,6 +175,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.MaxHops <= 0 {
 		cfg.MaxHops = defaultMaxHops
 	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = defaultReplication
+	}
+	if cfg.Replication > len(cfg.Peers) {
+		cfg.Replication = len(cfg.Peers)
+	}
 	hc := cfg.HTTPClient
 	if hc == nil {
 		hc = &http.Client{Timeout: 10 * time.Second}
@@ -161,6 +193,7 @@ func New(cfg Config) (*Cluster, error) {
 		streamHC: &http.Client{Transport: hc.Transport},
 		inj:      cfg.FaultInjector,
 		cfg:      cfg,
+		replq:    make(chan replTask, replQueueDepth),
 		stop:     make(chan struct{}),
 	}, nil
 }
@@ -171,20 +204,27 @@ func (c *Cluster) SelfID() string { return c.self.ID }
 // Ring exposes the ownership ring (for the owner-routing client).
 func (c *Cluster) Ring() *Ring { return c.ring }
 
-// Start launches the probe loop and, unless disabled, the anti-entropy
-// loop. Stop must be called exactly once after a successful Start.
+// Start launches the probe loop, the replication push workers and,
+// unless disabled, the anti-entropy loop. Call Stop after a successful
+// Start.
 func (c *Cluster) Start() {
 	c.wg.Add(1)
 	go c.probeLoop()
+	for i := 0; i < replWorkers; i++ {
+		c.wg.Add(1)
+		go c.replLoop()
+	}
 	if c.cfg.SyncInterval > 0 && c.cfg.LocalKeys != nil && c.cfg.LocalImport != nil {
 		c.wg.Add(1)
 		go c.syncLoop()
 	}
 }
 
-// Stop halts the background loops and waits for them to exit.
+// Stop halts the background loops and waits for them to exit. It is
+// idempotent: a crash test that kills a node and a deferred cleanup may
+// both call it.
 func (c *Cluster) Stop() {
-	close(c.stop)
+	c.stopOnce.Do(func() { close(c.stop) })
 	c.wg.Wait()
 }
 
@@ -204,44 +244,62 @@ func (c *Cluster) Owner(key string) (Node, bool) {
 	return c.self, true
 }
 
-// probeLoop hits every peer's /readyz on a fixed period, feeding the
+// probeLoop hits every peer's /readyz on a jittered period, feeding the
 // flap-damped state machines. The first round runs immediately so a
 // dead peer at boot is detected within DownAfter probes, not
-// DownAfter+1 intervals.
+// DownAfter+1 intervals. The ±20% jitter keeps a fleet that was
+// restarted together from probing in lockstep forever.
 func (c *Cluster) probeLoop() {
 	defer c.wg.Done()
-	t := time.NewTicker(c.cfg.ProbeInterval)
-	defer t.Stop()
 	for {
 		c.probeOnce()
+		t := time.NewTimer(jitterInterval(c.cfg.ProbeInterval))
 		select {
 		case <-c.stop:
+			t.Stop()
 			return
 		case <-t.C:
 		}
 	}
 }
 
-// probeOnce probes every non-self peer sequentially (peer lists are
-// small; a hung peer is bounded by ProbeTimeout).
+// jitterInterval spreads d uniformly over [0.8d, 1.2d).
+func jitterInterval(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.8 + 0.4*rand.Float64()))
+}
+
+// probeOnce probes every non-self peer concurrently with a bounded
+// fan-out, so one hung peer costs ProbeTimeout for its slot, not for
+// the whole round.
 func (c *Cluster) probeOnce() {
+	sem := make(chan struct{}, probeFanout)
+	var wg sync.WaitGroup
 	for _, n := range c.ring.Members() {
 		if n.ID == c.self.ID {
 			continue
 		}
 		c.probes.Add(1)
-		err := c.probe(n)
-		if err != nil {
-			c.mem.observe(n.ID, false, err.Error())
-		} else {
-			c.mem.observe(n.ID, true, "")
-		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(n Node) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := c.probe(n); err != nil {
+				c.mem.observe(n.ID, false, err.Error())
+			} else {
+				c.mem.observe(n.ID, true, "")
+			}
+		}(n)
 	}
+	wg.Wait()
 }
 
 // probe performs one /readyz round trip. A 503 (draining) counts as
 // down: the peer is alive but asking not to be routed to.
 func (c *Cluster) probe(n Node) error {
+	if c.inj.LinkDown(c.self.ID, n.ID) {
+		return fmt.Errorf("injected: link %s->%s cut", c.self.ID, n.ID)
+	}
 	if c.inj.Fire(faultinject.PeerDown) {
 		return fmt.Errorf("injected: peer down")
 	}
@@ -265,33 +323,92 @@ func (c *Cluster) probe(n Node) error {
 }
 
 // FetchPlan is the engine's peer-fill hook (service.Config.PeerFill):
-// on a local memory+disk miss it asks key's owner for the plan bytes
-// before solving. Returns (nil, nil) — a clean miss that falls through
-// to the local solve — when the local node owns the key, the owner is
-// down, or the owner does not have the plan. The engine re-verifies
-// whatever comes back; this function only moves bytes.
+// on a local memory+disk miss it walks key's replica set in rank order
+// — owner first, then successors, up to Replication live candidates —
+// asking each for the plan bytes before solving. A candidate that is
+// down by membership or fails in transit is skipped (failover); the
+// walk stops at the local node's own rank position, since everything
+// ranked below it would hold the plan only by accident.
+//
+// Returns (nil, nil) — a clean miss that falls through to the local
+// solve — when the local node is the highest-ranked live replica or no
+// candidate has the plan. When every attempted candidate failed in
+// transit, the last error is returned wrapped with the peer ID and the
+// underlying cause (%w), so errors.Is(err, context.DeadlineExceeded)
+// works through the cluster layer.
+//
+// Read-repair: when a successor serves a plan that an earlier live
+// replica answered 404 for, the served bytes are pushed back to the
+// lacking replica through the same verify-on-receipt import path as
+// write-time replication. The engine re-verifies whatever this
+// function returns; it only moves bytes.
 func (c *Cluster) FetchPlan(ctx context.Context, key string) ([]byte, error) {
-	owner, self := c.Owner(key)
-	if self {
-		return nil, nil
+	var (
+		lacked   []Node // live replicas that answered 404 before the hit
+		lastErr  error
+		failover bool
+		tried    int
+	)
+	for _, n := range c.ring.Rank(key) {
+		if n.ID == c.self.ID || tried >= c.cfg.Replication {
+			break
+		}
+		if !c.mem.alive(n.ID) {
+			failover = true
+			continue
+		}
+		tried++
+		data, found, err := c.fetchFrom(ctx, n, key)
+		if err != nil {
+			c.fillErrors.Add(1)
+			c.mem.observe(n.ID, false, err.Error())
+			lastErr = fmt.Errorf("cluster: fetch plan %s from peer %s: %w", key, n.ID, err)
+			failover = true
+			continue
+		}
+		if !found {
+			c.fillMisses.Add(1)
+			lacked = append(lacked, n)
+			failover = true
+			continue
+		}
+		c.fillHits.Add(1)
+		if failover {
+			c.fillFailovers.Add(1)
+		}
+		for _, back := range lacked {
+			c.enqueue(replTask{key: key, data: data, to: back, repair: true})
+		}
+		return data, nil
 	}
-	data, found, err := c.fetchFrom(ctx, owner, key)
-	if err != nil {
-		c.fillErrors.Add(1)
-		c.mem.observe(owner.ID, false, err.Error())
-		return nil, err
+	if lastErr != nil {
+		return nil, lastErr
 	}
-	if !found {
-		c.fillMisses.Add(1)
-		return nil, nil
+	return nil, nil
+}
+
+// replicated reports whether the local node is in key's replica set —
+// the first Replication entries of the rendezvous ranking.
+func (c *Cluster) replicated(key string) bool {
+	rank := c.ring.Rank(key)
+	r := c.cfg.Replication
+	if r > len(rank) {
+		r = len(rank)
 	}
-	c.fillHits.Add(1)
-	return data, nil
+	for _, n := range rank[:r] {
+		if n.ID == c.self.ID {
+			return true
+		}
+	}
+	return false
 }
 
 // fetchFrom GETs /plans/{key} from n. found is false on 404 (the peer
 // does not have the plan — not an error, not evidence of ill health).
 func (c *Cluster) fetchFrom(ctx context.Context, n Node, key string) (data []byte, found bool, err error) {
+	if c.inj.LinkDown(c.self.ID, n.ID) {
+		return nil, false, fmt.Errorf("injected: link %s->%s cut", c.self.ID, n.ID)
+	}
 	if c.inj.Fire(faultinject.PeerDown) {
 		return nil, false, fmt.Errorf("injected: peer down")
 	}
@@ -335,9 +452,10 @@ func (c *Cluster) fetchFrom(ctx context.Context, n Node, key string) (data []byt
 // Status is the /cluster endpoint's payload: ownership scheme, the
 // damped health of every peer, and the node's cluster counters.
 type Status struct {
-	Self    string `json:"self"`
-	Hash    string `json:"hash"`
-	MaxHops int    `json:"maxHops"`
+	Self        string `json:"self"`
+	Hash        string `json:"hash"`
+	MaxHops     int    `json:"maxHops"`
+	Replication int    `json:"replication"`
 
 	// Peers lists every member ID-sorted, self included (self is always
 	// up and never probed).
@@ -345,10 +463,16 @@ type Status struct {
 
 	Forwards         int64 `json:"forwards"`
 	ForwardFallbacks int64 `json:"forwardFallbacks"`
+	ForwardFailovers int64 `json:"forwardFailovers"`
 	LocalServes      int64 `json:"localServes"`
 	FillHits         int64 `json:"fillHits"`
 	FillMisses       int64 `json:"fillMisses"`
 	FillErrors       int64 `json:"fillErrors"`
+	FillFailovers    int64 `json:"fillFailovers"`
+	ReplPushes       int64 `json:"replPushes"`
+	ReplErrors       int64 `json:"replErrors"`
+	ReplDropped      int64 `json:"replDropped"`
+	RepairPushes     int64 `json:"repairPushes"`
 	SyncRounds       int64 `json:"syncRounds"`
 	SyncPulls        int64 `json:"syncPulls"`
 	SyncErrors       int64 `json:"syncErrors"`
@@ -373,13 +497,20 @@ func (c *Cluster) Status() Status {
 		Self:             c.self.ID,
 		Hash:             HashScheme,
 		MaxHops:          c.cfg.MaxHops,
+		Replication:      c.cfg.Replication,
 		Peers:            peers,
 		Forwards:         c.forwards.Load(),
 		ForwardFallbacks: c.forwardFallbacks.Load(),
+		ForwardFailovers: c.forwardFailovers.Load(),
 		LocalServes:      c.localServes.Load(),
 		FillHits:         c.fillHits.Load(),
 		FillMisses:       c.fillMisses.Load(),
 		FillErrors:       c.fillErrors.Load(),
+		FillFailovers:    c.fillFailovers.Load(),
+		ReplPushes:       c.replPushes.Load(),
+		ReplErrors:       c.replErrors.Load(),
+		ReplDropped:      c.replDropped.Load(),
+		RepairPushes:     c.repairPushes.Load(),
 		SyncRounds:       c.syncRounds.Load(),
 		SyncPulls:        c.syncPulls.Load(),
 		SyncErrors:       c.syncErrors.Load(),

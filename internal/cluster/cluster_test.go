@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"switchsynth"
 	"switchsynth/internal/service"
@@ -22,7 +23,7 @@ import (
 func clusterSpecVariant(i int) *spec.Spec {
 	sp := &spec.Spec{
 		Name:       fmt.Sprintf("cluster-%02d", i),
-		SwitchPins: 8 + 2*(i/4),
+		SwitchPins: 8 + 4*(i/4), // 8, 12, 16, ... — the supported sizes
 		Modules:    []string{"sample", "buffer", "mix1", "mix2"},
 		Binding:    spec.Unfixed,
 	}
@@ -75,7 +76,23 @@ type testNode struct {
 // the harness then finishes the synthd wiring: cluster first (its
 // engine callbacks late-bind), then the engine with the cluster's fill
 // hook, then the middleware-wrapped server on the pre-bound listener.
+// Background loops stay off: tests drive syncOnce/probeOnce directly.
 func startNodes(t *testing.T, n int, mut func(i int, ccfg *Config, scfg *service.Config)) []*testNode {
+	t.Helper()
+	return startCluster(t, n, false, mut)
+}
+
+// startReplNodes boots n nodes with the full write-path wiring of
+// cmd/synthd: each engine's OnPlanStored hook feeds the cluster's
+// replication queue and the cluster's background workers (probe loop
+// plus push workers) run. The anti-entropy loop still stays off so
+// tests drive syncOnce deterministically.
+func startReplNodes(t *testing.T, n int, mut func(i int, ccfg *Config, scfg *service.Config)) []*testNode {
+	t.Helper()
+	return startCluster(t, n, true, mut)
+}
+
+func startCluster(t *testing.T, n int, repl bool, mut func(i int, ccfg *Config, scfg *service.Config)) []*testNode {
 	t.Helper()
 	peers := make([]Node, n)
 	listeners := make([]net.Listener, n)
@@ -89,36 +106,82 @@ func startNodes(t *testing.T, n int, mut func(i int, ccfg *Config, scfg *service
 	}
 	nodes := make([]*testNode, n)
 	for i := range nodes {
-		node := &testNode{id: peers[i].ID, url: peers[i].URL}
-		ccfg := Config{
-			SelfID:       node.id,
-			Peers:        peers,
-			SyncInterval: -1, // loops off by default; tests drive syncOnce
-		}
-		scfg := service.Config{Workers: 2}
-		if mut != nil {
-			mut(i, &ccfg, &scfg)
-		}
-		ccfg.LocalKeys = func() []string { return node.eng.PlanKeys() }
-		ccfg.LocalImport = func(key string, data []byte) error { return node.eng.ImportPlan(key, data) }
-		cl, err := New(ccfg)
-		if err != nil {
-			t.Fatalf("cluster.New(%s): %v", node.id, err)
-		}
-		scfg.PeerFill = cl.FetchPlan
-		eng := service.New(scfg)
-		node.eng, node.cl = eng, cl
-		h := cl.Middleware(service.NewHandlerWith(eng, service.HandlerConfig{
-			ClusterStatus: func() any { return cl.Status() },
-		}))
-		srv := httptest.NewUnstartedServer(h)
-		srv.Listener.Close()
-		srv.Listener = listeners[i]
-		srv.Start()
-		node.srv = srv
-		t.Cleanup(srv.Close)
-		t.Cleanup(eng.CloseNow)
-		nodes[i] = node
+		nodes[i] = bootNode(t, peers, listeners[i], i, repl, mut)
 	}
 	return nodes
+}
+
+// bootNode builds and starts one node on a pre-bound listener. It is a
+// separate helper so crash tests can restart a killed node on its old
+// address with a fresh (empty) engine.
+func bootNode(t *testing.T, peers []Node, l net.Listener, i int, repl bool, mut func(i int, ccfg *Config, scfg *service.Config)) *testNode {
+	t.Helper()
+	node := &testNode{id: peers[i].ID, url: peers[i].URL}
+	ccfg := Config{
+		SelfID:       node.id,
+		Peers:        peers,
+		SyncInterval: -1, // loops off by default; tests drive syncOnce
+	}
+	scfg := service.Config{Workers: 2}
+	if mut != nil {
+		mut(i, &ccfg, &scfg)
+	}
+	ccfg.LocalKeys = func() []string { return node.eng.PlanKeys() }
+	ccfg.LocalImport = func(key string, data []byte) error { return node.eng.ImportPlan(key, data) }
+	cl, err := New(ccfg)
+	if err != nil {
+		t.Fatalf("cluster.New(%s): %v", node.id, err)
+	}
+	scfg.PeerFill = cl.FetchPlan
+	if repl {
+		scfg.OnPlanStored = cl.ReplicatePlan
+	}
+	eng := service.New(scfg)
+	node.eng, node.cl = eng, cl
+	h := cl.Middleware(service.NewHandlerWith(eng, service.HandlerConfig{
+		ClusterStatus: func() any { return cl.Status() },
+	}))
+	srv := httptest.NewUnstartedServer(h)
+	srv.Listener.Close()
+	srv.Listener = l
+	srv.Start()
+	node.srv = srv
+	if repl {
+		cl.Start()
+		t.Cleanup(cl.Stop)
+	}
+	t.Cleanup(srv.Close)
+	t.Cleanup(eng.CloseNow)
+	return node
+}
+
+// nodeByID resolves a rank entry back to its test node.
+func nodeByID(t *testing.T, nodes []*testNode, id string) *testNode {
+	t.Helper()
+	for _, n := range nodes {
+		if n.id == id {
+			return n
+		}
+	}
+	t.Fatalf("no test node %q", id)
+	return nil
+}
+
+// settleRepl blocks until every node's replication/repair queue has
+// drained, so tests can assert on the post-push state without racing
+// the async workers.
+func settleRepl(t *testing.T, nodes []*testNode) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		pending := int64(0)
+		for _, n := range nodes {
+			pending += n.cl.replPending.Load()
+		}
+		if pending == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("replication queue never drained")
 }

@@ -35,7 +35,10 @@ type detNode struct {
 	srv *httptest.Server
 }
 
-func bootNodes(t *testing.T, n int) []*detNode {
+// bootNodes starts n nodes; with repl set, each engine's OnPlanStored
+// hook feeds the cluster's replication queue and the push workers run
+// (the full cmd/synthd write-path wiring).
+func bootNodes(t *testing.T, n int, repl bool) []*detNode {
 	t.Helper()
 	peers := make([]cluster.Node, n)
 	listeners := make([]net.Listener, n)
@@ -51,21 +54,26 @@ func bootNodes(t *testing.T, n int) []*detNode {
 	for i := range nodes {
 		node := &detNode{id: peers[i].ID, url: peers[i].URL}
 		ccfg := cluster.Config{
-			SelfID:       node.id,
-			Peers:        peers,
-			SyncInterval: -1, // no background loops: the campaign is the traffic
-			LocalKeys:    func() []string { return node.eng.PlanKeys() },
-			LocalImport:  func(key string, data []byte) error { return node.eng.ImportPlan(key, data) },
+			SelfID:        node.id,
+			Peers:         peers,
+			SyncInterval:  -1, // no anti-entropy loop: the campaign is the traffic
+			ProbeInterval: time.Hour,
+			LocalKeys:     func() []string { return node.eng.PlanKeys() },
+			LocalImport:   func(key string, data []byte) error { return node.eng.ImportPlan(key, data) },
 		}
 		cl, err := cluster.New(ccfg)
 		if err != nil {
 			t.Fatalf("cluster.New(%s): %v", node.id, err)
 		}
-		eng := service.New(service.Config{
+		scfg := service.Config{
 			Workers:          2,
 			PeerFill:         cl.FetchPlan,
 			DefaultTimeLimit: 10 * time.Second,
-		})
+		}
+		if repl {
+			scfg.OnPlanStored = cl.ReplicatePlan
+		}
+		eng := service.New(scfg)
 		node.eng, node.cl = eng, cl
 		h := cl.Middleware(service.NewHandlerWith(eng, service.HandlerConfig{
 			ClusterStatus: func() any { return cl.Status() },
@@ -75,6 +83,10 @@ func bootNodes(t *testing.T, n int) []*detNode {
 		srv.Listener = listeners[i]
 		srv.Start()
 		node.srv = srv
+		if repl {
+			cl.Start()
+			t.Cleanup(cl.Stop)
+		}
 		t.Cleanup(srv.Close)
 		t.Cleanup(eng.CloseNow)
 		nodes[i] = node
@@ -102,10 +114,10 @@ func TestCampaignDeterministicAcrossTopologies(t *testing.T) {
 		return report.CampaignTable(res.Rows), res.Stats.DeterministicString()
 	}
 
-	single := bootNodes(t, 1)
+	single := bootNodes(t, 1, false)
 	wantTable, wantStats := run(single[0].url)
 
-	three := bootNodes(t, 3)
+	three := bootNodes(t, 3, false)
 	gotTable, gotStats := run(three[0].url)
 	if gotTable != wantTable {
 		t.Errorf("3-node campaign table differs from single-node:\n--- single\n%s\n--- three\n%s", wantTable, gotTable)
@@ -120,7 +132,7 @@ func TestCampaignDeterministicAcrossTopologies(t *testing.T) {
 		t.Error("3-node campaign forwarded nothing; sharding untested")
 	}
 
-	killed := bootNodes(t, 3)
+	killed := bootNodes(t, 3, false)
 	timer := time.AfterFunc(75*time.Millisecond, killed[2].srv.Close)
 	defer timer.Stop()
 	kTable, kStats := run(killed[0].url)

@@ -7,7 +7,14 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"switchsynth"
 	"switchsynth/internal/faultinject"
@@ -119,6 +126,67 @@ func TestCorruptFetchNeverServedOrStored(t *testing.T) {
 	}
 }
 
+// TestFetchPlanErrorWrapsPeerAndCause pins the fill error contract:
+// the returned error names the failing peer and the key, and wraps the
+// underlying cause with %w so callers can match it with errors.Is
+// through the cluster layer.
+func TestFetchPlanErrorWrapsPeerAndCause(t *testing.T) {
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // never answer; the fetch timeout must fire
+	}))
+	defer hung.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // the port now refuses connections
+
+	tests := []struct {
+		name    string
+		peerURL string
+		want    error
+	}{
+		{"deadline exceeded", hung.URL, context.DeadlineExceeded},
+		{"connection refused", dead.URL, syscall.ECONNREFUSED},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cl, err := New(Config{
+				SelfID: "self",
+				Peers: []Node{
+					{ID: "self", URL: "http://127.0.0.1:1"},
+					{ID: "peer-a", URL: tc.peerURL},
+				},
+				FetchTimeout: 50 * time.Millisecond,
+				SyncInterval: -1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Pick a key the peer outranks self for, so the walk tries it.
+			key := ""
+			for i := 0; i < 100 && key == ""; i++ {
+				if k := fmt.Sprintf("key-%d", i); cl.Ring().OwnerID(k) == "peer-a" {
+					key = k
+				}
+			}
+			if key == "" {
+				t.Fatal("no key owned by peer-a in 100 tries")
+			}
+			_, err = cl.FetchPlan(context.Background(), key)
+			if err == nil {
+				t.Fatal("FetchPlan returned nil error for an unreachable peer")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Errorf("errors.Is(%v, %v) = false; the cause must survive the wrap", err, tc.want)
+			}
+			if !strings.Contains(err.Error(), "peer-a") {
+				t.Errorf("error %q does not name the failing peer", err)
+			}
+			if !strings.Contains(err.Error(), key) {
+				t.Errorf("error %q does not name the key", err)
+			}
+		})
+	}
+}
+
 func TestAntiEntropyPullsOwnedKeys(t *testing.T) {
 	nodes := startNodes(t, 2, nil)
 	sp, key := specOwnedBy(t, nodes[0].cl.Ring(), "n1")
@@ -149,9 +217,10 @@ func TestAntiEntropyPullsOwnedKeys(t *testing.T) {
 		t.Errorf("second syncOnce pulled %d, want 0", pulled)
 	}
 
-	// n0 does not own the key, so it never pulls it back out.
+	// n0 is in the key's replica set (2-node R=2) but already holds the
+	// plan, so its round pulls nothing either.
 	if pulled := nodes[0].cl.syncOnce(context.Background()); pulled != 0 {
-		t.Errorf("non-owner syncOnce pulled %d, want 0", pulled)
+		t.Errorf("already-holding replica syncOnce pulled %d, want 0", pulled)
 	}
 }
 

@@ -1,11 +1,15 @@
 package cluster
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"switchsynth"
+	"switchsynth/internal/service"
 )
 
 func TestMembershipFlapDamping(t *testing.T) {
@@ -75,6 +79,79 @@ func TestMembershipFlapDamping(t *testing.T) {
 	}
 	if !m.alive("self") {
 		t.Fatal("self went down from observations")
+	}
+}
+
+// TestMembershipThresholdBoundaries pins the exact flap-damping
+// boundaries: upAfter-1 successes keeps a peer down, the downAfter-th
+// consecutive failure (not one sooner) flips it, and any contrary
+// observation resets the streak in both directions.
+func TestMembershipThresholdBoundaries(t *testing.T) {
+	tests := []struct {
+		name      string
+		upAfter   int
+		downAfter int
+		obs       []bool // observation sequence, in order
+		wantUp    bool
+	}{
+		{"downAfter-1 failures keeps up", 2, 3, []bool{false, false}, true},
+		{"exactly downAfter failures flips down", 2, 3, []bool{false, false, false}, false},
+		{"success mid-streak resets the failure count", 2, 3, []bool{false, false, true, false, false}, true},
+		{"upAfter-1 successes keeps down", 2, 3, []bool{false, false, false, true}, false},
+		{"exactly upAfter successes flips up", 2, 3, []bool{false, false, false, true, true}, true},
+		{"failure mid-recovery resets the success count", 2, 3, []bool{false, false, false, true, false, true}, false},
+		{"downAfter=1 flips on the first failure", 1, 1, []bool{false}, false},
+		{"upAfter=1 revives on the first success", 1, 1, []bool{false, true}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m := newMembership("self", []Node{{ID: "self"}, {ID: "p"}}, tc.upAfter, tc.downAfter)
+			for _, ok := range tc.obs {
+				msg := ""
+				if !ok {
+					msg = "injected failure"
+				}
+				m.observe("p", ok, msg)
+			}
+			if got := m.alive("p"); got != tc.wantUp {
+				t.Errorf("after %v: alive = %v, want %v", tc.obs, got, tc.wantUp)
+			}
+			if snap := m.snapshot()["p"]; snap.Probes != int64(len(tc.obs)) {
+				t.Errorf("probes = %d, want %d", snap.Probes, len(tc.obs))
+			}
+		})
+	}
+}
+
+// TestRequestPathAndProbeObservationsShareThresholds proves a failed
+// plan fetch and a failed health probe feed the same damped state
+// machine: either source alone is below DownAfter=2, together they
+// flip the peer down.
+func TestRequestPathAndProbeObservationsShareThresholds(t *testing.T) {
+	nodes := startNodes(t, 2, func(i int, ccfg *Config, scfg *service.Config) {
+		ccfg.DownAfter = 2
+	})
+	sp, _ := specOwnedBy(t, nodes[0].cl.Ring(), "n1")
+	nodes[1].srv.Close()
+
+	// First evidence: a request-path fetch failure. One observation is
+	// below the threshold — and the request itself still succeeds
+	// locally (invariant 1).
+	if _, err := nodes[0].eng.Do(context.Background(), sp, switchsynth.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := nodes[0].cl.Status(); st.FillErrors != 1 {
+		t.Fatalf("fillErrors = %d, want 1 (setup: the fetch must have failed)", st.FillErrors)
+	}
+	if !nodes[0].cl.mem.alive("n1") {
+		t.Fatal("a single request-path failure flipped the peer — damping broken")
+	}
+
+	// Second evidence: one probe round. Request-path + probe failures
+	// combined reach DownAfter.
+	nodes[0].cl.probeOnce()
+	if nodes[0].cl.mem.alive("n1") {
+		t.Fatal("mixed request-path + probe failures did not accumulate to DownAfter")
 	}
 }
 

@@ -20,6 +20,11 @@
 //     X-Synthd-Hop count is below MaxHops. The hop limit makes routing
 //     loops (possible transiently when two nodes disagree about
 //     liveness) terminate at a node that solves locally.
+//   - Failover: a candidate that is down by membership is skipped, and
+//     one that fails in transit is retried against the next node in the
+//     key's rank order — up to Replication live candidates — before the
+//     local fallback. A successor almost certainly holds the owner's
+//     replicated plans, so failing over beats re-solving locally.
 //   - The query string and the admission identity headers
 //     (X-Synthd-Tenant, X-Synthd-Priority) ride along on the forward,
 //     and the owner's response is flushed chunk by chunk, so streamed
@@ -106,17 +111,7 @@ func (c *Cluster) routeSynthesize(w http.ResponseWriter, r *http.Request, next h
 		c.serveLocal(w, r, next, body)
 		return
 	}
-	hop, _ := strconv.Atoi(r.Header.Get(HopHeader))
-	owner, self := c.Owner(key)
-	if self || hop >= c.cfg.MaxHops {
-		c.serveLocal(w, r, next, body)
-		return
-	}
-	if c.forward(w, r, owner, body, hop) {
-		return
-	}
-	c.forwardFallbacks.Add(1)
-	c.serveLocal(w, r, next, body)
+	c.routeKey(w, r, next, key, body)
 }
 
 // routeStreamKey routes GET /synthesize/stream/{key}: the watched
@@ -125,21 +120,49 @@ func (c *Cluster) routeSynthesize(w http.ResponseWriter, r *http.Request, next h
 // still correct (the local engine answers 404 or serves its own copy).
 func (c *Cluster) routeStreamKey(w http.ResponseWriter, r *http.Request, next http.Handler) {
 	key := strings.TrimPrefix(r.URL.Path, "/synthesize/stream/")
-	hop, _ := strconv.Atoi(r.Header.Get(HopHeader))
 	if key == "" {
 		c.serveLocal(w, r, next, nil)
 		return
 	}
-	owner, self := c.Owner(key)
-	if self || hop >= c.cfg.MaxHops {
-		c.serveLocal(w, r, next, nil)
+	c.routeKey(w, r, next, key, nil)
+}
+
+// routeKey walks key's rank order — owner first, then successors —
+// forwarding to the first live candidate that answers, skipping
+// candidates that are down by membership and failing over past ones
+// that die in transit, up to Replication attempts. When no candidate
+// answers (or the local node outranks every live one) the request is
+// served locally: the replica walk narrows where the cluster looks for
+// the plan, never whether the request is served (invariant 1).
+func (c *Cluster) routeKey(w http.ResponseWriter, r *http.Request, next http.Handler, key string, body []byte) {
+	hop, _ := strconv.Atoi(r.Header.Get(HopHeader))
+	if hop >= c.cfg.MaxHops {
+		c.serveLocal(w, r, next, body)
 		return
 	}
-	if c.forward(w, r, owner, nil, hop) {
-		return
+	failover := false
+	tried := 0
+	for _, n := range c.ring.Rank(key) {
+		if n.ID == c.self.ID || tried >= c.cfg.Replication {
+			break
+		}
+		if !c.mem.alive(n.ID) {
+			failover = true
+			continue
+		}
+		tried++
+		if c.forward(w, r, n, body, hop) {
+			if failover {
+				c.forwardFailovers.Add(1)
+			}
+			return
+		}
+		failover = true
 	}
-	c.forwardFallbacks.Add(1)
-	c.serveLocal(w, r, next, nil)
+	if tried > 0 {
+		c.forwardFallbacks.Add(1)
+	}
+	c.serveLocal(w, r, next, body)
 }
 
 // serveLocal replays the buffered body into the wrapped handler.
@@ -159,6 +182,10 @@ func (c *Cluster) serveLocal(w http.ResponseWriter, r *http.Request, next http.H
 // case). Transport failures also feed the membership state machine — a
 // request-path error is health evidence just like a failed probe.
 func (c *Cluster) forward(w http.ResponseWriter, r *http.Request, owner Node, body []byte, hop int) bool {
+	if c.inj.LinkDown(c.self.ID, owner.ID) {
+		c.mem.observe(owner.ID, false, "injected: link cut")
+		return false
+	}
 	if c.inj.Fire(faultinject.PeerDown) {
 		c.mem.observe(owner.ID, false, "injected: peer down")
 		return false

@@ -117,6 +117,41 @@ func TestProxyFallsBackWhenOwnerSheds(t *testing.T) {
 	}
 }
 
+func TestProxyFailsOverToSuccessor(t *testing.T) {
+	nodes := startNodes(t, 3, nil)
+	sp, key := specOwnedBy(t, nodes[0].cl.Ring(), "n0")
+	rank := nodes[0].cl.Ring().Rank(key)
+	owner := nodeByID(t, nodes, rank[0].ID)
+	succ := nodeByID(t, nodes, rank[1].ID)
+	third := nodeByID(t, nodes, rank[2].ID)
+	owner.srv.Close() // owner dies; membership still optimistically up
+
+	// The entry node tries the owner, fails in transit, and fails over
+	// to the successor instead of solving locally.
+	status, node, out := postSynthesize(t, third.url, service.SynthesizeRequest{Spec: sp}, "")
+	if status != http.StatusOK {
+		t.Fatalf("status %d, want 200", status)
+	}
+	if node != succ.id {
+		t.Errorf("X-Synthd-Node = %q, want successor %s", node, succ.id)
+	}
+	if out.Key != key {
+		t.Errorf("response key %q, want %q", out.Key, key)
+	}
+	st := third.cl.Status()
+	if st.Forwards != 1 || st.ForwardFailovers != 1 || st.LocalServes != 0 {
+		t.Errorf("forwards=%d failovers=%d localServes=%d, want 1/1/0",
+			st.Forwards, st.ForwardFailovers, st.LocalServes)
+	}
+	// The successor solved it; the entry node did not.
+	if snap := succ.eng.Snapshot(); snap.JobsSubmitted != 1 {
+		t.Errorf("successor jobsSubmitted = %d, want 1", snap.JobsSubmitted)
+	}
+	if snap := third.eng.Snapshot(); snap.JobsSubmitted != 0 {
+		t.Errorf("entry-node jobsSubmitted = %d, want 0", snap.JobsSubmitted)
+	}
+}
+
 func TestProxyHopLimit(t *testing.T) {
 	nodes := startNodes(t, 2, nil)
 	sp, _ := specOwnedBy(t, nodes[0].cl.Ring(), "n1")

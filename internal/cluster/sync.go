@@ -1,16 +1,19 @@
 // Anti-entropy plan sync: a background loop that repairs the gaps
-// forwarding leaves behind. Keys this node owns can be solved elsewhere
-// — by a fallback solve while this node was down, by a client talking
-// straight to a non-owner, or by ownership moving here after a peer
-// died. The loop periodically pulls each peer's key manifest
-// (GET /plans) and fetches every plan this node owns but lacks.
+// forwarding and replication leave behind. Keys in this node's replica
+// sets can be solved elsewhere — by a fallback solve while this node
+// was down, by a client talking straight to a non-replica, by a
+// replication push that was dropped or black-holed, or by ownership
+// moving here after a peer died. The loop periodically pulls each
+// peer's key manifest (GET /plans) and fetches every plan this node
+// replicates but lacks, which is also how a killed-and-restarted node
+// re-converges its replica sets after rejoining.
 //
 // The replication invariant holds here exactly as on the fill path:
 // every pulled plan goes through LocalImport (Engine.ImportPlan), which
 // decodes, re-derives the canonical key and fully re-verifies the plan
 // before it touches a local tier. Sync converges the cluster toward
-// "every owner holds every plan for its keys" without ever trusting
-// peer bytes.
+// "every replica-set member holds every plan for its keys" without
+// ever trusting peer bytes.
 package cluster
 
 import (
@@ -63,8 +66,8 @@ func (c *Cluster) syncOnce(ctx context.Context) int {
 			if local[key] {
 				continue
 			}
-			if id := c.ring.OwnerID(key); id != c.self.ID {
-				continue // not ours; its owner will pull it
+			if !c.replicated(key) {
+				continue // outside our replica sets; their members pull it
 			}
 			data, found, err := c.fetchFrom(ctx, n, key)
 			if err != nil {
@@ -90,6 +93,9 @@ func (c *Cluster) syncOnce(ctx context.Context) int {
 
 // manifest fetches n's plan-key list (GET /plans).
 func (c *Cluster) manifest(ctx context.Context, n Node) ([]string, error) {
+	if c.inj.LinkDown(c.self.ID, n.ID) {
+		return nil, fmt.Errorf("injected: link %s->%s cut", c.self.ID, n.ID)
+	}
 	if c.inj.Fire(faultinject.PeerDown) {
 		return nil, fmt.Errorf("injected: peer down")
 	}

@@ -44,6 +44,14 @@ const (
 	// FetchCorrupt flips a byte of a plan fetched from a peer; the
 	// receiver's re-verification must catch it and fall back to solving.
 	FetchCorrupt Point = "peer.corruptfetch"
+	// ReplCorrupt flips a byte of a plan as it is pushed to a replica;
+	// the receiver's verify-on-receipt must reject it — a corrupted push
+	// is never stored or served.
+	ReplCorrupt Point = "peer.corruptpush"
+	// PeerPartition is the directed-link black hole (see CutLink): it is
+	// not configured with Set but fires whenever a cut link is probed,
+	// so chaos tests can count how much traffic the partition absorbed.
+	PeerPartition Point = "peer.partition"
 )
 
 // Injection points probed by internal/store (the durable plan store).
@@ -81,6 +89,10 @@ type Injector struct {
 	rng   *rand.Rand
 	rules map[Point]Rule
 	fired map[Point]int64
+	// links is the partition state: a set of directed (from → to) node
+	// pairs whose traffic is black-holed. Directed edges make asymmetric
+	// partitions expressible — A can reach B while B cannot reach A.
+	links map[[2]string]bool
 }
 
 // New creates an injector whose fault decisions replay deterministically
@@ -90,6 +102,7 @@ func New(seed int64) *Injector {
 		rng:   rand.New(rand.NewSource(seed)),
 		rules: make(map[Point]Rule),
 		fired: make(map[Point]int64),
+		links: make(map[[2]string]bool),
 	}
 }
 
@@ -131,4 +144,52 @@ func (in *Injector) Fired(p Point) int64 {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.fired[p]
+}
+
+// CutLink black-holes traffic on the directed link from → to. Cutting
+// both directions partitions the pair; cutting one models an asymmetric
+// partition. Nil-safe nop.
+func (in *Injector) CutLink(from, to string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.links[[2]string{from, to}] = true
+}
+
+// HealLink restores the directed link from → to. Nil-safe nop.
+func (in *Injector) HealLink(from, to string) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.links, [2]string{from, to})
+}
+
+// HealAllLinks restores every cut link. Nil-safe nop.
+func (in *Injector) HealAllLinks() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.links = make(map[[2]string]bool)
+}
+
+// LinkDown reports whether the directed link from → to is currently cut,
+// counting a hit against PeerPartition so tests can assert the partition
+// actually absorbed traffic. Nil-safe; a nil injector has no cut links.
+func (in *Injector) LinkDown(from, to string) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.links[[2]string{from, to}] {
+		return false
+	}
+	in.fired[PeerPartition]++
+	return true
 }

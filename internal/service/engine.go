@@ -102,6 +102,15 @@ type Config struct {
 	// plan failing any of those is discarded and the request falls back to
 	// a local solve. A (nil, error) or (nil, nil) return is a miss.
 	PeerFill func(ctx context.Context, key string) ([]byte, error)
+	// OnPlanStored, when non-nil, is called after a freshly solved proven
+	// plan lands in the local tiers, with its canonical key and
+	// wire-encoded bytes. The cluster layer wires Cluster.ReplicatePlan
+	// here to push the plan to the key's replica set at write time. The
+	// hook must not block (the cluster's implementation only enqueues);
+	// it fires for fresh solves only — plans that arrived from a peer
+	// (fill, import) are already replicating and are not re-pushed, so
+	// replication cannot amplify into a loop.
+	OnPlanStored func(key string, data []byte)
 }
 
 func (c Config) workers() int {
@@ -238,6 +247,7 @@ type Engine struct {
 	cache    *cache
 	store    *store.Store // nil when no durable tier is configured
 	fill     func(ctx context.Context, key string) ([]byte, error)
+	onStored func(key string, data []byte) // write-time replication hook
 	neg      *negCache
 	breakers *admission.Breakers // nil when the breaker is disabled
 	inj      *faultinject.Injector
@@ -274,18 +284,19 @@ func New(cfg Config) *Engine {
 			Capacity: cfg.queueDepth(),
 			MaxWait:  cfg.MaxQueueWait,
 		}),
-		cache:   newCache(cfg.cacheSize()),
-		store:   cfg.Store,
-		fill:    cfg.PeerFill,
-		neg:     newNegCache(cfg.negativeCacheSize()),
-		inj:     cfg.FaultInjector,
-		flights: newFlightGroup(),
-		feeds:   newFeedGroup(),
-		metrics: &Metrics{},
-		baseCtx: ctx,
-		cancel:  cancel,
-		drained: make(chan struct{}),
-		solve:   switchsynth.SolvePlan,
+		cache:    newCache(cfg.cacheSize()),
+		store:    cfg.Store,
+		fill:     cfg.PeerFill,
+		onStored: cfg.OnPlanStored,
+		neg:      newNegCache(cfg.negativeCacheSize()),
+		inj:      cfg.FaultInjector,
+		flights:  newFlightGroup(),
+		feeds:    newFeedGroup(),
+		metrics:  &Metrics{},
+		baseCtx:  ctx,
+		cancel:   cancel,
+		drained:  make(chan struct{}),
+		solve:    switchsynth.SolvePlan,
 	}
 	if th := cfg.breakerThreshold(); th > 0 {
 		e.breakers = admission.NewBreakers(th, cfg.breakerCooldown())
@@ -740,6 +751,12 @@ func (e *Engine) runJob(j job) {
 		// caller's tiny budget must not shadow the proven optimum for
 		// everyone else — in memory or, worse, durably on disk.
 		if res.Proven {
+			// Encode the wire form once for both the durable tier and the
+			// replication hook.
+			var wire []byte
+			if e.store != nil || e.onStored != nil {
+				wire, _ = planio.EncodeWire(res)
+			}
 			if e.cache.enabled() {
 				toCache := res
 				if e.inj.Fire(faultinject.CacheCorrupt) {
@@ -752,10 +769,14 @@ func (e *Engine) runJob(j job) {
 			// fault; the store has its own disk fault points). Failures
 			// are absorbed: the store is a cache, not a system of
 			// record, and its error counters surface in the metrics.
-			if e.store != nil {
-				if data, perr := planio.EncodeWire(res); perr == nil {
-					_ = e.store.Put(j.key, engineName(j.opts), data)
-				}
+			if e.store != nil && wire != nil {
+				_ = e.store.Put(j.key, engineName(j.opts), wire)
+			}
+			// Replicate the freshly proven plan to the key's replica set
+			// (the hook only enqueues; pushes happen on the cluster's own
+			// workers).
+			if e.onStored != nil && wire != nil {
+				e.onStored(j.key, wire)
 			}
 		}
 	} else {

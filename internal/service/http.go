@@ -23,6 +23,10 @@
 //	GET  /plans/{key}             the stored planio-encoded plan, 404 when
 //	                              absent — the peer cache-fill and anti-entropy
 //	                              endpoints
+//	PUT  /plans/{key}             receive a replication / read-repair push from
+//	                              a peer; the body is re-verified end to end
+//	                              (Engine.ImportPlan) before it is stored — 204
+//	                              on success, 422 when verification rejects it
 //
 // Admission identity rides on two request headers: X-Synthd-Tenant names
 // the tenant sharing the fair queue (absent means the default tenant)
@@ -44,6 +48,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
@@ -73,6 +78,10 @@ const maxBatchRequestBody = 16 << 20
 
 // maxBatchSpecs bounds how many specs one batch may carry.
 const maxBatchSpecs = 1024
+
+// maxPlanBody bounds a PUT /plans/{key} replication push; it matches the
+// cluster layer's bound on fetched plans.
+const maxPlanBody = 8 << 20
 
 // TenantHeader and PriorityHeader carry the admission identity; the
 // cluster middleware forwards both when proxying to a key's owner.
@@ -290,13 +299,17 @@ func NewHandlerWith(e *Engine, hc HandlerConfig) http.Handler {
 		writeJSON(w, http.StatusOK, snap)
 	})
 	plans := func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			w.Header().Set("Allow", http.MethodGet)
-			writeError(w, http.StatusMethodNotAllowed, "invalid", fmt.Errorf("GET required"))
-			return
-		}
 		key := strings.TrimPrefix(r.URL.Path, "/plans")
 		key = strings.TrimPrefix(key, "/")
+		if r.Method == http.MethodPut && key != "" {
+			handlePlanPush(e, w, r, key)
+			return
+		}
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", "GET, PUT")
+			writeError(w, http.StatusMethodNotAllowed, "invalid", fmt.Errorf("GET or PUT required"))
+			return
+		}
 		if key == "" {
 			writeJSON(w, http.StatusOK, map[string]any{"keys": e.PlanKeys()})
 			return
@@ -312,6 +325,32 @@ func NewHandlerWith(e *Engine, hc HandlerConfig) http.Handler {
 	mux.HandleFunc("/plans", plans)
 	mux.HandleFunc("/plans/", plans)
 	return mux
+}
+
+// handlePlanPush receives a replication or read-repair push
+// (PUT /plans/{key} from a peer's cluster layer). The body is handed to
+// Engine.ImportPlan, which re-verifies everything — decode, Proven,
+// canonical-key re-derivation against the URL key, full contamination
+// check — before any local tier is touched. Success is 204; bytes that
+// fail verification are a 422 and are never stored or served. Pushing
+// an already-held key is a cheap 204 no-op.
+func handlePlanPush(e *Engine, w http.ResponseWriter, r *http.Request, key string) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxPlanBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "invalid",
+				fmt.Errorf("plan exceeds %d bytes", tooLarge.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid", fmt.Errorf("reading plan: %w", err))
+		return
+	}
+	if err := e.ImportPlan(key, data); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "invalid", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // callerFromRequest reads the admission identity headers. def is the
