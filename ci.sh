@@ -6,7 +6,9 @@
 # chaos tests — plus the three-topology campaign byte-diff and the
 # kill-any-node zero-re-solve campaign), the admission gate (batch
 # dedup/determinism, per-tenant fairness and the streaming contract,
-# race-checked twice), and five
+# race-checked twice), the portfolio gate (lane racing, cross-checks,
+# similarity-index adaptation and seeded-solve determinism, race-checked
+# twice, plus the campaign byte-diff with racing on vs off), and six
 # benchmarks: cold-vs-cached request rate (BENCH_service.json),
 # degraded-path throughput under injected slow-solve faults
 # (BENCH_resilience.json), the plan-store tiers — cold solve vs memory
@@ -14,7 +16,10 @@
 # local hit, peer fill, cold solve, replica push and failover read
 # (BENCH_cluster.json), and the
 # admission tier — batch dedup speedup, per-class queue latency,
-# streamed time-to-first-plan vs time-to-proof (BENCH_admission.json).
+# streamed time-to-first-plan vs time-to-proof (BENCH_admission.json),
+# and the portfolio tier — cold vs warm-started vs raced synthesis on
+# the saturated 16-pin ring and its one-module-delta neighbor family
+# (BENCH_portfolio.json).
 #
 # Usage: ./ci.sh            (full gate)
 #        BENCHTIME=5s ./ci.sh  (longer benchmark runs)
@@ -47,18 +52,29 @@ echo "== parallel solver gate: -race -count=2 =="
 go test -race -count=2 -run 'TestParallel|TestSharedGrid|TestClaimOrder|TestCounters' \
   ./internal/search/ ./internal/topo/
 
-echo "== determinism gate: campaign at -solver-workers 1/2/8 =="
-# Plans must be bit-identical at every worker count: run the seeded
-# campaign at three solver widths and byte-diff the deterministic report.
+echo "== portfolio gate: -race -count=2 =="
+# Lane racing, loser cross-checks, infeasibility agreement, the
+# similarity index's adaptation paths and the seeded-solve determinism
+# suite, twice under the race detector. -short skips only the 200-spec
+# property sweep, which tier 1 above already ran once at full size.
+go test -race -count=2 -short ./internal/portfolio/
+
+echo "== determinism gate: campaign at -solver-workers 1/2/8 and -portfolio =="
+# Plans must be bit-identical at every worker count AND with the solver
+# portfolio racing: run the seeded campaign at three solver widths plus
+# one raced run, and byte-diff the deterministic report.
 det_dir=$(mktemp -d)
 trap 'rm -rf "$det_dir"' EXIT
 for w in 1 2 8; do
   go run ./cmd/experiments -only campaign -campaign 30 -seed 7 \
     -timelimit 10s -workers 2 -solver-workers "$w" -out "$det_dir/w$w" > /dev/null
 done
+go run ./cmd/experiments -only campaign -campaign 30 -seed 7 \
+  -timelimit 10s -workers 2 -solver-workers 2 -portfolio -out "$det_dir/pf" > /dev/null
 diff "$det_dir/w1/campaign.txt" "$det_dir/w2/campaign.txt"
 diff "$det_dir/w1/campaign.txt" "$det_dir/w8/campaign.txt"
-echo "campaign.txt byte-identical at -solver-workers 1, 2, 8"
+diff "$det_dir/w1/campaign.txt" "$det_dir/pf/campaign.txt"
+echo "campaign.txt byte-identical at -solver-workers 1, 2, 8 and with -portfolio"
 
 echo "== chaos suite: 25 seeded fault schedules, -race -count=2 =="
 # The chaos tests carry their own goroutine-leak gate (leakcheck_test.go);
@@ -114,6 +130,15 @@ echo "== admission benchmark: batch dedup, per-class latency, streaming =="
 BENCH_ADMISSION_OUT="$PWD/BENCH_admission.json" \
   go test -run 'TestAdmissionBenchReport' ./internal/service/
 cat BENCH_admission.json
+
+echo "== portfolio benchmark: cold vs warm-start vs raced =="
+# Emits BENCH_portfolio.json: cold vs warm-started solve times across
+# the saturated 16-pin ring's drop-one-flow (= one-module-delta)
+# neighbor family (gate: warm-start speedup > 1x, plans byte-identical)
+# and the raced base solve (gate: byte-identical, zero disagreements).
+BENCH_PORTFOLIO_OUT="$PWD/BENCH_portfolio.json" \
+  go test -run 'TestPortfolioBenchReport' -timeout 1200s ./internal/service/
+cat BENCH_portfolio.json
 
 echo "== service benchmark: cold vs cached =="
 bench_out=$(go test -run '^$' -bench 'BenchmarkService_(Cold|Cached)Synthesize$' -benchtime "${BENCHTIME:-2s}" .)

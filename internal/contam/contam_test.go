@@ -1,9 +1,10 @@
-package contam
+package contam_test
 
 import (
 	"strings"
 	"testing"
 
+	"switchsynth/internal/contam"
 	"switchsynth/internal/search"
 	"switchsynth/internal/spec"
 	"switchsynth/internal/topo"
@@ -30,7 +31,7 @@ func solved(t *testing.T, sp *spec.Spec) *spec.Result {
 }
 
 func TestVerifyAcceptsValidPlan(t *testing.T) {
-	if err := Verify(solved(t, conflictSpec())); err != nil {
+	if err := contam.Verify(solved(t, conflictSpec())); err != nil {
 		t.Fatalf("valid plan rejected: %v", err)
 	}
 }
@@ -58,7 +59,7 @@ func TestVerifyDetectsTampering(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			res := solved(t, conflictSpec())
 			tc.tamper(res)
-			err := Verify(res)
+			err := contam.Verify(res)
 			if err == nil {
 				t.Fatal("tampered plan accepted")
 			}
@@ -96,7 +97,7 @@ func TestVerifyDetectsConflictViolation(t *testing.T) {
 	for _, e := range res.UsedEdgeMask.Indices() {
 		res.Length += sw.Edges[e].Length
 	}
-	err := Verify(res)
+	err := contam.Verify(res)
 	if err == nil || !strings.Contains(err.Error(), "share a node") {
 		t.Fatalf("err = %v, want conflicting-share error", err)
 	}
@@ -111,13 +112,13 @@ func TestVerifyClockwiseViolation(t *testing.T) {
 		Binding:    spec.Clockwise,
 	}
 	res := solved(t, sp)
-	if err := Verify(res); err != nil {
+	if err := contam.Verify(res); err != nil {
 		t.Fatalf("valid clockwise plan rejected: %v", err)
 	}
 	// Swap two modules' pins to break the cyclic order. m1→m2 and m3→m4 in
 	// order; swapping m2 and m4 makes the sequence non-cyclic.
 	res.PinOf["m2"], res.PinOf["m4"] = res.PinOf["m4"], res.PinOf["m2"]
-	err := Verify(res)
+	err := contam.Verify(res)
 	if err == nil {
 		t.Fatal("broken clockwise order accepted")
 	}
@@ -146,12 +147,12 @@ func TestSpineBaselineIsPolluted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pinOf := SequentialBinding(sp, spine)
-	routes, err := BaselineRoutes(sp, spine, pinOf)
+	pinOf := contam.SequentialBinding(sp, spine)
+	routes, err := contam.BaselineRoutes(sp, spine, pinOf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := Analyze(sp, spine, routes)
+	rep := contam.Analyze(sp, spine, routes)
 	if rep.Clean() {
 		t.Fatal("spine baseline should be polluted")
 	}
@@ -178,7 +179,7 @@ func TestGridSynthesisIsCleanWhereSpineIsNot(t *testing.T) {
 		Binding:   spec.Unfixed,
 	}
 	res := solved(t, sp)
-	rep := Analyze(sp, res.Switch, res.Routes)
+	rep := contam.Analyze(sp, res.Switch, res.Routes)
 	if !rep.Clean() {
 		t.Fatalf("synthesized plan polluted: %+v", rep)
 	}
@@ -192,7 +193,7 @@ func TestBaselineRoutesErrors(t *testing.T) {
 		Flows:      []spec.Flow{{From: "a", To: "b"}},
 	}
 	spine, _ := topo.NewSpine(4)
-	if _, err := BaselineRoutes(sp, spine, map[string]int{"a": 0}); err == nil {
+	if _, err := contam.BaselineRoutes(sp, spine, map[string]int{"a": 0}); err == nil {
 		t.Error("missing binding accepted")
 	}
 }
@@ -200,7 +201,7 @@ func TestBaselineRoutesErrors(t *testing.T) {
 func TestSequentialBinding(t *testing.T) {
 	sp := &spec.Spec{Modules: []string{"a", "b", "c"}}
 	spine, _ := topo.NewSpine(4)
-	pinOf := SequentialBinding(sp, spine)
+	pinOf := contam.SequentialBinding(sp, spine)
 	if pinOf["a"] != 0 || pinOf["b"] != 1 || pinOf["c"] != 2 {
 		t.Errorf("binding = %v", pinOf)
 	}
@@ -212,7 +213,7 @@ func TestSourceFirstBinding(t *testing.T) {
 		Flows:   []spec.Flow{{From: "in1", To: "out1"}, {From: "in2", To: "out2"}},
 	}
 	spine, _ := topo.NewSpine(4)
-	pinOf := SourceFirstBinding(sp, spine)
+	pinOf := contam.SourceFirstBinding(sp, spine)
 	if pinOf["in1"] != 0 || pinOf["in2"] != 1 {
 		t.Errorf("sources not clustered first: %v", pinOf)
 	}
@@ -239,11 +240,11 @@ func TestSpineBaselineChIPLikePollution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	routes, err := BaselineRoutes(sp, spine, SourceFirstBinding(sp, spine))
+	routes, err := contam.BaselineRoutes(sp, spine, contam.SourceFirstBinding(sp, spine))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := Analyze(sp, spine, routes)
+	rep := contam.Analyze(sp, spine, routes)
 	if rep.ConflictPairsPolluted == 0 {
 		t.Error("inlet-clustered spine should pollute the ChIP-like conflicts")
 	}

@@ -64,6 +64,7 @@ type Problem struct {
 	lower   []float64
 	upper   []float64
 	rows    []Constraint
+	stop    func() bool
 }
 
 // NewProblem returns an empty problem with numVars variables, each with
@@ -102,6 +103,13 @@ func (p *Problem) SetBounds(v int, lo, hi float64) {
 // Bounds returns the bounds of variable v.
 func (p *Problem) Bounds(v int) (lo, hi float64) { return p.lower[v], p.upper[v] }
 
+// SetStop installs an abort poll: the simplex checks it periodically
+// between pivots and returns Status Aborted when it reports true. A
+// single relaxation of a large model can pivot for minutes, so a caller
+// enforcing a deadline or a context cannot rely on checking only
+// between its own solves.
+func (p *Problem) SetStop(stop func() bool) { p.stop = stop }
+
 // AddConstraint appends the row a·x (sense) rhs and returns its index.
 // Duplicate variables within terms are summed.
 func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) int {
@@ -130,6 +138,7 @@ func (p *Problem) Clone() *Problem {
 		lower:   append([]float64(nil), p.lower...),
 		upper:   append([]float64(nil), p.upper...),
 		rows:    make([]Constraint, len(p.rows)),
+		stop:    p.stop,
 	}
 	for i, r := range p.rows {
 		q.rows[i] = Constraint{
@@ -150,6 +159,7 @@ const (
 	Infeasible
 	Unbounded
 	IterLimit
+	Aborted
 )
 
 // String implements fmt.Stringer.
@@ -163,6 +173,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration-limit"
+	case Aborted:
+		return "aborted"
 	}
 	return "?"
 }
@@ -270,7 +282,7 @@ func Solve(p *Problem) Solution {
 		}
 	}
 
-	s := &simplex{tab: tab, basis: basis, n: n, m: m}
+	s := &simplex{tab: tab, basis: basis, n: n, m: m, stop: p.stop}
 
 	if nArt > 0 {
 		// Phase 1: minimize the sum of artificials.
@@ -323,6 +335,7 @@ type simplex struct {
 	tab   [][]float64 // m rows × (n+1) columns; column n is the RHS
 	basis []int
 	n, m  int
+	stop  func() bool
 }
 
 // objValue returns cost·x_B for the current basic solution.
@@ -358,6 +371,12 @@ func (s *simplex) run(cost []float64, banned int) Status {
 
 	maxIter := 200 * (s.m + s.n + 10)
 	for iter := 0; iter < maxIter; iter++ {
+		// Each pivot is O(m·n), so on large models even the bounded
+		// iteration count can run for minutes — poll the abort hook at a
+		// stride that keeps the overhead invisible.
+		if s.stop != nil && iter%32 == 0 && s.stop() {
+			return Aborted
+		}
 		// Entering column: Bland's rule (smallest index with negative
 		// reduced cost) — guarantees termination.
 		enter := -1

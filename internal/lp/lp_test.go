@@ -372,3 +372,35 @@ func TestAddConstraintRejectsBadVar(t *testing.T) {
 	}()
 	p.AddConstraint([]Term{{5, 1}}, LE, 1)
 }
+
+// TestSolveStopAborts installs an abort hook that trips after a few
+// polls and requires the simplex to give up with Aborted instead of
+// pivoting to optimality: a caller's deadline must be able to interrupt
+// a single long relaxation, not just wait it out.
+func TestSolveStopAborts(t *testing.T) {
+	// Large enough that phase 1 + phase 2 run well past the first few
+	// stop polls (stride 32).
+	const n = 60
+	p := NewProblem(n)
+	for v := 0; v < n; v++ {
+		p.SetObjective(v, -1)
+		p.SetBounds(v, 0, 10)
+	}
+	for v := 0; v < n-1; v++ {
+		p.AddConstraint([]Term{{v, 1}, {v + 1, 1}}, LE, 5)
+	}
+
+	if sol := Solve(p); sol.Status != Optimal {
+		t.Fatalf("without stop: status = %v, want optimal", sol.Status)
+	}
+
+	p.SetStop(func() bool { return true })
+	if sol := Solve(p); sol.Status != Aborted {
+		t.Fatalf("with tripped stop: status = %v, want aborted", sol.Status)
+	}
+
+	q := p.Clone() // the hook must survive Clone: milp solves per-node clones
+	if sol := Solve(q); sol.Status != Aborted {
+		t.Fatalf("cloned problem with tripped stop: status = %v, want aborted", sol.Status)
+	}
+}

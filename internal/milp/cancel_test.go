@@ -1,0 +1,143 @@
+package milp
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"switchsynth/internal/lp"
+)
+
+// hardKnapsack builds a deliberately nasty 0/1 instance: near-uniform
+// weights with a tight capacity make the LP bound weak, so branch and
+// bound explores many nodes before proving optimality.
+func hardKnapsack(n int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel("hard-knapsack")
+	weights := NewLinExpr()
+	obj := NewLinExpr()
+	total := 0.0
+	for i := 0; i < n; i++ {
+		v := m.NewBinary("x")
+		w := 100 + rng.Float64()
+		weights.Add(w, v)
+		obj.Add(-(w + rng.Float64()*0.1), v)
+		total += w
+	}
+	m.AddConstraint(weights, lp.LE, total/2)
+	m.SetObjective(obj)
+	return m
+}
+
+func TestSolveCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := hardKnapsack(30, 1).Solve(Options{Ctx: ctx})
+	if s.Status != Limit {
+		t.Fatalf("status = %v, want limit", s.Status)
+	}
+	if !errors.Is(s.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", s.Err)
+	}
+	if s.Nodes != 0 {
+		t.Errorf("explored %d nodes after cancellation", s.Nodes)
+	}
+}
+
+func TestSolveCancelledMidSearch(t *testing.T) {
+	m := hardKnapsack(40, 7)
+	// Sanity: unbounded, this instance takes far longer than the cancel
+	// window (it branches on dozens of near-tied binaries).
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	s := m.Solve(Options{Ctx: ctx})
+	elapsed := time.Since(start)
+	if s.Status == Optimal && elapsed < 10*time.Millisecond {
+		t.Skip("instance solved before the cancel fired; nothing to assert")
+	}
+	if s.Status != Limit {
+		t.Fatalf("status = %v after cancel (elapsed %s)", s.Status, elapsed)
+	}
+	if !errors.Is(s.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", s.Err)
+	}
+	// The poll runs once per node, so the solve must stop within one
+	// LP relaxation of the cancel — generously, well under 5 seconds.
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled solve ran %s, want prompt return", elapsed)
+	}
+}
+
+func TestSolveDeadlineSurfacesCause(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	s := hardKnapsack(40, 11).Solve(Options{Ctx: ctx})
+	if s.Status == Optimal {
+		t.Skip("instance solved inside the deadline; nothing to assert")
+	}
+	if !errors.Is(s.Err, context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want context.DeadlineExceeded", s.Err)
+	}
+}
+
+func TestTimeLimitLeavesErrNil(t *testing.T) {
+	s := hardKnapsack(40, 13).Solve(Options{TimeLimit: time.Millisecond})
+	if s.Status == Optimal {
+		t.Skip("instance solved inside the limit; nothing to assert")
+	}
+	if s.Err != nil {
+		t.Errorf("internal time limit set Err = %v, want nil (Err is for external cancellation)", s.Err)
+	}
+}
+
+// TestSolveCancelledMidRelaxation cancels while the solver is inside a
+// single large LP relaxation. The per-node poll alone cannot see this —
+// the first relaxation of a big model can pivot for minutes — so the
+// abort has to come from the in-LP stop hook.
+func TestSolveCancelledMidRelaxation(t *testing.T) {
+	// A dense model whose root relaxation alone takes far longer than
+	// the cancellation delay below.
+	rng := rand.New(rand.NewSource(11))
+	m := NewModel("big-lp")
+	const n, rows = 220, 220
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = m.NewBinary("x")
+	}
+	obj := NewLinExpr()
+	for _, v := range vars {
+		obj.Add(-(1 + rng.Float64()), v)
+	}
+	m.SetObjective(obj)
+	for r := 0; r < rows; r++ {
+		e := NewLinExpr()
+		for _, v := range vars {
+			e.Add(1+rng.Float64(), v)
+		}
+		m.AddConstraint(e, lp.LE, float64(n)/3)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	sol := m.Solve(Options{Ctx: ctx})
+	elapsed := time.Since(start)
+	if sol.Status != Limit {
+		t.Fatalf("status = %v, want Limit", sol.Status)
+	}
+	if !errors.Is(sol.Err, context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", sol.Err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; the in-LP stop hook is not firing", elapsed)
+	}
+}

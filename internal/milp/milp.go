@@ -10,6 +10,7 @@
 package milp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -234,6 +235,11 @@ type Solution struct {
 	Nodes int
 	// Runtime is the wall-clock solve time.
 	Runtime time.Duration
+	// Err records why a Limit status was reached when the cause was
+	// external cancellation (Options.Ctx): context.Canceled or
+	// context.DeadlineExceeded. Nil for node/time limits and for
+	// Optimal/Infeasible outcomes.
+	Err error
 }
 
 // Value returns the value of v in the solution.
@@ -248,6 +254,14 @@ type Options struct {
 	TimeLimit time.Duration
 	// MaxNodes bounds the number of explored nodes (0 = no limit).
 	MaxNodes int
+	// Ctx, when non-nil, is polled once per branch-and-bound node AND
+	// periodically inside each LP relaxation (a single simplex solve on
+	// a large model can otherwise run for minutes): a cancelled context
+	// stops the solve promptly with Status Limit and Solution.Err =
+	// Ctx.Err(), so a losing portfolio lane stops burning CPU the
+	// moment its race is decided. TimeLimit is enforced at the same two
+	// granularities.
+	Ctx context.Context
 }
 
 const intTol = 1e-6
@@ -265,6 +279,15 @@ func (m *Model) Solve(opts Options) Solution {
 	for _, r := range m.rows {
 		base.AddConstraint(r.expr.Terms(), r.sense, r.rhs)
 	}
+	// Abort in-flight LP relaxations too: the per-node limit checks
+	// below cannot interrupt a single large simplex solve, which is
+	// where nearly all of the wall clock goes on big models.
+	base.SetStop(func() bool {
+		if opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit {
+			return true
+		}
+		return opts.Ctx != nil && opts.Ctx.Err() != nil
+	})
 
 	intVars := make([]int, 0, len(m.vars))
 	for i, vi := range m.vars {
@@ -282,6 +305,7 @@ func (m *Model) Solve(opts Options) Solution {
 		bestObj  = math.Inf(1)
 		nodes    int
 		hitLimit bool
+		cause    error
 	)
 	rootLo := make([]float64, len(m.vars))
 	rootHi := make([]float64, len(m.vars))
@@ -299,6 +323,13 @@ func (m *Model) Solve(opts Options) Solution {
 			hitLimit = true
 			break
 		}
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				hitLimit = true
+				cause = err
+				break
+			}
+		}
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nodes++
@@ -308,6 +339,16 @@ func (m *Model) Solve(opts Options) Solution {
 			prob.SetBounds(i, nd.lo[i], nd.hi[i])
 		}
 		rel := lp.Solve(prob)
+		if rel.Status == lp.Aborted {
+			// The deadline or context fired mid-relaxation. This node is
+			// unresolved, so it must NOT be pruned as infeasible — stop
+			// the whole solve exactly like the per-node limit checks.
+			hitLimit = true
+			if opts.Ctx != nil {
+				cause = opts.Ctx.Err()
+			}
+			break
+		}
 		if rel.Status != lp.Optimal {
 			continue // infeasible or unbounded branch: prune
 		}
@@ -359,7 +400,7 @@ func (m *Model) Solve(opts Options) Solution {
 		}
 	}
 
-	sol := Solution{Nodes: nodes, Runtime: time.Since(start)}
+	sol := Solution{Nodes: nodes, Runtime: time.Since(start), Err: cause}
 	switch {
 	case found && !hitLimit:
 		sol.Status = Optimal

@@ -20,6 +20,7 @@
 package model
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -35,16 +36,32 @@ type Options struct {
 	TimeLimit time.Duration
 	// MaxNodes bounds the explored nodes (0 = none).
 	MaxNodes int
+	// Ctx, when non-nil, cancels the underlying branch & bound promptly
+	// (polled once per node); a cancelled solve surfaces as ErrLimit
+	// wrapping Ctx.Err().
+	Ctx context.Context
 }
 
-// ErrLimit is returned when the MILP search hit its node or time limit
-// before proving optimality or infeasibility.
-type ErrLimit struct{ SpecName string }
+// ErrLimit is returned when the MILP search hit its node or time limit —
+// or was cancelled — before proving optimality or infeasibility. Cause
+// carries the cancellation error (context.Canceled or
+// context.DeadlineExceeded) when the cut-off was external, so
+// errors.Is(err, context.Canceled) works through the chain.
+type ErrLimit struct {
+	SpecName string
+	Cause    error
+}
 
 // Error implements error.
 func (e *ErrLimit) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("model: limit hit before solving %q: %v", e.SpecName, e.Cause)
+	}
 	return fmt.Sprintf("model: limit hit before solving %q", e.SpecName)
 }
+
+// Unwrap exposes the cancellation cause to errors.Is/As.
+func (e *ErrLimit) Unwrap() error { return e.Cause }
 
 // Solve builds the paper's IQP for sp and solves it exactly.
 func Solve(sp *spec.Spec, opts Options) (*spec.Result, error) {
@@ -62,13 +79,13 @@ func Solve(sp *spec.Spec, opts Options) (*spec.Result, error) {
 func SolveOn(sp *spec.Spec, sw *topo.Switch, pt *topo.PathTable, opts Options) (*spec.Result, error) {
 	start := time.Now()
 	b := build(sp, sw, pt)
-	sol := b.m.Solve(milp.Options{TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes})
+	sol := b.m.Solve(milp.Options{TimeLimit: opts.TimeLimit, MaxNodes: opts.MaxNodes, Ctx: opts.Ctx})
 	switch sol.Status {
 	case milp.Infeasible:
 		return nil, &spec.ErrNoSolution{SpecName: sp.Name, Policy: sp.Binding}
 	case milp.Limit:
 		if !sol.HasSolution {
-			return nil, &ErrLimit{SpecName: sp.Name}
+			return nil, &ErrLimit{SpecName: sp.Name, Cause: sol.Err}
 		}
 	}
 	res, err := b.extract(&sol)

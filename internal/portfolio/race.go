@@ -1,0 +1,421 @@
+// Package portfolio races heterogeneous proof engines against each other
+// per solve and warm-starts the branch-and-bound from structurally
+// similar, previously proven specs.
+//
+// The two halves share one safety posture: nothing a backend produces is
+// trusted until it re-verifies. Race cross-checks every lane that
+// finishes against the winner — cost agreement for proofs, bound sanity
+// for degraded plans, full contamination re-verification for whatever is
+// served — and fails closed with ErrBackendDisagreement on any mismatch:
+// a disagreement means one of the independent optimality proofs is wrong,
+// which is a bug to page on, never a plan to serve. SimIndex hands out
+// adapted neighbor plans only as *seeds*, which internal/search
+// re-validates once more before adoption, so a stale index entry can
+// waste a little work but never change an answer.
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"switchsynth/internal/contam"
+	"switchsynth/internal/model"
+	"switchsynth/internal/search"
+	"switchsynth/internal/spec"
+)
+
+// Lane identifies one racing backend.
+type Lane string
+
+const (
+	// LaneSearch is the parallel branch-and-bound (internal/search).
+	LaneSearch Lane = "search"
+	// LaneMILP is the exact IQP-as-MILP encoding (internal/model), with
+	// its winning plans canonicalized through a seeded search solve so
+	// every proven race outcome is byte-identical to a plain search.
+	LaneMILP Lane = "milp"
+	// LaneGreedy is the first-fit incumbent lane: never proves, exists
+	// to guarantee a fast feasible plan when both provers time out.
+	LaneGreedy Lane = "greedy"
+)
+
+// DefaultLanes is the lane set used when Options.Lanes is empty.
+func DefaultLanes() []Lane { return []Lane{LaneSearch, LaneMILP, LaneGreedy} }
+
+// ParseLanes parses a comma-separated lane list ("search,milp,greedy").
+func ParseLanes(s string) ([]Lane, error) {
+	if strings.TrimSpace(s) == "" {
+		return DefaultLanes(), nil
+	}
+	var lanes []Lane
+	seen := map[Lane]bool{}
+	for _, part := range strings.Split(s, ",") {
+		l := Lane(strings.TrimSpace(part))
+		switch l {
+		case LaneSearch, LaneMILP, LaneGreedy:
+		default:
+			return nil, fmt.Errorf("portfolio: unknown lane %q (want search, milp or greedy)", part)
+		}
+		if seen[l] {
+			return nil, fmt.Errorf("portfolio: duplicate lane %q", l)
+		}
+		seen[l] = true
+		lanes = append(lanes, l)
+	}
+	return lanes, nil
+}
+
+// Options configure a Race.
+type Options struct {
+	// Lanes are the backends to race; empty means DefaultLanes.
+	Lanes []Lane
+	// TimeLimit bounds every lane's solve (zero = no limit).
+	TimeLimit time.Duration
+	// SearchWorkers is the branch-and-bound worker count for the search
+	// lane (and for the canonicalizing solve of the MILP lane).
+	SearchWorkers int
+	// Seed optionally warm-starts the search lane (see
+	// search.Options.SeedIncumbent).
+	Seed *spec.Result
+	// OnIncumbent, when non-nil, receives each anytime incumbent the
+	// search lane installs (see search.Options.OnIncumbent). Only the
+	// search lane publishes: it is the lane whose incumbents are ordered
+	// and canonical; surfacing a MILP or greedy interim plan would leak
+	// non-canonical snapshots into streams.
+	OnIncumbent func(*spec.Result)
+}
+
+// LaneReport describes how one lane finished.
+type LaneReport struct {
+	Lane      Lane
+	Proven    bool
+	HasPlan   bool
+	Objective float64
+	Runtime   time.Duration
+	// Cancelled marks a lane stopped because the race was already
+	// decided; its Err (a timeout wrapping context.Canceled) is expected.
+	Cancelled bool
+	Err       error
+}
+
+// Outcome is a decided race.
+type Outcome struct {
+	// Result is the winning plan (nil when the race proves
+	// infeasibility; the Race error is then ErrNoSolution).
+	Result *spec.Result
+	// Winner is the lane whose result is served.
+	Winner Lane
+	// Reports lists every lane in Options.Lanes order.
+	Reports []LaneReport
+}
+
+// costEps is the objective agreement tolerance between independent
+// backends. Objectives are quantized by the grid pitch (distinct values
+// differ by ≥ β·0.1) so anything beyond this is a genuine disagreement,
+// not float noise.
+const costEps = 1e-6
+
+var disagreements atomic.Int64
+
+// Disagreements returns the process-lifetime count of backend
+// disagreements detected by Race. It must stay zero; the CI chaos and
+// determinism gates fail on any nonzero value.
+func Disagreements() int64 { return disagreements.Load() }
+
+// ErrBackendDisagreement reports that two independently proven (or
+// verified) backends disagreed about a spec: different optimal costs, a
+// degraded plan beating a "proven" optimum, or a backend emitting a plan
+// that fails contamination verification. It is never served as a plan —
+// the race fails closed.
+type ErrBackendDisagreement struct {
+	SpecName   string
+	Winner     Lane
+	Loser      Lane
+	WinnerCost float64
+	LoserCost  float64
+	Detail     string
+}
+
+func (e *ErrBackendDisagreement) Error() string {
+	return fmt.Sprintf("portfolio: backend disagreement on %q: %s lane (cost %g) vs %s lane (cost %g): %s",
+		e.SpecName, e.Winner, e.WinnerCost, e.Loser, e.LoserCost, e.Detail)
+}
+
+// Is supports errors.Is(err, &ErrBackendDisagreement{}).
+func (e *ErrBackendDisagreement) Is(target error) bool {
+	_, ok := target.(*ErrBackendDisagreement)
+	return ok
+}
+
+type laneDone struct {
+	idx     int
+	res     *spec.Result
+	err     error
+	runtime time.Duration
+}
+
+// Race launches the configured lanes concurrently on sp and serves the
+// first *proven* outcome — an optimal plan or an infeasibility proof —
+// cancelling the losers via context. Every lane that still completes is
+// cross-checked against the winner; any inconsistency returns
+// ErrBackendDisagreement and no plan. When no lane proves anything
+// before the limit, the best degraded plan (by objective, then lane
+// order) is returned, Degraded and unproven, exactly like a lone
+// search.Solve under the same limit.
+//
+// A proven Race result is byte-identical to sequential search.Solve on
+// the same spec: the search lane emits the canonical plan by
+// construction, and the MILP lane canonicalizes its win through a
+// search solve seeded with the MILP plan (the seeded search re-proves
+// optimality from the tight bound and lands on the same canonical leaf,
+// while disagreeing costs between the two provers surface as
+// ErrBackendDisagreement).
+func Race(ctx context.Context, sp *spec.Spec, opts Options) (*Outcome, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	lanes := opts.Lanes
+	if len(lanes) == 0 {
+		lanes = DefaultLanes()
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ch := make(chan laneDone, len(lanes))
+	for i, lane := range lanes {
+		go func(i int, lane Lane) {
+			start := time.Now()
+			res, err := runLane(rctx, lane, sp, opts)
+			ch <- laneDone{idx: i, res: res, err: err, runtime: time.Since(start)}
+		}(i, lane)
+	}
+
+	// Collect every lane; the first proven outcome (optimal plan or
+	// infeasibility proof) decides the race and cancels the rest. The
+	// losers stop at their next cancellation poll, so waiting for them
+	// is cheap and buys the cross-check.
+	done := make([]laneDone, len(lanes))
+	winner := -1
+	for range lanes {
+		d := <-ch
+		done[d.idx] = d
+		if winner < 0 && laneProven(d) {
+			winner = d.idx
+			cancel()
+		}
+	}
+
+	out := &Outcome{Reports: make([]LaneReport, len(lanes))}
+	for i, d := range done {
+		rep := LaneReport{Lane: lanes[i], Runtime: d.runtime, Err: d.err}
+		if d.res != nil {
+			rep.HasPlan = true
+			rep.Proven = d.res.Proven
+			rep.Objective = d.res.Objective
+		}
+		if winner >= 0 && i != winner && errors.Is(d.err, context.Canceled) {
+			rep.Cancelled = true
+		}
+		out.Reports[i] = rep
+	}
+
+	// Any lane that detected a disagreement itself (MILP vs its
+	// canonicalizing search) fails the whole race, regardless of who won.
+	for _, d := range done {
+		var dis *ErrBackendDisagreement
+		if errors.As(d.err, &dis) {
+			disagreements.Add(1)
+			return out, d.err
+		}
+	}
+
+	if winner < 0 {
+		return raceDegraded(sp, lanes, done, out)
+	}
+	w := done[winner]
+	out.Winner = lanes[winner]
+
+	if w.res == nil {
+		// Proven infeasible. Any completed verified plan from another
+		// lane contradicts the proof.
+		for i, d := range done {
+			if i == winner || d.res == nil {
+				continue
+			}
+			if contam.Verify(d.res) == nil {
+				disagreements.Add(1)
+				err := &ErrBackendDisagreement{
+					SpecName: sp.Name, Winner: lanes[winner], Loser: lanes[i],
+					LoserCost: d.res.Objective,
+					Detail:    "lane produced a verified plan for a spec proven infeasible",
+				}
+				return out, err
+			}
+		}
+		return out, w.err
+	}
+
+	// The served plan is always re-verified, whatever lane it came from.
+	if verr := contam.Verify(w.res); verr != nil {
+		disagreements.Add(1)
+		return out, &ErrBackendDisagreement{
+			SpecName: sp.Name, Winner: lanes[winner], Loser: lanes[winner],
+			WinnerCost: w.res.Objective,
+			Detail:     fmt.Sprintf("winning plan failed contamination verification: %v", verr),
+		}
+	}
+	for i, d := range done {
+		if i == winner {
+			continue
+		}
+		if err := crossCheck(sp, lanes[winner], w.res, lanes[i], d); err != nil {
+			disagreements.Add(1)
+			return out, err
+		}
+	}
+	out.Result = w.res
+	return out, nil
+}
+
+// laneProven reports whether a lane outcome decides the race: a proven
+// optimal plan or a proven infeasibility.
+func laneProven(d laneDone) bool {
+	if d.res != nil {
+		return d.res.Proven
+	}
+	var nosol *spec.ErrNoSolution
+	return errors.As(d.err, &nosol)
+}
+
+// crossCheck compares a finished losing lane against the proven winner.
+func crossCheck(sp *spec.Spec, winner Lane, wres *spec.Result, loser Lane, d laneDone) error {
+	if d.res == nil {
+		var nosol *spec.ErrNoSolution
+		if errors.As(d.err, &nosol) {
+			return &ErrBackendDisagreement{
+				SpecName: sp.Name, Winner: winner, Loser: loser,
+				WinnerCost: wres.Objective,
+				Detail:     "lane proved infeasibility against a verified winning plan",
+			}
+		}
+		return nil // timed out / cancelled with nothing: no evidence either way
+	}
+	if verr := contam.Verify(d.res); verr != nil {
+		return &ErrBackendDisagreement{
+			SpecName: sp.Name, Winner: winner, Loser: loser,
+			WinnerCost: wres.Objective, LoserCost: d.res.Objective,
+			Detail: fmt.Sprintf("losing lane emitted a plan that fails verification: %v", verr),
+		}
+	}
+	diff := d.res.Objective - wres.Objective
+	if d.res.Proven && (diff > costEps || diff < -costEps) {
+		return &ErrBackendDisagreement{
+			SpecName: sp.Name, Winner: winner, Loser: loser,
+			WinnerCost: wres.Objective, LoserCost: d.res.Objective,
+			Detail: "two proven optimality claims with different costs",
+		}
+	}
+	if !d.res.Proven && diff < -costEps {
+		return &ErrBackendDisagreement{
+			SpecName: sp.Name, Winner: winner, Loser: loser,
+			WinnerCost: wres.Objective, LoserCost: d.res.Objective,
+			Detail: "degraded plan beats the proven optimum: the proof is wrong",
+		}
+	}
+	return nil
+}
+
+// raceDegraded picks the best anytime plan when no lane proved anything:
+// lowest objective wins, lane order breaks ties. With no plan at all the
+// first lane error (in lane order) is surfaced.
+func raceDegraded(sp *spec.Spec, lanes []Lane, done []laneDone, out *Outcome) (*Outcome, error) {
+	best := -1
+	for i, d := range done {
+		if d.res == nil || contam.Verify(d.res) != nil {
+			continue
+		}
+		if best < 0 || d.res.Objective < done[best].res.Objective-costEps {
+			best = i
+		}
+	}
+	if best >= 0 {
+		out.Winner = lanes[best]
+		out.Result = done[best].res
+		return out, nil
+	}
+	for _, d := range done {
+		if d.err != nil {
+			return out, d.err
+		}
+	}
+	return out, &search.ErrTimeout{SpecName: sp.Name}
+}
+
+// runLane executes one backend under the race context.
+func runLane(ctx context.Context, lane Lane, sp *spec.Spec, opts Options) (*spec.Result, error) {
+	switch lane {
+	case LaneSearch:
+		return search.Solve(sp, search.Options{
+			Ctx:           ctx,
+			TimeLimit:     opts.TimeLimit,
+			Workers:       opts.SearchWorkers,
+			SeedIncumbent: opts.Seed,
+			OnIncumbent:   opts.OnIncumbent,
+		})
+	case LaneGreedy:
+		return search.GreedyFirstFit(sp, search.Options{Ctx: ctx, TimeLimit: opts.TimeLimit})
+	case LaneMILP:
+		return runMILPLane(ctx, sp, opts)
+	default:
+		return nil, fmt.Errorf("portfolio: unknown lane %q", lane)
+	}
+}
+
+// runMILPLane solves via the exact MILP encoding and, on a proven win,
+// canonicalizes the plan through a search solve seeded with it. The
+// seeded search re-proves optimality from the MILP bound and lands on
+// the canonical leaf, so a MILP win is byte-identical to a search win;
+// if the two provers disagree on the optimal cost — or the MILP plan
+// does not even verify — the lane reports ErrBackendDisagreement.
+func runMILPLane(ctx context.Context, sp *spec.Spec, opts Options) (*spec.Result, error) {
+	res, err := model.Solve(sp, model.Options{TimeLimit: opts.TimeLimit, Ctx: ctx})
+	if err != nil || !res.Proven {
+		return res, err
+	}
+	if verr := contam.Verify(res); verr != nil {
+		return nil, &ErrBackendDisagreement{
+			SpecName: sp.Name, Winner: LaneMILP, Loser: LaneMILP,
+			WinnerCost: res.Objective,
+			Detail:     fmt.Sprintf("MILP optimal plan failed contamination verification: %v", verr),
+		}
+	}
+	cres, cerr := search.Solve(sp, search.Options{
+		Ctx:           ctx,
+		TimeLimit:     opts.TimeLimit,
+		Workers:       opts.SearchWorkers,
+		SeedIncumbent: res,
+	})
+	if cerr != nil {
+		// Cancelled or timed out before re-proving: fall back to the
+		// (verified) MILP plan demoted to degraded, so a slow
+		// canonicalization can't fake a second independent proof.
+		demoted := *res
+		demoted.Proven = false
+		demoted.Degraded = true
+		return &demoted, nil
+	}
+	if cres.Proven {
+		if diff := cres.Objective - res.Objective; diff > costEps || diff < -costEps {
+			return nil, &ErrBackendDisagreement{
+				SpecName: sp.Name, Winner: LaneMILP, Loser: LaneSearch,
+				WinnerCost: res.Objective, LoserCost: cres.Objective,
+				Detail: "MILP and seeded-search optimality proofs disagree on cost",
+			}
+		}
+	}
+	return cres, nil
+}

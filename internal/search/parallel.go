@@ -333,7 +333,18 @@ func (s *solver) runParallel() {
 		workers: workers,
 		oversub: workers > runtime.GOMAXPROCS(0),
 	}
-	sh.best.Store(&sharedBest{cost: inf, unit: maxUnit})
+	if s.seedBest && s.best != nil {
+		// An adopted external seed becomes the shared starting incumbent.
+		// Its unit is maxUnit — notionally "after every real unit" — so
+		// the existing offer/prune tie-break makes every worker treat it
+		// exactly like a later-unit incumbent: equal-cost leaves still
+		// win, and the canonical first-optimal leaf replaces it whenever
+		// the run completes. Seeded and unseeded complete runs therefore
+		// emit byte-identical plans at every worker count.
+		sh.best.Store(&sharedBest{cost: s.bestCost, unit: maxUnit, inc: s.best})
+	} else {
+		sh.best.Store(&sharedBest{cost: inf, unit: maxUnit})
+	}
 
 	order := claimOrder(len(units))
 	ws := make([]*solver, workers)

@@ -60,6 +60,21 @@ type Options struct {
 	// caches or reproducibility. The greedy first-fit mode is always
 	// sequential regardless of this setting.
 	Workers int
+	// SeedIncumbent, when non-nil, is a plan for (a spec equivalent to)
+	// the same spec — typically an adapted neighbor plan from a
+	// similarity index — installed as the starting incumbent so the
+	// branch and bound begins with a tight upper bound instead of +inf.
+	// The seed is fully re-validated before adoption (flow re-indexing
+	// onto this spec, contamination re-verify, objective recomputation);
+	// an invalid or stale seed is counted (SeedCounters) and ignored,
+	// never fatal. Seeding never changes the answer: a seeded solve that
+	// runs to completion emits a byte-identical proven plan to an
+	// unseeded one at every worker count — the seed ranks strictly after
+	// every leaf the search itself reaches, so it only prunes provably
+	// worse subtrees. On timeout the seed is returned as the degraded
+	// incumbent if nothing better was found. Ignored in greedy
+	// first-fit mode.
+	SeedIncumbent *spec.Result
 	// OnIncumbent, when non-nil, is invoked each time the search installs
 	// a new best incumbent, with a self-contained snapshot Result
 	// (Degraded: true, LowerBound/Gap filled from the admissible root
@@ -232,6 +247,14 @@ type solver struct {
 
 	best     *incumbent
 	bestCost float64
+	// seedBest marks that the current incumbent is an externally adopted
+	// seed (Options.SeedIncumbent) rather than a leaf this search
+	// reached. A seed ranks strictly after every native leaf: acceptLeaf
+	// replaces it on any leaf within tolerance of its cost (not just a
+	// strict improvement) and pruneBound keeps equal-cost subtrees open,
+	// so a completed seeded solve lands on exactly the same canonical
+	// leaf as an unseeded one. Cleared on the first acceptance.
+	seedBest bool
 	deadline time.Time
 	hasDL    bool
 	ctx      context.Context
@@ -356,6 +379,18 @@ func (s *solver) run() (*spec.Result, error) {
 	// Admissible root bound: at least one flow set, plus the stub length
 	// every flow must add. Reported as LowerBound on degraded plans.
 	s.rootLB = s.alpha + s.remainingLB(0)
+
+	// Adopt the external seed (root solver only — parallel workers
+	// inherit it through the shared incumbent, never re-adopt). Greedy
+	// first-fit ignores seeds: its contract is "first feasible leaf".
+	if s.opts.SeedIncumbent != nil && !s.stopAtFirst {
+		if inc := s.adoptSeed(); inc != nil {
+			s.best = inc
+			s.bestCost = inc.cost
+			s.seedBest = true
+			s.publishIncumbent(inc)
+		}
+	}
 
 	if s.opts.Workers > 1 && !s.stopAtFirst && len(s.order) > 0 {
 		s.runParallel()
@@ -556,7 +591,8 @@ func (s *solver) acceptLeaf() {
 		s.shared.offer(s, c)
 		return
 	}
-	if c < s.bestCost-eps {
+	if c < s.bestCost-eps || (s.seedBest && c < s.bestCost+eps) {
+		s.seedBest = false
 		s.bestCost = c
 		s.best = s.snapshotIncumbent(c)
 		if s.stopAtFirst {
@@ -623,6 +659,12 @@ func (s *solver) snapshotIncumbent(c float64) *incumbent {
 // leaf here would still win the (cost, unit) tie-break.
 func (s *solver) pruneBound() float64 {
 	if s.shared == nil {
+		if s.seedBest {
+			// The incumbent is an external seed: an equal-cost leaf
+			// must still be reachable so the seeded run lands on the
+			// same canonical leaf as an unseeded one.
+			return s.bestCost + eps
+		}
 		return s.bestCost - eps
 	}
 	b := s.shared.best.Load()

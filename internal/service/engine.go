@@ -38,6 +38,7 @@ import (
 	"switchsynth/internal/admission"
 	"switchsynth/internal/faultinject"
 	"switchsynth/internal/planio"
+	"switchsynth/internal/portfolio"
 	"switchsynth/internal/search"
 	"switchsynth/internal/spec"
 	"switchsynth/internal/store"
@@ -111,6 +112,26 @@ type Config struct {
 	// (fill, import) are already replicating and are not re-pushed, so
 	// replication cannot amplify into a loop.
 	OnPlanStored func(key string, data []byte)
+	// Portfolio routes search-engine solves through portfolio.Race:
+	// configured backend lanes (branch-and-bound, MILP, greedy) run the
+	// same canonical spec concurrently, the first optimality proof wins
+	// and cancels the rest, and every completed loser is cross-checked
+	// against the winner. Disabled by default; the plan served is
+	// byte-identical either way, so this never partitions the cache.
+	Portfolio bool
+	// PortfolioLanes selects the racing lanes as a comma-separated list
+	// ("search,milp,greedy"); empty means every lane. Ignored unless
+	// Portfolio is set. Invalid lane names fall back to the full default
+	// set — cmd/synthd validates the flag up front and fails fast instead.
+	PortfolioLanes string
+	// SimIndexSize bounds the spec-similarity warm-start index in entries
+	// (default 512; negative disables it). The index is populated with
+	// every proven plan — solved, filled or imported — and consulted on
+	// cold search-engine solves: a stored plan for the same spec family
+	// (one module/flow removed or added, one conflict toggled) is adapted
+	// into a starting incumbent. Warm starts only tighten the initial
+	// bound; plans stay bit-identical to a cold solve.
+	SimIndexSize int
 }
 
 func (c Config) workers() int {
@@ -185,6 +206,25 @@ func (c Config) negativeCacheSize() int {
 	}
 }
 
+func (c Config) simIndexSize() int {
+	switch {
+	case c.SimIndexSize > 0:
+		return c.SimIndexSize
+	case c.SimIndexSize < 0:
+		return 0
+	default:
+		return portfolio.DefaultSimIndexCapacity
+	}
+}
+
+func (c Config) portfolioLanes() []portfolio.Lane {
+	lanes, err := portfolio.ParseLanes(c.PortfolioLanes)
+	if err != nil {
+		return portfolio.DefaultLanes()
+	}
+	return lanes
+}
+
 // Response is the outcome of one synthesis request.
 type Response struct {
 	// Synthesis is the routed, analyzed switch (nil on error).
@@ -254,6 +294,12 @@ type Engine struct {
 	flights  *flightGroup
 	feeds    *feedGroup // per-key anytime incumbent feeds (streaming)
 	metrics  *Metrics
+	// simIndex is the spec-similarity warm-start index (nil when
+	// disabled): proven plans are added as they land, cold search-engine
+	// solves probe it for an adapted starting incumbent.
+	simIndex *portfolio.SimIndex
+	// pfLanes is the parsed racing lane set; empty unless cfg.Portfolio.
+	pfLanes []portfolio.Lane
 
 	// draining is set by StartDrain (graceful shutdown has begun):
 	// readiness probes — /readyz, cluster membership — steer traffic
@@ -300,6 +346,12 @@ func New(cfg Config) *Engine {
 	}
 	if th := cfg.breakerThreshold(); th > 0 {
 		e.breakers = admission.NewBreakers(th, cfg.breakerCooldown())
+	}
+	if size := cfg.simIndexSize(); size > 0 {
+		e.simIndex = portfolio.NewSimIndex(size)
+	}
+	if cfg.Portfolio {
+		e.pfLanes = cfg.portfolioLanes()
 	}
 	workers := cfg.workers()
 	done := make(chan struct{}, workers)
@@ -412,6 +464,9 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 						if data, perr := planio.EncodeWire(res); perr == nil {
 							_ = e.store.Put(key, engineName(opts), data)
 						}
+					}
+					if e.simIndex != nil {
+						e.simIndex.Add(res.Spec, res)
 					}
 					e.metrics.jobsCompleted.Add(1)
 					return resp, nil
@@ -568,6 +623,11 @@ func (e *Engine) ImportPlan(key string, data []byte) error {
 		if err := e.store.Put(key, res.Engine, data); err != nil {
 			return err
 		}
+	}
+	if e.simIndex != nil {
+		// A verified imported plan warms the similarity index just like a
+		// local solve: neighbors of replicated specs warm-start too.
+		e.simIndex.Add(res.Spec, res)
 	}
 	e.metrics.peerImported.Add(1)
 	return nil
@@ -740,7 +800,7 @@ func (e *Engine) runJob(j job) {
 		var canon *spec.Spec
 		canon, err = j.sp.CanonicalSpec()
 		if err == nil {
-			res, err = e.solve(e.baseCtx, canon, opts)
+			res, err = e.solveCanonical(canon, opts)
 		}
 	}()
 	e.metrics.observeSolve(time.Since(start))
@@ -794,6 +854,79 @@ func (e *Engine) runJob(j job) {
 	e.feeds.complete(j.key, feed, res, err)
 }
 
+// seedTightenEps is the margin below which a proven objective counts as
+// merely matching its warm-start seed rather than tightening it.
+const seedTightenEps = 1e-9
+
+// solveCanonical runs the optimizer on the canonical spec, wiring in the
+// portfolio tier: search-engine solves probe the similarity index for a
+// warm-start seed, and — when racing is configured — run through
+// portfolio.Race instead of a lone solve. Plans are byte-identical on
+// every path, so neither feature partitions the cache; proven plans feed
+// back into the similarity index for future neighbors. The injectable
+// e.solve remains the entry point for every non-raced solve, so tests
+// that substitute it see all default-configuration traffic.
+func (e *Engine) solveCanonical(canon *spec.Spec, opts switchsynth.Options) (*spec.Result, error) {
+	isSearch := engineName(opts) == switchsynth.EngineSearch
+	var seed *spec.Result
+	if isSearch && e.simIndex != nil {
+		if seed = e.simIndex.Lookup(canon); seed != nil {
+			e.metrics.warmStartHits.Add(1)
+			opts.SeedIncumbent = seed
+		} else {
+			e.metrics.warmStartMisses.Add(1)
+		}
+	}
+	var (
+		res *spec.Result
+		err error
+	)
+	if isSearch && len(e.pfLanes) > 0 {
+		res, err = e.solveRace(canon, opts, seed)
+	} else {
+		res, err = e.solve(e.baseCtx, canon, opts)
+	}
+	if err == nil && res != nil && res.Proven {
+		if seed != nil && res.Objective < seed.Objective-seedTightenEps {
+			e.metrics.seedTightened.Add(1)
+		}
+		if e.simIndex != nil {
+			e.simIndex.Add(canon, res)
+		}
+	}
+	return res, err
+}
+
+// solveRace runs one raced solve through the portfolio supervisor,
+// counting the race, the winning lane, and any backend disagreement. A
+// disagreement is returned as the job error — the fail-closed posture of
+// internal/portfolio — and is never served or cached.
+func (e *Engine) solveRace(canon *spec.Spec, opts switchsynth.Options, seed *spec.Result) (*spec.Result, error) {
+	e.metrics.portfolioRaces.Add(1)
+	out, err := portfolio.Race(e.baseCtx, canon, portfolio.Options{
+		Lanes:         e.pfLanes,
+		TimeLimit:     opts.TimeLimit,
+		SearchWorkers: opts.SolverWorkers,
+		Seed:          seed,
+		OnIncumbent:   opts.OnIncumbent,
+	})
+	if err != nil {
+		if errors.Is(err, &portfolio.ErrBackendDisagreement{}) {
+			e.metrics.portfolioDisagreements.Add(1)
+		}
+		return nil, err
+	}
+	switch out.Winner {
+	case portfolio.LaneSearch:
+		e.metrics.portfolioWinsSearch.Add(1)
+	case portfolio.LaneMILP:
+		e.metrics.portfolioWinsMILP.Add(1)
+	case portfolio.LaneGreedy:
+		e.metrics.portfolioWinsGreedy.Add(1)
+	}
+	return out.Result, nil
+}
+
 // recordBreaker feeds a solve outcome into the key's circuit breaker:
 // slot-burning failures (timeout, panic) count against it, anything that
 // completed — a plan, or even a proven ErrNoSolution — resets it.
@@ -831,6 +964,15 @@ func (e *Engine) Snapshot() Snapshot {
 	s.PeerFillEnabled = e.fill != nil
 	s.SolverWorkers = e.cfg.solverWorkers()
 	s.SolverNodesTotal, s.SolverStealsTotal = search.Counters()
+	s.PortfolioEnabled = len(e.pfLanes) > 0
+	s.SeedsAdopted, s.SeedsRejected = search.SeedCounters()
+	if e.simIndex != nil {
+		st := e.simIndex.Stats()
+		s.SimIndexEntries = st.Entries
+		s.SimIndexCapacity = st.Capacity
+		s.SimIndexLookups = st.Lookups
+		s.SimIndexHits = st.Hits
+	}
 	if e.store != nil {
 		st := e.store.Stats()
 		s.StoreEnabled = true
@@ -845,6 +987,56 @@ func (e *Engine) Snapshot() Snapshot {
 		s.StoreFsyncErrors = st.FsyncErrors
 	}
 	return s
+}
+
+// PortfolioStats is the GET /portfolio payload: the portfolio tier's
+// configuration and counters in one focused block (the same counters
+// also appear inside the full /metrics snapshot). Disagreements counts
+// raced engine solves that failed closed on a backend disagreement;
+// ProcessDisagreements is the portfolio package's process-wide counter
+// (it also covers races not routed through this engine) — both must stay
+// zero in a healthy deployment.
+type PortfolioStats struct {
+	Enabled              bool               `json:"enabled"`
+	Lanes                []string           `json:"lanes,omitempty"`
+	Races                int64              `json:"races"`
+	LaneWinsSearch       int64              `json:"laneWinsSearch"`
+	LaneWinsMILP         int64              `json:"laneWinsMilp"`
+	LaneWinsGreedy       int64              `json:"laneWinsGreedy"`
+	Disagreements        int64              `json:"disagreements"`
+	ProcessDisagreements int64              `json:"processDisagreements"`
+	WarmStartHits        int64              `json:"warmStartHits"`
+	WarmStartMisses      int64              `json:"warmStartMisses"`
+	SeedTightened        int64              `json:"seedTightened"`
+	SeedsAdopted         int64              `json:"seedsAdopted"`
+	SeedsRejected        int64              `json:"seedsRejected"`
+	SimIndex             portfolio.SimStats `json:"simIndex"`
+}
+
+// PortfolioStats returns the portfolio tier's current configuration and
+// counters (the GET /portfolio payload).
+func (e *Engine) PortfolioStats() PortfolioStats {
+	ps := PortfolioStats{
+		Enabled:        len(e.pfLanes) > 0,
+		Races:          e.metrics.portfolioRaces.Load(),
+		LaneWinsSearch: e.metrics.portfolioWinsSearch.Load(),
+		LaneWinsMILP:   e.metrics.portfolioWinsMILP.Load(),
+		LaneWinsGreedy: e.metrics.portfolioWinsGreedy.Load(),
+		Disagreements:  e.metrics.portfolioDisagreements.Load(),
+
+		ProcessDisagreements: portfolio.Disagreements(),
+		WarmStartHits:        e.metrics.warmStartHits.Load(),
+		WarmStartMisses:      e.metrics.warmStartMisses.Load(),
+		SeedTightened:        e.metrics.seedTightened.Load(),
+	}
+	for _, l := range e.pfLanes {
+		ps.Lanes = append(ps.Lanes, string(l))
+	}
+	ps.SeedsAdopted, ps.SeedsRejected = search.SeedCounters()
+	if e.simIndex != nil {
+		ps.SimIndex = e.simIndex.Stats()
+	}
+	return ps
 }
 
 // Close stops accepting requests, drains queued jobs, and waits for the

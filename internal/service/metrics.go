@@ -87,6 +87,26 @@ type Metrics struct {
 	incumbentsPublished atomic.Int64
 	streamWatches       atomic.Int64
 
+	// Portfolio-tier counters. portfolioRaces counts solves routed through
+	// portfolio.Race; the three win counters break them down by which lane
+	// supplied the served plan (they sum to the races that served one).
+	// portfolioDisagreements counts raced solves failed closed by a
+	// backend disagreement — it must stay zero; the CI chaos and
+	// determinism gates assert on it.
+	portfolioRaces         atomic.Int64
+	portfolioWinsSearch    atomic.Int64
+	portfolioWinsMILP      atomic.Int64
+	portfolioWinsGreedy    atomic.Int64
+	portfolioDisagreements atomic.Int64
+
+	// Warm-start counters. warmStartHits/warmStartMisses count similarity
+	// index probes on cold search-engine solves; seedTightened counts
+	// proven solves whose optimum strictly beat their adapted seed (the
+	// seed bounded the search but was not itself optimal).
+	warmStartHits   atomic.Int64
+	warmStartMisses atomic.Int64
+	seedTightened   atomic.Int64
+
 	solveCount   atomic.Int64
 	solveNanos   atomic.Int64
 	solveBucket  [numSolveBuckets]atomic.Int64
@@ -205,6 +225,35 @@ type Snapshot struct {
 	SolverNodesTotal  int64 `json:"solver_nodes_total"`
 	SolverStealsTotal int64 `json:"solver_steals_total"`
 
+	// Portfolio tier. PortfolioEnabled reports whether racing is
+	// configured (the warm-start index has its own gauges below and is on
+	// by default). Lane wins sum to the races that served a plan;
+	// Disagreements must stay zero — any nonzero value means two
+	// independent optimality proofs contradicted each other and the
+	// affected solves failed closed.
+	PortfolioEnabled       bool  `json:"portfolio_enabled"`
+	PortfolioRaces         int64 `json:"portfolio_races"`
+	PortfolioWinsSearch    int64 `json:"portfolio_lane_wins_search"`
+	PortfolioWinsMILP      int64 `json:"portfolio_lane_wins_milp"`
+	PortfolioWinsGreedy    int64 `json:"portfolio_lane_wins_greedy"`
+	PortfolioDisagreements int64 `json:"portfolio_disagreements"`
+
+	// Warm-start effectiveness. Hits/Misses count similarity index probes
+	// on cold search-engine solves; SeedTightened counts proven solves
+	// that strictly beat their seed. SeedsAdopted/SeedsRejected are the
+	// optimizer's own seed-validation counters (process-wide, like the
+	// solver internals below): a rejected seed was stale or infeasible and
+	// was ignored, never trusted.
+	WarmStartHits    int64 `json:"portfolio_warmstart_hits"`
+	WarmStartMisses  int64 `json:"portfolio_warmstart_misses"`
+	SeedTightened    int64 `json:"portfolio_seed_tightened"`
+	SeedsAdopted     int64 `json:"portfolio_seeds_adopted"`
+	SeedsRejected    int64 `json:"portfolio_seeds_rejected"`
+	SimIndexEntries  int   `json:"simindex_entries"`
+	SimIndexCapacity int   `json:"simindex_capacity"`
+	SimIndexLookups  int64 `json:"simindex_lookups"`
+	SimIndexHits     int64 `json:"simindex_hits"`
+
 	// Solve latency (actual optimizer runs only — cache hits excluded).
 	SolveCount       int64   `json:"solveCount"`
 	SolveMeanSeconds float64 `json:"solveMeanSeconds"`
@@ -245,6 +294,15 @@ func (m *Metrics) snapshot() Snapshot {
 		BatchDeduped:        m.batchDeduped.Load(),
 		IncumbentsPublished: m.incumbentsPublished.Load(),
 		StreamWatches:       m.streamWatches.Load(),
+
+		PortfolioRaces:         m.portfolioRaces.Load(),
+		PortfolioWinsSearch:    m.portfolioWinsSearch.Load(),
+		PortfolioWinsMILP:      m.portfolioWinsMILP.Load(),
+		PortfolioWinsGreedy:    m.portfolioWinsGreedy.Load(),
+		PortfolioDisagreements: m.portfolioDisagreements.Load(),
+		WarmStartHits:          m.warmStartHits.Load(),
+		WarmStartMisses:        m.warmStartMisses.Load(),
+		SeedTightened:          m.seedTightened.Load(),
 
 		SolveCount: m.solveCount.Load(),
 		SolveMaxSeconds: time.Duration(

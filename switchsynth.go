@@ -137,6 +137,15 @@ type Options struct {
 	// SkipVerify disables the internal contamination re-check (used only
 	// by benchmarks; plans are always safe to verify).
 	SkipVerify bool
+	// SeedIncumbent, when non-nil, warm-starts the search engine with a
+	// previously proven plan for an equivalent spec (typically the
+	// adapted nearest neighbor from a similarity index): the seed is
+	// re-validated and installed as the starting incumbent so the branch
+	// and bound opens with a tight upper bound. Seeding never changes
+	// the answer — a seeded solve that completes emits a byte-identical
+	// proven plan to a cold one — and an invalid seed is counted and
+	// ignored, never fatal. Ignored by the IQP engine.
+	SeedIncumbent *Result
 	// OnIncumbent, when non-nil, receives each successively better
 	// anytime incumbent while the solve is still running: a degraded
 	// snapshot Result with LowerBound and Gap filled. This powers the
@@ -235,19 +244,23 @@ func SolvePlan(ctx context.Context, sp *Spec, opts Options) (*Result, error) {
 	switch opts.Engine {
 	case "", EngineSearch:
 		return search.Solve(sp, search.Options{
-			TimeLimit:   opts.TimeLimit,
-			Ctx:         ctx,
-			Workers:     opts.SolverWorkers,
-			OnIncumbent: opts.OnIncumbent,
+			TimeLimit:     opts.TimeLimit,
+			Ctx:           ctx,
+			Workers:       opts.SolverWorkers,
+			SeedIncumbent: opts.SeedIncumbent,
+			OnIncumbent:   opts.OnIncumbent,
 		})
 	case EngineIQP:
-		res, err := model.Solve(sp, model.Options{TimeLimit: iqpTimeLimit(ctx, opts.TimeLimit)})
-		// The MILP substrate is deadline- rather than context-driven;
-		// translate its limit error so both engines report timeouts as
-		// the one public type.
+		res, err := model.Solve(sp, model.Options{TimeLimit: iqpTimeLimit(ctx, opts.TimeLimit), Ctx: ctx})
+		// Translate the MILP limit error so both engines report
+		// timeouts and cancellations as the one public type.
 		var lim *model.ErrLimit
 		if errors.As(err, &lim) {
-			err = &ErrTimeout{SpecName: lim.SpecName, Cause: ctx.Err()}
+			cause := lim.Cause
+			if cause == nil {
+				cause = ctx.Err()
+			}
+			err = &ErrTimeout{SpecName: lim.SpecName, Cause: cause}
 		}
 		return res, err
 	default:
