@@ -923,9 +923,9 @@ func BenchmarkCluster_ReplicaPush(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	wire, err := planio.EncodeWire(resp.Synthesis.Result)
-	if err != nil {
-		b.Fatal(err)
+	wire, ok := donor.PlanBytes(resp.Key)
+	if !ok {
+		b.Fatal("donor holds no plan bytes")
 	}
 	target := "/plans/" + url.PathEscape(resp.Key)
 
@@ -945,6 +945,7 @@ func BenchmarkCluster_ReplicaPush(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		req.Header.Set("Content-Type", planio.ContentTypeOf(wire))
 		pr, err := http.DefaultClient.Do(req)
 		if err != nil {
 			b.Fatal(err)
@@ -957,6 +958,83 @@ func BenchmarkCluster_ReplicaPush(b *testing.B) {
 		recv.CloseNow()
 		b.StartTimer()
 	}
+}
+
+// --- Plan wire formats: encode/decode cost and size --------------------------
+
+// planioBenchResult solves the 16-pin ring instance once — the same
+// campaign-scale plan the cluster moves between nodes — and hands it to
+// the encode/decode benchmarks below, which are the BENCH_planio.json
+// source: binary vs JSON cost per operation and bytes per plan.
+func planioBenchResult(b *testing.B) *spec.Result {
+	b.Helper()
+	res, err := search.Solve(searchRing16(), search.Options{TimeLimit: 60 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+func BenchmarkPlanio_EncodeJSON(b *testing.B) {
+	res := planioBenchResult(b)
+	data, err := planio.EncodeWire(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planio.EncodeWire(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data)), "bytes/plan")
+}
+
+func BenchmarkPlanio_EncodeBinary(b *testing.B) {
+	res := planioBenchResult(b)
+	data, err := planio.EncodeBinary(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planio.EncodeBinary(res); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data)), "bytes/plan")
+}
+
+func BenchmarkPlanio_DecodeJSON(b *testing.B) {
+	data, err := planio.EncodeWire(planioBenchResult(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planio.DecodeAny(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data)), "bytes/plan")
+}
+
+func BenchmarkPlanio_DecodeBinary(b *testing.B) {
+	data, err := planio.EncodeBinary(planioBenchResult(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := planio.DecodeAny(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data)), "bytes/plan")
 }
 
 // BenchmarkCluster_FailoverRead prices the worst-case replica read: the

@@ -19,7 +19,12 @@
 # streamed time-to-first-plan vs time-to-proof (BENCH_admission.json),
 # and the portfolio tier — cold vs warm-started vs raced synthesis on
 # the saturated 16-pin ring and its one-module-delta neighbor family
-# (BENCH_portfolio.json).
+# (BENCH_portfolio.json), and the plan wire format — binary vs JSON
+# encode/decode cost and frame size with hard gates on decode speedup,
+# size ratio and decode allocations (BENCH_planio.json). The wire-format
+# gate also fuzzes the binary frame decoder and the cross-format
+# re-encode fixed point, and byte-diffs a binary-framed replicating
+# 3-node campaign against a JSON single-node reference.
 #
 # Usage: ./ci.sh            (full gate)
 #        BENCHTIME=5s ./ci.sh  (longer benchmark runs)
@@ -100,6 +105,23 @@ echo "== cluster gate: -race -count=2, three-topology determinism =="
 # convergence and kill-restart rejoin, all seeded and run twice.
 go test -race -count=2 -short ./internal/cluster/
 go test -race -run 'TestCampaignDeterministicAcrossTopologies' ./internal/cluster/
+
+echo "== wire-format gate: fuzz + mixed-version + binary campaign byte-diff =="
+# The binary frame decoder must reject every malformed frame it is
+# fuzzed with, and any frame either decoder accepts must re-encode to a
+# byte-identical fixed point in both formats. The mixed-version suite
+# (run again here, race-checked) proves a binary node and a JSON-only
+# peer interoperate with zero verification skips, and the campaign
+# byte-diff proves the wire format is invisible in results: a
+# replicating binary 3-node cluster matches a JSON single node. The
+# plan-stream suite proves the persistent fetch channel serves
+# byte-identical frames, falls back to plain GETs for pre-stream peers,
+# and hangs up when its engine retires.
+go test -fuzz '^FuzzDecodeBinary$' -fuzztime 15s -run '^$' ./internal/planio/
+go test -fuzz '^FuzzCrossFormat$' -fuzztime 15s -run '^$' ./internal/planio/
+go test -race -run 'TestMixedVersionClusterInterop|TestDigestCache|TestPlanBytes|TestPlanEndpointNegotiatesFormat|TestPlanStream|TestStreamFetch' \
+  ./internal/cluster/ ./internal/service/ ./internal/planio/
+go test -race -run 'TestCampaignBinaryClusterMatchesJSONSingleNode' ./internal/cluster/
 
 echo "== replication chaos gate: kill any node mid-campaign, zero re-solves =="
 # For every choice of victim in a replicated 3-node cluster: warm a
@@ -232,7 +254,64 @@ echo "$cluster_out" | awk '
     printf "  \"failoverReadOverPeerFill\": %.1f,\n", fo / fill
     printf "  \"replicaPushSpeedupOverCold\": %.1f\n", cold / push
     printf "}\n"
+    if (fill / local > 3.0) {
+      printf "ci.sh: peer fill %.1fx slower than a local hit, > 3x gate\n", fill / local > "/dev/stderr"
+      exit 1
+    }
   }' > BENCH_cluster.json
 cat BENCH_cluster.json
+
+echo "== planio benchmark: binary vs JSON encode/decode, gated =="
+# Emits BENCH_planio.json and enforces the wire-format performance
+# gates: binary decode >= 3x faster than JSON, binary frames >= 2x
+# smaller, and a decode allocation ceiling so the zero-copy framing
+# cannot silently regress into per-field churn.
+planio_out=$(go test -run '^$' -bench 'BenchmarkPlanio_' -benchmem -benchtime "${BENCHTIME:-2s}" .)
+echo "$planio_out"
+echo "$planio_out" | awk '
+  /^BenchmarkPlanio_/ {
+    ns = ""; bp = ""; al = ""
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) == "ns/op")      ns = $i
+      else if ($(i+1) == "bytes/plan") bp = $i
+      else if ($(i+1) == "allocs/op")  al = $i
+    }
+    if ($1 ~ /EncodeJSON/)   { ejNs = ns; jB = bp }
+    if ($1 ~ /EncodeBinary/) { ebNs = ns; bB = bp }
+    if ($1 ~ /DecodeJSON/)   { djNs = ns }
+    if ($1 ~ /DecodeBinary/) { dbNs = ns; dbAl = al }
+  }
+  END {
+    if (ejNs == "" || ebNs == "" || djNs == "" || dbNs == "" || jB == "" || bB == "") {
+      print "ci.sh: planio benchmark output incomplete" > "/dev/stderr"
+      exit 1
+    }
+    decodeSpeedup = djNs / dbNs
+    sizeRatio = jB / bB
+    printf "{\n"
+    printf "  \"encodeJSONNsPerOp\": %.0f,\n", ejNs
+    printf "  \"encodeBinaryNsPerOp\": %.0f,\n", ebNs
+    printf "  \"decodeJSONNsPerOp\": %.0f,\n", djNs
+    printf "  \"decodeBinaryNsPerOp\": %.0f,\n", dbNs
+    printf "  \"jsonBytesPerPlan\": %.0f,\n", jB
+    printf "  \"binaryBytesPerPlan\": %.0f,\n", bB
+    printf "  \"decodeBinaryAllocsPerOp\": %.0f,\n", dbAl
+    printf "  \"binaryDecodeSpeedupOverJSON\": %.2f,\n", decodeSpeedup
+    printf "  \"binarySizeRatioOverJSON\": %.2f\n", sizeRatio
+    printf "}\n"
+    if (decodeSpeedup < 3.0) {
+      printf "ci.sh: binary decode speedup %.2fx < 3x gate\n", decodeSpeedup > "/dev/stderr"
+      exit 1
+    }
+    if (sizeRatio < 2.0) {
+      printf "ci.sh: binary frame only %.2fx smaller than JSON, < 2x gate\n", sizeRatio > "/dev/stderr"
+      exit 1
+    }
+    if (dbAl + 0 > 128) {
+      printf "ci.sh: binary decode %.0f allocs/op > 128 ceiling\n", dbAl > "/dev/stderr"
+      exit 1
+    }
+  }' > BENCH_planio.json
+cat BENCH_planio.json
 
 echo "ci.sh: OK"

@@ -352,6 +352,8 @@ func parseFlags(args []string) (service.Config, serverFlags) {
 		pfRace     = fs.Bool("portfolio", false, "race the solver backends per solve (first optimality proof wins; losers cross-checked)")
 		pfLanes    = fs.String("portfolio-lanes", "", "comma-separated racing lanes: search,milp,greedy (empty = all; needs -portfolio)")
 		simSize    = fs.Int("simindex-size", 0, "similarity warm-start index entries (0 = default 512, negative disables)")
+		wireFmt    = fs.String("wire-format", "", "plan encoding for store/replication: binary or json (empty = binary)")
+		digestSize = fs.Int("digest-cache", 0, "verified-bytes digest cache entries (0 = shared default 4096, negative disables)")
 		storeDir   = fs.String("store-dir", "", "durable plan store directory (empty disables the disk tier)")
 		storeFlush = fs.Duration("store-flush-interval", 0, "store group-commit window (0 = default 5ms, negative fsyncs every put)")
 		storeWAL   = fs.Int64("store-max-wal-bytes", 0, "WAL size that triggers store compaction (0 = default 8MiB, negative disables)")
@@ -374,6 +376,16 @@ func parseFlags(args []string) (service.Config, serverFlags) {
 		fmt.Fprintln(os.Stderr, "synthd: -portfolio-lanes requires -portfolio")
 		os.Exit(2)
 	}
+	// Fail fast on an unknown wire format rather than silently encoding
+	// with the default: a typo here would only surface as surprising
+	// bytes in the store or on the wire.
+	switch *wireFmt {
+	case "", service.WireFormatBinary, service.WireFormatJSON:
+	default:
+		fmt.Fprintf(os.Stderr, "synthd: -wire-format %q: must be %q or %q\n",
+			*wireFmt, service.WireFormatBinary, service.WireFormatJSON)
+		os.Exit(2)
+	}
 	return service.Config{
 			Workers:           *workers,
 			SolverWorkers:     *solverWrk,
@@ -387,6 +399,8 @@ func parseFlags(args []string) (service.Config, serverFlags) {
 			Portfolio:         *pfRace,
 			PortfolioLanes:    *pfLanes,
 			SimIndexSize:      *simSize,
+			WireFormat:        *wireFmt,
+			DigestCacheSize:   *digestSize,
 		}, serverFlags{
 			Addr:      *addr,
 			Drain:     *drain,

@@ -10,9 +10,11 @@
 //	verifyplan ./dump                       # audit a store export
 //
 // Each argument is a plan file or a directory; a directory audits every
-// *.json inside it (the layout synthd -export-plans and store.Export
-// write). Exit status 0 means every plan passed every check; any failure
-// is reported and verification continues with the remaining plans.
+// *.json and *.plan inside it (the layout synthd -export-plans and
+// store.Export write). Plans in either encoding — the JSON file format
+// or the binary frame — are accepted; the format is sniffed per file.
+// Exit status 0 means every plan passed every check; any failure is
+// reported and verification continues with the remaining plans.
 package main
 
 import (
@@ -58,8 +60,8 @@ func main() {
 }
 
 // expandArgs resolves each argument to plan files: files pass through,
-// directories contribute their *.json entries (sorted, so a store export
-// audits in a stable order).
+// directories contribute their *.json and *.plan entries (sorted, so a
+// store export audits in a stable order).
 func expandArgs(args []string) ([]string, error) {
 	var paths []string
 	for _, a := range args {
@@ -71,12 +73,16 @@ func expandArgs(args []string) ([]string, error) {
 			paths = append(paths, a)
 			continue
 		}
-		matches, err := filepath.Glob(filepath.Join(a, "*.json"))
-		if err != nil {
-			return nil, err
+		var matches []string
+		for _, pat := range []string{"*.json", "*.plan"} {
+			m, err := filepath.Glob(filepath.Join(a, pat))
+			if err != nil {
+				return nil, err
+			}
+			matches = append(matches, m...)
 		}
 		if len(matches) == 0 {
-			return nil, fmt.Errorf("directory %s holds no *.json plans", a)
+			return nil, fmt.Errorf("directory %s holds no *.json or *.plan plans", a)
 		}
 		sort.Strings(matches)
 		paths = append(paths, matches...)
@@ -90,7 +96,7 @@ func verifyFile(path string, quiet bool) error {
 	if err != nil {
 		return err
 	}
-	res, err := planio.Decode(data)
+	res, err := planio.DecodeAny(data)
 	if err != nil {
 		return err
 	}

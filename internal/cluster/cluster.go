@@ -124,6 +124,9 @@ type Cluster struct {
 	replq       chan replTask
 	replPending atomic.Int64
 
+	// streams pools the persistent plan-fetch channels (planstream.go).
+	streams *planStreams
+
 	// Counters for /cluster and /metrics.
 	forwards         atomic.Int64 // requests proxied to the owner
 	forwardFallbacks atomic.Int64 // forwards that fell back to local solve
@@ -133,10 +136,13 @@ type Cluster struct {
 	fillMisses       atomic.Int64 // peer fills answered 404 (peer lacks it)
 	fillErrors       atomic.Int64 // peer fills that failed in transit
 	fillFailovers    atomic.Int64 // peer fills served by a successor, not the owner
+	streamFetches    atomic.Int64 // fetches served over the persistent plan stream
+	streamDials      atomic.Int64 // plan-stream upgrade attempts (success or not)
 	replPushes       atomic.Int64 // write-time replica pushes delivered
 	replErrors       atomic.Int64 // replica/repair pushes that failed or were rejected
 	replDropped      atomic.Int64 // pushes dropped because the queue was full
 	repairPushes     atomic.Int64 // read-repair pushes delivered
+	pushTranscodes   atomic.Int64 // binary pushes transcoded to JSON for old peers
 	syncRounds       atomic.Int64
 	syncPulls        atomic.Int64 // plans imported by anti-entropy
 	syncErrors       atomic.Int64
@@ -194,6 +200,7 @@ func New(cfg Config) (*Cluster, error) {
 		inj:      cfg.FaultInjector,
 		cfg:      cfg,
 		replq:    make(chan replTask, replQueueDepth),
+		streams:  newPlanStreams(),
 		stop:     make(chan struct{}),
 	}, nil
 }
@@ -226,6 +233,9 @@ func (c *Cluster) Start() {
 func (c *Cluster) Stop() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	c.wg.Wait()
+	// Hang up the persistent fetch channels so the peers' stream-serving
+	// goroutines unblock; safe (and useful) even if Start never ran.
+	c.streams.closeAll()
 }
 
 // Owner returns key's highest-ranked *alive* node and whether that is
@@ -319,6 +329,10 @@ func (c *Cluster) probe(n Node) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("readyz: status %d", resp.StatusCode)
 	}
+	// An answering peer also tells us which plan encodings it accepts;
+	// replication pushes consult this to decide between sending binary
+	// frames verbatim and transcoding to JSON for older nodes.
+	c.mem.setFormats(n.ID, resp.Header.Get(planFormatsHeader))
 	return nil
 }
 
@@ -413,12 +427,25 @@ func (c *Cluster) fetchFrom(ctx context.Context, n Node, key string) (data []byt
 		return nil, false, fmt.Errorf("injected: peer down")
 	}
 	c.inj.Fire(faultinject.PeerSlow)
+	// Persistent channel first: one length-prefixed exchange instead of
+	// a full HTTP round trip. Any stream problem — pre-stream peer,
+	// dial failure, mid-exchange error — falls through to the plain GET
+	// below, which owns the error accounting.
+	if data, found, ok := c.fetchViaStream(n, key); ok {
+		if len(data) > 0 && c.inj.Fire(faultinject.FetchCorrupt) {
+			data[len(data)/2] ^= 0x40
+		}
+		return data, found, nil
+	}
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.FetchTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.URL+"/plans/"+url.PathEscape(key), nil)
 	if err != nil {
 		return nil, false, err
 	}
+	// Ask for the binary frame; a peer that cannot serve it (or stores
+	// JSON) answers JSON, which the engine's DecodeAny handles the same.
+	req.Header.Set("Accept", contentTypeBinaryPlan+", "+contentTypeJSON)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, false, err
@@ -469,10 +496,13 @@ type Status struct {
 	FillMisses       int64 `json:"fillMisses"`
 	FillErrors       int64 `json:"fillErrors"`
 	FillFailovers    int64 `json:"fillFailovers"`
+	StreamFetches    int64 `json:"streamFetches"`
+	StreamDials      int64 `json:"streamDials"`
 	ReplPushes       int64 `json:"replPushes"`
 	ReplErrors       int64 `json:"replErrors"`
 	ReplDropped      int64 `json:"replDropped"`
 	RepairPushes     int64 `json:"repairPushes"`
+	PushTranscodes   int64 `json:"pushTranscodes"`
 	SyncRounds       int64 `json:"syncRounds"`
 	SyncPulls        int64 `json:"syncPulls"`
 	SyncErrors       int64 `json:"syncErrors"`
@@ -507,10 +537,13 @@ func (c *Cluster) Status() Status {
 		FillMisses:       c.fillMisses.Load(),
 		FillErrors:       c.fillErrors.Load(),
 		FillFailovers:    c.fillFailovers.Load(),
+		StreamFetches:    c.streamFetches.Load(),
+		StreamDials:      c.streamDials.Load(),
 		ReplPushes:       c.replPushes.Load(),
 		ReplErrors:       c.replErrors.Load(),
 		ReplDropped:      c.replDropped.Load(),
 		RepairPushes:     c.repairPushes.Load(),
+		PushTranscodes:   c.pushTranscodes.Load(),
 		SyncRounds:       c.syncRounds.Load(),
 		SyncPulls:        c.syncPulls.Load(),
 		SyncErrors:       c.syncErrors.Load(),

@@ -148,8 +148,10 @@ func bootNode(t *testing.T, peers []Node, l net.Listener, i int, repl bool, mut 
 	node.srv = srv
 	if repl {
 		cl.Start()
-		t.Cleanup(cl.Stop)
 	}
+	// Stop is safe without Start; it also hangs up the node's pooled
+	// plan-stream connections so peers' serving goroutines unblock.
+	t.Cleanup(cl.Stop)
 	t.Cleanup(srv.Close)
 	t.Cleanup(eng.CloseNow)
 	return node

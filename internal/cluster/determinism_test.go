@@ -40,6 +40,13 @@ type detNode struct {
 // (the full cmd/synthd write-path wiring).
 func bootNodes(t *testing.T, n int, repl bool) []*detNode {
 	t.Helper()
+	return bootNodesWire(t, n, repl, "")
+}
+
+// bootNodesWire is bootNodes with an explicit plan wire format for
+// every engine ("" uses the engine default).
+func bootNodesWire(t *testing.T, n int, repl bool, wireFormat string) []*detNode {
+	t.Helper()
 	peers := make([]cluster.Node, n)
 	listeners := make([]net.Listener, n)
 	for i := range peers {
@@ -69,6 +76,7 @@ func bootNodes(t *testing.T, n int, repl bool) []*detNode {
 			Workers:          2,
 			PeerFill:         cl.FetchPlan,
 			DefaultTimeLimit: 10 * time.Second,
+			WireFormat:       wireFormat,
 		}
 		if repl {
 			scfg.OnPlanStored = cl.ReplicatePlan
@@ -85,8 +93,8 @@ func bootNodes(t *testing.T, n int, repl bool) []*detNode {
 		node.srv = srv
 		if repl {
 			cl.Start()
-			t.Cleanup(cl.Stop)
 		}
+		t.Cleanup(cl.Stop) // safe without Start; also hangs up plan streams
 		t.Cleanup(srv.Close)
 		t.Cleanup(eng.CloseNow)
 		nodes[i] = node
@@ -141,5 +149,49 @@ func TestCampaignDeterministicAcrossTopologies(t *testing.T) {
 	}
 	if kStats != wantStats {
 		t.Errorf("kill-one campaign stats differ: %q vs %q", kStats, wantStats)
+	}
+}
+
+// TestCampaignBinaryClusterMatchesJSONSingleNode is the wire-format
+// determinism gate: the encoding a cluster moves plans around in is
+// invisible in the results. A replicating three-node cluster on the
+// binary frame format must produce the byte-identical campaign report
+// of a single node pinned to the JSON wire format.
+func TestCampaignBinaryClusterMatchesJSONSingleNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node campaign in -short mode")
+	}
+	const count, seed = 24, 42
+	run := func(url string) (table, stats string) {
+		res := exp.RunCampaign(exp.Config{
+			DaemonURL: url,
+			Workers:   4,
+			TimeLimit: 10 * time.Second,
+		}, count, seed)
+		return report.CampaignTable(res.Rows), res.Stats.DeterministicString()
+	}
+
+	single := bootNodesWire(t, 1, false, service.WireFormatJSON)
+	wantTable, wantStats := run(single[0].url)
+
+	three := bootNodesWire(t, 3, true, service.WireFormatBinary)
+	gotTable, gotStats := run(three[0].url)
+	if gotTable != wantTable {
+		t.Errorf("binary 3-node campaign table differs from JSON single-node:\n--- json single\n%s\n--- binary three\n%s", wantTable, gotTable)
+	}
+	if gotStats != wantStats {
+		t.Errorf("binary 3-node campaign stats differ: %q vs %q", gotStats, wantStats)
+	}
+	// Sanity: the binary cluster actually moved frames around.
+	forwards := int64(0)
+	for _, n := range three {
+		st := n.cl.Status()
+		forwards += st.Forwards
+		if st.PushTranscodes != 0 {
+			t.Errorf("%s transcoded %d pushes between same-version nodes", n.id, st.PushTranscodes)
+		}
+	}
+	if forwards == 0 {
+		t.Error("binary campaign forwarded nothing; sharding untested")
 	}
 }

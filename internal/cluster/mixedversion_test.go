@@ -1,0 +1,315 @@
+// Mixed-version interop: one current node (binary wire format) peered
+// with a stub speaking the pre-frame protocol — no plan-formats
+// advertisement, JSON-only plan bodies, binary PUTs rejected. Every
+// exchange (replication push, peer fill, anti-entropy pull) must
+// degrade to JSON transparently, the old peer must never see a binary
+// frame, and the new node must fully verify every byte it takes from
+// the peer: the digest cache never skips verification for bytes that
+// did not pass the full pipeline in this process.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"switchsynth"
+	"switchsynth/internal/planio"
+	"switchsynth/internal/service"
+	"switchsynth/internal/spec"
+)
+
+// oldNode emulates a synthd build that predates the binary frame
+// format: /readyz answers without the capability header, GET
+// /plans/{key} serves stored JSON verbatim whatever the Accept header
+// says, and PUT /plans/{key} rejects anything its JSON-only decoder
+// cannot read — exactly what planio.Decode did before frames existed.
+type oldNode struct {
+	mu        sync.Mutex
+	plans     map[string][]byte
+	sawBinary bool // any request carried a binary frame or its content type
+	srv       *httptest.Server
+}
+
+func startOldNode(t *testing.T, l net.Listener) *oldNode {
+	t.Helper()
+	o := &oldNode{plans: make(map[string][]byte)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("/plans", func(w http.ResponseWriter, r *http.Request) {
+		o.mu.Lock()
+		keys := make([]string, 0, len(o.plans))
+		for k := range o.plans {
+			keys = append(keys, k)
+		}
+		o.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Keys []string `json:"keys"`
+		}{keys})
+	})
+	mux.HandleFunc("/plans/", func(w http.ResponseWriter, r *http.Request) {
+		key := strings.TrimPrefix(r.URL.Path, "/plans/")
+		switch r.Method {
+		case http.MethodGet:
+			o.mu.Lock()
+			data, ok := o.plans[key]
+			o.mu.Unlock()
+			if !ok {
+				http.Error(w, "not found", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(data)
+		case http.MethodPut:
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				http.Error(w, "read", http.StatusBadRequest)
+				return
+			}
+			if planio.IsBinary(body) || r.Header.Get("Content-Type") == planio.ContentTypeBinary {
+				o.mu.Lock()
+				o.sawBinary = true
+				o.mu.Unlock()
+				http.Error(w, "cannot decode", http.StatusUnprocessableEntity)
+				return
+			}
+			if _, err := planio.Decode(body); err != nil {
+				http.Error(w, "cannot decode", http.StatusUnprocessableEntity)
+				return
+			}
+			o.mu.Lock()
+			o.plans[key] = body
+			o.mu.Unlock()
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method", http.StatusMethodNotAllowed)
+		}
+	})
+	srv := httptest.NewUnstartedServer(mux)
+	srv.Listener.Close()
+	srv.Listener = l
+	srv.Start()
+	o.srv = srv
+	t.Cleanup(srv.Close)
+	return o
+}
+
+func (o *oldNode) get(key string) ([]byte, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	d, ok := o.plans[key]
+	return d, ok
+}
+
+func (o *oldNode) put(key string, data []byte) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.plans[key] = data
+}
+
+// jsonDonorPlan solves sp on a throwaway JSON-wire engine and returns
+// the canonical key and JSON plan bytes an old node would hold.
+func jsonDonorPlan(t *testing.T, sp *spec.Spec) (string, []byte) {
+	t.Helper()
+	donor := service.New(service.Config{Workers: 2, WireFormat: service.WireFormatJSON})
+	t.Cleanup(donor.CloseNow)
+	resp, err := donor.Do(context.Background(), sp, switchsynth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := donor.PlanBytes(resp.Key)
+	if !ok {
+		t.Fatal("donor holds no plan bytes")
+	}
+	if planio.IsBinary(data) {
+		t.Fatal("JSON donor produced a binary frame")
+	}
+	return resp.Key, data
+}
+
+func TestMixedVersionClusterInterop(t *testing.T) {
+	lNew, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lOld, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := []Node{
+		{ID: "new", URL: "http://" + lNew.Addr().String()},
+		{ID: "old", URL: "http://" + lOld.Addr().String()},
+	}
+	old := startOldNode(t, lOld)
+
+	// The new node gets a private digest cache so the hit/miss counters
+	// below are this test's alone, and the full cmd/synthd replication
+	// wiring (OnPlanStored -> push queue, workers running).
+	node := &testNode{id: "new", url: peers[0].URL}
+	ccfg := Config{
+		SelfID:        "new",
+		Peers:         peers,
+		SyncInterval:  -1, // sync driven via syncOnce below
+		ProbeInterval: time.Hour,
+		Replication:   2,
+		LocalKeys:     func() []string { return node.eng.PlanKeys() },
+		LocalImport:   func(key string, data []byte) error { return node.eng.ImportPlan(key, data) },
+	}
+	cl, err := New(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := service.New(service.Config{
+		Workers:         2,
+		DigestCacheSize: 64,
+		PeerFill:        cl.FetchPlan,
+		OnPlanStored:    cl.ReplicatePlan,
+	})
+	node.eng, node.cl = eng, cl
+	srv := httptest.NewUnstartedServer(cl.Middleware(service.NewHandler(eng)))
+	srv.Listener.Close()
+	srv.Listener = lNew
+	srv.Start()
+	node.srv = srv
+	cl.Start()
+	t.Cleanup(cl.Stop)
+	t.Cleanup(srv.Close)
+	t.Cleanup(eng.CloseNow)
+
+	// Fill and sync both pull only keys the new node lacks and the old
+	// peer holds, so sp1 and sp2 must be owned by (rank highest on) the
+	// old peer — otherwise the fill walk stops at the local rank and
+	// solves. sp0 (the push case) can live anywhere: replication pushes
+	// to every replica-set member regardless of rank.
+	var oldOwned []*spec.Spec
+	for i := 0; i < 20 && len(oldOwned) < 2; i++ {
+		sp := clusterSpecVariant(i)
+		key, err := service.JobKey(sp, switchsynth.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cl.Ring().OwnerID(key) == "old" {
+			oldOwned = append(oldOwned, sp)
+		}
+	}
+	if len(oldOwned) < 2 {
+		t.Fatal("no two spec variants owned by the old peer")
+	}
+	sp1, sp2 := oldOwned[0], oldOwned[1]
+	sp0, _ := specOwnedBy(t, cl.Ring(), "new")
+
+	// --- Replication push: a fresh solve pushes to the old peer, and the
+	// binary frame is transcoded to JSON on the way out.
+	resp0, err := eng.Do(context.Background(), sp0, switchsynth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	settleRepl(t, []*testNode{node})
+
+	localBytes, ok := eng.PlanBytes(resp0.Key)
+	if !ok || !planio.IsBinary(localBytes) {
+		t.Fatalf("new node plan present=%v binary=%v, want true/true", ok, planio.IsBinary(localBytes))
+	}
+	oldBytes, ok := old.get(resp0.Key)
+	if !ok {
+		t.Fatal("push never reached the old peer")
+	}
+	if planio.IsBinary(oldBytes) {
+		t.Fatal("old peer stored a binary frame")
+	}
+	wantJSON, err := planio.ToJSON(localBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(oldBytes) != string(wantJSON) {
+		t.Error("old peer's JSON differs from the canonical transcode of the owner's frame")
+	}
+	st := cl.Status()
+	if st.PushTranscodes != 1 || st.ReplPushes != 1 || st.ReplErrors != 0 {
+		t.Errorf("pushTranscodes=%d replPushes=%d replErrors=%d, want 1/1/0",
+			st.PushTranscodes, st.ReplPushes, st.ReplErrors)
+	}
+	// The lazy capability probe recorded the old peer as JSON-only.
+	for _, ps := range st.Peers {
+		if ps.ID == "old" && ps.PlanFormats != "json" {
+			t.Errorf("old peer planFormats = %q, want json", ps.PlanFormats)
+		}
+	}
+
+	// --- Peer fill: a plan only the old peer holds is fetched as JSON
+	// and fully verified before it is served (no solve, no digest skip).
+	key1, json1 := jsonDonorPlan(t, sp1)
+	old.put(key1, json1)
+	// Only keys the ring routes to the old peer are fetched from it; with
+	// R=2 and two members every key has both nodes in its replica set, so
+	// the fill walk always reaches the old peer when the new node lacks
+	// the plan.
+	resp1, err := eng.Do(context.Background(), sp1, switchsynth.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp1.PeerHit {
+		t.Fatal("fill from the old peer did not hit")
+	}
+	snap := eng.Snapshot()
+	if snap.SolveCount != 1 { // sp0 only
+		t.Errorf("solveCount = %d, want 1 (the fill must not re-solve)", snap.SolveCount)
+	}
+
+	// --- Anti-entropy: a plan appearing on the old peer out of band is
+	// pulled, verified, and installed.
+	key2, json2 := jsonDonorPlan(t, sp2)
+	old.put(key2, json2)
+	if pulled := cl.syncOnce(context.Background()); pulled != 1 {
+		t.Fatalf("syncOnce pulled %d plans, want 1", pulled)
+	}
+	if _, ok := eng.PlanBytes(key2); !ok {
+		t.Fatal("anti-entropy pull not installed")
+	}
+
+	// --- Invariants across all three exchanges.
+	if old.sawBinary {
+		t.Error("old peer received a binary frame or binary content type")
+	}
+	snap = eng.Snapshot()
+	if snap.DigestCacheHits != 0 {
+		t.Errorf("digestCacheHits = %d, want 0 — peer bytes were never seen before and must be fully verified", snap.DigestCacheHits)
+	}
+	if snap.PeerRejected != 0 {
+		t.Errorf("peerRejected = %d, want 0", snap.PeerRejected)
+	}
+	if snap.PeerImported != 1 {
+		t.Errorf("peerImported = %d, want 1 (the sync pull)", snap.PeerImported)
+	}
+	st = cl.Status()
+	if st.SyncPulls != 1 || st.SyncErrors != 0 || st.FillHits != 1 {
+		t.Errorf("syncPulls=%d syncErrors=%d fillHits=%d, want 1/0/1", st.SyncPulls, st.SyncErrors, st.FillHits)
+	}
+
+	// Every plan the new node now serves decodes and verifies, whatever
+	// wire format it arrived in.
+	for _, key := range []string{resp0.Key, key1, key2} {
+		data, ok := eng.PlanBytes(key)
+		if !ok {
+			t.Fatalf("plan %s missing", key)
+		}
+		res, err := planio.DecodeAny(data)
+		if err != nil {
+			t.Fatalf("plan %s does not decode: %v", key, err)
+		}
+		if err := switchsynth.Verify(res); err != nil {
+			t.Fatalf("plan %s fails verification: %v", key, err)
+		}
+	}
+}

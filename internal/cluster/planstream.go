@@ -1,0 +1,178 @@
+// The plan-stream client: a per-peer persistent fetch channel that
+// moves plan frames without the per-request HTTP envelope. The server
+// side lives in internal/service (the /plans.stream upgrade endpoint);
+// the framing in internal/planio. Capability is learned by trying: the
+// first fetch to a peer attempts the upgrade, a non-101 answer (an
+// older node) pins that peer to plain GETs for the process lifetime,
+// while transport errors leave the capability unknown so a rebooted
+// peer is retried. Every byte fetched over a stream passes the same
+// verification pipeline as an HTTP fetch — the channel changes the
+// envelope, never the trust model.
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"switchsynth/internal/planio"
+)
+
+// Stream capability states, per peer.
+const (
+	streamUnknown = iota // never tried, or last attempt failed in transit
+	streamYes            // upgrade succeeded at least once
+	streamNever          // peer answered non-101: it predates the protocol
+)
+
+// streamConn is one upgraded connection, owned by a single fetch at a
+// time.
+type streamConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func (s *streamConn) close() { _ = s.c.Close() }
+
+// planStreams pools at most one idle upgraded connection per peer.
+// Concurrent fetches to the same peer either dial a second stream or
+// fall back to a plain GET — never block behind each other.
+type planStreams struct {
+	mu    sync.Mutex
+	idle  map[string]*streamConn
+	state map[string]int
+	done  bool
+}
+
+func newPlanStreams() *planStreams {
+	return &planStreams{idle: make(map[string]*streamConn), state: make(map[string]int)}
+}
+
+// take pops the peer's idle connection, if any, and reports whether
+// dialing a new one is worthwhile (false once the peer answered
+// non-101, or after closeAll).
+func (p *planStreams) take(id string) (*streamConn, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done || p.state[id] == streamNever {
+		return nil, false
+	}
+	s := p.idle[id]
+	delete(p.idle, id)
+	return s, true
+}
+
+// put returns a healthy connection to the pool. With the slot already
+// occupied (a concurrent fetch finished first) the extra stream closes.
+func (p *planStreams) put(id string, s *streamConn) {
+	p.mu.Lock()
+	if p.done || p.idle[id] != nil {
+		p.mu.Unlock()
+		s.close()
+		return
+	}
+	p.idle[id] = s
+	p.state[id] = streamYes
+	p.mu.Unlock()
+}
+
+func (p *planStreams) setState(id string, st int) {
+	p.mu.Lock()
+	p.state[id] = st
+	p.mu.Unlock()
+}
+
+// closeAll closes pooled connections and refuses new dials; the owning
+// Cluster is stopping.
+func (p *planStreams) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done = true
+	for id, s := range p.idle {
+		s.close()
+		delete(p.idle, id)
+	}
+}
+
+// dialStream performs the upgrade handshake against the peer's one
+// listening port. A non-101 answer reports ok=false with a nil error:
+// the peer is healthy but pre-stream, and the caller pins it to GETs.
+func (c *Cluster) dialStream(n Node) (s *streamConn, ok bool, err error) {
+	u, err := url.Parse(n.URL)
+	if err != nil || u.Scheme != "http" || u.Host == "" {
+		// Only plain TCP is streamed; anything else keeps the verified
+		// HTTP client path.
+		return nil, false, nil
+	}
+	conn, err := net.DialTimeout("tcp", u.Host, c.cfg.FetchTimeout)
+	if err != nil {
+		return nil, false, err
+	}
+	_ = conn.SetDeadline(time.Now().Add(c.cfg.FetchTimeout))
+	if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: %s\r\nUpgrade: %s\r\nConnection: Upgrade\r\n\r\n",
+		planio.PlanStreamPath, u.Host, planio.PlanStreamProto); err != nil {
+		conn.Close()
+		return nil, false, err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodGet})
+	if err != nil {
+		conn.Close()
+		return nil, false, err
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		// Drain nothing: the connection dies with the refusal; the
+		// answer itself is the capability signal.
+		conn.Close()
+		return nil, false, nil
+	}
+	_ = conn.SetDeadline(time.Time{})
+	return &streamConn{c: conn, br: br, bw: bufio.NewWriter(conn)}, true, nil
+}
+
+// fetchViaStream tries the persistent channel. ok=false means the
+// caller must fall back to a plain GET — pre-stream peer, exhausted
+// dial, or a mid-exchange transport error (the plain GET then retries
+// the fetch from scratch and owns the error accounting).
+func (c *Cluster) fetchViaStream(n Node, key string) (data []byte, found, ok bool) {
+	s, try := c.streams.take(n.ID)
+	if s == nil {
+		if !try {
+			return nil, false, false
+		}
+		var err error
+		var upgraded bool
+		s, upgraded, err = c.dialStream(n)
+		c.streamDials.Add(1)
+		if err != nil {
+			return nil, false, false // transit failure: capability stays unknown
+		}
+		if !upgraded {
+			c.streams.setState(n.ID, streamNever)
+			return nil, false, false
+		}
+	}
+	_ = s.c.SetDeadline(time.Now().Add(c.cfg.FetchTimeout))
+	if err := planio.WriteFetchRequest(s.bw, key); err != nil {
+		s.close()
+		return nil, false, false
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.close()
+		return nil, false, false
+	}
+	data, found, err := planio.ReadFetchResponse(s.br, maxPlanBytes)
+	if err != nil {
+		s.close()
+		return nil, false, false
+	}
+	_ = s.c.SetDeadline(time.Time{})
+	c.streams.put(n.ID, s)
+	c.streamFetches.Add(1)
+	return data, found, true
+}

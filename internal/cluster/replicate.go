@@ -27,6 +27,15 @@ import (
 	"net/url"
 
 	"switchsynth/internal/faultinject"
+	"switchsynth/internal/planio"
+	"switchsynth/internal/service"
+)
+
+// Wire-protocol names shared with the service layer's HTTP surface.
+const (
+	planFormatsHeader     = service.PlanFormatsHeader
+	contentTypeBinaryPlan = planio.ContentTypeBinary
+	contentTypeJSON       = "application/json"
 )
 
 const (
@@ -118,6 +127,34 @@ func (c *Cluster) pushPlan(n Node, key string, data []byte) error {
 		return fmt.Errorf("injected: peer down")
 	}
 	c.inj.Fire(faultinject.PeerSlow)
+	// Version negotiation: binary frames are pushed verbatim only to
+	// peers that advertised binary support on a readiness probe. Anyone
+	// else — an older node, or a peer not yet probed — gets the plan
+	// transcoded to the JSON file format, which every version verifies
+	// and accepts. The transcode runs the full frame validation, and its
+	// output is byte-identical to what a JSON-wire node would have
+	// produced, so mixed-version replica sets converge on consistent
+	// bytes per format.
+	if planio.IsBinary(data) && !c.mem.binaryOK(n.ID) {
+		if !c.mem.formatsKnown(n.ID) {
+			// A push racing the first probe round would otherwise transcode
+			// pessimistically and leave this replica holding different bytes
+			// than the owner. Learn the capability now — a one-time /readyz
+			// round trip per unprobed peer; if it fails the conservative
+			// JSON path below still applies.
+			if err := c.probe(n); err == nil {
+				c.mem.observe(n.ID, true, "")
+			}
+		}
+		if !c.mem.binaryOK(n.ID) {
+			jd, err := planio.ToJSON(data)
+			if err != nil {
+				return fmt.Errorf("cluster: push plan %s to peer %s: transcode: %w", key, n.ID, err)
+			}
+			data = jd
+			c.pushTranscodes.Add(1)
+		}
+	}
 	if len(data) > 0 && c.inj.Fire(faultinject.ReplCorrupt) {
 		// Flip one byte mid-payload on a copy (the caller's slice is
 		// shared with local tiers); the receiver must reject it.
@@ -133,7 +170,7 @@ func (c *Cluster) pushPlan(n Node, key string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", planio.ContentTypeOf(data))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		c.mem.observe(n.ID, false, err.Error())

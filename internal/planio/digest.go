@@ -1,0 +1,126 @@
+package planio
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"switchsynth/internal/spec"
+)
+
+// VerifiedCache remembers the SHA-256 digests of plan bytes that have
+// already passed a FULL import verification (decode → Proven → canonical
+// key re-derivation → contamination check) together with the key they
+// verified under and the decoded result. Because verification is a pure
+// function of the bytes, identical bytes need never be re-verified:
+// a digest hit is exactly as trustworthy as the original full check,
+// and any byte difference — including every fault-injected corruption —
+// changes the digest and falls through to the full path.
+//
+// Entries enter only through Add, which callers must invoke with bytes
+// they have JUST fully verified (or that they themselves encoded from a
+// locally proven plan, which is the same proof obligation). Lookup is
+// keyed by (digest, expected key): bytes verified under a different
+// canonical key miss, so a cache entry can never vouch for bytes under
+// the wrong key.
+type VerifiedCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent
+	byDig map[[sha256.Size]byte]*list.Element
+
+	hits   uint64
+	misses uint64
+	adds   uint64
+}
+
+type verifiedEntry struct {
+	dig [sha256.Size]byte
+	key string
+	res *spec.Result
+}
+
+// DefaultVerifiedCapacity sizes the process-wide SharedVerified cache.
+const DefaultVerifiedCapacity = 4096
+
+// SharedVerified is the process-wide verified-bytes cache. Sharing
+// across engines and tests is sound for the same reason the cache itself
+// is: the verdict depends only on the bytes.
+var SharedVerified = NewVerifiedCache(DefaultVerifiedCapacity)
+
+// NewVerifiedCache returns a cache bounded to n entries (n <= 0 falls
+// back to DefaultVerifiedCapacity).
+func NewVerifiedCache(n int) *VerifiedCache {
+	if n <= 0 {
+		n = DefaultVerifiedCapacity
+	}
+	return &VerifiedCache{
+		cap:   n,
+		order: list.New(),
+		byDig: make(map[[sha256.Size]byte]*list.Element, n),
+	}
+}
+
+// Lookup reports whether data is byte-identical to bytes previously
+// verified under key, returning the decoded result from that
+// verification on a hit.
+func (c *VerifiedCache) Lookup(data []byte, key string) (*spec.Result, bool) {
+	dig := sha256.Sum256(data)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byDig[dig]
+	if !ok || el.Value.(*verifiedEntry).key != key {
+		c.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*verifiedEntry).res, true
+}
+
+// Add records that data passed a full verification under key, decoding
+// to res. Callers must only pass proven plans whose exact bytes they
+// verified (or produced) themselves.
+func (c *VerifiedCache) Add(data []byte, key string, res *spec.Result) {
+	if res == nil || !res.Proven {
+		return
+	}
+	dig := sha256.Sum256(data)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byDig[dig]; ok {
+		el.Value.(*verifiedEntry).key = key
+		el.Value.(*verifiedEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.adds++
+	c.byDig[dig] = c.order.PushFront(&verifiedEntry{dig: dig, key: key, res: res})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		delete(c.byDig, last.Value.(*verifiedEntry).dig)
+		c.order.Remove(last)
+	}
+}
+
+// VerifiedStats is a point-in-time snapshot of a VerifiedCache.
+type VerifiedStats struct {
+	Entries  int    `json:"entries"`
+	Capacity int    `json:"capacity"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Adds     uint64 `json:"adds"`
+}
+
+// Stats returns the cache counters.
+func (c *VerifiedCache) Stats() VerifiedStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return VerifiedStats{
+		Entries:  c.order.Len(),
+		Capacity: c.cap,
+		Hits:     c.hits,
+		Misses:   c.misses,
+		Adds:     c.adds,
+	}
+}

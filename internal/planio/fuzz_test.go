@@ -55,3 +55,139 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// fuzzSeedFrame builds a known-good binary frame for the fuzz corpora.
+func fuzzSeedFrame(f *testing.F) []byte {
+	f.Helper()
+	sp := &spec.Spec{
+		Name:       "fuzz-seed",
+		SwitchPins: 8,
+		Modules:    []string{"a", "b", "x", "y"},
+		Flows:      []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Conflicts:  [][2]int{{0, 1}},
+		Binding:    spec.Unfixed,
+	}
+	res, err := search.Solve(sp, search.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	res.Engine = "search"
+	frame, err := EncodeBinary(res)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return frame
+}
+
+// FuzzDecodeBinary throws arbitrary bytes at the binary frame decoder.
+// Same trust boundary, same contract as FuzzDecode: never panic, never
+// over-allocate on a hostile count, and anything accepted must be
+// consistent enough to re-encode — in both formats.
+func FuzzDecodeBinary(f *testing.F) {
+	frame := fuzzSeedFrame(f)
+	f.Add(frame)
+	f.Add(frame[:len(frame)-4])   // missing checksum
+	f.Add(frame[:headerLen])      // header only
+	f.Add(frame[:len(frame)/2])   // truncated payload
+	f.Add(append(frame, 0))       // trailing byte
+	corrupt := bytes.Clone(frame) // payload flip
+	corrupt[len(corrupt)/2] ^= 0x40
+	f.Add(corrupt)
+	badVer := bytes.Clone(frame)
+	badVer[4] = 99
+	f.Add(badVer)
+	f.Add([]byte{0xF5, 'S', 'P', '1'})
+	f.Add([]byte{0xF5, 'S', 'P', '1', 1, 0xFF, 0xFF, 0xFF, 0xFF}) // absurd length
+	f.Add([]byte(``))
+	f.Add([]byte(`{"version":1}`)) // JSON is not a frame
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeBinary(out)
+		if err != nil {
+			t.Fatalf("DecodeBinary accepted a plan EncodeBinary rejects: %v", err)
+		}
+		// The re-encode is canonical: decoding it again must reproduce it
+		// byte for byte (the original may use non-minimal varints).
+		out2, err := DecodeBinary(re)
+		if err != nil {
+			t.Fatalf("canonical re-encode does not decode: %v", err)
+		}
+		re2, err := EncodeBinary(out2)
+		if err != nil {
+			t.Fatalf("re-encode of re-decode rejected: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("binary re-encoding is not a fixed point")
+		}
+	})
+}
+
+// FuzzCrossFormat checks the transcoding invariant both directions: any
+// bytes either decoder accepts must convert to the other format, decode
+// there, and re-encode byte-identically — so a mixed-version cluster can
+// transcode plans at every hop without drift.
+func FuzzCrossFormat(f *testing.F) {
+	frame := fuzzSeedFrame(f)
+	f.Add(frame)
+	res, err := DecodeBinary(frame)
+	if err != nil {
+		f.Fatal(err)
+	}
+	wire, err := EncodeWire(res)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(wire))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeAny(data)
+		if err != nil {
+			return
+		}
+		// Accepted in one format ⇒ encodable in both.
+		frame, err := EncodeBinary(res)
+		if err != nil {
+			t.Fatalf("accepted plan rejected by EncodeBinary: %v", err)
+		}
+		wire, err := EncodeWire(res)
+		if err != nil {
+			t.Fatalf("accepted plan rejected by EncodeWire: %v", err)
+		}
+		// Each encoding decodes and re-encodes to identical bytes.
+		fromFrame, err := DecodeBinary(frame)
+		if err != nil {
+			t.Fatalf("emitted frame rejected: %v", err)
+		}
+		fromWire, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("emitted JSON rejected: %v", err)
+		}
+		frame2, err := EncodeBinary(fromWire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(frame, frame2) {
+			t.Fatal("json round trip changed the binary frame")
+		}
+		wire2, err := EncodeWire(fromFrame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatal("binary round trip changed the JSON wire bytes")
+		}
+		// And the two decodes agree on the derived plan facts.
+		if fromFrame.NumSets != fromWire.NumSets ||
+			fromFrame.UsedEdgeMask != fromWire.UsedEdgeMask ||
+			fromFrame.Length != fromWire.Length ||
+			fromFrame.Objective != fromWire.Objective {
+			t.Fatal("formats disagree on derived plan fields")
+		}
+	})
+}

@@ -1,8 +1,20 @@
-// Package planio serializes synthesized switch plans to JSON and back, so
-// plans can be stored, exchanged between tools, and independently
-// re-verified (cmd/verifyplan). The encoding stores the spec, the binding
-// and each route's vertex sequence; masks, lengths and objectives are
-// recomputed on load and never trusted from the file.
+// Package planio serializes synthesized switch plans so they can be
+// stored, exchanged between tools and nodes, and independently
+// re-verified (cmd/verifyplan). Two encodings share one validation path:
+//
+//   - JSON (Encode / EncodeWire / Decode): the human and audit format —
+//     what cmd/switchsynth writes, what store exports produce, and what
+//     verifyplan reads.
+//   - Binary (EncodeBinary / DecodeBinary, binary.go): the machine
+//     format — a length-prefixed, CRC32C-checksummed frame with a string
+//     table and varint vertex encoding, used on the WAL, the cluster
+//     wire and the service plan cache.
+//
+// DecodeAny sniffs the leading bytes and accepts either, so mixed-version
+// peers interoperate regardless of transport headers. Both decoders
+// store only the spec, the binding and each route's vertex sequence;
+// masks, lengths and objectives are recomputed on load and never trusted
+// from the bytes.
 package planio
 
 import (
@@ -74,8 +86,13 @@ func toFileFormat(res *spec.Result) (fileFormat, error) {
 		LowerBound: res.LowerBound,
 		Gap:        res.Gap,
 	}
+	ff.Routes = make([]routeFormat, 0, len(res.Routes))
 	for _, rt := range res.Routes {
-		rf := routeFormat{Flow: rt.Flow, Set: rt.Set}
+		rf := routeFormat{
+			Flow:  rt.Flow,
+			Set:   rt.Set,
+			Verts: make([]string, 0, len(rt.Path.Verts)),
+		}
 		for _, v := range rt.Path.Verts {
 			if v < 0 || v >= len(res.Switch.Vertices) {
 				return fileFormat{}, fmt.Errorf("planio: flow %d references vertex %d outside the %d-vertex switch", rt.Flow, v, len(res.Switch.Vertices))
@@ -87,9 +104,9 @@ func toFileFormat(res *spec.Result) (fileFormat, error) {
 	return ff, nil
 }
 
-// Decode parses a plan and reconstructs it on a freshly built switch model.
-// All derived fields (edge masks, lengths, objective, set count) are
-// recomputed; the caller should still contam.Verify the result.
+// Decode parses a JSON plan and reconstructs it on the shared switch
+// model. All derived fields (edge masks, lengths, objective, set count)
+// are recomputed; the caller should still contam.Verify the result.
 func Decode(data []byte) (*spec.Result, error) {
 	var ff fileFormat
 	if err := json.Unmarshal(data, &ff); err != nil {
@@ -98,13 +115,7 @@ func Decode(data []byte) (*spec.Result, error) {
 	if ff.Version != currentVersion {
 		return nil, fmt.Errorf("planio: unsupported version %d", ff.Version)
 	}
-	if ff.Spec == nil {
-		return nil, fmt.Errorf("planio: missing spec")
-	}
-	if err := ff.Spec.Validate(); err != nil {
-		return nil, err
-	}
-	sw, err := topo.NewGrid(ff.Spec.SwitchPins)
+	sw, err := prepare(ff.Spec, ff.PinOf, len(ff.Routes))
 	if err != nil {
 		return nil, err
 	}
@@ -117,11 +128,8 @@ func Decode(data []byte) (*spec.Result, error) {
 		Degraded:   ff.Degraded,
 		LowerBound: ff.LowerBound,
 		Gap:        ff.Gap,
+		Routes:     make([]spec.Route, 0, len(ff.Routes)),
 	}
-	if len(ff.Routes) != len(ff.Spec.Flows) {
-		return nil, fmt.Errorf("planio: %d routes for %d flows", len(ff.Routes), len(ff.Spec.Flows))
-	}
-	sets := map[int]bool{}
 	for i, rf := range ff.Routes {
 		if rf.Flow != i {
 			return nil, fmt.Errorf("planio: route %d is for flow %d", i, rf.Flow)
@@ -131,8 +139,87 @@ func Decode(data []byte) (*spec.Result, error) {
 			return nil, fmt.Errorf("planio: flow %d: %w", i, err)
 		}
 		res.Routes = append(res.Routes, spec.Route{Flow: rf.Flow, Set: rf.Set, Path: path})
-		res.UsedEdgeMask = res.UsedEdgeMask.Or(path.EdgeMask)
-		sets[rf.Set] = true
+	}
+	if err := finalize(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DecodeAny decodes a plan in either encoding, sniffing the leading
+// bytes: a binary frame magic selects DecodeBinary, anything else is
+// handed to the JSON decoder. Receivers use this regardless of transport
+// content-type headers, so a mislabeled or mixed-version peer can never
+// smuggle bytes past validation — both paths converge on the same
+// checks.
+func DecodeAny(data []byte) (*spec.Result, error) {
+	if IsBinary(data) {
+		return DecodeBinary(data)
+	}
+	return Decode(data)
+}
+
+// prepare runs the format-independent validation both decoders share:
+// the spec must be present and valid, the binding must cover exactly the
+// spec's modules with distinct in-range pins, and the route count must
+// match the flow count. It returns the (process-shared) switch model the
+// routes rebuild on.
+func prepare(sp *spec.Spec, pinOf map[string]int, nRoutes int) (*topo.Switch, error) {
+	if sp == nil {
+		return nil, fmt.Errorf("planio: missing spec")
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if sp.Binding < spec.Fixed || sp.Binding > spec.Unfixed {
+		return nil, fmt.Errorf("planio: unknown binding policy %d", sp.Binding)
+	}
+	if len(pinOf) != len(sp.Modules) {
+		return nil, fmt.Errorf("planio: binding covers %d entries for %d modules", len(pinOf), len(sp.Modules))
+	}
+	pinUsed := make(map[int]string, len(pinOf))
+	for _, m := range sp.Modules {
+		p, ok := pinOf[m]
+		if !ok {
+			return nil, fmt.Errorf("planio: module %q has no pin binding", m)
+		}
+		if p < 0 || p >= sp.SwitchPins {
+			return nil, fmt.Errorf("planio: module %q bound to pin %d outside [0,%d)", m, p, sp.SwitchPins)
+		}
+		if other, dup := pinUsed[p]; dup {
+			return nil, fmt.Errorf("planio: modules %q and %q share pin %d", other, m, p)
+		}
+		pinUsed[p] = m
+	}
+	sw, err := topo.SharedSwitch(sp.SwitchPins)
+	if err != nil {
+		return nil, err
+	}
+	if nRoutes != len(sp.Flows) {
+		return nil, fmt.Errorf("planio: %d routes for %d flows", nRoutes, len(sp.Flows))
+	}
+	return sw, nil
+}
+
+// finalize recomputes every derived field from the rebuilt routes and
+// cross-checks each path's endpoints against the binding: flow i must
+// run from its source module's bound pin to its destination module's
+// bound pin, so a tampered file cannot pair a consistent-looking binding
+// with routes that ignore it.
+func finalize(res *spec.Result) error {
+	sw := res.Switch
+	sets := map[int]bool{}
+	for i := range res.Routes {
+		rt := &res.Routes[i]
+		if rt.Set < 0 || rt.Set >= len(res.Spec.Flows) {
+			return fmt.Errorf("planio: flow %d scheduled in set %d outside [0,%d)", rt.Flow, rt.Set, len(res.Spec.Flows))
+		}
+		f := res.Spec.Flows[rt.Flow]
+		if rt.Path.In != sw.PinVertex(res.PinOf[f.From]) || rt.Path.Out != sw.PinVertex(res.PinOf[f.To]) {
+			return fmt.Errorf("planio: flow %d path endpoints do not match the %s→%s pin binding", rt.Flow, f.From, f.To)
+		}
+		res.UsedEdgeMask = res.UsedEdgeMask.Or(rt.Path.EdgeMask)
+		sets[rt.Set] = true
 	}
 	res.NumSets = len(sets)
 	for e := range sw.Edges {
@@ -140,8 +227,8 @@ func Decode(data []byte) (*spec.Result, error) {
 			res.Length += sw.Edges[e].Length
 		}
 	}
-	res.Objective = ff.Spec.EffectiveAlpha()*float64(res.NumSets) + ff.Spec.EffectiveBeta()*res.Length
-	return res, nil
+	res.Objective = res.Spec.EffectiveAlpha()*float64(res.NumSets) + res.Spec.EffectiveBeta()*res.Length
+	return nil
 }
 
 // rebuildPath converts a vertex-name sequence back into a validated path.
@@ -149,7 +236,10 @@ func rebuildPath(sw *topo.Switch, names []string) (topo.Path, error) {
 	if len(names) < 2 {
 		return topo.Path{}, fmt.Errorf("path too short")
 	}
-	p := topo.Path{}
+	p := topo.Path{
+		Verts:   make([]int, 0, len(names)),
+		EdgeIDs: make([]int, 0, len(names)-1),
+	}
 	for i, name := range names {
 		v, ok := sw.VertexByName(name)
 		if !ok {

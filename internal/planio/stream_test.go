@@ -1,0 +1,104 @@
+package planio
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestStreamFetchRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteFetchRequest(w, "job:abc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	key, err := ReadFetchRequest(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "job:abc" {
+		t.Fatalf("key = %q, want job:abc", key)
+	}
+
+	for _, tc := range []struct {
+		name  string
+		data  []byte
+		found bool
+	}{
+		{"found", []byte("plan-bytes"), true},
+		{"missing", nil, false},
+		{"nil data demotes to missing", nil, true},
+		{"empty found", []byte{}, true},
+	} {
+		buf.Reset()
+		w.Reset(&buf)
+		if err := WriteFetchResponse(w, tc.data, tc.found); err != nil {
+			t.Fatalf("%s: write: %v", tc.name, err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		data, found, err := ReadFetchResponse(bufio.NewReader(&buf), 1<<20)
+		if err != nil {
+			t.Fatalf("%s: read: %v", tc.name, err)
+		}
+		wantFound := tc.found && tc.data != nil
+		if found != wantFound {
+			t.Errorf("%s: found = %v, want %v", tc.name, found, wantFound)
+		}
+		if !bytes.Equal(data, tc.data) && wantFound {
+			t.Errorf("%s: data = %q, want %q", tc.name, data, tc.data)
+		}
+	}
+}
+
+func TestStreamFetchBounds(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := WriteFetchRequest(w, strings.Repeat("k", maxStreamKeyLen+1)); !errors.Is(err, ErrStreamKeyTooLong) {
+		t.Fatalf("oversized key write err = %v, want ErrStreamKeyTooLong", err)
+	}
+
+	// An oversized length prefix is rejected before any payload read.
+	buf.Reset()
+	w.Reset(&buf)
+	if err := WriteFetchResponse(w, make([]byte, 64), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFetchResponse(bufio.NewReader(&buf), 63); err == nil {
+		t.Fatal("oversized plan passed the maxLen bound")
+	}
+
+	// A truncated payload is an unexpected EOF, not a silent short read.
+	buf.Reset()
+	w.Reset(&buf)
+	if err := WriteFetchResponse(w, []byte("0123456789"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, _, err := ReadFetchResponse(bufio.NewReader(bytes.NewReader(trunc)), 1<<20); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated response err = %v, want ErrUnexpectedEOF", err)
+	}
+
+	// An unknown status byte is rejected.
+	if _, _, err := ReadFetchResponse(bufio.NewReader(bytes.NewReader([]byte{0x7f})), 1<<20); err == nil {
+		t.Fatal("unknown status byte accepted")
+	}
+
+	// Clean EOF between requests surfaces as io.EOF for the server loop.
+	if _, err := ReadFetchRequest(bufio.NewReader(bytes.NewReader(nil))); !errors.Is(err, io.EOF) {
+		t.Fatalf("idle close err = %v, want io.EOF", err)
+	}
+}

@@ -115,6 +115,17 @@ func (x *SimIndex) Add(sp *spec.Spec, res *spec.Result) {
 	if err != nil {
 		return
 	}
+	// Membership check before signature derivation: plans are
+	// deterministic per canonical key, so a repeat add only refreshes
+	// recency — paying neighborSigs for it would dominate warm paths
+	// (replica re-imports, repeat peer fills) that add mostly-known keys.
+	x.mu.Lock()
+	if e, ok := x.entries[key]; ok {
+		x.order.MoveToFront(e.elem)
+		x.mu.Unlock()
+		return
+	}
+	x.mu.Unlock()
 	sigs := neighborSigs(canon)
 
 	x.mu.Lock()

@@ -32,6 +32,12 @@ type cache struct {
 type cacheEntry struct {
 	key string
 	res *spec.Result
+	// wire is the plan's already-encoded frame, kept alongside the decoded
+	// result so serving GET /plans/{key} and replication pushes reuse the
+	// bytes that were verified (or produced) once instead of re-encoding
+	// per request. Nil when no frame is available (e.g. the injected
+	// cache-corruption fault, whose entry must not vouch for any bytes).
+	wire []byte
 }
 
 // newCache creates an LRU holding up to capacity results; capacity <= 0
@@ -64,25 +70,42 @@ func (c *cache) get(key string) (*spec.Result, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-// put stores a solved plan, evicting the least recently used entry when
-// over capacity.
-func (c *cache) put(key string, res *spec.Result) {
+// put stores a solved plan and (optionally) its encoded frame, evicting
+// the least recently used entry when over capacity.
+func (c *cache) put(key string, res *spec.Result, wire []byte) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byK[key]; ok {
-		el.Value.(*cacheEntry).res = res
+		e := el.Value.(*cacheEntry)
+		e.res, e.wire = res, wire
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.byK[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.byK[key] = c.ll.PushFront(&cacheEntry{key: key, res: res, wire: wire})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.byK, oldest.Value.(*cacheEntry).key)
 	}
+}
+
+// getWire returns the cached encoded frame for key, when one was stored
+// with the entry.
+func (c *cache) getWire(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byK[key]
+	if !ok || el.Value.(*cacheEntry).wire == nil {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).wire, true
 }
 
 // invalidate drops key's entry (a corrupted-plan heal).

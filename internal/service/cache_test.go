@@ -12,12 +12,12 @@ import (
 func TestCacheLRUEviction(t *testing.T) {
 	c := newCache(2)
 	a, b, d := &spec.Result{}, &spec.Result{}, &spec.Result{}
-	c.put("a", a)
-	c.put("b", b)
+	c.put("a", a, nil)
+	c.put("b", b, nil)
 	if _, ok := c.get("a"); !ok { // refresh a → b is now least recent
 		t.Fatal("a missing before eviction")
 	}
-	c.put("d", d)
+	c.put("d", d, nil)
 	if _, ok := c.get("b"); ok {
 		t.Error("least-recently-used entry b survived eviction")
 	}
@@ -32,7 +32,7 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 
 	// Re-putting an existing key replaces in place, no eviction.
-	c.put("a", b)
+	c.put("a", b, nil)
 	if got, _ := c.get("a"); got != b {
 		t.Error("re-put did not replace the value")
 	}
@@ -44,7 +44,7 @@ func TestCacheLRUEviction(t *testing.T) {
 func TestCacheDisabled(t *testing.T) {
 	for _, capacity := range []int{0, -5} {
 		c := newCache(capacity)
-		c.put("k", &spec.Result{})
+		c.put("k", &spec.Result{}, nil)
 		if _, ok := c.get("k"); ok {
 			t.Errorf("capacity %d cached anyway", capacity)
 		}

@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"runtime"
 	"sort"
 	"sync"
@@ -124,6 +125,21 @@ type Config struct {
 	// Portfolio is set. Invalid lane names fall back to the full default
 	// set — cmd/synthd validates the flag up front and fails fast instead.
 	PortfolioLanes string
+	// WireFormat selects the encoding of the plan bytes this engine
+	// produces — the frame cached next to each plan, the store
+	// write-through, replication pushes and GET /plans/{key} responses:
+	// "binary" (the default; planio's checksummed frame format) or "json"
+	// (the human/audit file format). Decoding always accepts both, so
+	// nodes with different wire formats interoperate.
+	WireFormat string
+	// DigestCacheSize configures the verified-bytes digest cache, which
+	// lets byte-identical plan frames that already passed a full import
+	// verification skip the redundant re-decode on later fills, imports
+	// and disk reads. 0 (the default) shares the process-wide
+	// planio.SharedVerified cache; > 0 uses a private cache of that many
+	// entries; < 0 disables the fast path (every load takes the full
+	// verify).
+	DigestCacheSize int
 	// SimIndexSize bounds the spec-similarity warm-start index in entries
 	// (default 512; negative disables it). The index is populated with
 	// every proven plan — solved, filled or imported — and consulted on
@@ -217,6 +233,31 @@ func (c Config) simIndexSize() int {
 	}
 }
 
+// WireFormatBinary and WireFormatJSON are the valid Config.WireFormat
+// values (empty means binary).
+const (
+	WireFormatBinary = "binary"
+	WireFormatJSON   = "json"
+)
+
+func (c Config) wireFormat() string {
+	if c.WireFormat == WireFormatJSON {
+		return WireFormatJSON
+	}
+	return WireFormatBinary
+}
+
+func (c Config) verifiedCache() *planio.VerifiedCache {
+	switch {
+	case c.DigestCacheSize > 0:
+		return planio.NewVerifiedCache(c.DigestCacheSize)
+	case c.DigestCacheSize < 0:
+		return nil
+	default:
+		return planio.SharedVerified
+	}
+}
+
 func (c Config) portfolioLanes() []portfolio.Lane {
 	lanes, err := portfolio.ParseLanes(c.PortfolioLanes)
 	if err != nil {
@@ -289,6 +330,12 @@ type Engine struct {
 	fill     func(ctx context.Context, key string) ([]byte, error)
 	onStored func(key string, data []byte) // write-time replication hook
 	neg      *negCache
+	// verified is the verified-bytes digest cache (nil when disabled):
+	// SHA-256 of plan bytes that already passed a full verification, so
+	// identical bytes arriving again — repeat fills, anti-entropy sweeps,
+	// read-repair, disk re-reads — skip the redundant decode. Unseen
+	// bytes always take the full path.
+	verified *planio.VerifiedCache
 	breakers *admission.Breakers // nil when the breaker is disabled
 	inj      *faultinject.Injector
 	flights  *flightGroup
@@ -316,6 +363,15 @@ type Engine struct {
 	closeOnce sync.Once
 	drained   chan struct{} // closed when all workers exited
 
+	// Hijacked plan-stream connections served by this engine
+	// (planstream.go). Close hangs them up so a retired engine — a
+	// killed node in the chaos tests, a drained daemon in production —
+	// stops answering fetches that bypass the HTTP server's own
+	// connection tracking.
+	streamMu     sync.Mutex
+	streamConns  map[net.Conn]struct{}
+	streamClosed bool
+
 	// solve is the optimizer entry point; tests substitute it to inject
 	// slow, panicking or counting solves.
 	solve func(ctx context.Context, sp *spec.Spec, opts switchsynth.Options) (*spec.Result, error)
@@ -335,6 +391,7 @@ func New(cfg Config) *Engine {
 		fill:     cfg.PeerFill,
 		onStored: cfg.OnPlanStored,
 		neg:      newNegCache(cfg.negativeCacheSize()),
+		verified: cfg.verifiedCache(),
 		inj:      cfg.FaultInjector,
 		flights:  newFlightGroup(),
 		feeds:    newFeedGroup(),
@@ -428,17 +485,18 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 		// full contamination verifier), so a record that rotted on disk
 		// is healed — evicted and re-solved — never served.
 		if e.store != nil {
-			if res, ok := e.loadFromStore(key); ok {
+			if res, data, ok := e.loadFromStore(key); ok {
 				resp, ferr := e.assemble(&Response{Key: key, CacheHit: true, DiskHit: true, SolveTime: res.Runtime}, res, sp, opts)
 				if ferr != nil {
 					_ = e.store.Delete(key)
 					e.metrics.storeHealed.Add(1)
 					continue
 				}
-				// Promote to the memory tier so the next hit skips the
-				// disk read and decode.
+				// Promote to the memory tier — with the stored frame, so the
+				// next hit skips the disk read and peers get the exact bytes
+				// without a re-encode.
 				if e.cache.enabled() {
-					e.cache.put(key, res)
+					e.cache.put(key, res, data)
 				}
 				e.metrics.jobsCompleted.Add(1)
 				return resp, nil
@@ -453,20 +511,35 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 		// request — a heal-loop retry must not hammer the peer.
 		if e.fill != nil && !triedPeer {
 			triedPeer = true
-			if res, ok := e.loadFromPeer(ctx, key); ok {
+			if res, data, seen, ok := e.loadFromPeer(ctx, key); ok {
 				resp, ferr := e.assemble(&Response{Key: key, CacheHit: true, PeerHit: true, SolveTime: res.Runtime}, res, sp, opts)
 				if ferr == nil {
 					e.metrics.peerHits.Add(1)
-					if e.cache.enabled() {
-						e.cache.put(key, res)
-					}
-					if e.store != nil {
-						if data, perr := planio.EncodeWire(res); perr == nil {
-							_ = e.store.Put(key, engineName(opts), data)
+					// The fetched bytes just passed the full check (or were
+					// digest-known to have passed it): remember their digest
+					// and reuse them verbatim for the memory frame and the
+					// durable tier — no re-encode on the fill path. A
+					// digest-seen fill skips the digest and sim-index adds:
+					// the first pass of these exact bytes through this path
+					// (or through a solve or import) already recorded both,
+					// and Lookup refreshed the digest entry's recency. The
+					// sim index may meanwhile have evicted the plan — warm
+					// starts are best-effort, and re-deriving the canonical
+					// spec on every repeat fill costs more than a missed
+					// seed.
+					if !seen {
+						if e.verified != nil {
+							e.verified.Add(data, key, res)
+						}
+						if e.simIndex != nil {
+							e.simIndex.Add(res.Spec, res)
 						}
 					}
-					if e.simIndex != nil {
-						e.simIndex.Add(res.Spec, res)
+					if e.cache.enabled() {
+						e.cache.put(key, res, data)
+					}
+					if e.store != nil {
+						_ = e.store.Put(key, engineName(opts), data)
 					}
 					e.metrics.jobsCompleted.Add(1)
 					return resp, nil
@@ -533,53 +606,74 @@ func (e *Engine) Do(ctx context.Context, sp *spec.Spec, opts switchsynth.Options
 	}
 }
 
-// loadFromStore fetches and decodes the persisted plan for key. A record
-// that fails its CRC is already evicted by the store itself; one that
-// reads back but no longer decodes (or lost its optimality proof) is
-// deleted here. Either way the caller sees a miss and re-solves — a
-// corrupted persisted plan is never served. Counted as storeHits /
-// storeMisses on the engine, mirroring the store's own counters.
-func (e *Engine) loadFromStore(key string) (*spec.Result, bool) {
+// loadFromStore fetches and decodes the persisted plan for key, also
+// returning the raw stored bytes so the caller can reuse them as the
+// plan's frame. A record that fails its CRC is already evicted by the
+// store itself; one that reads back but no longer decodes (or lost its
+// optimality proof) is deleted here. Either way the caller sees a miss
+// and re-solves — a corrupted persisted plan is never served. Bytes that
+// are digest-identical to a previously fully verified frame skip the
+// decode (any disk rot changes the digest and takes the full path).
+// Counted as storeHits / storeMisses on the engine, mirroring the
+// store's own counters.
+func (e *Engine) loadFromStore(key string) (*spec.Result, []byte, bool) {
 	data, _, ok := e.store.Get(key)
 	if !ok {
 		e.metrics.storeMisses.Add(1)
-		return nil, false
+		return nil, nil, false
 	}
-	res, err := planio.Decode(data)
+	if e.verified != nil {
+		if res, hit := e.verified.Lookup(data, key); hit {
+			e.metrics.storeHits.Add(1)
+			return res, data, true
+		}
+	}
+	res, err := planio.DecodeAny(data)
 	if err != nil || !res.Proven {
 		_ = e.store.Delete(key)
 		e.metrics.storeHealed.Add(1)
 		e.metrics.storeMisses.Add(1)
-		return nil, false
+		return nil, nil, false
 	}
 	e.metrics.storeHits.Add(1)
-	return res, true
+	return res, data, true
 }
 
 // loadFromPeer asks the cluster tier (the key's owning peer) for the
-// plan. The fetched bytes are decoded and structurally vetted here —
-// proven, and carrying a spec whose re-derived canonical job key matches
-// the requested key, so a peer can never poison a foreign cache slot.
-// Contamination verification happens in the caller's assemble step, the
-// same path every cache hit takes. Counted as peerMisses (no plan) or
-// peerRejected (plan that failed vetting).
-func (e *Engine) loadFromPeer(ctx context.Context, key string) (*spec.Result, bool) {
+// plan, returning the decoded plan together with the fetched bytes. The
+// bytes are decoded and structurally vetted here — proven, and carrying
+// a spec whose re-derived canonical job key matches the requested key,
+// so a peer can never poison a foreign cache slot. Contamination
+// verification happens in the caller's assemble step, the same path
+// every cache hit takes. Bytes digest-identical to a frame that already
+// passed the whole of that pipeline under this key skip straight to the
+// decoded plan — a corrupt fetch differs in at least one byte, misses
+// the digest, and is rejected by the full path as before. Counted as
+// peerMisses (no plan) or peerRejected (plan that failed vetting). The
+// seen result reports a digest hit — the caller uses it to skip
+// re-recording what the first pass already recorded.
+func (e *Engine) loadFromPeer(ctx context.Context, key string) (res *spec.Result, data []byte, seen, ok bool) {
 	data, err := e.fill(ctx, key)
 	if err != nil || data == nil {
 		e.metrics.peerMisses.Add(1)
-		return nil, false
+		return nil, nil, false, false
 	}
-	res, err := planio.Decode(data)
+	if e.verified != nil {
+		if res, hit := e.verified.Lookup(data, key); hit {
+			return res, data, true, true
+		}
+	}
+	res, err = planio.DecodeAny(data)
 	if err != nil || !res.Proven {
 		e.metrics.peerRejected.Add(1)
-		return nil, false
+		return nil, nil, false, false
 	}
 	derived, err := canonicalJobKey(res.Spec, switchsynth.Options{Engine: res.Engine})
 	if err != nil || derived != key {
 		e.metrics.peerRejected.Add(1)
-		return nil, false
+		return nil, nil, false, false
 	}
-	return res, true
+	return res, data, false, true
 }
 
 // ImportPlan verifies a planio-encoded plan fetched from a peer and, on
@@ -598,26 +692,41 @@ func (e *Engine) ImportPlan(key string, data []byte) error {
 	if e.store != nil && e.store.Has(key) {
 		return nil
 	}
-	res, err := planio.Decode(data)
-	if err != nil {
-		e.metrics.peerRejected.Add(1)
-		return fmt.Errorf("service: import %s: %w", key, err)
+	res, fullyVerified := (*spec.Result)(nil), false
+	if e.verified != nil {
+		// Digest fast path: byte-identical frames that already passed the
+		// decode → proof → key → contamination pipeline under this key
+		// install without repeating it. Anti-entropy sweeps and read-repair
+		// re-offer the same bytes constantly; a corrupt copy differs and
+		// misses.
+		res, fullyVerified = e.verified.Lookup(data, key)
 	}
-	if !res.Proven {
-		e.metrics.peerRejected.Add(1)
-		return fmt.Errorf("service: import %s: plan is degraded (unproven plans do not replicate)", key)
-	}
-	derived, err := canonicalJobKey(res.Spec, switchsynth.Options{Engine: res.Engine})
-	if err != nil || derived != key {
-		e.metrics.peerRejected.Add(1)
-		return fmt.Errorf("service: import %s: canonical key mismatch (derived %q)", key, derived)
-	}
-	if err := switchsynth.Verify(res); err != nil {
-		e.metrics.peerRejected.Add(1)
-		return fmt.Errorf("service: import %s: %w", key, err)
+	if !fullyVerified {
+		var err error
+		res, err = planio.DecodeAny(data)
+		if err != nil {
+			e.metrics.peerRejected.Add(1)
+			return fmt.Errorf("service: import %s: %w", key, err)
+		}
+		if !res.Proven {
+			e.metrics.peerRejected.Add(1)
+			return fmt.Errorf("service: import %s: plan is degraded (unproven plans do not replicate)", key)
+		}
+		derived, err := canonicalJobKey(res.Spec, switchsynth.Options{Engine: res.Engine})
+		if err != nil || derived != key {
+			e.metrics.peerRejected.Add(1)
+			return fmt.Errorf("service: import %s: canonical key mismatch (derived %q)", key, derived)
+		}
+		if err := switchsynth.Verify(res); err != nil {
+			e.metrics.peerRejected.Add(1)
+			return fmt.Errorf("service: import %s: %w", key, err)
+		}
+		if e.verified != nil {
+			e.verified.Add(data, key, res)
+		}
 	}
 	if e.cache.enabled() {
-		e.cache.put(key, res)
+		e.cache.put(key, res, data)
 	}
 	if e.store != nil {
 		if err := e.store.Put(key, res.Engine, data); err != nil {
@@ -635,11 +744,17 @@ func (e *Engine) ImportPlan(key string, data []byte) error {
 
 // PlanBytes returns the planio-encoded plan stored under key, serving
 // the memory tier first and the durable store second. This is what GET
-// /plans/{key} hands to peers; absent keys report ok == false.
+// /plans/{key} hands to peers; absent keys report ok == false. The
+// memory tier serves the frame cached next to the plan — the bytes the
+// engine encoded or verified exactly once — and only falls back to a
+// fresh compact encode for entries that carry no frame.
 func (e *Engine) PlanBytes(key string) ([]byte, bool) {
 	if e.cache.enabled() {
+		if data, ok := e.cache.getWire(key); ok {
+			return data, true
+		}
 		if res, ok := e.cache.get(key); ok {
-			if data, err := planio.Encode(res); err == nil {
+			if data, err := e.encodeFrame(res); err == nil {
 				return data, true
 			}
 		}
@@ -650,6 +765,14 @@ func (e *Engine) PlanBytes(key string) ([]byte, bool) {
 		}
 	}
 	return nil, false
+}
+
+// encodeFrame serializes a plan in the engine's configured wire format.
+func (e *Engine) encodeFrame(res *spec.Result) ([]byte, error) {
+	if e.cfg.wireFormat() == WireFormatJSON {
+		return planio.EncodeWire(res)
+	}
+	return planio.EncodeBinary(res)
 }
 
 // PlanKeys returns the sorted union of the keys held by the local tiers
@@ -811,18 +934,23 @@ func (e *Engine) runJob(j job) {
 		// caller's tiny budget must not shadow the proven optimum for
 		// everyone else — in memory or, worse, durably on disk.
 		if res.Proven {
-			// Encode the wire form once for both the durable tier and the
-			// replication hook.
-			var wire []byte
-			if e.store != nil || e.onStored != nil {
-				wire, _ = planio.EncodeWire(res)
+			// Encode the frame exactly once; the same bytes serve the
+			// memory tier, the durable tier, the replication hook and every
+			// GET /plans/{key} response. The engine's own encoding of its
+			// own proof is as verified as bytes get, so its digest enters
+			// the verified-bytes cache — a replica receiving this push can
+			// skip the redundant re-decode, while any corruption in transit
+			// changes the digest and takes the full check.
+			wire, _ := e.encodeFrame(res)
+			if wire != nil && e.verified != nil {
+				e.verified.Add(wire, j.key, res)
 			}
 			if e.cache.enabled() {
-				toCache := res
+				toCache, cachedWire := res, wire
 				if e.inj.Fire(faultinject.CacheCorrupt) {
-					toCache = corruptPlan(res)
+					toCache, cachedWire = corruptPlan(res), nil
 				}
-				e.cache.put(j.key, toCache)
+				e.cache.put(j.key, toCache, cachedWire)
 			}
 			// Write through to the durable tier (always the pristine
 			// plan — the cache-corruption fault stays a memory-tier
@@ -962,6 +1090,16 @@ func (e *Engine) Snapshot() Snapshot {
 	s.Workers = e.cfg.workers()
 	s.BreakersOpen = e.breakers.OpenCount()
 	s.PeerFillEnabled = e.fill != nil
+	s.WireFormat = e.cfg.wireFormat()
+	if e.verified != nil {
+		st := e.verified.Stats()
+		s.DigestCacheEnabled = true
+		s.DigestCacheEntries = st.Entries
+		s.DigestCacheCapacity = st.Capacity
+		s.DigestCacheHits = st.Hits
+		s.DigestCacheMisses = st.Misses
+		s.DigestCacheAdds = st.Adds
+	}
 	s.SolverWorkers = e.cfg.solverWorkers()
 	s.SolverNodesTotal, s.SolverStealsTotal = search.Counters()
 	s.PortfolioEnabled = len(e.pfLanes) > 0
@@ -1045,6 +1183,13 @@ func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
 		e.closed.Store(true)
 		e.queue.Close()
+		e.streamMu.Lock()
+		e.streamClosed = true
+		for c := range e.streamConns {
+			_ = c.Close()
+		}
+		e.streamConns = nil
+		e.streamMu.Unlock()
 	})
 	<-e.drained
 }

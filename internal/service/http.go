@@ -94,6 +94,25 @@ const (
 	PriorityHeader = "X-Synthd-Priority"
 )
 
+// PlanFormatsHeader advertises, on /readyz responses, the plan encodings
+// this node accepts and serves; PlanFormatsValue is this version's
+// capability set. Cluster peers record it from their readiness probes:
+// a peer that never advertised "binary" — an older node, or one not yet
+// probed — receives replication pushes transcoded to JSON, which every
+// version accepts.
+const (
+	PlanFormatsHeader = "X-Synthd-Plan-Formats"
+	PlanFormatsValue  = "binary,json"
+)
+
+// acceptsBinaryPlan reports whether the client explicitly listed the
+// binary plan content type in its Accept header. A wildcard is not
+// enough — JSON stays the answer for every caller that does not name
+// the binary format, so old nodes and humans never see frames.
+func acceptsBinaryPlan(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), planio.ContentTypeBinary)
+}
+
 // SynthesizeRequest is the POST /synthesize payload.
 type SynthesizeRequest struct {
 	// Spec is the synthesis input (the library's JSON spec format).
@@ -284,6 +303,11 @@ func NewHandlerWith(e *Engine, hc HandlerConfig) http.Handler {
 		// membership probes and load balancers stop routing here. The
 		// Retry-After is the queue's measured estimate of when the
 		// backlog — the thing the drain is waiting on — will be gone.
+		// Advertise the plan encodings this node accepts and serves, so
+		// cluster peers probing readiness learn whether binary frames can
+		// be pushed here or must be transcoded to JSON first. Sent on the
+		// drain path too — capability does not change with readiness.
+		w.Header().Set(PlanFormatsHeader, PlanFormatsValue)
 		if e.Draining() {
 			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(e.RetryAfterHint())))
 			writeError(w, http.StatusServiceUnavailable, "unavailable", fmt.Errorf("draining"))
@@ -331,11 +355,32 @@ func NewHandlerWith(e *Engine, hc HandlerConfig) http.Handler {
 			writeError(w, http.StatusNotFound, "not-found", fmt.Errorf("no plan for key %q", key))
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		// Content negotiation for mixed-version clusters: binary frames go
+		// out as-is only to clients that explicitly accept the binary
+		// content type; everyone else — older nodes, curl, verifyplan over
+		// HTTP — gets the JSON file format, transcoded through full decode
+		// validation. JSON-stored plans are format-agnostic and always
+		// serve verbatim.
+		if planio.IsBinary(data) && !acceptsBinaryPlan(r) {
+			jd, err := planio.ToJSON(data)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "internal",
+					fmt.Errorf("transcoding plan %q: %w", key, err))
+				return
+			}
+			data = jd
+		}
+		w.Header().Set("Content-Type", planio.ContentTypeOf(data))
 		_, _ = w.Write(data)
 	}
 	mux.HandleFunc("/plans", plans)
 	mux.HandleFunc("/plans/", plans)
+	// The persistent fetch channel: same plans, no per-request HTTP
+	// envelope. A pre-stream node 404s this path and peers fall back to
+	// the GETs above.
+	mux.HandleFunc(planio.PlanStreamPath, func(w http.ResponseWriter, r *http.Request) {
+		handlePlanStream(e, w, r)
+	})
 	return mux
 }
 

@@ -199,6 +199,21 @@ type Snapshot struct {
 	PeerRejected    int64 `json:"peerRejected"`
 	PeerImported    int64 `json:"peerImported"`
 
+	// Plan wire format and the verified-bytes digest cache. WireFormat is
+	// the encoding this engine produces ("binary" or "json"); the digest
+	// gauges mirror planio.VerifiedCache.Stats — a hit means
+	// byte-identical plan bytes skipped a redundant re-verify because the
+	// exact same bytes already passed the full import check. When the
+	// engine shares the process-wide cache, the counters are process-wide
+	// too.
+	WireFormat          string `json:"wireFormat"`
+	DigestCacheEnabled  bool   `json:"digestCacheEnabled"`
+	DigestCacheEntries  int    `json:"digestCacheEntries"`
+	DigestCacheCapacity int    `json:"digestCacheCapacity"`
+	DigestCacheHits     uint64 `json:"digestCacheHits"`
+	DigestCacheMisses   uint64 `json:"digestCacheMisses"`
+	DigestCacheAdds     uint64 `json:"digestCacheAdds"`
+
 	// Batch intake and streaming (the admission tier's other two jobs).
 	BatchRequests       int64 `json:"batchRequests"`
 	BatchSpecs          int64 `json:"batchSpecs"`

@@ -56,7 +56,7 @@ func TestOnPlanStoredFiresForFreshSolvesOnly(t *testing.T) {
 
 	// The hook's bytes are a decodable, proven, verifiable wire plan —
 	// exactly what a replica's ImportPlan expects.
-	plan, err := planio.Decode(wire)
+	plan, err := planio.DecodeAny(wire)
 	if err != nil {
 		t.Fatalf("hook bytes do not decode: %v", err)
 	}

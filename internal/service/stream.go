@@ -300,7 +300,7 @@ func (e *Engine) WatchKey(ctx context.Context, key string, emit func(resp *Respo
 			}
 		}
 		if e.store != nil {
-			if res, ok := e.loadFromStore(key); ok {
+			if res, _, ok := e.loadFromStore(key); ok {
 				return res, &Response{Key: key, CacheHit: true, DiskHit: true, SolveTime: res.Runtime}, true
 			}
 		}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"switchsynth/internal/faultinject"
+	"switchsynth/internal/planio"
 )
 
 // Options tunes a store.
@@ -579,10 +580,14 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Export writes every live, CRC-verified plan into dir as an indented
-// planio-compatible JSON file (the stored wire bytes verbatim), named
-// <key-prefix>-<engine>.json, and returns how many were written. The
-// files feed cmd/verifyplan for offline audit of persisted plans.
+// Export writes every live, CRC-verified plan into dir as a
+// planio-compatible JSON file named <key-prefix>-<engine>.json, and
+// returns how many were written. Binary-framed values are transcoded to
+// the JSON file format (through full frame validation) so the export is
+// always human-readable and feeds cmd/verifyplan for offline audit
+// regardless of the wire format the daemon ran with; JSON values are
+// written verbatim. A value whose frame fails to decode is treated like
+// a CRC mismatch: evicted and counted, never exported.
 func (s *Store) Export(dir string) (int, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("store: %w", err)
@@ -597,8 +602,14 @@ func (s *Store) Export(dir string) (int, error) {
 			s.stats.CorruptEvicted++
 			continue
 		}
+		data, err := planio.ToJSON(rec.value)
+		if err != nil {
+			delete(s.index, k)
+			s.stats.CorruptEvicted++
+			continue
+		}
 		name := exportName(rec.key, rec.engine)
-		if err := os.WriteFile(filepath.Join(dir, name), rec.value, 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
 			return n, fmt.Errorf("store: %w", err)
 		}
 		n++

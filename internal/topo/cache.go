@@ -2,40 +2,53 @@ package topo
 
 import "sync"
 
-// gridCache memoizes SharedGrid results: one entry per pin count for the
-// lifetime of the process. Entries are never evicted — the supported pin
-// counts form a tiny fixed set, and a built 16-pin path table is ~1 MB.
+// gridCache memoizes SharedSwitch/SharedGrid results: one entry per pin
+// count for the lifetime of the process. Entries are never evicted — the
+// supported pin counts form a tiny fixed set, and a built 16-pin path
+// table is ~1 MB.
 var gridCache sync.Map // numPins -> *gridEntry
 
 type gridEntry struct {
-	once sync.Once
-	sw   *Switch
-	pt   *PathTable
-	err  error
+	swOnce sync.Once
+	ptOnce sync.Once
+	sw     *Switch
+	pt     *PathTable
+	err    error
 }
 
-// SharedGrid returns the process-wide shared grid switch and path table
-// for numPins, building them on first use. Every caller at the same pin
-// count receives the same *Switch and *PathTable pointers.
+func sharedEntry(numPins int) *gridEntry {
+	v, _ := gridCache.LoadOrStore(numPins, &gridEntry{})
+	return v.(*gridEntry)
+}
+
+// SharedSwitch returns the process-wide shared grid switch for numPins,
+// building it on first use — without the path table, which plan decoding
+// does not need and which dominates first-use cost at large pin counts.
 //
-// Sharing is safe because both structures are immutable once built:
-// NewGrid publishes the Switch only after finish() seals it, every
-// Switch accessor either returns a copy or reads data that is never
-// written again, and BuildPathTable only reads the sealed switch. The
+// Sharing is safe because the Switch is immutable once built: NewGrid
+// publishes it only after finish() seals it, and every accessor either
+// returns a copy or reads data that is never written again. The
 // concurrent-read guarantee is exercised under the race detector by
 // TestSharedGridConcurrent.
 //
 // Construction errors (unsupported pin counts) are memoized too, so
 // repeated lookups of a bad size stay cheap.
+func SharedSwitch(numPins int) (*Switch, error) {
+	e := sharedEntry(numPins)
+	e.swOnce.Do(func() { e.sw, e.err = NewGrid(numPins) })
+	return e.sw, e.err
+}
+
+// SharedGrid returns the shared switch of SharedSwitch together with the
+// process-wide shared path table for numPins, building each on first
+// use. Every caller at the same pin count receives the same *Switch and
+// *PathTable pointers; BuildPathTable only reads the sealed switch.
 func SharedGrid(numPins int) (*Switch, *PathTable, error) {
-	v, _ := gridCache.LoadOrStore(numPins, &gridEntry{})
-	e := v.(*gridEntry)
-	e.once.Do(func() {
-		e.sw, e.err = NewGrid(numPins)
-		if e.err != nil {
-			return
-		}
-		e.pt = BuildPathTable(e.sw)
-	})
-	return e.sw, e.pt, e.err
+	sw, err := SharedSwitch(numPins)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := sharedEntry(numPins)
+	e.ptOnce.Do(func() { e.pt = BuildPathTable(sw) })
+	return sw, e.pt, nil
 }
