@@ -25,6 +25,7 @@ import (
 	"switchsynth/internal/cluster"
 	"switchsynth/internal/drc"
 	"switchsynth/internal/exp"
+	"switchsynth/internal/fpva"
 	"switchsynth/internal/lp"
 	"switchsynth/internal/milp"
 	"switchsynth/internal/planio"
@@ -446,6 +447,89 @@ func benchPathTable(b *testing.B, pins int) {
 	for i := 0; i < b.N; i++ {
 		if topo.BuildPathTable(sw).NumPaths() == 0 {
 			b.Fatal("no paths")
+		}
+	}
+}
+
+// --- FPVA: grid synthesis and test-pattern generation -----------------------
+
+// fpvaBenchSpec is the canonical FPVA benchmark case: two inlets, three
+// outlets, one conflicting pair, unfixed binding (the RunFPVAScaling
+// spec shape).
+func fpvaBenchSpec(rows, cols int) *spec.Spec {
+	return &spec.Spec{
+		Name:     "fpva-bench",
+		Topology: spec.TopologyFPVA,
+		GridRows: rows,
+		GridCols: cols,
+		Modules:  []string{"in1", "in2", "out1", "out2", "out3"},
+		Flows: []spec.Flow{
+			{From: "in1", To: "out1"},
+			{From: "in2", To: "out2"},
+			{From: "in1", To: "out3"},
+		},
+		Conflicts: [][2]int{{0, 1}},
+		Binding:   spec.Unfixed,
+	}
+}
+
+func BenchmarkFPVA_Solve3x3(b *testing.B) {
+	sp := fpvaBenchSpec(3, 3)
+	for i := 0; i < b.N; i++ {
+		bounded(b, sp, 10*time.Second)
+	}
+}
+
+func BenchmarkFPVA_Solve4x4(b *testing.B) {
+	sp := fpvaBenchSpec(4, 4)
+	for i := 0; i < b.N; i++ {
+		bounded(b, sp, 10*time.Second)
+	}
+}
+
+func benchFPVAPatterns(b *testing.B, rows, cols int) {
+	sw, err := topo.SharedFPVASwitch(rows, cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		patterns, err := fpva.TestPatterns(sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(patterns) == 0 {
+			b.Fatal("empty pattern set")
+		}
+	}
+}
+
+func BenchmarkFPVA_TestPatterns4x4(b *testing.B) { benchFPVAPatterns(b, 4, 4) }
+func BenchmarkFPVA_TestPatterns8x8(b *testing.B) { benchFPVAPatterns(b, 8, 8) }
+
+// BenchmarkFPVA_Diagnose8x8 measures fault localization from a healthy
+// observation vector on the largest sweep grid.
+func BenchmarkFPVA_Diagnose8x8(b *testing.B) {
+	sw, err := topo.SharedFPVASwitch(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	patterns, err := fpva.TestPatterns(sw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wet := make([]topo.Bits, len(patterns))
+	for i, p := range patterns {
+		wet[i] = p.Expect
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := fpva.Diagnose(sw, patterns, wet)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !d.Healthy {
+			b.Fatal("healthy observations diagnosed as faulty")
 		}
 	}
 }

@@ -8,8 +8,13 @@
 # dedup/determinism, per-tenant fairness and the streaming contract,
 # race-checked twice), the portfolio gate (lane racing, cross-checks,
 # similarity-index adaptation and seeded-solve determinism, race-checked
-# twice, plus the campaign byte-diff with racing on vs off), and six
-# benchmarks: cold-vs-cached request rate (BENCH_service.json),
+# twice, plus the campaign byte-diff with racing on vs off), the FPVA
+# gate (race-checked fault-coverage property suite — every single
+# stuck-open/stuck-closed valve fault on 2x2..8x8 grids must be detected
+# by the generated test patterns — plus the randomized FPVA campaign
+# byte-diffed across solver widths and portfolio racing, and the
+# cluster-served FPVA plan byte-compared to a cold single-node solve),
+# and the benchmarks: cold-vs-cached request rate (BENCH_service.json),
 # degraded-path throughput under injected slow-solve faults
 # (BENCH_resilience.json), the plan-store tiers — cold solve vs memory
 # hit vs disk hit vs warm boot (BENCH_store.json), the cluster tiers —
@@ -21,7 +26,9 @@
 # the saturated 16-pin ring and its one-module-delta neighbor family
 # (BENCH_portfolio.json), and the plan wire format — binary vs JSON
 # encode/decode cost and frame size with hard gates on decode speedup,
-# size ratio and decode allocations (BENCH_planio.json). The wire-format
+# size ratio and decode allocations (BENCH_planio.json), and the FPVA
+# tier — grid synthesis and test-pattern generation with a scaling gate
+# (BENCH_fpva.json). The wire-format
 # gate also fuzzes the binary frame decoder and the cross-format
 # re-encode fixed point, and byte-diffs a binary-framed replicating
 # 3-node campaign against a JSON single-node reference.
@@ -80,6 +87,33 @@ diff "$det_dir/w1/campaign.txt" "$det_dir/w2/campaign.txt"
 diff "$det_dir/w1/campaign.txt" "$det_dir/w8/campaign.txt"
 diff "$det_dir/w1/campaign.txt" "$det_dir/pf/campaign.txt"
 echo "campaign.txt byte-identical at -solver-workers 1, 2, 8 and with -portfolio"
+
+echo "== fpva gate: -race -count=2, fault coverage + determinism =="
+# The FPVA suite twice under the race detector: grid construction and
+# cache-key separation, synthesis determinism at 1/2/8 solver workers,
+# and the test-pattern property suite — TestFaultCoverage simulates
+# every single stuck-open/stuck-closed valve fault on 2x2 through 8x8
+# grids and asserts 100% detection by the generated pattern set.
+go test -race -count=2 ./internal/fpva/
+go test -race -count=2 -run 'FPVA|SharedTopology|ValidateTopology|CanonicalKeyTopology|TestVerifyFile' \
+  ./internal/topo/ ./internal/spec/ ./internal/planio/ ./cmd/verifyplan/
+go test -race -run 'TestFPVAPlanClusterPortfolioMatchesSingleNode' ./internal/cluster/
+
+echo "== fpva determinism gate: campaign at -solver-workers 1/2/8 and -portfolio =="
+# Same byte-diff discipline as the crossbar campaign: the randomized
+# FPVA campaign plus the grid scaling sweep (which re-verifies 100%
+# fault coverage at every swept size) must be byte-identical at every
+# solver width and with portfolio racing.
+for w in 1 2 8; do
+  go run ./cmd/experiments -only fpva -fpva-campaign 12 -seed 7 \
+    -timelimit 10s -workers 2 -solver-workers "$w" -out "$det_dir/fw$w" > /dev/null
+done
+go run ./cmd/experiments -only fpva -fpva-campaign 12 -seed 7 \
+  -timelimit 10s -workers 2 -solver-workers 2 -portfolio -out "$det_dir/fpf" > /dev/null
+diff "$det_dir/fw1/fpva.txt" "$det_dir/fw2/fpva.txt"
+diff "$det_dir/fw1/fpva.txt" "$det_dir/fw8/fpva.txt"
+diff "$det_dir/fw1/fpva.txt" "$det_dir/fpf/fpva.txt"
+echo "fpva.txt byte-identical at -solver-workers 1, 2, 8 and with -portfolio"
 
 echo "== chaos suite: 25 seeded fault schedules, -race -count=2 =="
 # The chaos tests carry their own goroutine-leak gate (leakcheck_test.go);
@@ -313,5 +347,40 @@ echo "$planio_out" | awk '
     }
   }' > BENCH_planio.json
 cat BENCH_planio.json
+
+echo "== fpva benchmark: grid synthesis and test-pattern generation =="
+# Emits BENCH_fpva.json: cold grid synthesis at 3x3/4x4 and test-pattern
+# generation at 4x4/8x8 plus fault diagnosis at 8x8. Gate: pattern
+# generation must scale no worse than 60x from 4x4 to 8x8 (the
+# detection-matrix work grows ~28x; a superlinear set-cover regression
+# would blow past the margin).
+fpva_out=$(go test -run '^$' -bench 'BenchmarkFPVA_' -benchtime "${BENCHTIME:-2s}" .)
+echo "$fpva_out"
+echo "$fpva_out" | awk '
+  $1 ~ /^BenchmarkFPVA_Solve3x3/        { s3 = $3 }
+  $1 ~ /^BenchmarkFPVA_Solve4x4/        { s4 = $3 }
+  $1 ~ /^BenchmarkFPVA_TestPatterns4x4/ { p4 = $3 }
+  $1 ~ /^BenchmarkFPVA_TestPatterns8x8/ { p8 = $3 }
+  $1 ~ /^BenchmarkFPVA_Diagnose8x8/     { d8 = $3 }
+  END {
+    if (s3 == "" || s4 == "" || p4 == "" || p8 == "" || d8 == "") {
+      print "ci.sh: fpva benchmark output incomplete" > "/dev/stderr"
+      exit 1
+    }
+    scaling = p8 / p4
+    printf "{\n"
+    printf "  \"solve3x3NsPerOp\": %.0f,\n", s3
+    printf "  \"solve4x4NsPerOp\": %.0f,\n", s4
+    printf "  \"testPatterns4x4NsPerOp\": %.0f,\n", p4
+    printf "  \"testPatterns8x8NsPerOp\": %.0f,\n", p8
+    printf "  \"diagnose8x8NsPerOp\": %.0f,\n", d8
+    printf "  \"patternGen8x8Over4x4\": %.1f\n", scaling
+    printf "}\n"
+    if (scaling > 60.0) {
+      printf "ci.sh: 8x8 pattern generation %.1fx the 4x4 cost, > 60x gate\n", scaling > "/dev/stderr"
+      exit 1
+    }
+  }' > BENCH_fpva.json
+cat BENCH_fpva.json
 
 echo "ci.sh: OK"

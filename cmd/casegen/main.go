@@ -1,9 +1,11 @@
-// Command casegen emits the Section 4.2 artificial switch cases as JSON
-// files consumable by cmd/switchsynth.
+// Command casegen emits randomized synthesis cases as JSON files
+// consumable by cmd/switchsynth: the Section 4.2 artificial crossbar
+// campaign by default, or randomized FPVA grid cases with -fpva.
 //
 // Usage:
 //
 //	casegen [-n 90] [-seed 42] [-out cases/]
+//	casegen -fpva [-n 30] [-seed 42] [-out fpvacases/]
 package main
 
 import (
@@ -21,12 +23,22 @@ func main() {
 		n    = flag.Int("n", 90, "number of cases")
 		seed = flag.Int64("seed", 42, "generator seed")
 		out  = flag.String("out", "cases", "output directory")
+		fpva = flag.Bool("fpva", false, "generate FPVA grid cases (randomized grid dimensions, flow counts and conflict density) instead of crossbar cases")
 	)
 	flag.Parse()
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	for _, c := range cases.Artificial(*n, *seed) {
+	var cs []cases.Case
+	if *fpva {
+		cs = cases.ArtificialFPVA(*n, *seed)
+	} else {
+		cs = cases.Artificial(*n, *seed)
+	}
+	for _, c := range cs {
+		if err := c.Spec.Validate(); err != nil {
+			fatal(err)
+		}
 		data, err := json.MarshalIndent(c.Spec, "", "  ")
 		if err != nil {
 			fatal(err)

@@ -4,9 +4,9 @@
 // Usage:
 //
 //	experiments [-out results] [-timelimit 30s] [-campaign 90] [-seed 42]
-//	            [-only table4.1|table4.2|table4.3|campaign|spine|stress|figures]
+//	            [-only table4.1|table4.2|table4.3|campaign|fpva|spine|stress|figures]
 //	            [-workers N] [-solver-workers N] [-daemon http://host:8080]
-//	            [-portfolio]
+//	            [-portfolio] [-fpva-campaign 30]
 //
 // -workers bounds how many campaign cases solve concurrently;
 // -solver-workers parallelizes the branch and bound inside each solve;
@@ -42,8 +42,9 @@ func main() {
 		out       = flag.String("out", "results", "output directory for figures and tables ('' to skip files)")
 		timeLimit = flag.Duration("timelimit", 30*time.Second, "per-synthesis time limit")
 		campaignN = flag.Int("campaign", 90, "number of artificial campaign cases")
+		fpvaN     = flag.Int("fpva-campaign", 30, "number of randomized FPVA campaign cases")
 		seed      = flag.Int64("seed", 42, "campaign generator seed")
-		only      = flag.String("only", "", "run a single experiment: table4.1, table4.2, table4.3, campaign, spine, gru, scaling, stress, figures")
+		only      = flag.String("only", "", "run a single experiment: table4.1, table4.2, table4.3, campaign, fpva, spine, gru, scaling, stress, figures")
 		engine    = flag.String("engine", "", "optimizer engine: search (default) or iqp")
 		workers   = flag.Int("workers", 0, "concurrent campaign syntheses (0 = GOMAXPROCS, 1 = sequential)")
 		solverWrk = flag.Int("solver-workers", 0, "branch-and-bound goroutines per solve (0 = sequential; results are identical at any value)")
@@ -111,6 +112,27 @@ func main() {
 		// The saved file is byte-identical across runs and worker counts:
 		// no wall-clock values, rows in case-ID order.
 		save("campaign.txt", res.Stats.DeterministicString()+"\n"+report.CampaignTable(res.Rows))
+	}
+	if want("fpva") {
+		fmt.Printf("== FPVA: randomized grid campaign (%d cases, seed %d) + scaling sweep ==\n", *fpvaN, *seed)
+		start := time.Now()
+		res := exp.RunFPVACampaign(cfg, *fpvaN, *seed)
+		wall := time.Since(start)
+		fmt.Println(res.Stats.String())
+		if s := res.Service; s != nil {
+			fmt.Printf("engine: %d workers, wall %.2fs, %d solves (%d cache hits, %d coalesced)\n",
+				s.Workers, wall.Seconds(), s.SolveCount, s.CacheHits, s.DedupCoalesced)
+		}
+		points, err := exp.RunFPVAScaling(cfg, [][2]int{{2, 2}, {2, 4}, {3, 3}, {4, 4}, {6, 6}, {8, 8}})
+		if err != nil {
+			fatal(err)
+		}
+		scalingText := exp.FPVAScalingTable(points)
+		fmt.Println(scalingText)
+		// Like campaign.txt, the saved file carries no wall-clock values:
+		// byte-identical across runs, worker counts, and portfolio racing.
+		save("fpva.txt", res.Stats.DeterministicString()+"\n"+
+			report.CampaignTable(res.Rows)+"\n"+scalingText)
 	}
 	if want("spine") {
 		fmt.Println("== Columba spine baseline pollution (Figures 4.1(d), 4.2(c)(d)) ==")

@@ -105,8 +105,13 @@ func verifyFile(path string, quiet bool) error {
 			fmt.Printf(format+"\n", args...)
 		}
 	}
-	say("plan %q: %d-pin switch, %d flows, %d sets, L=%.1fmm",
-		res.Spec.Name, res.Spec.SwitchPins, len(res.Routes), res.NumSets, res.Length)
+	substrate := fmt.Sprintf("%d-pin switch", res.Spec.Ports())
+	if res.Spec.IsFPVA() {
+		substrate = fmt.Sprintf("%dx%d FPVA grid (%d ports)",
+			res.Spec.GridRows, res.Spec.GridCols, res.Spec.Ports())
+	}
+	say("plan %q: %s, %d flows, %d sets, L=%.1fmm",
+		res.Spec.Name, substrate, len(res.Routes), res.NumSets, res.Length)
 
 	if err := contam.Verify(res); err != nil {
 		return fmt.Errorf("structural verification FAILED: %w", err)

@@ -1,0 +1,104 @@
+// FPVA walkthrough: synthesize contamination-free routes on a 3×3
+// fully programmable valve array, generate the minimal test-pattern set
+// that detects every single valve fault, and localize an injected
+// stuck-closed valve from the observations.
+//
+//	go run ./examples/fpva
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"switchsynth"
+	"switchsynth/internal/fpva"
+	"switchsynth/internal/topo"
+)
+
+func main() {
+	// The same two-sample problem as examples/quickstart, but on a 3×3
+	// valve-grid substrate instead of a crossbar: Topology selects the
+	// FPVA and GridRows/GridCols size it (SwitchPins stays unset — the
+	// grid derives its 2×(3+3) = 12 boundary ports itself).
+	sp := &switchsynth.Spec{
+		Name:     "fpva-walkthrough",
+		Topology: switchsynth.TopologyFPVA,
+		GridRows: 3,
+		GridCols: 3,
+		Modules:  []string{"sampleA", "sampleB", "mix1", "mix2"},
+		Flows: []switchsynth.Flow{
+			{From: "sampleA", To: "mix1"},
+			{From: "sampleB", To: "mix2"},
+		},
+		Conflicts: [][2]int{{0, 1}}, // the two samples must stay apart
+		Binding:   switchsynth.Unfixed,
+	}
+
+	syn, err := switchsynth.Synthesize(sp, switchsynth.Options{PressureSharing: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(syn.Summary())
+	fmt.Println("\nmodule → port binding:")
+	for _, m := range sp.Modules {
+		pin := syn.PinOf[m]
+		fmt.Printf("  %-8s → %s\n", m, syn.Switch.Vertices[syn.Switch.PinVertex(pin)].Name)
+	}
+	fmt.Println("\nroutes (one line per flow):")
+	for _, rt := range syn.Routes {
+		f := sp.Flows[rt.Flow]
+		fmt.Printf("  %s → %s in flow set %d, %.1f mm\n", f.From, f.To, rt.Set+1, rt.Path.Length)
+	}
+
+	// Manufacturing test: every one of the grid's valves can fail
+	// stuck-open (never seals) or stuck-closed (never conducts).
+	// TestPatterns computes a minimal stimulus set — pressurize one
+	// port, hold a chosen valve set open, observe which ports wet —
+	// that distinguishes every such fault from a healthy chip.
+	sw := syn.Switch
+	patterns, err := fpva.TestPatterns(sw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	faults := fpva.AllFaults(sw)
+	fmt.Printf("\nfault model: %d valves, %d single faults\n", len(sw.Edges), len(faults))
+	fmt.Printf("test patterns: %d (each row: source port, #open valves, expected wet ports)\n", len(patterns))
+	for i, p := range patterns {
+		fmt.Printf("  #%d  %-3s open=%-2d wet=%v\n", i+1,
+			sw.Vertices[sw.PinVertex(p.Source)].Name,
+			p.Open.OnesCount(), portNames(sw, p.Expect))
+	}
+
+	// Inject a stuck-closed fault on the first valve and replay the
+	// pattern set: the observations diverge from Expect, and Diagnose
+	// narrows the candidates to faults consistent with every pattern.
+	injected := fpva.Fault{Edge: 0, Kind: fpva.StuckClosed}
+	wet := make([]topo.Bits, len(patterns))
+	for i, p := range patterns {
+		wet[i] = fpva.Simulate(sw, p, &injected)
+	}
+	diag, err := fpva.Diagnose(sw, patterns, wet)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninjected %s on valve %s\n", injected.Kind, edgeName(sw, injected.Edge))
+	fmt.Printf("diagnosis: healthy=%v, %d candidate fault(s):\n", diag.Healthy, len(diag.Candidates))
+	for _, f := range diag.Candidates {
+		fmt.Printf("  %s on valve %s\n", f.Kind, edgeName(sw, f.Edge))
+	}
+}
+
+// portNames renders a wet-port bitmask as the ports' clockwise names.
+func portNames(sw *topo.Switch, wet topo.Bits) []string {
+	var out []string
+	for _, p := range wet.Indices() {
+		out = append(out, sw.Vertices[sw.PinVertex(p)].Name)
+	}
+	return out
+}
+
+// edgeName renders one valve edge as "u—v".
+func edgeName(sw *topo.Switch, e int) string {
+	ed := sw.Edges[e]
+	return sw.Vertices[ed.U].Name + "—" + sw.Vertices[ed.V].Name
+}

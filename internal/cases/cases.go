@@ -369,3 +369,90 @@ func randomSpec(rng *rand.Rand, name string, pins int, policy spec.BindingPolicy
 	}
 	return sp
 }
+
+// ArtificialFPVA generates a deterministic campaign of randomized FPVA
+// synthesis cases: grid dimensions, flow counts, conflict density and
+// binding policy all vary with the generator stream, and the same seed
+// always yields the same cases. Grids are kept small enough (2–4
+// junctions per side) that exact synthesis stays interactive while the
+// port counts (8–16) match the crossbar campaign's range.
+func ArtificialFPVA(count int, seed int64) []Case {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Case, 0, count)
+	for i := 0; i < count; i++ {
+		rows := 2 + rng.Intn(3)
+		cols := 2 + rng.Intn(3)
+		policy := spec.BindingPolicy(i % 3)
+		sp := randomFPVASpec(rng, fmt.Sprintf("fpva-%02d", i), rows, cols, policy)
+		out = append(out, Case{Spec: sp, Ref: "artificial FPVA", ID: i + 1})
+	}
+	return out
+}
+
+// randomFPVASpec builds a random valid FPVA spec on a rows×cols grid.
+// Flows fan out from 1–3 inlets to distinct outlets; the conflict
+// density is itself randomized per case (none, sparse or dense) between
+// flows of different inlets.
+func randomFPVASpec(rng *rand.Rand, name string, rows, cols int, policy spec.BindingPolicy) *spec.Spec {
+	ports := 2 * (rows + cols)
+	nInlets := 1 + rng.Intn(3)
+	maxFlows := ports - nInlets
+	nFlows := 2 + rng.Intn(5)
+	if nFlows > maxFlows {
+		nFlows = maxFlows
+	}
+	if nFlows < nInlets {
+		nFlows = nInlets
+	}
+	mods := make([]string, 0, nInlets+nFlows)
+	for k := 0; k < nInlets; k++ {
+		mods = append(mods, fmt.Sprintf("in%d", k+1))
+	}
+	for k := 0; k < nFlows; k++ {
+		mods = append(mods, fmt.Sprintf("out%d", k+1))
+	}
+	rng.Shuffle(len(mods), func(a, b int) { mods[a], mods[b] = mods[b], mods[a] })
+
+	flows := make([]spec.Flow, nFlows)
+	inletOf := make([]int, nFlows)
+	for k := 0; k < nFlows; k++ {
+		in := k
+		if k >= nInlets {
+			in = rng.Intn(nInlets)
+		}
+		inletOf[k] = in
+		flows[k] = spec.Flow{From: fmt.Sprintf("in%d", in+1), To: fmt.Sprintf("out%d", k+1)}
+	}
+
+	// Conflict density: a third of the cases have none, a third are
+	// sparse (1 in 4 cross-inlet pairs), a third dense (1 in 2).
+	var conflicts [][2]int
+	if odds := []int{0, 4, 2}[rng.Intn(3)]; odds > 0 {
+		for a := 0; a < nFlows; a++ {
+			for b := a + 1; b < nFlows; b++ {
+				if inletOf[a] != inletOf[b] && rng.Intn(odds) == 0 {
+					conflicts = append(conflicts, [2]int{a, b})
+				}
+			}
+		}
+	}
+
+	sp := &spec.Spec{
+		Name:      name,
+		Topology:  spec.TopologyFPVA,
+		GridRows:  rows,
+		GridCols:  cols,
+		Modules:   mods,
+		Flows:     flows,
+		Conflicts: conflicts,
+		Binding:   policy,
+	}
+	if policy == spec.Fixed {
+		perm := rng.Perm(ports)
+		sp.FixedPins = make(map[string]int, len(mods))
+		for i, m := range mods {
+			sp.FixedPins[m] = perm[i]
+		}
+	}
+	return sp
+}

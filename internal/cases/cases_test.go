@@ -166,3 +166,67 @@ func TestArtificialSample(t *testing.T) {
 		}
 	}
 }
+
+func TestArtificialFPVADeterministicAndValid(t *testing.T) {
+	a := ArtificialFPVA(30, 42)
+	b := ArtificialFPVA(30, 42)
+	if len(a) != 30 || len(b) != 30 {
+		t.Fatalf("campaign sizes %d/%d", len(a), len(b))
+	}
+	dims := map[[2]int]int{}
+	policies := map[spec.BindingPolicy]int{}
+	withConf, without := 0, 0
+	for i := range a {
+		sp := a[i].Spec
+		if err := sp.Validate(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+		if !sp.IsFPVA() {
+			t.Errorf("case %d is not an FPVA spec", i)
+		}
+		if sp.Name != b[i].Spec.Name ||
+			sp.GridRows != b[i].Spec.GridRows || sp.GridCols != b[i].Spec.GridCols ||
+			len(sp.Flows) != len(b[i].Spec.Flows) || len(sp.Conflicts) != len(b[i].Spec.Conflicts) {
+			t.Errorf("case %d not deterministic", i)
+		}
+		dims[[2]int{sp.GridRows, sp.GridCols}]++
+		policies[sp.Binding]++
+		if len(sp.Conflicts) > 0 {
+			withConf++
+		} else {
+			without++
+		}
+	}
+	// The campaign must vary grid dimensions, policies and conflict
+	// density (some cases with conflicts, some without).
+	if len(dims) < 3 {
+		t.Errorf("only %d distinct grid dimensions: %v", len(dims), dims)
+	}
+	if policies[spec.Fixed] == 0 || policies[spec.Clockwise] == 0 || policies[spec.Unfixed] == 0 {
+		t.Errorf("policies covered: %v", policies)
+	}
+	if withConf == 0 || without == 0 {
+		t.Errorf("conflict density not varied: %d with, %d without", withConf, without)
+	}
+}
+
+func TestArtificialFPVASample(t *testing.T) {
+	// Spot-run a handful of FPVA cases end to end on the grid substrate.
+	for _, c := range ArtificialFPVA(9, 7) {
+		res, err := search.Solve(c.Spec, search.Options{TimeLimit: 20 * time.Second})
+		if err != nil {
+			var nosol *spec.ErrNoSolution
+			var tout *search.ErrTimeout
+			if !errors.As(err, &nosol) && !errors.As(err, &tout) {
+				t.Errorf("%s: %v", c.Spec.Name, err)
+			}
+			continue
+		}
+		if res.Switch.Kind != "fpva" {
+			t.Errorf("%s solved on a %q switch", c.Spec.Name, res.Switch.Kind)
+		}
+		if err := contam.Verify(res); err != nil {
+			t.Errorf("%s: plan fails verification: %v", c.Spec.Name, err)
+		}
+	}
+}

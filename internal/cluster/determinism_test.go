@@ -11,14 +11,21 @@
 package cluster_test
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"testing"
 	"time"
 
+	"switchsynth"
+	"switchsynth/client"
 	"switchsynth/internal/cluster"
+	"switchsynth/internal/contam"
 	"switchsynth/internal/exp"
+	"switchsynth/internal/planio"
 	"switchsynth/internal/report"
 	"switchsynth/internal/service"
+	"switchsynth/internal/spec"
 
 	"net"
 	"net/http/httptest"
@@ -46,6 +53,13 @@ func bootNodes(t *testing.T, n int, repl bool) []*detNode {
 // bootNodesWire is bootNodes with an explicit plan wire format for
 // every engine ("" uses the engine default).
 func bootNodesWire(t *testing.T, n int, repl bool, wireFormat string) []*detNode {
+	t.Helper()
+	return bootNodesCfg(t, n, repl, func(scfg *service.Config) { scfg.WireFormat = wireFormat })
+}
+
+// bootNodesCfg is the general form: mut adjusts each node's service
+// config before the engine starts.
+func bootNodesCfg(t *testing.T, n int, repl bool, mut func(*service.Config)) []*detNode {
 	t.Helper()
 	peers := make([]cluster.Node, n)
 	listeners := make([]net.Listener, n)
@@ -76,7 +90,9 @@ func bootNodesWire(t *testing.T, n int, repl bool, wireFormat string) []*detNode
 			Workers:          2,
 			PeerFill:         cl.FetchPlan,
 			DefaultTimeLimit: 10 * time.Second,
-			WireFormat:       wireFormat,
+		}
+		if mut != nil {
+			mut(&scfg)
 		}
 		if repl {
 			scfg.OnPlanStored = cl.ReplicatePlan
@@ -193,5 +209,76 @@ func TestCampaignBinaryClusterMatchesJSONSingleNode(t *testing.T) {
 	}
 	if forwards == 0 {
 		t.Error("binary campaign forwarded nothing; sharding untested")
+	}
+}
+
+// TestFPVAPlanClusterPortfolioMatchesSingleNode is the FPVA acceptance
+// gate: an FPVA grid spec served through a replicating three-node
+// cluster with portfolio racing returns plan bytes identical to a cold
+// single-node solve without racing — and every node returns the same
+// bytes, whether it owns the key, forwards to the owner, or peer-fills.
+func TestFPVAPlanClusterPortfolioMatchesSingleNode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node solve in -short mode")
+	}
+	sp := &switchsynth.Spec{
+		Name:     "fpva-cluster",
+		Topology: spec.TopologyFPVA,
+		GridRows: 3,
+		GridCols: 3,
+		Modules:  []string{"in1", "in2", "out1", "out2", "out3"},
+		Flows: []spec.Flow{
+			{From: "in1", To: "out1"},
+			{From: "in2", To: "out2"},
+			{From: "in1", To: "out3"},
+		},
+		Conflicts: [][2]int{{0, 1}},
+		Binding:   spec.Unfixed,
+	}
+	opts := service.RequestOptions{TimeLimitMS: (10 * time.Second).Milliseconds()}
+	solve := func(url string) []byte {
+		t.Helper()
+		cl, err := client.New(client.Config{BaseURL: url})
+		if err != nil {
+			t.Fatalf("client.New: %v", err)
+		}
+		resp, err := cl.Synthesize(context.Background(), sp, opts)
+		if err != nil {
+			t.Fatalf("synthesize via %s: %v", url, err)
+		}
+		if !resp.Proven {
+			t.Fatalf("FPVA solve via %s returned an unproven plan", url)
+		}
+		plan, err := planio.Decode(resp.Plan)
+		if err != nil {
+			t.Fatalf("decode plan from %s: %v", url, err)
+		}
+		if err := contam.Verify(plan); err != nil {
+			t.Fatalf("plan from %s fails verification: %v", url, err)
+		}
+		if !plan.Spec.IsFPVA() {
+			t.Fatalf("plan from %s lost the FPVA topology", url)
+		}
+		return resp.Plan
+	}
+
+	single := bootNodes(t, 1, false)
+	want := solve(single[0].url)
+
+	three := bootNodesCfg(t, 3, true, func(scfg *service.Config) { scfg.Portfolio = true })
+	for _, n := range three {
+		if got := solve(n.url); !bytes.Equal(got, want) {
+			t.Errorf("portfolio plan from %s differs from cold single-node solve:\n--- single\n%s\n--- %s\n%s",
+				n.id, want, n.id, got)
+		}
+	}
+	// Sanity: only the owner serves the key locally, so querying all
+	// three nodes must have exercised the forwarding path.
+	forwards := int64(0)
+	for _, n := range three {
+		forwards += n.cl.Status().Forwards
+	}
+	if forwards == 0 {
+		t.Error("FPVA solve forwarded nothing; sharding untested")
 	}
 }

@@ -246,3 +246,65 @@ func TestRunCampaignDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+func TestRunFPVACampaign(t *testing.T) {
+	res := RunFPVACampaign(Config{TimeLimit: 5 * time.Second}, 9, 42)
+	if res.Stats.Total != 9 {
+		t.Fatalf("total = %d", res.Stats.Total)
+	}
+	if res.Stats.Solved == 0 {
+		t.Fatal("FPVA campaign solved nothing")
+	}
+	if !res.Stats.AllScheduled {
+		t.Error("solved cases must schedule every flow")
+	}
+	if res.Stats.Solved+res.Stats.NoSolution+res.Stats.Timeout != res.Stats.Total {
+		t.Error("row accounting inconsistent")
+	}
+	// SwitchSize carries the derived port count for grid cases, so the
+	// per-size means key on real dimensions rather than collapsing to 0.
+	for _, r := range res.Rows {
+		if r.SwitchSize < 8 {
+			t.Fatalf("row %d: switch size %d; FPVA ports must be >= 8", r.ID, r.SwitchSize)
+		}
+	}
+}
+
+func TestRunFPVACampaignDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Config{TimeLimit: 5 * time.Second}
+	cfg.Workers = 1
+	seq := RunFPVACampaign(cfg, 6, 42)
+	cfg.Workers = 4
+	par := RunFPVACampaign(cfg, 6, 42)
+
+	seqText := seq.Stats.DeterministicString() + "\n" + report.CampaignTable(seq.Rows)
+	parText := par.Stats.DeterministicString() + "\n" + report.CampaignTable(par.Rows)
+	if seqText != parText {
+		t.Errorf("worker count changed the FPVA report:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seqText, parText)
+	}
+}
+
+func TestRunFPVAScaling(t *testing.T) {
+	points, err := RunFPVAScaling(Config{TimeLimit: 10 * time.Second}, [][2]int{{2, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	for _, p := range points {
+		if !p.Proven {
+			t.Errorf("%dx%d: canonical sweep spec did not solve", p.Rows, p.Cols)
+		}
+		if p.Patterns == 0 || p.Patterns > 2*(p.Rows+p.Cols)-2 {
+			t.Errorf("%dx%d: %d patterns, want 1..%d", p.Rows, p.Cols, p.Patterns, 2*(p.Rows+p.Cols)-2)
+		}
+		if p.Faults != 2*p.Valves {
+			t.Errorf("%dx%d: %d faults for %d valves", p.Rows, p.Cols, p.Faults, p.Valves)
+		}
+	}
+	table := FPVAScalingTable(points)
+	if !strings.Contains(table, "2x2") || !strings.Contains(table, "3x4") {
+		t.Errorf("scaling table missing grid rows:\n%s", table)
+	}
+}

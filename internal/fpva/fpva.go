@@ -1,0 +1,382 @@
+// Package fpva generates manufacturing test patterns for fully
+// programmable valve array (FPVA) switch topologies and diagnoses
+// observed failures.
+//
+// # Fault model
+//
+// Every channel segment of an FPVA grid (topo.NewFPVA) carries its own
+// valve — interior segments between adjacent junctions and the boundary
+// stubs connecting border junctions to I/O ports alike. A fabricated
+// chip can fail per valve in two single-fault modes:
+//
+//   - stuck-open: the valve no longer seals; fluid crosses the segment
+//     even when the controller commands it closed.
+//   - stuck-closed: the membrane is bonded shut (or the control channel
+//     is blocked); fluid never crosses, even when commanded open.
+//
+// A test pattern is one stimulus: a single boundary port is pressurized
+// with dyed fluid while a chosen set of valves is held open and all
+// others closed. The observable outcome is exactly which boundary ports
+// the fluid reaches — interior junctions cannot be inspected. A pattern
+// detects a fault when the fault changes that observation relative to a
+// healthy chip.
+//
+// # Pattern generation
+//
+// TestPatterns builds a candidate family whose union provably covers
+// every single fault, then minimizes it by deterministic greedy set
+// cover over the exhaustively simulated fault×pattern detection matrix:
+//
+//   - one path pattern per grid row (source at the row's left port, the
+//     row's horizontal segments and both end stubs open) and per column
+//     (source at the top port) — any stuck-closed valve on the path
+//     breaks the source→drain connection, and a stuck-open stub on the
+//     path's junctions leaks to an observable port;
+//   - one pair pattern per adjacent row pair (the active row's path plus
+//     the passive row's horizontals and its left stub as a drain) — a
+//     stuck-open vertical valve between the rows leaks fluid into the
+//     passive row, which carries it to the drain port; and the
+//     symmetric column-pair patterns for stuck-open horizontals.
+//
+// Coverage is never assumed: TestPatterns re-simulates every fault
+// under every selected pattern and fails loudly if any fault would
+// escape, so the 100% single-fault guarantee is checked, not derived.
+//
+// Diagnose inverts the process: given the wetted-port observation of
+// every pattern from a physical run, it returns exactly the single
+// faults (or the healthy hypothesis) consistent with all observations.
+package fpva
+
+import (
+	"fmt"
+	"sort"
+
+	"switchsynth/internal/topo"
+)
+
+// FaultKind distinguishes the two single-valve failure modes.
+type FaultKind int
+
+const (
+	// StuckOpen: the valve no longer seals; the segment always conducts.
+	StuckOpen FaultKind = iota
+	// StuckClosed: the valve never opens; the segment never conducts.
+	StuckClosed
+)
+
+// String implements fmt.Stringer.
+func (k FaultKind) String() string {
+	if k == StuckOpen {
+		return "stuck-open"
+	}
+	return "stuck-closed"
+}
+
+// Fault identifies one single-valve fault hypothesis.
+type Fault struct {
+	// Edge is the faulty segment's edge ID on the switch.
+	Edge int
+	// Kind is the failure mode.
+	Kind FaultKind
+}
+
+// Pattern is one test stimulus: pressurize one boundary port with the
+// given valves open, observe which boundary ports wet.
+type Pattern struct {
+	// Source is the clockwise pin order of the pressurized port.
+	Source int
+	// Open is the set of edge IDs whose valves are held open; every
+	// other valve is commanded closed.
+	Open topo.Bits
+	// Expect is the healthy-chip observation: the pin orders that wet,
+	// as a bitmask (always includes Source).
+	Expect topo.Bits
+}
+
+// AllFaults enumerates every single-fault hypothesis of the switch in
+// deterministic (edge ID, stuck-open-first) order.
+func AllFaults(sw *topo.Switch) []Fault {
+	out := make([]Fault, 0, 2*len(sw.Edges))
+	for e := range sw.Edges {
+		out = append(out, Fault{Edge: e, Kind: StuckOpen}, Fault{Edge: e, Kind: StuckClosed})
+	}
+	return out
+}
+
+// Simulate floods the switch from the pattern's source port through the
+// open valves and returns the wetted boundary ports as a pin-order
+// bitmask. A non-nil fault perturbs the open set first: stuck-open
+// forces the faulty segment to conduct, stuck-closed forces it shut.
+// The source port always wets (fluid is injected there); it reaches any
+// other port only through a conducting path, including that port's own
+// stub valve.
+func Simulate(sw *topo.Switch, p Pattern, fault *Fault) topo.Bits {
+	open := p.Open
+	if fault != nil {
+		if fault.Kind == StuckOpen {
+			open.Set(fault.Edge)
+		} else {
+			open.Clear(fault.Edge)
+		}
+	}
+	src := sw.PinVertex(p.Source)
+	var wetVerts topo.Bits
+	wetVerts.Set(src)
+	stack := []int{src}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, eid := range sw.IncidentEdges(v) {
+			if !open.Has(eid) {
+				continue
+			}
+			u := sw.Edges[eid].Other(v)
+			if wetVerts.Has(u) {
+				continue
+			}
+			wetVerts.Set(u)
+			stack = append(stack, u)
+		}
+	}
+	var wet topo.Bits
+	for order, vid := range sw.Pins() {
+		if wetVerts.Has(vid) {
+			wet.Set(order)
+		}
+	}
+	return wet
+}
+
+// Detects reports whether the pattern distinguishes the fault from a
+// healthy chip.
+func Detects(sw *topo.Switch, p Pattern, f Fault) bool {
+	return Simulate(sw, p, &f) != p.Expect
+}
+
+// grid captures the FPVA geometry TestPatterns works in terms of.
+type grid struct {
+	sw         *topo.Switch
+	rows, cols int
+	nodes      []int // junction vertex IDs, row-major
+}
+
+func newGrid(sw *topo.Switch) (*grid, error) {
+	if sw == nil || sw.Kind != "fpva" {
+		return nil, fmt.Errorf("fpva: test patterns require an FPVA switch, not %q", kindOf(sw))
+	}
+	g := &grid{sw: sw, rows: sw.Rows, cols: sw.Cols, nodes: sw.NodeIDs()}
+	if len(g.nodes) != g.rows*g.cols {
+		return nil, fmt.Errorf("fpva: switch has %d junctions for a %dx%d grid", len(g.nodes), g.rows, g.cols)
+	}
+	return g, nil
+}
+
+func kindOf(sw *topo.Switch) string {
+	if sw == nil {
+		return "<nil>"
+	}
+	return sw.Kind
+}
+
+// node returns the junction vertex ID at (r, c).
+func (g *grid) node(r, c int) int { return g.nodes[r*g.cols+c] }
+
+// Pin orders under the clockwise T1..Tcols, R1..Rrows, Bcols..B1,
+// Lrows..L1 convention, addressed by 0-based grid row/column.
+func (g *grid) topPin(c int) int    { return c }
+func (g *grid) rightPin(r int) int  { return g.cols + r }
+func (g *grid) bottomPin(c int) int { return g.cols + g.rows + (g.cols - 1 - c) }
+func (g *grid) leftPin(r int) int   { return 2*g.cols + g.rows + (g.rows - 1 - r) }
+
+// stubEdge returns the edge ID of a port's boundary stub valve.
+func (g *grid) stubEdge(pinOrder int) int {
+	return g.sw.IncidentEdges(g.sw.PinVertex(pinOrder))[0]
+}
+
+// edge returns the edge ID between two junctions (must be adjacent).
+func (g *grid) edge(u, v int) int {
+	e, ok := g.sw.EdgeBetween(u, v)
+	if !ok {
+		panic(fmt.Sprintf("fpva: no segment between junctions %d and %d", u, v))
+	}
+	return e.ID
+}
+
+// rowOpen returns the open set of the row-r path pattern: the row's
+// horizontal segments plus its left and right port stubs.
+func (g *grid) rowOpen(r int) topo.Bits {
+	var open topo.Bits
+	open.Set(g.stubEdge(g.leftPin(r)))
+	open.Set(g.stubEdge(g.rightPin(r)))
+	for c := 0; c+1 < g.cols; c++ {
+		open.Set(g.edge(g.node(r, c), g.node(r, c+1)))
+	}
+	return open
+}
+
+// colOpen returns the open set of the column-c path pattern: the
+// column's vertical segments plus its top and bottom port stubs.
+func (g *grid) colOpen(c int) topo.Bits {
+	var open topo.Bits
+	open.Set(g.stubEdge(g.topPin(c)))
+	open.Set(g.stubEdge(g.bottomPin(c)))
+	for r := 0; r+1 < g.rows; r++ {
+		open.Set(g.edge(g.node(r, c), g.node(r+1, c)))
+	}
+	return open
+}
+
+// candidates builds the full candidate pattern family in deterministic
+// order: row paths, column paths, row pairs, column pairs.
+func (g *grid) candidates() []Pattern {
+	out := make([]Pattern, 0, 2*(g.rows+g.cols)-2)
+	for r := 0; r < g.rows; r++ {
+		out = append(out, Pattern{Source: g.leftPin(r), Open: g.rowOpen(r)})
+	}
+	for c := 0; c < g.cols; c++ {
+		out = append(out, Pattern{Source: g.topPin(c), Open: g.colOpen(c)})
+	}
+	// Row pair (r, r+1): the active row-r path plus the passive row's
+	// horizontals and left stub as a drain. Healthy, the passive row
+	// stays dry; a stuck-open vertical between the rows wets the drain.
+	for r := 0; r+1 < g.rows; r++ {
+		open := g.rowOpen(r).Or(g.rowOpen(r + 1))
+		open.Clear(g.stubEdge(g.rightPin(r + 1)))
+		out = append(out, Pattern{Source: g.leftPin(r), Open: open})
+	}
+	// Column pair (c, c+1), symmetric: detects stuck-open horizontals.
+	for c := 0; c+1 < g.cols; c++ {
+		open := g.colOpen(c).Or(g.colOpen(c + 1))
+		open.Clear(g.stubEdge(g.bottomPin(c + 1)))
+		out = append(out, Pattern{Source: g.topPin(c), Open: open})
+	}
+	for i := range out {
+		out[i].Expect = Simulate(g.sw, out[i], nil)
+	}
+	return out
+}
+
+// TestPatterns computes a minimal set of test patterns detecting every
+// single stuck-open and stuck-closed valve fault of an FPVA switch.
+//
+// The candidate family (see the package comment) is reduced by greedy
+// set cover over the exhaustively simulated detection matrix: at each
+// step the candidate detecting the most still-uncovered faults is
+// selected, ties broken by candidate order, until every fault is
+// covered. The result is deterministic for a given grid. If any fault
+// were undetectable by the whole family the function returns an error
+// rather than a silently incomplete pattern set; for grids built by
+// topo.NewFPVA this cannot happen (the property tests simulate every
+// fault to prove it).
+func TestPatterns(sw *topo.Switch) ([]Pattern, error) {
+	g, err := newGrid(sw)
+	if err != nil {
+		return nil, err
+	}
+	cands := g.candidates()
+	faults := AllFaults(sw)
+
+	// detected[i] is the set of fault indices candidate i detects.
+	detected := make([][]int, len(cands))
+	for i, p := range cands {
+		for fi, f := range faults {
+			if Detects(sw, p, f) {
+				detected[i] = append(detected[i], fi)
+			}
+		}
+	}
+
+	uncovered := make([]bool, len(faults))
+	remaining := len(faults)
+	for fi := range faults {
+		uncovered[fi] = true
+	}
+	var selected []Pattern
+	used := make([]bool, len(cands))
+	for remaining > 0 {
+		best, bestGain := -1, 0
+		for i := range cands {
+			if used[i] {
+				continue
+			}
+			gain := 0
+			for _, fi := range detected[i] {
+				if uncovered[fi] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			fi := 0
+			for fi < len(uncovered) && !uncovered[fi] {
+				fi++
+			}
+			f := faults[fi]
+			return nil, fmt.Errorf("fpva: fault %s on segment %s is undetectable by the candidate family",
+				f.Kind, sw.Edges[f.Edge].Name)
+		}
+		used[best] = true
+		selected = append(selected, cands[best])
+		for _, fi := range detected[best] {
+			if uncovered[fi] {
+				uncovered[fi] = false
+				remaining--
+			}
+		}
+	}
+	return selected, nil
+}
+
+// Diagnosis is the outcome of matching observed pattern results against
+// every single-fault hypothesis.
+type Diagnosis struct {
+	// Healthy reports whether the observations match a fault-free chip.
+	Healthy bool
+	// Candidates lists every single fault whose predicted observations
+	// match all observed ones, in (edge ID, stuck-open-first) order.
+	// Empty with Healthy == false means no single-fault hypothesis
+	// explains the observations (a multiple fault or a bad run).
+	Candidates []Fault
+}
+
+// Diagnose narrows observed test results to the consistent fault
+// hypotheses. wet holds one observation per pattern, in pattern order:
+// the pin-order bitmask of ports that wetted when the pattern ran.
+func Diagnose(sw *topo.Switch, patterns []Pattern, wet []topo.Bits) (Diagnosis, error) {
+	if _, err := newGrid(sw); err != nil {
+		return Diagnosis{}, err
+	}
+	if len(wet) != len(patterns) {
+		return Diagnosis{}, fmt.Errorf("fpva: %d observations for %d patterns", len(wet), len(patterns))
+	}
+	var d Diagnosis
+	d.Healthy = true
+	for i, p := range patterns {
+		if wet[i] != p.Expect {
+			d.Healthy = false
+			break
+		}
+	}
+	for _, f := range AllFaults(sw) {
+		consistent := true
+		for i, p := range patterns {
+			if Simulate(sw, p, &f) != wet[i] {
+				consistent = false
+				break
+			}
+		}
+		if consistent {
+			d.Candidates = append(d.Candidates, f)
+		}
+	}
+	sort.Slice(d.Candidates, func(i, j int) bool {
+		if d.Candidates[i].Edge != d.Candidates[j].Edge {
+			return d.Candidates[i].Edge < d.Candidates[j].Edge
+		}
+		return d.Candidates[i].Kind < d.Candidates[j].Kind
+	})
+	return d, nil
+}

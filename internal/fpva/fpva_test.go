@@ -1,0 +1,266 @@
+package fpva
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"switchsynth/internal/contam"
+	"switchsynth/internal/planio"
+	"switchsynth/internal/search"
+	"switchsynth/internal/spec"
+	"switchsynth/internal/topo"
+)
+
+// TestFaultCoverage is the core property: on every gate grid size the
+// generated pattern set detects 100% of single stuck-open and
+// stuck-closed valve faults, proved by simulating every fault under
+// every pattern.
+func TestFaultCoverage(t *testing.T) {
+	for _, dim := range [][2]int{{2, 2}, {2, 5}, {3, 4}, {4, 4}, {6, 6}, {8, 8}} {
+		rows, cols := dim[0], dim[1]
+		t.Run(fmt.Sprintf("%dx%d", rows, cols), func(t *testing.T) {
+			sw, err := topo.NewFPVA(rows, cols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			patterns, err := TestPatterns(sw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(patterns) == 0 {
+				t.Fatal("no patterns generated")
+			}
+			faults := AllFaults(sw)
+			if want := 2 * len(sw.Edges); len(faults) != want {
+				t.Fatalf("AllFaults returned %d hypotheses, want %d", len(faults), want)
+			}
+			covered := 0
+			for _, f := range faults {
+				hit := false
+				for _, p := range patterns {
+					if Detects(sw, p, f) {
+						hit = true
+						break
+					}
+				}
+				if hit {
+					covered++
+				} else {
+					t.Errorf("fault %s on %s escapes every pattern", f.Kind, sw.Edges[f.Edge].Name)
+				}
+			}
+			if covered != len(faults) {
+				t.Fatalf("coverage %d/%d", covered, len(faults))
+			}
+			// The minimized set must not exceed the candidate family.
+			if max := 2*(rows+cols) - 2; len(patterns) > max {
+				t.Errorf("%d patterns selected from a %d-candidate family", len(patterns), max)
+			}
+			t.Logf("%dx%d: %d patterns cover %d faults", rows, cols, len(patterns), len(faults))
+		})
+	}
+}
+
+// TestPatternsDeterministic: identical grids yield identical pattern
+// sets, call after call.
+func TestPatternsDeterministic(t *testing.T) {
+	sw, err := topo.NewFPVA(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := TestPatterns(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TestPatterns(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("pattern counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Source != b[i].Source || a[i].Open != b[i].Open || a[i].Expect != b[i].Expect {
+			t.Fatalf("pattern %d differs between runs", i)
+		}
+	}
+}
+
+// TestPatternsRejectNonFPVA: the generator refuses crossbar and nil
+// switches instead of producing meaningless patterns.
+func TestPatternsRejectNonFPVA(t *testing.T) {
+	sw, err := topo.NewGrid(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TestPatterns(sw); err == nil {
+		t.Error("TestPatterns accepted a crossbar switch")
+	}
+	if _, err := TestPatterns(nil); err == nil {
+		t.Error("TestPatterns accepted a nil switch")
+	}
+	if _, err := Diagnose(sw, nil, nil); err == nil {
+		t.Error("Diagnose accepted a crossbar switch")
+	}
+}
+
+// TestDiagnoseHealthy: observations matching every expectation diagnose
+// as healthy with no fault candidates — 100% coverage means every
+// single fault is excluded by at least one pattern.
+func TestDiagnoseHealthy(t *testing.T) {
+	sw, err := topo.NewFPVA(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns, err := TestPatterns(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wet := make([]topo.Bits, len(patterns))
+	for i, p := range patterns {
+		wet[i] = p.Expect
+	}
+	d, err := Diagnose(sw, patterns, wet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Healthy {
+		t.Error("healthy observations diagnosed as faulty")
+	}
+	if len(d.Candidates) != 0 {
+		t.Errorf("healthy observations left %d fault candidates", len(d.Candidates))
+	}
+}
+
+// TestDiagnoseInjectedFaults: for every single fault, observations
+// simulated under that fault diagnose as unhealthy and include the
+// injected fault among the candidates.
+func TestDiagnoseInjectedFaults(t *testing.T) {
+	sw, err := topo.NewFPVA(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns, err := TestPatterns(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range AllFaults(sw) {
+		f := f
+		wet := make([]topo.Bits, len(patterns))
+		for i, p := range patterns {
+			wet[i] = Simulate(sw, p, &f)
+		}
+		d, err := Diagnose(sw, patterns, wet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Healthy {
+			t.Errorf("fault %s on %s diagnosed as healthy", f.Kind, sw.Edges[f.Edge].Name)
+			continue
+		}
+		found := false
+		for _, c := range d.Candidates {
+			if c == f {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("fault %s on %s missing from its own candidate set %v", f.Kind, sw.Edges[f.Edge].Name, d.Candidates)
+		}
+	}
+}
+
+// TestDiagnoseObservationCountMismatch: a run with missing observations
+// is an error, not a silent partial diagnosis.
+func TestDiagnoseObservationCountMismatch(t *testing.T) {
+	sw, err := topo.NewFPVA(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns, err := TestPatterns(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Diagnose(sw, patterns, make([]topo.Bits, len(patterns)-1)); err == nil {
+		t.Error("Diagnose accepted a short observation list")
+	}
+}
+
+// fpvaSpec is a small but non-trivial FPVA synthesis input used by the
+// determinism gate.
+func fpvaSpec() *spec.Spec {
+	return &spec.Spec{
+		Name:     "fpva-gate",
+		Topology: spec.TopologyFPVA,
+		GridRows: 3,
+		GridCols: 3,
+		Modules:  []string{"in1", "in2", "out1", "out2", "out3"},
+		Flows: []spec.Flow{
+			{From: "in1", To: "out1"},
+			{From: "in2", To: "out2"},
+			{From: "in1", To: "out3"},
+		},
+		Conflicts: [][2]int{{0, 1}},
+		Binding:   spec.Unfixed,
+	}
+}
+
+// TestSynthesisDeterminismAcrossWorkers is the FPVA half of the
+// repo-wide determinism invariant: solving an FPVA spec must produce a
+// byte-identical binary plan frame at every solver worker count.
+func TestSynthesisDeterminismAcrossWorkers(t *testing.T) {
+	sp := fpvaSpec()
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		res, err := search.Solve(sp, search.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if err := contam.Verify(res); err != nil {
+			t.Fatalf("workers=%d: plan fails verification: %v", workers, err)
+		}
+		if !res.Proven {
+			t.Fatalf("workers=%d: optimum not proven", workers)
+		}
+		if res.Switch.Kind != "fpva" {
+			t.Fatalf("workers=%d: solved on a %q switch", workers, res.Switch.Kind)
+		}
+		frame, err := planio.EncodeBinary(res)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = frame
+		} else if !bytes.Equal(frame, want) {
+			t.Fatalf("workers=%d produced a different plan frame", workers)
+		}
+	}
+}
+
+// TestSynthesisSymmetryBreakingSound: the FPVA 180° symmetry cut must
+// not change the answer, only prune — the plan with the cut disabled is
+// byte-identical to the default solve.
+func TestSynthesisSymmetryBreakingSound(t *testing.T) {
+	sp := fpvaSpec()
+	base, err := search.Solve(sp, search.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noCut, err := search.Solve(sp, search.Options{DisableSymmetryBreaking: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := planio.EncodeBinary(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := planio.EncodeBinary(noCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fa, fb) {
+		t.Fatal("symmetry breaking changed the synthesized plan")
+	}
+}

@@ -68,11 +68,11 @@ func Solve(sp *spec.Spec, opts Options) (*spec.Result, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	sw, err := topo.NewGrid(sp.SwitchPins)
+	sw, pt, err := sp.SharedTopology()
 	if err != nil {
 		return nil, err
 	}
-	return SolveOn(sp, sw, topo.BuildPathTable(sw), opts)
+	return SolveOn(sp, sw, pt, opts)
 }
 
 // SolveOn builds and solves the IQP on a prebuilt switch and path table.

@@ -26,7 +26,8 @@ import (
 // string uvarint length + bytes, UTF-8 required), the spec block
 // (name ref, switchPins, module refs, flows as module-index pairs,
 // conflict pairs, binding, FixedPins as sorted (key ref, signed-varint
-// pin) pairs, alpha/beta as float64 bits, maxSets, flags bit0=scalable),
+// pin) pairs, alpha/beta as float64 bits, maxSets, flags bit0=scalable
+// bit1=fpva, and — only when bit1 is set — gridRows/gridCols uvarints),
 // the pin binding (one pin uvarint per module, in module order), plan
 // metadata (engine ref, flags bit0=proven bit1=degraded, lowerBound/gap
 // float64 bits), and the routes (count, then per flow in flow order:
@@ -61,6 +62,12 @@ var (
 
 const (
 	specFlagScalable = 1 << 0
+	// specFlagFPVA marks an FPVA-topology spec; when set, two extra
+	// uvarints (gridRows, gridCols) follow the spec flags byte. Crossbar
+	// frames never set it and carry no extra bytes, so every frame a
+	// pre-FPVA encoder produced is byte-identical under the current
+	// encoder and decodes on both sides — the frame version stays 1.
+	specFlagFPVA = 1 << 1
 
 	metaFlagProven   = 1 << 0
 	metaFlagDegraded = 1 << 1
@@ -198,7 +205,14 @@ func EncodeBinary(res *spec.Result) ([]byte, error) {
 	if sp.Scalable {
 		specFlags |= specFlagScalable
 	}
+	if sp.IsFPVA() {
+		specFlags |= specFlagFPVA
+	}
 	buf = append(buf, specFlags)
+	if sp.IsFPVA() {
+		buf = binary.AppendUvarint(buf, uint64(sp.GridRows))
+		buf = binary.AppendUvarint(buf, uint64(sp.GridCols))
+	}
 
 	// Pin binding, one pin per module in module order (prepare proved
 	// coverage is exact).
@@ -476,6 +490,15 @@ func DecodeBinary(data []byte) (*spec.Result, error) {
 		return nil, err
 	}
 	sp.Scalable = specFlags&specFlagScalable != 0
+	if specFlags&specFlagFPVA != 0 {
+		sp.Topology = spec.TopologyFPVA
+		if sp.GridRows, err = r.intVal("grid rows"); err != nil {
+			return nil, err
+		}
+		if sp.GridCols, err = r.intVal("grid cols"); err != nil {
+			return nil, err
+		}
+	}
 
 	// Pin binding.
 	pinOf := make(map[string]int, len(sp.Modules))

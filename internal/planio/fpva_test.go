@@ -1,0 +1,151 @@
+package planio
+
+import (
+	"bytes"
+	"testing"
+
+	"switchsynth/internal/contam"
+	"switchsynth/internal/search"
+	"switchsynth/internal/spec"
+)
+
+func fpvaPlan(t *testing.T) *spec.Result {
+	t.Helper()
+	sp := &spec.Spec{
+		Name:     "fpva-roundtrip",
+		Topology: spec.TopologyFPVA,
+		GridRows: 3,
+		GridCols: 3,
+		Modules:  []string{"a", "b", "x", "y"},
+		Flows:    []spec.Flow{{From: "a", To: "x"}, {From: "b", To: "y"}},
+		Conflicts: [][2]int{
+			{0, 1},
+		},
+		Binding: spec.Unfixed,
+	}
+	res, err := search.Solve(sp, search.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFPVARoundTripJSON: an FPVA plan survives the JSON file format
+// with its topology, routes and derived fields intact.
+func TestFPVARoundTripJSON(t *testing.T) {
+	res := fpvaPlan(t)
+	data, err := Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := contam.Verify(back); err != nil {
+		t.Fatalf("decoded plan invalid: %v", err)
+	}
+	if !back.Spec.IsFPVA() || back.Spec.GridRows != 3 || back.Spec.GridCols != 3 {
+		t.Errorf("round trip lost the topology: %+v", back.Spec)
+	}
+	if back.Switch.Kind != "fpva" {
+		t.Errorf("decoded plan rebuilt on a %q switch", back.Switch.Kind)
+	}
+	if back.NumSets != res.NumSets || back.UsedEdgeMask != res.UsedEdgeMask || back.Length != res.Length {
+		t.Errorf("round trip changed the plan")
+	}
+}
+
+// TestFPVARoundTripBinary: same through the binary frame, plus frame
+// re-encode byte-stability and cross-format agreement.
+func TestFPVARoundTripBinary(t *testing.T) {
+	res := fpvaPlan(t)
+	frame, err := EncodeBinary(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := contam.Verify(back); err != nil {
+		t.Fatalf("decoded plan invalid: %v", err)
+	}
+	if !back.Spec.IsFPVA() || back.Spec.GridRows != 3 || back.Spec.GridCols != 3 {
+		t.Errorf("binary round trip lost the topology: %+v", back.Spec)
+	}
+	if back.Spec.SwitchPins != 0 {
+		t.Errorf("binary round trip invented switchPins = %d", back.Spec.SwitchPins)
+	}
+	frame2, err := EncodeBinary(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, frame2) {
+		t.Error("binary re-encode of an FPVA plan is not byte-stable")
+	}
+
+	// Cross-format: transcoding to JSON and back lands on the same frame.
+	wire, err := ToJSON(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromWire, err := Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame3, err := EncodeBinary(fromWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, frame3) {
+		t.Error("JSON transcode changed the FPVA binary frame")
+	}
+}
+
+// TestCrossbarFrameBytesUnchangedByFPVASupport pins the compatibility
+// guarantee: a crossbar plan's frame must not contain the FPVA flag or
+// any extra bytes — the flags byte stays exactly bit0, so frames are
+// byte-identical to what the pre-FPVA encoder produced.
+func TestCrossbarFrameBytesUnchangedByFPVASupport(t *testing.T) {
+	res := plan(t) // the crossbar plan helper from planio_test.go
+	frame, err := EncodeBinary(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec.Topology != "" || back.Spec.GridRows != 0 || back.Spec.GridCols != 0 {
+		t.Errorf("crossbar frame decoded with topology fields: %+v", back.Spec)
+	}
+	// The explicit alias spelling encodes to the identical frame.
+	alias := *res
+	aliasSpec := *res.Spec
+	aliasSpec.Topology = spec.TopologyCrossbar
+	alias.Spec = &aliasSpec
+	aliasFrame, err := EncodeBinary(&alias)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, aliasFrame) {
+		t.Error("the crossbar alias changed the binary frame")
+	}
+}
+
+// TestDecodeRejectsFPVAFrameCorruption: an FPVA frame with its grid
+// dimensions tampered to an invalid size fails closed.
+func TestDecodeRejectsFPVAFrameCorruption(t *testing.T) {
+	res := fpvaPlan(t)
+	frame, err := EncodeBinary(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte; the checksum must catch it.
+	mut := append([]byte(nil), frame...)
+	mut[len(mut)/2] ^= 0x40
+	if _, err := DecodeBinary(mut); err == nil {
+		t.Error("tampered FPVA frame accepted")
+	}
+}

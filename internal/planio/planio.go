@@ -115,6 +115,13 @@ func Decode(data []byte) (*spec.Result, error) {
 	if ff.Version != currentVersion {
 		return nil, fmt.Errorf("planio: unsupported version %d", ff.Version)
 	}
+	// Fold the explicit "crossbar" alias to the canonical empty selector
+	// before re-encoding can observe it: the binary format has no alias
+	// representation, so a plan must canonicalize identically whichever
+	// format carried it.
+	if ff.Spec != nil && ff.Spec.Topology == spec.TopologyCrossbar {
+		ff.Spec.Topology = ""
+	}
 	sw, err := prepare(ff.Spec, ff.PinOf, len(ff.Routes))
 	if err != nil {
 		return nil, err
@@ -183,15 +190,15 @@ func prepare(sp *spec.Spec, pinOf map[string]int, nRoutes int) (*topo.Switch, er
 		if !ok {
 			return nil, fmt.Errorf("planio: module %q has no pin binding", m)
 		}
-		if p < 0 || p >= sp.SwitchPins {
-			return nil, fmt.Errorf("planio: module %q bound to pin %d outside [0,%d)", m, p, sp.SwitchPins)
+		if p < 0 || p >= sp.Ports() {
+			return nil, fmt.Errorf("planio: module %q bound to pin %d outside [0,%d)", m, p, sp.Ports())
 		}
 		if other, dup := pinUsed[p]; dup {
 			return nil, fmt.Errorf("planio: modules %q and %q share pin %d", other, m, p)
 		}
 		pinUsed[p] = m
 	}
-	sw, err := topo.SharedSwitch(sp.SwitchPins)
+	sw, err := sp.SharedSwitch()
 	if err != nil {
 		return nil, err
 	}

@@ -180,7 +180,7 @@ func (x *SimIndex) Lookup(sp *spec.Spec) *spec.Result {
 	if err != nil {
 		return nil
 	}
-	sw, pt, err := topo.SharedGrid(canon.SwitchPins)
+	sw, pt, err := canon.SharedTopology()
 	if err != nil {
 		return nil
 	}
@@ -594,7 +594,7 @@ func candidatePins(e *simEntry, target *spec.Spec, module string, usedPin map[in
 		return nil
 	}
 	var free []int
-	for p := 0; p < target.SwitchPins; p++ {
+	for p := 0; p < target.Ports(); p++ {
 		if !usedPin[p] {
 			free = append(free, p)
 		}

@@ -1,7 +1,6 @@
 package search
 
 import (
-	"fmt"
 	"time"
 
 	"switchsynth/internal/spec"
@@ -27,7 +26,7 @@ func GreedyFirstFit(sp *spec.Spec, opts Options) (*spec.Result, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	sw, pt, err := topo.SharedGrid(sp.SwitchPins)
+	sw, pt, err := sp.SharedTopology()
 	if err != nil {
 		return nil, err
 	}
@@ -36,8 +35,8 @@ func GreedyFirstFit(sp *spec.Spec, opts Options) (*spec.Result, error) {
 
 // GreedyFirstFitOn is GreedyFirstFit on a prebuilt switch and path table.
 func GreedyFirstFitOn(sp *spec.Spec, sw *topo.Switch, pt *topo.PathTable, opts Options) (*spec.Result, error) {
-	if sw.NumPins != sp.SwitchPins {
-		return nil, fmt.Errorf("search: switch has %d pins, spec wants %d", sw.NumPins, sp.SwitchPins)
+	if err := matchTopology(sp, sw); err != nil {
+		return nil, err
 	}
 	s := newSolver(sp, sw, pt, opts)
 	s.stopAtFirst = true

@@ -142,13 +142,14 @@ func (e *ErrTimeout) Is(target error) bool {
 }
 
 // Solve synthesizes an application-specific switch plan for sp. The
-// switch model and path table come from the process-wide topo cache, so
-// repeated solves at the same pin count share one immutable topology.
+// switch model and path table come from the process-wide topo cache —
+// crossbar or FPVA grid, selected by the spec's topology — so repeated
+// solves on the same substrate share one immutable topology.
 func Solve(sp *spec.Spec, opts Options) (*spec.Result, error) {
 	if err := sp.Validate(); err != nil {
 		return nil, err
 	}
-	sw, pt, err := topo.SharedGrid(sp.SwitchPins)
+	sw, pt, err := sp.SharedTopology()
 	if err != nil {
 		return nil, err
 	}
@@ -156,13 +157,29 @@ func Solve(sp *spec.Spec, opts Options) (*spec.Result, error) {
 }
 
 // SolveOn synthesizes on a prebuilt switch and path table so that callers
-// running many cases can share them. The switch must match sp.SwitchPins.
+// running many cases can share them. The switch must match the spec's
+// topology and port count.
 func SolveOn(sp *spec.Spec, sw *topo.Switch, pt *topo.PathTable, opts Options) (*spec.Result, error) {
-	if sw.NumPins != sp.SwitchPins {
-		return nil, fmt.Errorf("search: switch has %d pins, spec wants %d", sw.NumPins, sp.SwitchPins)
+	if err := matchTopology(sp, sw); err != nil {
+		return nil, err
 	}
 	s := newSolver(sp, sw, pt, opts)
 	return s.run()
+}
+
+// matchTopology rejects a prebuilt switch that does not model the
+// spec's substrate: the port counts must agree and a crossbar spec must
+// never run on an FPVA grid (or vice versa) — an FPVA grid can expose
+// the same port count as a crossbar (2×2 → 8 ports), so the kind check
+// is load-bearing, not cosmetic.
+func matchTopology(sp *spec.Spec, sw *topo.Switch) error {
+	if sw.NumPins != sp.Ports() {
+		return fmt.Errorf("search: switch has %d pins, spec wants %d", sw.NumPins, sp.Ports())
+	}
+	if (sw.Kind == "fpva") != sp.IsFPVA() {
+		return fmt.Errorf("search: %s switch does not match the spec's topology %q", sw.Kind, sp.Topology)
+	}
+	return nil
 }
 
 type incumbent struct {
@@ -216,7 +233,7 @@ type solver struct {
 	conf     [][]int // flow -> conflicting flows
 	maxSets  int
 	numPins  int
-	perSide  int
+	rotStep  int
 	stubEdge []int // pin order -> stub edge ID
 	stubLen  float64
 
@@ -299,7 +316,7 @@ func newSolver(sp *spec.Spec, sw *topo.Switch, pt *topo.PathTable, opts Options)
 		conf:     sp.ConflictsWith(),
 		maxSets:  sp.EffectiveMaxSets(),
 		numPins:  sw.NumPins,
-		perSide:  sw.PerSide,
+		rotStep:  sw.RotStep,
 		stubLen:  geom.PinStubLength,
 		bestCost: inf,
 		unit:     maxUnit,
@@ -456,8 +473,21 @@ func (s *solver) finish(start time.Time) (*spec.Result, error) {
 	// Compact set numbering in first-use order (already contiguous by
 	// construction, but renumber defensively).
 	renumberSets(res)
+	s.normalizeDerived(res)
 	s.fillBound(res)
 	return res, nil
+}
+
+// normalizeDerived recomputes Length and Objective from the union edge
+// mask in one flat ascending-bit pass. The search tracks length
+// incrementally (curLen adds each placement's new edges as they come),
+// which can differ from a flat pass by an ulp; every downstream
+// recompute — plan decoding, seed adoption, the similarity index — uses
+// the flat order, so the emitted Result is normalized to it and a
+// decoded round trip reproduces Length and Objective bit-for-bit.
+func (s *solver) normalizeDerived(res *spec.Result) {
+	res.Length = s.edgeMaskLen(res.UsedEdgeMask)
+	res.Objective = s.alpha*float64(res.NumSets) + s.beta*res.Length
 }
 
 // release returns the solver's pooled state. The Result never aliases
@@ -633,6 +663,7 @@ func (s *solver) publishIncumbent(inc *incumbent) {
 		}
 	}
 	renumberSets(res)
+	s.normalizeDerived(res)
 	s.fillBound(res)
 	cb(res)
 }
@@ -793,9 +824,12 @@ const (
 
 // candidatePins appends the pins a module may use into *buf: its bound
 // pin, or all free pins. With allowCut, the very first binding of the
-// search is restricted to the first side's pins — rotating the switch by
-// 90° shifts every pin order by perSide, so orbit representatives
-// suffice.
+// search is restricted to one orbit representative per rotation class:
+// the topology's smallest rotational automorphism shifts every pin
+// order by Switch.RotStep (90° → PerSide on the crossbar, 180° →
+// Rows+Cols on the FPVA grid), so the first bound module only needs the
+// first RotStep pins. A topology without rotational symmetry reports
+// RotStep 0 and disables the cut.
 func (s *solver) candidatePins(module int, allowCut bool, buf *[]int) []int {
 	out := (*buf)[:0]
 	if p := s.pinOf[module]; p >= 0 {
@@ -804,10 +838,8 @@ func (s *solver) candidatePins(module int, allowCut bool, buf *[]int) []int {
 		return out
 	}
 	limit := s.numPins
-	if allowCut && !s.opts.DisableSymmetryBreaking && s.boundCount == 0 {
-		// Rotating the switch by 90° shifts every pin order by perSide; fix
-		// the first bound module into the first side's pins.
-		limit = s.perSide
+	if allowCut && !s.opts.DisableSymmetryBreaking && s.boundCount == 0 && s.rotStep > 0 {
+		limit = s.rotStep
 	}
 	for p := 0; p < limit; p++ {
 		if s.modOf[p] == -1 {

@@ -48,7 +48,12 @@ func (s *solver) buildSeedIncumbent() *incumbent {
 	if seed == nil || seed.Spec == nil {
 		return nil
 	}
-	if seed.Spec.SwitchPins != s.sp.SwitchPins {
+	// The seed must come from the same substrate: equal port counts are
+	// not enough, since an FPVA grid can expose the same port count as a
+	// crossbar (2×2 → 8), and its paths would reference foreign geometry.
+	if seed.Spec.SwitchPins != s.sp.SwitchPins ||
+		seed.Spec.IsFPVA() != s.sp.IsFPVA() ||
+		seed.Spec.GridRows != s.sp.GridRows || seed.Spec.GridCols != s.sp.GridCols {
 		return nil
 	}
 	nFlows := len(s.sp.Flows)

@@ -47,7 +47,15 @@ func (s *Spec) CanonicalKey() (string, error) {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "v1|pins=%d|binding=%s|alpha=%g|beta=%g|maxsets=%d\n",
-		s.SwitchPins, s.Binding, s.EffectiveAlpha(), s.EffectiveBeta(), s.EffectiveMaxSets())
+		s.Ports(), s.Binding, s.EffectiveAlpha(), s.EffectiveBeta(), s.EffectiveMaxSets())
+
+	// The topology line appears only for non-crossbar substrates, so
+	// every pre-existing crossbar key digest is unchanged, while an FPVA
+	// spec whose port count collides with a crossbar size (e.g. a 2×2
+	// grid's 8 ports vs the 8-pin crossbar) can never share its key.
+	if s.IsFPVA() {
+		fmt.Fprintf(&b, "topology=%s|rows=%d|cols=%d\n", TopologyFPVA, s.GridRows, s.GridCols)
+	}
 
 	b.WriteString("modules=")
 	b.WriteString(strings.Join(s.canonicalModules(), "\x1f"))
@@ -117,6 +125,12 @@ func (s *Spec) CanonicalSpec() (*Spec, error) {
 		return nil, err
 	}
 	cp := *s
+	// "crossbar" is an accepted alias for the default topology; the
+	// canonical presentation always uses the zero value, so plans solved
+	// for the canonical spec serialize without the redundant selector.
+	if cp.Topology == TopologyCrossbar {
+		cp.Topology = ""
+	}
 	cp.Modules = s.canonicalModules()
 	perm := s.CanonicalFlowOrder()
 	cp.Flows = make([]Flow, len(perm))

@@ -71,8 +71,22 @@ type Spec struct {
 	Name string `json:"name"`
 	// SwitchPins is the switch model size. The paper's sizes are 8, 12
 	// and 16; this library additionally supports 20 and 24 (the "larger
-	// switch structures" of the paper's future work).
+	// switch structures" of the paper's future work). Crossbar topology
+	// only: FPVA specs leave it zero and derive their port count from
+	// the grid dimensions (see Ports).
 	SwitchPins int `json:"switchPins"`
+	// Topology selects the switch substrate: "" or "crossbar" (the
+	// paper's reconfigurable crossbar, the default) or "fpva" (a fully
+	// programmable valve array — an N×M junction grid with a valve on
+	// every channel segment and boundary I/O ports, sized by GridRows ×
+	// GridCols). The zero value keeps every pre-existing spec byte-for-
+	// byte compatible.
+	Topology string `json:"topology,omitempty"`
+	// GridRows and GridCols are the FPVA junction-grid dimensions
+	// (Topology == "fpva" only; both must be ≥ 2 and their product at
+	// most MaxGridCells).
+	GridRows int `json:"gridRows,omitempty"`
+	GridCols int `json:"gridCols,omitempty"`
 	// Modules lists the connected modules. For the clockwise policy the
 	// list order is the user-defined clockwise order.
 	Modules []string `json:"modules"`
@@ -102,6 +116,55 @@ const (
 	DefaultAlpha = 1
 	DefaultBeta  = 100
 )
+
+// Topology names accepted by Spec.Topology. The empty string is the
+// canonical crossbar spelling; TopologyCrossbar is accepted as an
+// explicit alias and normalized away by CanonicalSpec.
+const (
+	TopologyCrossbar = "crossbar"
+	TopologyFPVA     = "fpva"
+)
+
+// MaxGridCells caps an FPVA spec's junction count (GridRows × GridCols).
+// The bound keeps the worst-case topology inside the fixed 256-bit
+// vertex/edge masks of the synthesis engines: at 100 cells the most
+// extreme aspect ratio (2×50) still needs only 204 vertices and 252
+// edges.
+const MaxGridCells = 100
+
+// IsFPVA reports whether the spec targets the FPVA grid topology.
+func (s *Spec) IsFPVA() bool { return s.Topology == TopologyFPVA }
+
+// Ports returns the number of boundary I/O ports of the spec's switch:
+// SwitchPins for the crossbar, 2·(GridRows+GridCols) for an FPVA grid.
+// Every pin-order range in the codebase (bindings, fixed pins, route
+// endpoints) is [0, Ports()).
+func (s *Spec) Ports() int {
+	if s.IsFPVA() {
+		return 2 * (s.GridRows + s.GridCols)
+	}
+	return s.SwitchPins
+}
+
+// SharedSwitch returns the process-shared switch model for the spec's
+// topology, without a path table (plan decoding does not need one).
+func (s *Spec) SharedSwitch() (*topo.Switch, error) {
+	if s.IsFPVA() {
+		return topo.SharedFPVASwitch(s.GridRows, s.GridCols)
+	}
+	return topo.SharedSwitch(s.SwitchPins)
+}
+
+// SharedTopology returns the process-shared switch model and path table
+// for the spec's topology — the single dispatch point the synthesis
+// engines use, so crossbar and FPVA specs flow through identical solver
+// machinery on different substrates.
+func (s *Spec) SharedTopology() (*topo.Switch, *topo.PathTable, error) {
+	if s.IsFPVA() {
+		return topo.SharedFPVA(s.GridRows, s.GridCols)
+	}
+	return topo.SharedGrid(s.SwitchPins)
+}
 
 // EffectiveAlpha returns Alpha or its default.
 func (s *Spec) EffectiveAlpha() float64 {
@@ -189,16 +252,14 @@ func (s *Spec) Validate() error {
 	if s == nil {
 		return errf("spec: nil spec")
 	}
-	switch s.SwitchPins {
-	case 8, 12, 16, 20, 24:
-	default:
-		return errf("spec %q: switch size %d not supported (want 8, 12, 16, 20 or 24)", s.Name, s.SwitchPins)
+	if err := s.validateTopology(); err != nil {
+		return err
 	}
 	if len(s.Modules) == 0 {
 		return errf("spec %q: no modules", s.Name)
 	}
-	if len(s.Modules) > s.SwitchPins {
-		return errf("spec %q: %d modules exceed %d pins", s.Name, len(s.Modules), s.SwitchPins)
+	if len(s.Modules) > s.Ports() {
+		return errf("spec %q: %d modules exceed %d pins", s.Name, len(s.Modules), s.Ports())
 	}
 	seen := make(map[string]bool, len(s.Modules))
 	for _, m := range s.Modules {
@@ -275,8 +336,8 @@ func (s *Spec) Validate() error {
 			if !seen[m] {
 				return errf("spec %q: fixed pin for unknown module %q", s.Name, m)
 			}
-			if p < 0 || p >= s.SwitchPins {
-				return errf("spec %q: module %q pin %d out of range [0,%d)", s.Name, m, p, s.SwitchPins)
+			if p < 0 || p >= s.Ports() {
+				return errf("spec %q: module %q pin %d out of range [0,%d)", s.Name, m, p, s.Ports())
 			}
 			if other, dup := pinUsed[p]; dup {
 				return errf("spec %q: modules %q and %q share pin %d", s.Name, other, m, p)
@@ -292,6 +353,42 @@ func (s *Spec) Validate() error {
 	}
 	if s.MaxSets < 0 {
 		return errf("spec %q: negative MaxSets", s.Name)
+	}
+	return nil
+}
+
+// validateTopology checks the substrate selection: the crossbar branch
+// keeps the paper's supported pin sizes and must not carry FPVA grid
+// dimensions; the FPVA branch rejects degenerate (0- or 1-dimensional)
+// and oversized grids with typed ValidationErrors and derives its port
+// count from the dimensions, so SwitchPins must stay unset.
+func (s *Spec) validateTopology() error {
+	switch s.Topology {
+	case "", TopologyCrossbar:
+		if s.GridRows != 0 || s.GridCols != 0 {
+			return errf("spec %q: grid dimensions %dx%d are only valid with topology %q (crossbar sizes come from switchPins)",
+				s.Name, s.GridRows, s.GridCols, TopologyFPVA)
+		}
+		switch s.SwitchPins {
+		case 8, 12, 16, 20, 24:
+		default:
+			return errf("spec %q: switch size %d not supported (want 8, 12, 16, 20 or 24)", s.Name, s.SwitchPins)
+		}
+	case TopologyFPVA:
+		if s.SwitchPins != 0 {
+			return errf("spec %q: fpva topology derives its %d ports from the %dx%d grid; leave switchPins unset (got %d)",
+				s.Name, s.Ports(), s.GridRows, s.GridCols, s.SwitchPins)
+		}
+		if s.GridRows < 2 || s.GridCols < 2 {
+			return errf("spec %q: fpva grid %dx%d is degenerate (both dimensions must be at least 2)",
+				s.Name, s.GridRows, s.GridCols)
+		}
+		if cells := s.GridRows * s.GridCols; cells > MaxGridCells {
+			return errf("spec %q: fpva grid %dx%d has %d cells, exceeding the configured maximum of %d",
+				s.Name, s.GridRows, s.GridCols, cells, MaxGridCells)
+		}
+	default:
+		return errf("spec %q: unknown topology %q (want %q or %q)", s.Name, s.Topology, TopologyCrossbar, TopologyFPVA)
 	}
 	return nil
 }

@@ -1,0 +1,236 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func validFPVASpec() *Spec {
+	return &Spec{
+		Name:     "fpva-t",
+		Topology: TopologyFPVA,
+		GridRows: 3,
+		GridCols: 4,
+		Modules:  []string{"in1", "out1", "out2"},
+		Flows:    []Flow{{From: "in1", To: "out1"}, {From: "in1", To: "out2"}},
+		Binding:  Unfixed,
+	}
+}
+
+func TestValidateFPVAOK(t *testing.T) {
+	sp := validFPVASpec()
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("valid FPVA spec rejected: %v", err)
+	}
+	if !sp.IsFPVA() {
+		t.Error("IsFPVA() = false")
+	}
+	if got, want := sp.Ports(), 14; got != want {
+		t.Errorf("Ports() = %d, want %d", got, want)
+	}
+}
+
+func TestValidateCrossbarAliasOK(t *testing.T) {
+	sp := validSpec()
+	sp.Topology = TopologyCrossbar
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("explicit crossbar alias rejected: %v", err)
+	}
+	if sp.IsFPVA() {
+		t.Error("crossbar alias reported as FPVA")
+	}
+	if got, want := sp.Ports(), sp.SwitchPins; got != want {
+		t.Errorf("Ports() = %d, want SwitchPins %d", got, want)
+	}
+}
+
+func TestValidateTopologyErrors(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Spec)
+		want   string
+	}{
+		{"zero grid", func(s *Spec) { s.GridRows, s.GridCols = 0, 0 }, "degenerate"},
+		{"one-dim rows", func(s *Spec) { s.GridRows = 1 }, "degenerate"},
+		{"one-dim cols", func(s *Spec) { s.GridCols = 1 }, "degenerate"},
+		{"negative dims", func(s *Spec) { s.GridRows = -3 }, "degenerate"},
+		{"oversized grid", func(s *Spec) { s.GridRows, s.GridCols = 11, 10 }, "exceeding the configured maximum"},
+		{"switchPins with fpva", func(s *Spec) { s.SwitchPins = 8 }, "leave switchPins unset"},
+		{"unknown topology", func(s *Spec) { s.Topology = "torus" }, "unknown topology"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := validFPVASpec()
+			tc.mutate(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("error %T is not a *ValidationError", err)
+			}
+		})
+	}
+
+	// Grid dimensions on a crossbar spec are rejected with a typed error too.
+	s := validSpec()
+	s.GridRows = 3
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("crossbar spec with grid dimensions accepted")
+	}
+	if !strings.Contains(err.Error(), "only valid with topology") {
+		t.Fatalf("error %q does not explain the topology mismatch", err)
+	}
+	var ve *ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error %T is not a *ValidationError", err)
+	}
+}
+
+// TestFPVAFixedPinsUseDerivedPortRange: fixed pin bounds come from
+// Ports(), not the (zero) SwitchPins field.
+func TestFPVAFixedPinsUseDerivedPortRange(t *testing.T) {
+	sp := validFPVASpec() // 3×4 → 14 ports
+	sp.Binding = Fixed
+	sp.FixedPins = map[string]int{"in1": 0, "out1": 7, "out2": 13}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("in-range fixed pins rejected: %v", err)
+	}
+	sp.FixedPins["out2"] = 14
+	if err := sp.Validate(); err == nil {
+		t.Fatal("fixed pin 14 accepted on a 14-port grid")
+	}
+}
+
+// TestFPVAModuleCapacityUsesDerivedPorts: the modules-fit-the-switch
+// check counts FPVA boundary ports.
+func TestFPVAModuleCapacityUsesDerivedPorts(t *testing.T) {
+	sp := &Spec{
+		Name:     "cap",
+		Topology: TopologyFPVA,
+		GridRows: 2,
+		GridCols: 2, // 8 ports
+		Binding:  Unfixed,
+	}
+	for i := 0; i < 4; i++ {
+		in := "in" + string(rune('1'+i))
+		out := "out" + string(rune('1'+i))
+		sp.Modules = append(sp.Modules, in, out)
+		sp.Flows = append(sp.Flows, Flow{From: in, To: out})
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("8 modules on 8 ports rejected: %v", err)
+	}
+	sp.Modules = append(sp.Modules, "in5", "out5")
+	sp.Flows = append(sp.Flows, Flow{From: "in5", To: "out5"})
+	if err := sp.Validate(); err == nil {
+		t.Fatal("10 modules accepted on an 8-port grid")
+	}
+}
+
+// TestSharedTopologyDispatch: the spec-level topology accessors resolve
+// to the matching shared substrate.
+func TestSharedTopologyDispatch(t *testing.T) {
+	fsw, fpt, err := validFPVASpec().SharedTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fsw.Kind != "fpva" || fsw.Rows != 3 || fsw.Cols != 4 || fpt == nil {
+		t.Errorf("FPVA spec resolved to %q %dx%d", fsw.Kind, fsw.Rows, fsw.Cols)
+	}
+	csw, cpt, err := validSpec().SharedTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csw.Kind != "grid" || csw.NumPins != 8 || cpt == nil {
+		t.Errorf("crossbar spec resolved to %q with %d pins", csw.Kind, csw.NumPins)
+	}
+}
+
+// TestCanonicalKeyTopologySeparation: an FPVA spec and a crossbar spec
+// with the same port count and identical flows must canonicalize to
+// different keys, transposed grids stay distinct, and the explicit
+// crossbar alias canonicalizes to the default spelling's key.
+func TestCanonicalKeyTopologySeparation(t *testing.T) {
+	xbar := validSpec() // 8 pins
+	fpva := &Spec{
+		Name:     xbar.Name,
+		Topology: TopologyFPVA,
+		GridRows: 2,
+		GridCols: 2, // 8 ports, same as the crossbar
+		Modules:  append([]string(nil), xbar.Modules...),
+		Flows:    append([]Flow(nil), xbar.Flows...),
+		Binding:  xbar.Binding,
+	}
+	xk, err := xbar.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fk, err := fpva.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xk == fk {
+		t.Error("crossbar and FPVA specs with equal port counts share a canonical key")
+	}
+
+	transposed := *fpva
+	transposed.GridRows, transposed.GridCols = 3, 2
+	flat := *fpva
+	flat.GridRows, flat.GridCols = 2, 3
+	tk, err := transposed.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lk, err := flat.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk == lk {
+		t.Error("transposed FPVA grids share a canonical key")
+	}
+
+	alias := *xbar
+	alias.Topology = TopologyCrossbar
+	ak, err := alias.CanonicalKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ak != xk {
+		t.Error("explicit crossbar alias changed the canonical key")
+	}
+}
+
+// TestFPVASpecJSONRoundTrip: topology fields survive JSON and crossbar
+// specs never serialize them (wire compatibility).
+func TestFPVASpecJSONRoundTrip(t *testing.T) {
+	sp := validFPVASpec()
+	data, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Topology != TopologyFPVA || back.GridRows != 3 || back.GridCols != 4 {
+		t.Errorf("round trip lost topology fields: %+v", back)
+	}
+
+	cdata, err := json.Marshal(validSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"topology", "gridRows", "gridCols"} {
+		if strings.Contains(string(cdata), field) {
+			t.Errorf("crossbar spec JSON mentions %q: %s", field, cdata)
+		}
+	}
+}

@@ -2,13 +2,27 @@ package topo
 
 import "sync"
 
-// gridCache memoizes SharedSwitch/SharedGrid results: one entry per pin
-// count for the lifetime of the process. Entries are never evicted — the
-// supported pin counts form a tiny fixed set, and a built 16-pin path
-// table is ~1 MB.
-var gridCache sync.Map // numPins -> *gridEntry
+// topoCache memoizes the shared switch/path-table builders: one entry
+// per (kind, parameters) for the lifetime of the process. Entries are
+// never evicted — the supported parameter space is tiny and bounded (a
+// built 16-pin path table is ~1 MB, and the spec layer caps FPVA grids
+// at MaxGridCells cells).
+//
+// The key carries the topology kind explicitly so distinct families can
+// never collide on raw parameters: a "grid" crossbar keyed by its pin
+// count and an "fpva" grid keyed by (rows, cols) stay separate even
+// when the integers coincide (e.g. an 8-pin crossbar vs a hypothetical
+// fpva entry with a = 8).
+var topoCache sync.Map // cacheKey -> *topoEntry
 
-type gridEntry struct {
+// cacheKey identifies one shared topology: the family plus its
+// integer parameters (numPins for "grid"; rows, cols for "fpva").
+type cacheKey struct {
+	kind string
+	a, b int
+}
+
+type topoEntry struct {
 	swOnce sync.Once
 	ptOnce sync.Once
 	sw     *Switch
@@ -16,14 +30,15 @@ type gridEntry struct {
 	err    error
 }
 
-func sharedEntry(numPins int) *gridEntry {
-	v, _ := gridCache.LoadOrStore(numPins, &gridEntry{})
-	return v.(*gridEntry)
+func sharedEntry(key cacheKey) *topoEntry {
+	v, _ := topoCache.LoadOrStore(key, &topoEntry{})
+	return v.(*topoEntry)
 }
 
-// SharedSwitch returns the process-wide shared grid switch for numPins,
-// building it on first use — without the path table, which plan decoding
-// does not need and which dominates first-use cost at large pin counts.
+// SharedSwitch returns the process-wide shared crossbar grid switch for
+// numPins, building it on first use — without the path table, which
+// plan decoding does not need and which dominates first-use cost at
+// large pin counts.
 //
 // Sharing is safe because the Switch is immutable once built: NewGrid
 // publishes it only after finish() seals it, and every accessor either
@@ -34,7 +49,7 @@ func sharedEntry(numPins int) *gridEntry {
 // Construction errors (unsupported pin counts) are memoized too, so
 // repeated lookups of a bad size stay cheap.
 func SharedSwitch(numPins int) (*Switch, error) {
-	e := sharedEntry(numPins)
+	e := sharedEntry(cacheKey{kind: "grid", a: numPins})
 	e.swOnce.Do(func() { e.sw, e.err = NewGrid(numPins) })
 	return e.sw, e.err
 }
@@ -48,7 +63,30 @@ func SharedGrid(numPins int) (*Switch, *PathTable, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	e := sharedEntry(numPins)
+	e := sharedEntry(cacheKey{kind: "grid", a: numPins})
+	e.ptOnce.Do(func() { e.pt = BuildPathTable(sw) })
+	return sw, e.pt, nil
+}
+
+// SharedFPVASwitch returns the process-wide shared FPVA switch for a
+// rows×cols junction grid, building it on first use, without the path
+// table. The cache entry is keyed by ("fpva", rows, cols) and can never
+// alias a crossbar entry, whatever the parameter values.
+func SharedFPVASwitch(rows, cols int) (*Switch, error) {
+	e := sharedEntry(cacheKey{kind: "fpva", a: rows, b: cols})
+	e.swOnce.Do(func() { e.sw, e.err = NewFPVA(rows, cols) })
+	return e.sw, e.err
+}
+
+// SharedFPVA returns the shared FPVA switch together with its shared
+// path table, building each on first use — the FPVA analogue of
+// SharedGrid, with identical immutability and concurrency guarantees.
+func SharedFPVA(rows, cols int) (*Switch, *PathTable, error) {
+	sw, err := SharedFPVASwitch(rows, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := sharedEntry(cacheKey{kind: "fpva", a: rows, b: cols})
 	e.ptOnce.Do(func() { e.pt = BuildPathTable(sw) })
 	return sw, e.pt, nil
 }

@@ -1,0 +1,123 @@
+package topo
+
+import (
+	"fmt"
+
+	"switchsynth/internal/geom"
+)
+
+// NewFPVA constructs a fully programmable valve array flow topology: an
+// rows×cols grid of junction nodes where every channel segment between
+// adjacent junctions carries its own valve, with one boundary I/O port
+// per border junction per exposed side (corner junctions expose two).
+//
+// The model generalizes the paper's fixed crossbar to the N×M valve
+// arrays of the FPVA literature: where the crossbar derives its grid
+// dimension from the pin count (m+1 per side for 4m pins), the FPVA is
+// parameterized directly by its junction grid, and every junction —
+// not only border ones — is a routing point. The port convention
+// mirrors the crossbar's: clockwise order T1..Tcols, R1..Rrows,
+// Bcols..B1, Lrows..L1, so all pin-order-based machinery (binding,
+// clockwise winding, canonical keys) carries over unchanged.
+//
+// rows and cols must each be at least 2 — a 1-dimensional array
+// degenerates to a spine with no routing freedom — and small enough
+// that the vertex and edge sets fit the fixed Bits masks (the spec
+// layer additionally caps rows·cols at spec.MaxGridCells).
+func NewFPVA(rows, cols int) (*Switch, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("topo: FPVA grid must be at least 2x2, got %dx%d", rows, cols)
+	}
+	sw := &Switch{
+		Kind:    "fpva",
+		NumPins: 2 * (rows + cols),
+		RotStep: rows + cols,
+		Rows:    rows,
+		Cols:    cols,
+		byName:  make(map[string]int),
+		edgeAt:  make(map[[2]int]int),
+	}
+
+	// Junction nodes at (row, col), row 0 at the top, pitch geom.GridPitch.
+	nodeID := make([][]int, rows)
+	for r := 0; r < rows; r++ {
+		nodeID[r] = make([]int, cols)
+		for c := 0; c < cols; c++ {
+			v := Vertex{
+				ID:       len(sw.Vertices),
+				Kind:     NodeVertex,
+				Name:     fmt.Sprintf("n%d_%d", r, c),
+				Pos:      geom.Pt(float64(c)*geom.GridPitch, float64(r)*geom.GridPitch),
+				Row:      r,
+				Col:      c,
+				PinOrder: -1,
+			}
+			nodeID[r][c] = v.ID
+			sw.Vertices = append(sw.Vertices, v)
+			sw.nodeIDs = append(sw.nodeIDs, v.ID)
+		}
+	}
+
+	// Channel segments between adjacent junctions; each carries a valve.
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				sw.addEdge(nodeID[r][c], nodeID[r][c+1])
+			}
+			if r+1 < rows {
+				sw.addEdge(nodeID[r][c], nodeID[r+1][c])
+			}
+		}
+	}
+
+	// Boundary I/O ports, one per border junction per exposed side, in
+	// clockwise order T1..Tcols, R1..Rrows, Bcols..B1, Lrows..L1. Under
+	// the 180° rotation (r,c) → (rows-1-r, cols-1-c) every port maps to
+	// the diametrically opposite one, shifting each clockwise order by
+	// rows+cols — the RotStep recorded above.
+	type pinSpec struct {
+		side  Side
+		index int // 1-based along the side
+		node  int // attached junction vertex ID
+		pos   geom.Point
+	}
+	var specs []pinSpec
+	stub := geom.PinStubLength
+	for c := 0; c < cols; c++ { // T1..Tcols across the top row
+		id := nodeID[0][c]
+		specs = append(specs, pinSpec{Top, c + 1, id, sw.Vertices[id].Pos.Add(geom.Pt(0, -stub))})
+	}
+	for r := 0; r < rows; r++ { // R1..Rrows down the right column
+		id := nodeID[r][cols-1]
+		specs = append(specs, pinSpec{Right, r + 1, id, sw.Vertices[id].Pos.Add(geom.Pt(stub, 0))})
+	}
+	for c := cols - 1; c >= 0; c-- { // clockwise along the bottom: Bcols..B1
+		id := nodeID[rows-1][c]
+		specs = append(specs, pinSpec{Bottom, c + 1, id, sw.Vertices[id].Pos.Add(geom.Pt(0, stub))})
+	}
+	for r := rows - 1; r >= 0; r-- { // clockwise up the left: Lrows..L1
+		id := nodeID[r][0]
+		specs = append(specs, pinSpec{Left, r + 1, id, sw.Vertices[id].Pos.Add(geom.Pt(-stub, 0))})
+	}
+	for order, ps := range specs {
+		v := Vertex{
+			ID:       len(sw.Vertices),
+			Kind:     PinVertex,
+			Name:     fmt.Sprintf("%s%d", ps.side, ps.index),
+			Pos:      ps.pos,
+			Row:      -1,
+			Col:      -1,
+			PinSide:  ps.side,
+			PinIndex: ps.index,
+			PinOrder: order,
+		}
+		sw.Vertices = append(sw.Vertices, v)
+		sw.pins = append(sw.pins, v.ID)
+		sw.addEdge(v.ID, ps.node)
+	}
+
+	if err := sw.finish(); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}

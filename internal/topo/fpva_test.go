@@ -1,0 +1,268 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"switchsynth/internal/geom"
+)
+
+func TestNewFPVAStructure(t *testing.T) {
+	sw, err := NewFPVA(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Kind != "fpva" {
+		t.Errorf("Kind = %q", sw.Kind)
+	}
+	if sw.Rows != 3 || sw.Cols != 4 {
+		t.Errorf("dims = %dx%d, want 3x4", sw.Rows, sw.Cols)
+	}
+	if sw.NumPins != 14 {
+		t.Errorf("NumPins = %d, want 2*(3+4) = 14", sw.NumPins)
+	}
+	if sw.RotStep != 7 {
+		t.Errorf("RotStep = %d, want 7 (the 180° rotation)", sw.RotStep)
+	}
+	if got, want := len(sw.NodeIDs()), 12; got != want {
+		t.Errorf("%d junctions, want %d", got, want)
+	}
+	// Edges: 3 rows × 3 horizontals + 2×4 verticals + 14 stubs.
+	if got, want := len(sw.Edges), 9+8+14; got != want {
+		t.Errorf("%d edges, want %d", got, want)
+	}
+	// Clockwise port naming: T1..T4, R1..R3, B4..B1, L3..L1.
+	wantNames := []string{
+		"T1", "T2", "T3", "T4",
+		"R1", "R2", "R3",
+		"B4", "B3", "B2", "B1",
+		"L3", "L2", "L1",
+	}
+	for order, want := range wantNames {
+		v := sw.Vertices[sw.PinVertex(order)]
+		if v.Name != want {
+			t.Errorf("pin order %d = %q, want %q", order, v.Name, want)
+		}
+		if v.PinOrder != order {
+			t.Errorf("pin %q PinOrder = %d, want %d", v.Name, v.PinOrder, order)
+		}
+		if Degree := sw.Degree(v.ID); Degree != 1 {
+			t.Errorf("port %q has degree %d, want 1 (single stub)", v.Name, Degree)
+		}
+	}
+	// Junction degree = grid neighbors + one stub per exposed side.
+	for _, id := range sw.NodeIDs() {
+		v := sw.Vertices[id]
+		deg := sw.Degree(id)
+		grid := 0
+		if v.Row > 0 {
+			grid++
+		}
+		if v.Row < sw.Rows-1 {
+			grid++
+		}
+		if v.Col > 0 {
+			grid++
+		}
+		if v.Col < sw.Cols-1 {
+			grid++
+		}
+		stubs := 0
+		if v.Row == 0 {
+			stubs++
+		}
+		if v.Row == sw.Rows-1 {
+			stubs++
+		}
+		if v.Col == 0 {
+			stubs++
+		}
+		if v.Col == sw.Cols-1 {
+			stubs++
+		}
+		if deg != grid+stubs {
+			t.Errorf("junction %s degree %d, want %d grid + %d stubs", v.Name, deg, grid, stubs)
+		}
+	}
+}
+
+func TestNewFPVARejectsDegenerate(t *testing.T) {
+	for _, dim := range [][2]int{{0, 0}, {1, 1}, {1, 5}, {5, 1}, {0, 4}, {-2, 3}} {
+		if _, err := NewFPVA(dim[0], dim[1]); err == nil {
+			t.Errorf("NewFPVA(%d, %d) accepted a degenerate grid", dim[0], dim[1])
+		}
+	}
+}
+
+// TestFPVARotationalSymmetry proves the RotStep contract geometrically:
+// rotating any port's position 180° about the grid center lands exactly
+// on the port RotStep later in clockwise order — and the crossbar's 90°
+// rotation is absent (FPVA grids are not square in general, and even
+// square ones break 90° symmetry only when rows == cols, which still
+// maps ports correctly under 180°).
+func TestFPVARotationalSymmetry(t *testing.T) {
+	for _, dim := range [][2]int{{2, 2}, {3, 4}, {5, 3}, {4, 4}} {
+		rows, cols := dim[0], dim[1]
+		sw, err := NewFPVA(rows, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := sw.Bounds()
+		cx, cy := (b.Min.X+b.Max.X)/2, (b.Min.Y+b.Max.Y)/2
+		for p := 0; p < sw.NumPins; p++ {
+			pos := sw.Vertices[sw.PinVertex(p)].Pos
+			want := geom.Pt(2*cx-pos.X, 2*cy-pos.Y)
+			q := (p + sw.RotStep) % sw.NumPins
+			got := sw.Vertices[sw.PinVertex(q)].Pos
+			if math.Abs(got.X-want.X) > 1e-9 || math.Abs(got.Y-want.Y) > 1e-9 {
+				t.Fatalf("%dx%d: pin %d rotated 180° is not pin %d (RotStep %d)",
+					rows, cols, p, q, sw.RotStep)
+			}
+		}
+	}
+}
+
+// TestSharedTopologyCacheKeysNeverCollide is the cache-key separation
+// guarantee: a crossbar and an FPVA grid exposing the same port count —
+// or FPVA grids with transposed dimensions — must never share a cache
+// entry, and repeated lookups of the same topology must return the very
+// same instances.
+func TestSharedTopologyCacheKeysNeverCollide(t *testing.T) {
+	// An 8-pin crossbar and a 2×2 FPVA both expose 8 ports.
+	xbar, xbarPT, err := SharedGrid(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpva, fpvaPT, err := SharedFPVA(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xbar.NumPins != 8 || fpva.NumPins != 8 {
+		t.Fatalf("port counts %d and %d, want both 8", xbar.NumPins, fpva.NumPins)
+	}
+	if xbar == fpva {
+		t.Fatal("crossbar and FPVA with colliding parameters share a switch instance")
+	}
+	if xbarPT == fpvaPT {
+		t.Fatal("crossbar and FPVA with colliding parameters share a path table")
+	}
+	if xbar.Kind != "grid" || fpva.Kind != "fpva" {
+		t.Errorf("kinds %q and %q, want grid and fpva", xbar.Kind, fpva.Kind)
+	}
+
+	// Transposed FPVA dimensions are distinct topologies.
+	ab, _, err := SharedFPVA(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, _, err := SharedFPVA(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab == ba {
+		t.Fatal("transposed FPVA dimensions share a cache entry")
+	}
+	if ab.Rows != 2 || ab.Cols != 3 || ba.Rows != 3 || ba.Cols != 2 {
+		t.Errorf("cached dims mixed up: %dx%d and %dx%d", ab.Rows, ab.Cols, ba.Rows, ba.Cols)
+	}
+
+	// Same parameters → same instances, for both families.
+	if sw2, pt2, err := SharedFPVA(2, 2); err != nil || sw2 != fpva || pt2 != fpvaPT {
+		t.Errorf("SharedFPVA(2,2) not memoized (err %v)", err)
+	}
+	if sw2, pt2, err := SharedGrid(8); err != nil || sw2 != xbar || pt2 != xbarPT {
+		t.Errorf("SharedGrid(8) not memoized (err %v)", err)
+	}
+
+	// The switch-only accessors resolve to the same cached instances.
+	if sw, err := SharedFPVASwitch(2, 2); err != nil || sw != fpva {
+		t.Errorf("SharedFPVASwitch(2,2) returned a different instance (err %v)", err)
+	}
+	if sw, err := SharedSwitch(8); err != nil || sw != xbar {
+		t.Errorf("SharedSwitch(8) returned a different instance (err %v)", err)
+	}
+}
+
+func TestSharedFPVAMemoizesErrors(t *testing.T) {
+	_, _, err1 := SharedFPVA(1, 9)
+	_, _, err2 := SharedFPVA(1, 9)
+	if err1 == nil || err2 == nil {
+		t.Fatal("degenerate grid did not error")
+	}
+	if err1 != err2 {
+		t.Errorf("error not memoized: %v vs %v", err1, err2)
+	}
+}
+
+// TestFPVAPathTable spot-checks that the shared path table serves
+// shortest routes between FPVA ports through the junction grid.
+func TestFPVAPathTable(t *testing.T) {
+	sw, pt, err := SharedFPVA(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T1 (above junction n0_0) to L1 (left of the same junction): the
+	// shortest route is stub + stub through one junction.
+	t1, _ := sw.VertexByName("T1")
+	l1, _ := sw.VertexByName("L1")
+	paths := pt.PathsBetween(t1.PinOrder, l1.PinOrder)
+	if len(paths) == 0 {
+		t.Fatal("no T1→L1 paths")
+	}
+	want := 2 * geom.PinStubLength
+	if math.Abs(paths[0].Length-want) > 1e-9 {
+		t.Errorf("T1→L1 shortest length %v, want %v", paths[0].Length, want)
+	}
+	for _, p := range paths {
+		if p.Verts[0] != t1.ID || p.Verts[len(p.Verts)-1] != l1.ID {
+			t.Errorf("path endpoints %v do not join T1 and L1", p.Verts)
+		}
+	}
+	// Opposite corners route through rows+cols junctions.
+	b3, _ := sw.VertexByName("B3")
+	cross := pt.PathsBetween(t1.PinOrder, b3.PinOrder)
+	if len(cross) == 0 {
+		t.Fatal("no T1→B3 paths")
+	}
+	wantCross := 2*geom.PinStubLength + 4*geom.GridPitch
+	if math.Abs(cross[0].Length-wantCross) > 1e-9 {
+		t.Errorf("T1→B3 shortest length %v, want %v", cross[0].Length, wantCross)
+	}
+}
+
+func TestFPVAFitsBitsMasksAtSpecCap(t *testing.T) {
+	// The binding worst cases under the spec layer's 100-cell cap.
+	for _, dim := range [][2]int{{10, 10}, {2, 50}, {50, 2}, {4, 25}} {
+		rows, cols := dim[0], dim[1]
+		sw, err := NewFPVA(rows, cols)
+		if err != nil {
+			t.Fatalf("NewFPVA(%d, %d): %v", rows, cols, err)
+		}
+		if len(sw.Vertices) > MaxVertices || len(sw.Edges) > MaxEdges {
+			t.Errorf("%dx%d: %d vertices / %d edges exceed the mask limits",
+				rows, cols, len(sw.Vertices), len(sw.Edges))
+		}
+	}
+}
+
+func TestFPVAVertexNamesUnique(t *testing.T) {
+	sw, err := NewFPVA(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, v := range sw.Vertices {
+		if seen[v.Name] {
+			t.Errorf("duplicate vertex name %q", v.Name)
+		}
+		seen[v.Name] = true
+	}
+	// Junction naming is positional.
+	for _, id := range sw.NodeIDs() {
+		v := sw.Vertices[id]
+		if want := fmt.Sprintf("n%d_%d", v.Row, v.Col); v.Name != want {
+			t.Errorf("junction at (%d,%d) named %q, want %q", v.Row, v.Col, v.Name, want)
+		}
+	}
+}

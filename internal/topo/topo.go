@@ -102,12 +102,23 @@ func (e Edge) Other(v int) int {
 // be read by any number of goroutines concurrently without locking —
 // SharedGrid hands out exactly such shared instances.
 type Switch struct {
-	// Kind describes the topology family ("grid", "spine").
+	// Kind describes the topology family ("grid", "spine", "fpva").
 	Kind string
 	// NumPins is the number of flow pins.
 	NumPins int
 	// PerSide is the number of pins per side (grid switches only).
 	PerSide int
+	// RotStep is the clockwise pin-order shift of the topology's smallest
+	// rotational automorphism: rotating the physical switch by that
+	// symmetry maps pin order p to (p+RotStep) mod NumPins while
+	// preserving every edge length. The crossbar grid has a 90° rotation
+	// (RotStep = PerSide); the FPVA grid only a 180° one (RotStep =
+	// Rows+Cols = NumPins/2). Zero disables rotational symmetry breaking
+	// (the spine has no rotational symmetry).
+	RotStep int
+	// Rows and Cols are the junction-grid dimensions of an FPVA switch
+	// (fpva only; zero otherwise).
+	Rows, Cols int
 
 	Vertices []Vertex
 	Edges    []Edge
@@ -140,6 +151,7 @@ func NewGrid(numPins int) (*Switch, error) {
 		Kind:    "grid",
 		NumPins: numPins,
 		PerSide: m,
+		RotStep: m,
 		byName:  make(map[string]int),
 		edgeAt:  make(map[[2]int]int),
 	}

@@ -103,6 +103,14 @@ const (
 	Unfixed   = spec.Unfixed
 )
 
+// Topology selectors for Spec.Topology. The zero value (empty string)
+// is the crossbar switch; TopologyFPVA selects an R×C fully
+// programmable valve array with Spec.GridRows/GridCols.
+const (
+	TopologyCrossbar = spec.TopologyCrossbar
+	TopologyFPVA     = spec.TopologyFPVA
+)
+
 // Engine names accepted by Options.Engine.
 const (
 	// EngineSearch is the scalable dedicated branch & bound (default).
@@ -200,7 +208,11 @@ func (s *Synthesis) ASCII() string { return render.ASCII(s.Result) }
 // paper's reported feature values (T, L, #v, #s).
 func (s *Synthesis) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: %d-pin switch, %s binding: ", s.Spec.Name, s.Spec.SwitchPins, s.Spec.Binding)
+	substrate := fmt.Sprintf("%d-pin switch", s.Spec.SwitchPins)
+	if s.Spec.IsFPVA() {
+		substrate = fmt.Sprintf("%dx%d FPVA grid", s.Spec.GridRows, s.Spec.GridCols)
+	}
+	fmt.Fprintf(&b, "%s: %s, %s binding: ", s.Spec.Name, substrate, s.Spec.Binding)
 	fmt.Fprintf(&b, "T=%.3fs L=%.1fmm #v=%d #s=%d", s.Runtime.Seconds(), s.Length, s.NumValves(), s.NumSets)
 	if s.Pressure != nil {
 		fmt.Fprintf(&b, " control-inlets=%d", s.Pressure.NumGroups())
